@@ -1,0 +1,257 @@
+//! Graph-coloring fixed channel allocation (the classical cellular
+//! approach; the paper's references \[7\] and \[16\]).
+//!
+//! Devices are vertices of a *conflict graph*; an edge means the two
+//! devices interfere and should avoid sharing channels where possible.
+//! Greedy multi-coloring assigns each device `k` distinct colors (one per
+//! radio), preferring colors unused in its neighborhood.
+//!
+//! In the paper's single-collision-domain model the conflict graph is a
+//! clique, and coloring degenerates to round-robin — the interesting cases
+//! are spatial: [`ConflictGraph::geometric`] builds the disk-graph of
+//! device positions, which the mesh-network example uses.
+
+use crate::Allocator;
+use mrca_core::{ChannelAllocationGame, ChannelId, StrategyMatrix, UserId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// An undirected conflict graph over `n` devices.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ConflictGraph {
+    n: usize,
+    /// Adjacency as a flat boolean matrix (`n × n`, symmetric, no loops).
+    adj: Vec<bool>,
+}
+
+impl ConflictGraph {
+    /// A graph with no conflicts.
+    pub fn empty(n: usize) -> Self {
+        ConflictGraph {
+            n,
+            adj: vec![false; n * n],
+        }
+    }
+
+    /// The complete graph: everyone conflicts with everyone (the paper's
+    /// single collision domain).
+    pub fn clique(n: usize) -> Self {
+        let mut g = ConflictGraph::empty(n);
+        for i in 0..n {
+            for j in 0..n {
+                if i != j {
+                    g.adj[i * n + j] = true;
+                }
+            }
+        }
+        g
+    }
+
+    /// Disk graph of `positions`: devices within `range` of each other
+    /// conflict.
+    pub fn geometric(positions: &[(f64, f64)], range: f64) -> Self {
+        let n = positions.len();
+        let mut g = ConflictGraph::empty(n);
+        for i in 0..n {
+            for j in (i + 1)..n {
+                let dx = positions[i].0 - positions[j].0;
+                let dy = positions[i].1 - positions[j].1;
+                if (dx * dx + dy * dy).sqrt() <= range {
+                    g.add_edge(i, j);
+                }
+            }
+        }
+        g
+    }
+
+    /// Random positions in the `side × side` square with the given
+    /// conflict `range` (deterministic per seed). Returns the graph and
+    /// the positions.
+    pub fn random_geometric(
+        n: usize,
+        side: f64,
+        range: f64,
+        seed: u64,
+    ) -> (Self, Vec<(f64, f64)>) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let positions: Vec<(f64, f64)> = (0..n)
+            .map(|_| (rng.gen_range(0.0..side), rng.gen_range(0.0..side)))
+            .collect();
+        (ConflictGraph::geometric(&positions, range), positions)
+    }
+
+    /// Add an undirected edge.
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-range vertices or a self-loop.
+    pub fn add_edge(&mut self, i: usize, j: usize) {
+        assert!(i < self.n && j < self.n, "vertex out of range");
+        assert_ne!(i, j, "no self-loops");
+        self.adj[i * self.n + j] = true;
+        self.adj[j * self.n + i] = true;
+    }
+
+    /// Whether `i` and `j` conflict.
+    pub fn conflicts(&self, i: usize, j: usize) -> bool {
+        self.adj[i * self.n + j]
+    }
+
+    /// Number of devices.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// True when the graph has no vertices.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Neighbors of `i`.
+    pub fn neighbors(&self, i: usize) -> Vec<usize> {
+        (0..self.n).filter(|&j| self.conflicts(i, j)).collect()
+    }
+
+    /// Degree of `i`.
+    pub fn degree(&self, i: usize) -> usize {
+        self.neighbors(i).len()
+    }
+}
+
+/// Greedy multi-coloring allocator over a conflict graph.
+#[derive(Debug, Clone)]
+pub struct ColoringAllocator {
+    graph: ConflictGraph,
+}
+
+impl ColoringAllocator {
+    /// Allocate on the given conflict graph.
+    ///
+    /// The graph must have one vertex per user of the game it is applied
+    /// to; [`Allocator::allocate`] panics otherwise.
+    pub fn new(graph: ConflictGraph) -> Self {
+        ColoringAllocator { graph }
+    }
+
+    /// Single-collision-domain variant (clique graph), matching the
+    /// paper's model.
+    pub fn clique(n_users: usize) -> Self {
+        ColoringAllocator::new(ConflictGraph::clique(n_users))
+    }
+}
+
+impl Allocator for ColoringAllocator {
+    fn name(&self) -> &str {
+        "coloring"
+    }
+
+    fn allocate(&self, game: &ChannelAllocationGame, _seed: u64) -> StrategyMatrix {
+        let cfg = game.config();
+        assert_eq!(
+            self.graph.len(),
+            cfg.n_users(),
+            "conflict graph size must equal the number of users"
+        );
+        let n = cfg.n_users();
+        let c = cfg.n_channels();
+        let k = cfg.radios_per_user() as usize;
+        let mut s = StrategyMatrix::zeros(n, c);
+        // Color vertices in descending-degree order (Welsh–Powell flavor):
+        // high-conflict devices pick first.
+        let mut order: Vec<usize> = (0..n).collect();
+        order.sort_by_key(|&i| std::cmp::Reverse(self.graph.degree(i)));
+        // Track per-channel usage counts within each vertex's neighborhood.
+        for &i in &order {
+            let neighbors = self.graph.neighbors(i);
+            // Usage of each color among already-colored neighbors.
+            let mut usage = vec![0u32; c];
+            for &j in &neighbors {
+                for ch in 0..c {
+                    usage[ch] += s.get(UserId(j), ChannelId(ch));
+                }
+            }
+            // Pick k distinct channels with the lowest neighbor usage
+            // (ties to the lowest index).
+            let mut channels: Vec<usize> = (0..c).collect();
+            channels.sort_by_key(|&ch| (usage[ch], ch));
+            for &ch in channels.iter().take(k) {
+                s.set(UserId(i), ChannelId(ch), 1);
+            }
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mrca_core::GameConfig;
+
+    fn game(n: usize, k: u32, c: usize) -> ChannelAllocationGame {
+        ChannelAllocationGame::with_constant_rate(GameConfig::new(n, k, c).unwrap(), 1.0)
+    }
+
+    #[test]
+    fn clique_graph_shape() {
+        let g = ConflictGraph::clique(4);
+        assert_eq!(g.len(), 4);
+        assert!(g.conflicts(0, 3));
+        assert!(!g.conflicts(2, 2));
+        assert_eq!(g.degree(1), 3);
+    }
+
+    #[test]
+    fn geometric_graph_respects_range() {
+        let pos = [(0.0, 0.0), (1.0, 0.0), (5.0, 0.0)];
+        let g = ConflictGraph::geometric(&pos, 1.5);
+        assert!(g.conflicts(0, 1));
+        assert!(!g.conflicts(0, 2));
+        assert!(!g.conflicts(1, 2));
+    }
+
+    #[test]
+    fn random_geometric_is_deterministic() {
+        let (g1, p1) = ConflictGraph::random_geometric(10, 10.0, 3.0, 5);
+        let (g2, p2) = ConflictGraph::random_geometric(10, 10.0, 3.0, 5);
+        assert_eq!(g1, g2);
+        assert_eq!(p1, p2);
+    }
+
+    #[test]
+    fn coloring_gives_distinct_channels_per_user() {
+        let g = game(4, 3, 5);
+        let s = ColoringAllocator::clique(4).allocate(&g, 0);
+        for u in UserId::all(4) {
+            assert_eq!(s.user_total(u), 3);
+            for c in ChannelId::all(5) {
+                assert!(s.get(u, c) <= 1, "coloring never stacks");
+            }
+        }
+    }
+
+    #[test]
+    fn coloring_on_empty_graph_piles_on_lowest_channels() {
+        // With no conflicts everyone picks the same lowest-index channels.
+        let g = game(3, 2, 4);
+        let s = ColoringAllocator::new(ConflictGraph::empty(3)).allocate(&g, 0);
+        assert_eq!(s.channel_load(ChannelId(0)), 3);
+        assert_eq!(s.channel_load(ChannelId(1)), 3);
+        assert_eq!(s.channel_load(ChannelId(2)), 0);
+    }
+
+    #[test]
+    fn clique_coloring_spreads_like_round_robin() {
+        let g = game(4, 2, 8);
+        let s = ColoringAllocator::clique(4).allocate(&g, 0);
+        // 8 radios over 8 channels with full conflict: loads all ≤ 1.
+        assert!(s.loads().iter().all(|&l| l <= 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "graph size")]
+    fn graph_size_mismatch_panics() {
+        let g = game(4, 2, 4);
+        let _ = ColoringAllocator::clique(3).allocate(&g, 0);
+    }
+}

@@ -1,0 +1,63 @@
+//! Bench: Figure 3 — cost of evaluating the three `R(k_c)` models
+//! (table-driven vs Bianchi fixed point vs optimal-window search).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use mrca_mac::{BianchiModel, OptimalCsmaRate, PhyParams, PracticalDcfRate, RateFunction, TdmaRate};
+
+fn bench_rate_models(c: &mut Criterion) {
+    let phy = PhyParams::bianchi_fhss();
+    let tdma = TdmaRate::from_phy(&phy);
+    let prac = PracticalDcfRate::new(phy.clone(), 64);
+    let opt = OptimalCsmaRate::new(phy.clone(), 32);
+
+    let mut g = c.benchmark_group("fig3/rate_eval");
+    g.bench_function("tdma", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for k in 1..=30u32 {
+                acc += tdma.rate(black_box(k));
+            }
+            acc
+        })
+    });
+    g.bench_function("practical_dcf_table", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for k in 1..=30u32 {
+                acc += prac.rate(black_box(k));
+            }
+            acc
+        })
+    });
+    g.bench_function("optimal_csma_table", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for k in 1..=30u32 {
+                acc += opt.rate(black_box(k));
+            }
+            acc
+        })
+    });
+    g.finish();
+
+    // The construction costs (what the tables amortize).
+    let mut g = c.benchmark_group("fig3/model_solve");
+    for n in [2u32, 10, 30] {
+        g.bench_with_input(BenchmarkId::new("bianchi_fixed_point", n), &n, |b, &n| {
+            let model = BianchiModel::new(PhyParams::bianchi_fhss());
+            b.iter(|| model.solve(black_box(n)))
+        });
+        g.bench_with_input(BenchmarkId::new("optimal_window_search", n), &n, |b, &n| {
+            let model = BianchiModel::new(PhyParams::bianchi_fhss());
+            b.iter(|| model.optimal_window(black_box(n)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_rate_models
+}
+criterion_main!(benches);

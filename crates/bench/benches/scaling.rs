@@ -1,0 +1,56 @@
+//! Bench: scaling of the core primitives with instance size — utility
+//! evaluation, best-response DP, full Nash check, packet-level simulation.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use mrca_bench::constant_game;
+use mrca_core::algorithm::{algorithm1, Ordering, TieBreak};
+use mrca_core::UserId;
+use mrca_sim::prelude::*;
+
+fn bench_scaling(c: &mut Criterion) {
+    let mut g = c.benchmark_group("scaling/core");
+    for n in [10usize, 100, 1000] {
+        let game = constant_game(n, 4, (n / 2).max(4));
+        let s = algorithm1(&game, &Ordering::with_tie_break(TieBreak::PreferUnused));
+        g.throughput(Throughput::Elements(n as u64));
+        g.bench_with_input(BenchmarkId::new("all_utilities", n), &(), |b, _| {
+            b.iter(|| game.utilities(black_box(&s)))
+        });
+        g.bench_with_input(BenchmarkId::new("one_best_response", n), &(), |b, _| {
+            b.iter(|| game.best_response(black_box(&s), UserId(0)))
+        });
+        g.bench_with_input(BenchmarkId::new("full_nash_check", n), &(), |b, _| {
+            b.iter(|| game.nash_check(black_box(&s)))
+        });
+    }
+    g.finish();
+
+    let mut g = c.benchmark_group("scaling/simulator");
+    for ch in [2usize, 8] {
+        let game = constant_game(8, 2, ch.max(2));
+        let s = algorithm1(&game, &Ordering::default());
+        g.bench_with_input(
+            BenchmarkId::new("tdma_100ms", format!("C{ch}")),
+            &(),
+            |b, _| {
+                b.iter(|| {
+                    ScenarioBuilder::new(ch.max(2))
+                        .mac(MacKind::Tdma)
+                        .allocation(&s)
+                        .seed(1)
+                        .build()
+                        .expect("valid scenario")
+                        .run(SimDuration::from_secs(0.1))
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_scaling
+}
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! Bench: T3 — Algorithm 1 end-to-end cost across instance sizes and
+//! tie-break policies.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use mrca_bench::constant_game;
+use mrca_core::algorithm::{algorithm1, Ordering, TieBreak};
+
+fn bench_algorithm1(c: &mut Criterion) {
+    let mut g = c.benchmark_group("t3/algorithm1");
+    for (n, k, ch) in [
+        (10usize, 4u32, 8usize),
+        (50, 4, 16),
+        (200, 4, 32),
+        (1000, 4, 64),
+    ] {
+        let game = constant_game(n, k, ch);
+        for (tname, tie) in [
+            ("lowest", TieBreak::LowestIndex),
+            ("prefer_unused", TieBreak::PreferUnused),
+            ("random", TieBreak::Random(7)),
+        ] {
+            g.bench_with_input(
+                BenchmarkId::new(tname, format!("N{n}k{k}C{ch}")),
+                &(),
+                |b, _| {
+                    let ordering = Ordering::with_tie_break(tie);
+                    b.iter(|| algorithm1(black_box(&game), &ordering))
+                },
+            );
+        }
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_algorithm1
+}
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! Bench: T4 — best-response dynamics to convergence from random starts.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use mrca_bench::{constant_game, dcf_game};
+use mrca_core::dynamics::{random_start, BestResponseDriver, RadioDynamics, Schedule};
+
+fn bench_dynamics(c: &mut Criterion) {
+    let mut g = c.benchmark_group("t4/convergence");
+    for (n, k, ch) in [(10usize, 4u32, 8usize), (50, 4, 16), (100, 4, 24)] {
+        let game = constant_game(n, k, ch);
+        g.bench_with_input(
+            BenchmarkId::new("user_br_constant", format!("N{n}k{k}C{ch}")),
+            &(),
+            |b, _| {
+                b.iter(|| {
+                    let start = random_start(&game, 3);
+                    BestResponseDriver::new(Schedule::RoundRobin)
+                        .run(black_box(&game), start, 500)
+                })
+            },
+        );
+        g.bench_with_input(
+            BenchmarkId::new("radio_br_constant", format!("N{n}k{k}C{ch}")),
+            &(),
+            |b, _| {
+                b.iter(|| {
+                    let start = random_start(&game, 3);
+                    RadioDynamics::new(3).run(black_box(&game), start, 500)
+                })
+            },
+        );
+        let dcf = dcf_game(n, k, ch);
+        g.bench_with_input(
+            BenchmarkId::new("user_br_dcf", format!("N{n}k{k}C{ch}")),
+            &(),
+            |b, _| {
+                b.iter(|| {
+                    let start = random_start(&dcf, 3);
+                    BestResponseDriver::new(Schedule::RoundRobin)
+                        .run(black_box(&dcf), start, 500)
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_dynamics
+}
+criterion_main!(benches);

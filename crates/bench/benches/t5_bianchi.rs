@@ -1,0 +1,29 @@
+//! Bench: T5 — Bianchi fixed point and slot-level DCF simulation cost.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use mrca_mac::sim_dcf::DcfSimulator;
+use mrca_mac::{BianchiModel, PhyParams};
+
+fn bench_bianchi(c: &mut Criterion) {
+    let phy = PhyParams::bianchi_fhss();
+    let model = BianchiModel::new(phy.clone());
+    let sim = DcfSimulator::new(phy, 42);
+
+    let mut g = c.benchmark_group("t5/bianchi");
+    for n in [2u32, 10, 50] {
+        g.bench_with_input(BenchmarkId::new("analytic_solve", n), &n, |b, &n| {
+            b.iter(|| model.solve(black_box(n)))
+        });
+        g.bench_with_input(BenchmarkId::new("slot_sim_2k_events", n), &n, |b, &n| {
+            b.iter(|| sim.run(black_box(n), 2_000))
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_bianchi
+}
+criterion_main!(benches);

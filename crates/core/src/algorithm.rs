@@ -1,0 +1,344 @@
+//! Algorithm 1 of the paper: centralized sequential construction of a
+//! Pareto-optimal Nash equilibrium.
+//!
+//! ```text
+//! 1: for i = 1 to |N| do
+//! 2:   for j = 1 to k do
+//! 3:     if k_c = k_l for all c, l ∈ C then
+//! 4:       use the radio on a channel c where k_{i,c} = 0
+//! 5:     else
+//! 6:       use the radio on a channel c where k_c = min_l k_l
+//! 7: end
+//! ```
+//!
+//! The paper leaves the choice among qualifying channels open; we expose it
+//! as a [`TieBreak`] policy, and the test-suite verifies the output is a NE
+//! for *every* policy and many user orderings (the property the paper
+//! claims). The algorithm is rate-model-independent — it only reads radio
+//! counts — which mirrors the structure of Theorem 1.
+
+use crate::config::GameConfig;
+use crate::game::ChannelAllocationGame;
+use crate::strategy::StrategyMatrix;
+use crate::types::{ChannelId, UserId};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+/// How to pick among equally-qualified channels in steps 4 and 6.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum TieBreak {
+    /// Lowest channel index first (deterministic; the natural reading).
+    #[default]
+    LowestIndex,
+    /// Among qualifying channels prefer one where the user has no radio
+    /// yet (extends step 4's idea to step 6), then lowest index.
+    PreferUnused,
+    /// Uniformly random among qualifying channels, from the given seed.
+    Random(u64),
+}
+
+/// Order in which users place radios.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Ordering {
+    /// Permutation of user indices; users place all `k` radios in this
+    /// order (the paper's outer loop).
+    pub users: Vec<usize>,
+    /// Tie-breaking policy for channel selection.
+    pub tie_break: TieBreak,
+}
+
+impl Default for Ordering {
+    /// Natural order `u1, u2, …` with lowest-index tie-breaking.
+    fn default() -> Self {
+        Ordering {
+            users: Vec::new(), // empty = natural order
+            tie_break: TieBreak::LowestIndex,
+        }
+    }
+}
+
+impl Ordering {
+    /// Natural order with a specific tie-break policy.
+    pub fn with_tie_break(tie_break: TieBreak) -> Self {
+        Ordering {
+            users: Vec::new(),
+            tie_break,
+        }
+    }
+
+    /// Explicit user permutation.
+    ///
+    /// # Panics
+    ///
+    /// [`algorithm1`] panics later if this is not a permutation of
+    /// `0..|N|`.
+    pub fn with_users(users: Vec<usize>, tie_break: TieBreak) -> Self {
+        Ordering { users, tie_break }
+    }
+
+    /// Random user permutation derived from `seed` (and random
+    /// tie-breaking from the same seed).
+    pub fn random(seed: u64, n_users: usize) -> Self {
+        let mut users: Vec<usize> = (0..n_users).collect();
+        let mut rng = StdRng::seed_from_u64(seed);
+        users.shuffle(&mut rng);
+        Ordering {
+            users,
+            tie_break: TieBreak::Random(seed.wrapping_add(1)),
+        }
+    }
+}
+
+/// Run Algorithm 1 and return the constructed strategy matrix.
+///
+/// # Panics
+///
+/// Panics if `ordering.users` is non-empty and not a permutation of
+/// `0..|N|`.
+pub fn algorithm1(game: &ChannelAllocationGame, ordering: &Ordering) -> StrategyMatrix {
+    algorithm1_cfg(game.config(), ordering)
+}
+
+/// Rate-model-free form of [`algorithm1`] (the algorithm never consults
+/// `R`).
+pub fn algorithm1_cfg(cfg: &GameConfig, ordering: &Ordering) -> StrategyMatrix {
+    let n = cfg.n_users();
+    let users: Vec<usize> = if ordering.users.is_empty() {
+        (0..n).collect()
+    } else {
+        let mut sorted = ordering.users.clone();
+        sorted.sort_unstable();
+        assert!(
+            sorted == (0..n).collect::<Vec<_>>(),
+            "ordering must be a permutation of 0..{n}"
+        );
+        ordering.users.clone()
+    };
+
+    let mut rng = match ordering.tie_break {
+        TieBreak::Random(seed) => Some(StdRng::seed_from_u64(seed)),
+        _ => None,
+    };
+
+    let mut s = StrategyMatrix::zeros(n, cfg.n_channels());
+    // Loads maintained incrementally: the paper's algorithm only ever
+    // needs the current load vector, and recomputing it per placement
+    // would cost O(|N|·|C|) each time (measurably slow at 1000 users).
+    let mut loads = vec![0u32; cfg.n_channels()];
+    for &u in &users {
+        let user = UserId(u);
+        for _ in 0..cfg.radios_per_user() {
+            let c = place_one(cfg, &s, &loads, user, ordering.tie_break, rng.as_mut());
+            let cur = s.get(user, c);
+            s.set(user, c, cur + 1);
+            loads[c.0] += 1;
+        }
+    }
+    s
+}
+
+/// Select the channel for one radio per steps 3–6 of Algorithm 1.
+fn place_one(
+    cfg: &GameConfig,
+    s: &StrategyMatrix,
+    loads: &[u32],
+    user: UserId,
+    tie: TieBreak,
+    rng: Option<&mut StdRng>,
+) -> ChannelId {
+    let min = *loads.iter().min().expect("at least one channel");
+    let max = *loads.iter().max().expect("at least one channel");
+
+    // Step 3: all loads equal → step 4: a channel where the user has no
+    // radio (one always exists: the user has placed < k ≤ |C| radios, and
+    // with equal loads it cannot cover all channels unless every channel
+    // already holds one of its radios, which would need ≥ |C| ≥ k placed).
+    let qualifying: Vec<usize> = if min == max {
+        let unused: Vec<usize> = (0..cfg.n_channels())
+            .filter(|&c| s.get(user, ChannelId(c)) == 0)
+            .collect();
+        assert!(
+            !unused.is_empty(),
+            "step 4 invariant: an unused channel must exist while placing"
+        );
+        unused
+    } else {
+        // Step 6: least-loaded channels.
+        (0..cfg.n_channels())
+            .filter(|&c| loads[c] == min)
+            .collect()
+    };
+
+    let pick = match tie {
+        TieBreak::LowestIndex => qualifying[0],
+        TieBreak::PreferUnused => *qualifying
+            .iter()
+            .find(|&&c| s.get(user, ChannelId(c)) == 0)
+            .unwrap_or(&qualifying[0]),
+        TieBreak::Random(_) => {
+            let rng = rng.expect("random tie-break carries an rng");
+            *qualifying.choose(rng).expect("qualifying set is non-empty")
+        }
+    };
+    ChannelId(pick)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::nash::theorem1;
+    use crate::pareto::is_system_optimal;
+
+    fn unit_game(n: usize, k: u32, c: usize) -> ChannelAllocationGame {
+        ChannelAllocationGame::with_constant_rate(GameConfig::new(n, k, c).unwrap(), 1.0)
+    }
+
+    #[test]
+    fn natural_order_produces_nash_on_paper_settings() {
+        for (n, k, c) in [(4usize, 4u32, 5usize), (7, 4, 6), (4, 4, 6)] {
+            let g = unit_game(n, k, c);
+            let s = algorithm1(&g, &Ordering::default());
+            assert!(g.nash_check(&s).is_nash(), "({n},{k},{c}) not NE");
+            assert!(theorem1(&g, &s).is_nash(), "({n},{k},{c}) fails Thm 1");
+            assert!(is_system_optimal(&g, &s), "({n},{k},{c}) not optimal");
+        }
+    }
+
+    #[test]
+    fn all_radios_placed_and_balanced() {
+        let g = unit_game(5, 3, 4);
+        let s = algorithm1(&g, &Ordering::default());
+        for u in UserId::all(5) {
+            assert_eq!(s.user_total(u), 3);
+        }
+        assert!(s.max_delta() <= 1);
+        let mut loads = s.loads();
+        loads.sort_unstable();
+        let mut balanced = g.config().balanced_loads();
+        balanced.sort_unstable();
+        assert_eq!(loads, balanced);
+    }
+
+    #[test]
+    fn prefer_unused_tie_break_yields_nash_across_sweep() {
+        // The PreferUnused refinement (step 6 inherits step 4's "where the
+        // user has no radio" preference) empirically always lands on a NE;
+        // sweep a grid of instance sizes.
+        for n in 1..=6usize {
+            for k in 1..=4u32 {
+                for c in (k as usize)..=6 {
+                    let g = unit_game(n, k, c);
+                    let s = algorithm1(&g, &Ordering::with_tie_break(TieBreak::PreferUnused));
+                    assert!(g.nash_check(&s).is_nash(), "({n},{k},{c})");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn literal_tie_breaking_can_miss_nash() {
+        // Documented reproduction finding: the algorithm as literally
+        // stated (step 6 = "any min-load channel") can stack a user's
+        // radios — after an equal-loads placement on an unused channel,
+        // previously-chosen channels rejoin the min set. With |N| = 6,
+        // k = 3, |C| = 5 and random tie-breaking (seed 42), u4 ends with
+        // two radios on c1 and none on c3, and gains 1/12 by unstacking:
+        // the output is balanced (δ ≤ 1) but NOT a Nash equilibrium.
+        let g = unit_game(6, 3, 5);
+        let s = algorithm1(&g, &Ordering::with_tie_break(TieBreak::Random(42)));
+        assert!(s.max_delta() <= 1, "output is still load-balanced");
+        assert!(
+            !g.nash_check(&s).is_nash(),
+            "this seed is a counterexample to the literal reading"
+        );
+        // The PreferUnused repair fixes the same run.
+        let s2 = algorithm1(&g, &Ordering::with_tie_break(TieBreak::PreferUnused));
+        assert!(g.nash_check(&s2).is_nash());
+    }
+
+    #[test]
+    fn all_tie_breaks_produce_balanced_loads() {
+        // Even when a tie-break misses the NE, the load vector is always
+        // balanced (the welfare-relevant property).
+        let g = unit_game(6, 3, 5);
+        for tie in [
+            TieBreak::LowestIndex,
+            TieBreak::PreferUnused,
+            TieBreak::Random(1),
+            TieBreak::Random(42),
+            TieBreak::Random(31337),
+        ] {
+            let s = algorithm1(&g, &Ordering::with_tie_break(tie));
+            assert!(s.max_delta() <= 1, "tie {tie:?}");
+        }
+    }
+
+    #[test]
+    fn every_user_ordering_yields_nash() {
+        let g = unit_game(4, 2, 3);
+        // All 24 permutations of 4 users.
+        let perms = permutations(4);
+        assert_eq!(perms.len(), 24);
+        for p in perms {
+            let s = algorithm1(&g, &Ordering::with_users(p.clone(), TieBreak::LowestIndex));
+            assert!(g.nash_check(&s).is_nash(), "ordering {p:?}");
+        }
+    }
+
+    #[test]
+    fn random_orderings_reproducible() {
+        let g = unit_game(5, 4, 6);
+        let a = algorithm1(&g, &Ordering::random(9, 5));
+        let b = algorithm1(&g, &Ordering::random(9, 5));
+        assert_eq!(a, b);
+        let c = algorithm1(&g, &Ordering::random(10, 5));
+        // Different seed very likely differs.
+        assert!(g.nash_check(&c).is_nash());
+    }
+
+    #[test]
+    fn fact1_regime_produces_flat_allocation() {
+        let g = unit_game(2, 2, 5); // 4 radios ≤ 5 channels
+        let s = algorithm1(&g, &Ordering::default());
+        assert!(s.loads().iter().all(|&l| l <= 1));
+        assert!(g.nash_check(&s).is_nash());
+    }
+
+    #[test]
+    #[should_panic(expected = "permutation")]
+    fn bad_ordering_rejected() {
+        let g = unit_game(3, 2, 3);
+        let _ = algorithm1(&g, &Ordering::with_users(vec![0, 0, 2], TieBreak::LowestIndex));
+    }
+
+    #[test]
+    fn single_user_spreads_radios() {
+        let g = unit_game(1, 3, 4);
+        let s = algorithm1(&g, &Ordering::default());
+        // One user, three radios, four channels: one radio each on three
+        // channels (never stacks — stacking splits its own rate).
+        assert_eq!(s.loads().iter().filter(|&&l| l == 1).count(), 3);
+        assert!(g.nash_check(&s).is_nash());
+    }
+
+    fn permutations(n: usize) -> Vec<Vec<usize>> {
+        let mut out = Vec::new();
+        let mut items: Vec<usize> = (0..n).collect();
+        permute(&mut items, 0, &mut out);
+        out
+    }
+
+    fn permute(items: &mut Vec<usize>, start: usize, out: &mut Vec<Vec<usize>>) {
+        if start == items.len() {
+            out.push(items.clone());
+            return;
+        }
+        for i in start..items.len() {
+            items.swap(start, i);
+            permute(items, start + 1, out);
+            items.swap(start, i);
+        }
+    }
+}

@@ -1,0 +1,148 @@
+//! Game configuration: `(|N|, k, |C|)`.
+
+use crate::error::Error;
+use serde::{Deserialize, Serialize};
+
+/// The dimensions of a channel-allocation game: number of users `|N|`,
+/// radios per user `k`, and number of channels `|C|`.
+///
+/// The paper's standing assumption `k ≤ |C|` is enforced at construction
+/// (a device never needs more radios than channels, since stacking radios
+/// on one channel only splits that channel's rate among them).
+///
+/// ```
+/// use mrca_core::GameConfig;
+/// let cfg = GameConfig::new(4, 4, 5)?; // the paper's Figure 1 setting
+/// assert_eq!(cfg.total_radios(), 16);
+/// assert!(cfg.has_conflict()); // 16 > 5: users must share channels
+/// # Ok::<(), mrca_core::Error>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct GameConfig {
+    n_users: usize,
+    radios_per_user: u32,
+    n_channels: usize,
+}
+
+impl GameConfig {
+    /// Create a configuration with `n_users` users, `radios_per_user`
+    /// radios each, and `n_channels` channels.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidConfig`] if any dimension is zero or if
+    /// `radios_per_user > n_channels` (violating the paper's `k ≤ |C|`).
+    pub fn new(n_users: usize, radios_per_user: u32, n_channels: usize) -> Result<Self, Error> {
+        if n_users == 0 {
+            return Err(Error::config("need at least one user"));
+        }
+        if radios_per_user == 0 {
+            return Err(Error::config("need at least one radio per user"));
+        }
+        if n_channels == 0 {
+            return Err(Error::config("need at least one channel"));
+        }
+        if radios_per_user as usize > n_channels {
+            return Err(Error::config(format!(
+                "k = {radios_per_user} exceeds |C| = {n_channels}; the paper assumes k <= |C|"
+            )));
+        }
+        Ok(GameConfig {
+            n_users,
+            radios_per_user,
+            n_channels,
+        })
+    }
+
+    /// Number of users `|N|`.
+    #[inline]
+    pub fn n_users(&self) -> usize {
+        self.n_users
+    }
+
+    /// Radios per user `k`.
+    #[inline]
+    pub fn radios_per_user(&self) -> u32 {
+        self.radios_per_user
+    }
+
+    /// Number of channels `|C|`.
+    #[inline]
+    pub fn n_channels(&self) -> usize {
+        self.n_channels
+    }
+
+    /// Total radios in the system, `|N|·k`.
+    #[inline]
+    pub fn total_radios(&self) -> u32 {
+        self.n_users as u32 * self.radios_per_user
+    }
+
+    /// Whether the interesting regime `|N|·k > |C|` holds (users cannot all
+    /// have private channels; Section 3 of the paper analyses this case,
+    /// Fact 1 dispatches the other).
+    #[inline]
+    pub fn has_conflict(&self) -> bool {
+        self.total_radios() as usize > self.n_channels
+    }
+
+    /// Load vector of a perfectly balanced allocation: every channel gets
+    /// `⌊m/|C|⌋` radios and the first `m mod |C|` channels one extra, where
+    /// `m = |N|·k`. By Theorem 1 every NE has these loads (as a multiset).
+    pub fn balanced_loads(&self) -> Vec<u32> {
+        let m = self.total_radios();
+        let c = self.n_channels as u32;
+        let base = m / c;
+        let extra = (m % c) as usize;
+        (0..self.n_channels)
+            .map(|i| if i < extra { base + 1 } else { base })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_figure_settings_are_valid() {
+        // Fig. 1: |N|=4, k=4, |C|=5. Fig. 4: |N|=7, k=4, |C|=6.
+        assert!(GameConfig::new(4, 4, 5).is_ok());
+        assert!(GameConfig::new(7, 4, 6).is_ok());
+    }
+
+    #[test]
+    fn zero_dimensions_rejected() {
+        assert!(GameConfig::new(0, 1, 1).is_err());
+        assert!(GameConfig::new(1, 0, 1).is_err());
+        assert!(GameConfig::new(1, 1, 0).is_err());
+    }
+
+    #[test]
+    fn k_greater_than_channels_rejected() {
+        let err = GameConfig::new(2, 5, 4).unwrap_err();
+        assert!(err.to_string().contains("k <= |C|"));
+    }
+
+    #[test]
+    fn conflict_detection() {
+        assert!(!GameConfig::new(1, 2, 3).unwrap().has_conflict()); // 2 <= 3
+        assert!(!GameConfig::new(1, 3, 3).unwrap().has_conflict()); // 3 == 3
+        assert!(GameConfig::new(2, 2, 3).unwrap().has_conflict()); // 4 > 3
+    }
+
+    #[test]
+    fn balanced_loads_partition_total() {
+        let cfg = GameConfig::new(7, 4, 6).unwrap(); // 28 radios, 6 channels
+        let loads = cfg.balanced_loads();
+        assert_eq!(loads.iter().sum::<u32>(), 28);
+        assert_eq!(loads.iter().max().unwrap() - loads.iter().min().unwrap(), 1);
+        assert_eq!(loads, vec![5, 5, 5, 5, 4, 4]);
+    }
+
+    #[test]
+    fn balanced_loads_exact_division() {
+        let cfg = GameConfig::new(3, 2, 3).unwrap(); // 6 radios, 3 channels
+        assert_eq!(cfg.balanced_loads(), vec![2, 2, 2]);
+    }
+}

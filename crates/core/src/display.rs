@@ -1,0 +1,106 @@
+//! ASCII rendering of allocations in the style of the paper's Figures 1, 4
+//! and 5: channels on the x-axis, one labelled box per radio stacked on
+//! each channel.
+
+use crate::strategy::StrategyMatrix;
+use crate::types::{ChannelId, UserId};
+
+/// Render `s` as stacked per-channel radio boxes:
+///
+/// ```text
+///   |    | u3 |    |    |    |
+///   | u1 | u3 | u2 | u1 |    |
+///   | u2 | u1 | u4 | u3 |    |
+///   | u4 | u2 | u1 | u4 | u2 |
+///   +----+----+----+----+----+
+///     c1   c2   c3   c4   c5
+/// ```
+///
+/// Radios of the same user on the same channel occupy several boxes
+/// (`u3` twice on `c2` above), matching the figures.
+pub fn render_allocation(s: &StrategyMatrix) -> String {
+    let n_ch = s.n_channels();
+    // Per channel, the stack of user labels (lowest row = first user).
+    let mut stacks: Vec<Vec<String>> = vec![Vec::new(); n_ch];
+    for c in 0..n_ch {
+        for u in 0..s.n_users() {
+            for _ in 0..s.get(UserId(u), ChannelId(c)) {
+                stacks[c].push(UserId(u).to_string());
+            }
+        }
+    }
+    let height = stacks.iter().map(Vec::len).max().unwrap_or(0);
+    let width = stacks
+        .iter()
+        .flatten()
+        .map(String::len)
+        .max()
+        .unwrap_or(2)
+        .max(2);
+
+    let mut out = String::new();
+    for row in (0..height).rev() {
+        out.push_str("  |");
+        for stack in &stacks {
+            if let Some(label) = stack.get(row) {
+                out.push_str(&format!(" {label:^width$} |"));
+            } else {
+                out.push_str(&format!(" {:^width$} |", ""));
+            }
+        }
+        out.push('\n');
+    }
+    out.push_str("  +");
+    for _ in 0..n_ch {
+        out.push_str(&"-".repeat(width + 2));
+        out.push('+');
+    }
+    out.push('\n');
+    out.push_str("   ");
+    for c in 0..n_ch {
+        let label = ChannelId(c).to_string();
+        out.push_str(&format!(" {label:^width$} "));
+    }
+    out.push('\n');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_figure1_shape() {
+        let s = StrategyMatrix::from_rows(&[
+            vec![1, 1, 1, 1, 0],
+            vec![1, 0, 1, 0, 1],
+            vec![1, 2, 0, 1, 0],
+            vec![1, 0, 0, 1, 0],
+        ])
+        .unwrap();
+        let text = render_allocation(&s);
+        // Tallest stack is c1 with 4 radios → 4 content rows + base + axis.
+        assert_eq!(text.lines().count(), 6);
+        assert!(text.contains("u3"));
+        assert!(text.contains("c5"));
+        // u3 appears 4 times total (once per radio).
+        assert_eq!(text.matches("u3").count(), 4);
+    }
+
+    #[test]
+    fn empty_allocation_renders_axis_only() {
+        let s = StrategyMatrix::zeros(2, 3);
+        let text = render_allocation(&s);
+        assert!(text.contains("c1"));
+        assert!(text.contains("c3"));
+        assert_eq!(text.lines().count(), 2); // base + axis
+    }
+
+    #[test]
+    fn stack_heights_match_loads() {
+        let s = StrategyMatrix::from_rows(&[vec![3, 0], vec![1, 1]]).unwrap();
+        let text = render_allocation(&s);
+        // Height = max load 4 → 4 content rows.
+        assert_eq!(text.lines().count(), 6);
+    }
+}

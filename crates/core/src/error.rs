@@ -1,0 +1,74 @@
+//! Error types for the channel-allocation model.
+
+use std::fmt;
+
+/// Errors raised when constructing or validating game configurations and
+/// strategy matrices.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum Error {
+    /// A game dimension was zero or otherwise out of range.
+    InvalidConfig {
+        /// Human-readable description of the violated constraint.
+        reason: String,
+    },
+    /// A strategy matrix does not fit the configuration (wrong shape or a
+    /// user exceeding its radio budget).
+    InvalidStrategy {
+        /// Human-readable description of the violated constraint.
+        reason: String,
+    },
+    /// A rate function violated its contract (e.g. increasing segment).
+    InvalidRateFunction {
+        /// Human-readable description of the violation.
+        reason: String,
+    },
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::InvalidConfig { reason } => write!(f, "invalid game configuration: {reason}"),
+            Error::InvalidStrategy { reason } => write!(f, "invalid strategy matrix: {reason}"),
+            Error::InvalidRateFunction { reason } => write!(f, "invalid rate function: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl Error {
+    pub(crate) fn config(reason: impl Into<String>) -> Self {
+        Error::InvalidConfig {
+            reason: reason.into(),
+        }
+    }
+
+    pub(crate) fn strategy(reason: impl Into<String>) -> Self {
+        Error::InvalidStrategy {
+            reason: reason.into(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = Error::config("k must be positive");
+        assert_eq!(
+            e.to_string(),
+            "invalid game configuration: k must be positive"
+        );
+        let e = Error::strategy("row 2 uses 5 radios, budget is 4");
+        assert!(e.to_string().contains("row 2"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Error>();
+    }
+}

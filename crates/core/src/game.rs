@@ -1,0 +1,525 @@
+//! The channel-allocation game: utilities (Eq. 3), benefit of change
+//! (Eq. 7), exact best responses, and Nash verification.
+
+use crate::config::GameConfig;
+use crate::enumerate::user_strategy_space;
+use crate::error::Error;
+use crate::strategy::{StrategyMatrix, StrategyVector};
+use crate::types::{ChannelId, UserId};
+use mrca_mac::{ConstantRate, RateFunction};
+use serde::{Deserialize, Serialize};
+use std::sync::Arc;
+
+/// Tolerance for "strictly improving" comparisons on utilities.
+///
+/// Utilities are sums of at most `k ≤ |C|` terms of magnitude `R(1)`, so
+/// the relative scale is well above this for any realistic rate model.
+pub const UTILITY_TOLERANCE: f64 = 1e-9;
+
+/// The multi-radio channel-allocation game of the paper: a configuration
+/// `(|N|, k, |C|)` plus a channel rate model `R(k_c)`.
+///
+/// The rate model is shared behind an [`Arc`] so games are cheap to clone
+/// and can be sent across threads (parameter sweeps run in parallel).
+#[derive(Debug, Clone)]
+pub struct ChannelAllocationGame {
+    config: GameConfig,
+    rate: Arc<dyn RateFunction>,
+}
+
+/// Outcome of the exact Nash check of [`ChannelAllocationGame::nash_check`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NashCheck {
+    /// Per-user best-response improvement over the current utility
+    /// (`0` when the user is already best-responding).
+    pub gains: Vec<f64>,
+    /// The first user with a strictly improving deviation, if any, with its
+    /// improving strategy.
+    pub witness: Option<(UserId, StrategyVector)>,
+}
+
+impl NashCheck {
+    /// True when no user can strictly improve: the matrix is a NE
+    /// (Definition 1 of the paper).
+    pub fn is_nash(&self) -> bool {
+        self.witness.is_none()
+    }
+
+    /// Largest unilateral improvement available to any user.
+    pub fn max_gain(&self) -> f64 {
+        self.gains.iter().copied().fold(0.0, f64::max)
+    }
+}
+
+impl ChannelAllocationGame {
+    /// Create a game from a configuration and a rate model.
+    pub fn new(config: GameConfig, rate: Arc<dyn RateFunction>) -> Self {
+        ChannelAllocationGame { config, rate }
+    }
+
+    /// Convenience: constant `R(k_c) = bps` (the paper's TDMA idealization,
+    /// used in all of its figures).
+    pub fn with_constant_rate(config: GameConfig, bps: f64) -> Self {
+        ChannelAllocationGame {
+            config,
+            rate: Arc::new(ConstantRate::new(bps)),
+        }
+    }
+
+    /// The game's dimensions.
+    pub fn config(&self) -> &GameConfig {
+        &self.config
+    }
+
+    /// The channel rate model.
+    pub fn rate(&self) -> &Arc<dyn RateFunction> {
+        &self.rate
+    }
+
+    /// Validate a strategy matrix against this game.
+    ///
+    /// # Errors
+    ///
+    /// See [`StrategyMatrix::validate`].
+    pub fn validate(&self, s: &StrategyMatrix) -> Result<(), Error> {
+        s.validate(&self.config)
+    }
+
+    /// The paper's Eq. 3: `U_i(S) = Σ_c (k_{i,c}/k_c)·R(k_c)`.
+    pub fn utility(&self, s: &StrategyMatrix, user: UserId) -> f64 {
+        let mut u = 0.0;
+        for c in ChannelId::all(self.config.n_channels()) {
+            let kic = s.get(user, c);
+            if kic == 0 {
+                continue;
+            }
+            let kc = s.channel_load(c);
+            u += kic as f64 / kc as f64 * self.rate.rate(kc);
+        }
+        u
+    }
+
+    /// Utilities of all users.
+    pub fn utilities(&self, s: &StrategyMatrix) -> Vec<f64> {
+        UserId::all(self.config.n_users())
+            .map(|i| self.utility(s, i))
+            .collect()
+    }
+
+    /// Total utility `U_total = Σ_i U_i = Σ_{c: k_c>0} R(k_c)`.
+    pub fn total_utility(&self, s: &StrategyMatrix) -> f64 {
+        // Summing per channel is both faster and exactly the identity used
+        // in the proof of Theorem 2.
+        ChannelId::all(self.config.n_channels())
+            .map(|c| {
+                let kc = s.channel_load(c);
+                if kc == 0 {
+                    0.0
+                } else {
+                    self.rate.rate(kc)
+                }
+            })
+            .sum()
+    }
+
+    /// The paper's Eq. 7: the benefit of change Δ for user `i` moving one
+    /// radio from channel `b` to channel `c`, computed directly as the
+    /// utility difference (no algebraic simplification, so it is valid for
+    /// any rate model and any configuration of the two channels).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the user has no radio on `b`.
+    pub fn benefit_of_move(
+        &self,
+        s: &StrategyMatrix,
+        user: UserId,
+        b: ChannelId,
+        c: ChannelId,
+    ) -> f64 {
+        assert!(s.get(user, b) > 0, "{user} has no radio on {b}");
+        if b == c {
+            return 0.0;
+        }
+        let before = self.utility(s, user);
+        let mut moved = s.clone();
+        moved.move_radio(user, b, c);
+        self.utility(&moved, user) - before
+    }
+
+    /// Exact best response of `user` against the rest of `s`: the strategy
+    /// vector maximizing Eq. 3 given the other users' radios, together with
+    /// its utility.
+    ///
+    /// Computed by dynamic programming over channels: with the other
+    /// users' load `L_c` on channel `c` fixed, placing `t` radios there
+    /// yields `f_c(t) = t/(L_c+t)·R(L_c+t)` independently per channel, and
+    /// the budget couples the channels. `dp[c][r]` = best utility using the
+    /// first `c` channels and `r` radios; `O(|C|·k²)` time.
+    ///
+    /// The optimum always uses all `k` radios: placing an extra radio on a
+    /// channel the user does not occupy strictly gains (`f_c(1) > 0` there)
+    /// and never affects other channels — the constructive argument behind
+    /// the paper's Lemma 1. The DP therefore fixes `Σ t_c = k`.
+    pub fn best_response(&self, s: &StrategyMatrix, user: UserId) -> (StrategyVector, f64) {
+        let k = self.config.radios_per_user() as usize;
+        let n_ch = self.config.n_channels();
+        // Other users' loads.
+        let loads_wo: Vec<u32> = ChannelId::all(n_ch)
+            .map(|c| s.channel_load(c) - s.get(user, c))
+            .collect();
+
+        // Per-channel payoff of placing t radios: f[c][t].
+        let mut f = vec![vec![0.0f64; k + 1]; n_ch];
+        for c in 0..n_ch {
+            for t in 1..=k {
+                let total = loads_wo[c] + t as u32;
+                f[c][t] = t as f64 / total as f64 * self.rate.rate(total);
+            }
+        }
+
+        // dp[r] = best utility with r radios over channels 0..=c; choice[c][r]
+        // = radios on channel c in that optimum.
+        let neg = f64::NEG_INFINITY;
+        let mut dp = vec![neg; k + 1];
+        dp[0] = 0.0;
+        let mut choice = vec![vec![0usize; k + 1]; n_ch];
+        for c in 0..n_ch {
+            let mut next = vec![neg; k + 1];
+            for r in 0..=k {
+                for t in 0..=r {
+                    if dp[r - t] == neg {
+                        continue;
+                    }
+                    let v = dp[r - t] + f[c][t];
+                    if v > next[r] {
+                        next[r] = v;
+                        choice[c][r] = t;
+                    }
+                }
+            }
+            dp = next;
+        }
+
+        // Reconstruct the allocation.
+        let mut counts = vec![0u32; n_ch];
+        let mut r = k;
+        for c in (0..n_ch).rev() {
+            let t = choice[c][r];
+            counts[c] = t as u32;
+            r -= t;
+        }
+        debug_assert_eq!(r, 0, "all radios must be placed");
+        (StrategyVector::from_counts(counts), dp[k])
+    }
+
+    /// Exact Nash check by best-response comparison (Definition 1): for
+    /// each user, compare the current utility with the exact best response.
+    /// `O(|N|·|C|·k²)` — polynomial, unlike exhaustive profile scans.
+    pub fn nash_check(&self, s: &StrategyMatrix) -> NashCheck {
+        let mut gains = Vec::with_capacity(self.config.n_users());
+        let mut witness = None;
+        for user in UserId::all(self.config.n_users()) {
+            let current = self.utility(s, user);
+            let (best, best_u) = self.best_response(s, user);
+            let gain = (best_u - current).max(0.0);
+            if gain > UTILITY_TOLERANCE && witness.is_none() {
+                witness = Some((user, best));
+            }
+            gains.push(gain);
+        }
+        NashCheck { gains, witness }
+    }
+
+    /// True when `s` is a Nash equilibrium (Definition 1).
+    pub fn is_nash(&self, s: &StrategyMatrix) -> bool {
+        self.nash_check(&s.clone()).is_nash()
+    }
+
+    /// Wrap this game in an adapter implementing [`mrca_game::Game`], with
+    /// each user's strategy space enumerated explicitly (all allocations of
+    /// *up to* `k` radios — under-provisioning is a legal strategy, which
+    /// is what lets the generic machinery re-discover Lemma 1).
+    ///
+    /// The joint space has `(#vectors)^{|N|}` profiles; use only for small
+    /// instances (the cross-validation experiments cap it explicitly).
+    pub fn indexed(&self) -> IndexedGame {
+        IndexedGame::new(self.clone())
+    }
+}
+
+/// Adapter presenting [`ChannelAllocationGame`] through the generic
+/// [`mrca_game::Game`] trait, for cross-validation against the generic
+/// equilibrium/Pareto machinery.
+#[derive(Debug, Clone)]
+pub struct IndexedGame {
+    game: ChannelAllocationGame,
+    /// All legal strategy vectors of one user (identical for every user).
+    space: Vec<StrategyVector>,
+}
+
+impl IndexedGame {
+    fn new(game: ChannelAllocationGame) -> Self {
+        let space = user_strategy_space(
+            game.config().n_channels(),
+            game.config().radios_per_user(),
+        );
+        IndexedGame { game, space }
+    }
+
+    /// The enumerated per-user strategy space.
+    pub fn strategy_space(&self) -> &[StrategyVector] {
+        &self.space
+    }
+
+    /// Decode an indexed profile into a strategy matrix.
+    pub fn to_matrix(&self, profile: &[usize]) -> StrategyMatrix {
+        let cfg = self.game.config();
+        let mut m = StrategyMatrix::zeros(cfg.n_users(), cfg.n_channels());
+        for (i, &si) in profile.iter().enumerate() {
+            m.set_user_strategy(UserId(i), &self.space[si]);
+        }
+        m
+    }
+
+    /// Encode a strategy matrix into an indexed profile.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a row of the matrix is not in the enumerated space (can
+    /// only happen for matrices that violate the radio budget).
+    pub fn to_profile(&self, s: &StrategyMatrix) -> Vec<usize> {
+        (0..s.n_users())
+            .map(|i| {
+                let row = s.user_strategy(UserId(i));
+                self.space
+                    .iter()
+                    .position(|v| *v == row)
+                    .expect("strategy vector outside the legal space")
+            })
+            .collect()
+    }
+
+    /// The wrapped game.
+    pub fn inner(&self) -> &ChannelAllocationGame {
+        &self.game
+    }
+}
+
+impl mrca_game::Game for IndexedGame {
+    fn num_players(&self) -> usize {
+        self.game.config().n_users()
+    }
+
+    fn num_strategies(&self, _player: mrca_game::PlayerId) -> usize {
+        self.space.len()
+    }
+
+    fn utility(&self, player: mrca_game::PlayerId, profile: &[usize]) -> f64 {
+        let m = self.to_matrix(profile);
+        self.game.utility(&m, UserId(player.0))
+    }
+
+    fn best_response(&self, player: mrca_game::PlayerId, profile: &[usize]) -> (usize, f64) {
+        // Use the structured DP instead of scanning the whole space.
+        let m = self.to_matrix(profile);
+        let (vec, u) = self.game.best_response(&m, UserId(player.0));
+        let idx = self
+            .space
+            .iter()
+            .position(|v| *v == vec)
+            .expect("best response must be in the legal space");
+        (idx, u)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mrca_mac::LinearDecayRate;
+
+    fn figure2() -> StrategyMatrix {
+        StrategyMatrix::from_rows(&[
+            vec![1, 1, 1, 1, 0],
+            vec![1, 0, 1, 0, 1],
+            vec![1, 2, 0, 1, 0],
+            vec![1, 0, 0, 1, 0],
+        ])
+        .unwrap()
+    }
+
+    fn unit_game(n: usize, k: u32, c: usize) -> ChannelAllocationGame {
+        ChannelAllocationGame::with_constant_rate(GameConfig::new(n, k, c).unwrap(), 1.0)
+    }
+
+    #[test]
+    fn figure1_utilities_hand_checked() {
+        // Constant R = 1. Loads (4,3,2,3,1).
+        let g = unit_game(4, 4, 5);
+        let s = figure2();
+        // u1 = 1/4 + 1/3 + 1/2 + 1/3 = 17/12.
+        assert!((g.utility(&s, UserId(0)) - 17.0 / 12.0).abs() < 1e-12);
+        // u2 = 1/4 + 1/2 + 1 = 7/4.
+        assert!((g.utility(&s, UserId(1)) - 1.75).abs() < 1e-12);
+        // u3 = 1/4 + 2/3 + 1/3 = 5/4.
+        assert!((g.utility(&s, UserId(2)) - 1.25).abs() < 1e-12);
+        // u4 = 1/4 + 1/3 = 7/12.
+        assert!((g.utility(&s, UserId(3)) - 7.0 / 12.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn total_utility_is_sum_of_channel_rates() {
+        let g = unit_game(4, 4, 5);
+        let s = figure2();
+        // All 5 channels occupied, R = 1 each.
+        assert!((g.total_utility(&s) - 5.0).abs() < 1e-12);
+        // And equals the sum of user utilities.
+        let sum: f64 = g.utilities(&s).iter().sum();
+        assert!((g.total_utility(&s) - sum).abs() < 1e-12);
+    }
+
+    #[test]
+    fn figure1_is_not_a_nash_equilibrium() {
+        let g = unit_game(4, 4, 5);
+        let check = g.nash_check(&figure2());
+        assert!(!check.is_nash());
+        // u4 idles two radios; its gain must be large.
+        assert!(check.gains[3] > 0.5);
+    }
+
+    #[test]
+    fn benefit_of_move_matches_lemma2_example() {
+        // Paper: Lemma 2 applies to u1 with b = c4, c = c5 (δ = 2 > 1).
+        let g = unit_game(4, 4, 5);
+        let d = g.benefit_of_move(&figure2(), UserId(0), ChannelId(3), ChannelId(4));
+        assert!(d > 0.0, "moving u1's radio c4→c5 must be profitable: {d}");
+    }
+
+    #[test]
+    fn benefit_of_move_matches_lemma3_example() {
+        // Paper: Lemma 3 applies to u3 with b = c2, c = c3 (k_{3,b} = 2,
+        // δ = 1).
+        let g = unit_game(4, 4, 5);
+        let d = g.benefit_of_move(&figure2(), UserId(2), ChannelId(1), ChannelId(2));
+        assert!(d > 0.0, "moving u3's radio c2→c3 must be profitable: {d}");
+    }
+
+    #[test]
+    fn benefit_of_move_same_channel_is_zero() {
+        let g = unit_game(4, 4, 5);
+        assert_eq!(
+            g.benefit_of_move(&figure2(), UserId(0), ChannelId(0), ChannelId(0)),
+            0.0
+        );
+    }
+
+    #[test]
+    fn best_response_uses_all_radios() {
+        let g = unit_game(4, 4, 5);
+        for u in 0..4 {
+            let (br, _) = g.best_response(&figure2(), UserId(u));
+            assert_eq!(br.radios_in_use(), 4, "user {u} best response idles radios");
+        }
+    }
+
+    #[test]
+    fn best_response_is_optimal_vs_enumeration() {
+        // Cross-check the DP against brute-force enumeration of the user's
+        // whole strategy space on a small instance with a decreasing rate.
+        let cfg = GameConfig::new(3, 2, 3).unwrap();
+        let rate = Arc::new(LinearDecayRate::new(6.0, 1.0, 1.0));
+        let g = ChannelAllocationGame::new(cfg, rate);
+        let s = StrategyMatrix::from_rows(&[vec![2, 0, 0], vec![1, 1, 0], vec![0, 1, 1]]).unwrap();
+        for u in 0..3 {
+            let user = UserId(u);
+            let (_, dp_val) = g.best_response(&s, user);
+            let mut best = f64::NEG_INFINITY;
+            for cand in user_strategy_space(3, 2) {
+                let mut alt = s.clone();
+                alt.set_user_strategy(user, &cand);
+                best = best.max(g.utility(&alt, user));
+            }
+            assert!(
+                (dp_val - best).abs() < 1e-12,
+                "user {u}: DP {dp_val} vs enumeration {best}"
+            );
+        }
+    }
+
+    #[test]
+    fn flat_allocation_is_nash_without_conflict() {
+        // Fact 1 regime: |N|·k = 3 ≤ |C| = 3, one radio per channel.
+        let g = unit_game(3, 1, 3);
+        let s = StrategyMatrix::from_rows(&[vec![1, 0, 0], vec![0, 1, 0], vec![0, 0, 1]]).unwrap();
+        assert!(g.nash_check(&s).is_nash());
+    }
+
+    #[test]
+    fn balanced_single_radio_profile_is_nash() {
+        // 2 users × 2 radios on 2 channels: each user one radio per channel.
+        let g = unit_game(2, 2, 2);
+        let s = StrategyMatrix::from_rows(&[vec![1, 1], vec![1, 1]]).unwrap();
+        let check = g.nash_check(&s);
+        assert!(check.is_nash(), "gains: {:?}", check.gains);
+    }
+
+    #[test]
+    fn stacked_profile_is_not_nash() {
+        // Both radios of u1 on c1, both of u2 on c2: loads (2,2). This is
+        // exactly the Lemma-4 situation (γ = 2 on equally-loaded channels):
+        // u1 deviating to (1,1) leaves channel 1 with load 1 and earns
+        // R(1) + R(3)/3 = 4/3 > 1.
+        let g = unit_game(2, 2, 2);
+        let s = StrategyMatrix::from_rows(&[vec![2, 0], vec![0, 2]]).unwrap();
+        let check = g.nash_check(&s);
+        assert!(!check.is_nash());
+        assert!((check.max_gain() - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn indexed_game_agrees_with_direct_utilities() {
+        use mrca_game::Game as _;
+        let g = unit_game(2, 2, 3);
+        let idx = g.indexed();
+        for profile in [vec![0, 0], vec![1, 3], vec![2, 5]] {
+            let m = idx.to_matrix(&profile);
+            for p in 0..2 {
+                assert_eq!(
+                    idx.utility(mrca_game::PlayerId(p), &profile),
+                    g.utility(&m, UserId(p))
+                );
+            }
+            assert_eq!(idx.to_profile(&m), profile);
+        }
+    }
+
+    #[test]
+    fn indexed_best_response_matches_generic_scan() {
+        let cfg = GameConfig::new(2, 2, 3).unwrap();
+        let rate = Arc::new(LinearDecayRate::new(4.0, 1.0, 0.5));
+        let g = ChannelAllocationGame::new(cfg, rate);
+        let idx = g.indexed();
+        let profile = vec![0usize, 7.min(idx.strategy_space().len() - 1)];
+        for p in 0..2 {
+            let player = mrca_game::PlayerId(p);
+            // Structured best response (overridden method).
+            let (_, u_fast) = mrca_game::Game::best_response(&idx, player, &profile);
+            // Generic scan over the whole space.
+            let mut work = profile.clone();
+            let mut u_slow = f64::NEG_INFINITY;
+            for s in 0..mrca_game::Game::num_strategies(&idx, player) {
+                work[p] = s;
+                u_slow = u_slow.max(mrca_game::Game::utility(&idx, player, &work));
+            }
+            assert!((u_fast - u_slow).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn game_is_send_and_cheap_to_clone() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<ChannelAllocationGame>();
+        let g = unit_game(2, 2, 2);
+        let _g2 = g.clone();
+    }
+}

@@ -1,0 +1,95 @@
+//! # mrca-core — the multi-radio channel allocation game
+//!
+//! A faithful, mechanically-verified implementation of
+//! **Félegyházi, Čagalj, Hubaux, “Multi-radio channel allocation in
+//! competitive wireless networks”, ICDCS 2006.**
+//!
+//! The paper models selfish devices, each with `k` radio interfaces,
+//! choosing how many radios to put on each of `|C|` orthogonal channels.
+//! The total rate `R(k_c)` of a channel is non-increasing in its radio
+//! count `k_c` and shared equally among the radios. The paper proves that
+//! all Nash equilibria are load-balanced (`δ_{b,c} ≤ 1` between any two
+//! channels) and efficient, and gives a simple sequential algorithm
+//! (Algorithm 1) that reaches such an equilibrium.
+//!
+//! This crate implements:
+//!
+//! * the strategy space and utility function (Eq. 3): [`strategy`],
+//!   [`game`];
+//! * the benefit-of-change Δ (Eq. 7):
+//!   [`game::ChannelAllocationGame::benefit_of_move`];
+//! * Lemmas 1–4, Proposition 1, and both directions of Theorem 1 as
+//!   executable predicates with violation witnesses: [`nash`];
+//! * Theorem 2 (efficiency): separate *Pareto-optimality* and
+//!   *system-optimality* checkers — the two notions genuinely differ for
+//!   steeply decreasing `R`, see [`pareto`] for the discussion;
+//! * Algorithm 1 with configurable orderings and tie-breaking:
+//!   [`algorithm`];
+//! * best-response and radio-level better-response dynamics with a
+//!   Rosenthal potential argument: [`dynamics`];
+//! * allocation enumeration and an adapter implementing
+//!   [`mrca_game::Game`], so every claim can be cross-checked against the
+//!   generic toolkit: [`enumerate`], [`game::IndexedGame`];
+//! * load-balance, fairness and efficiency metrics: [`analysis`];
+//! * ASCII rendering of allocations in the style of the paper's Figures 1,
+//!   4 and 5: [`display`].
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use mrca_core::prelude::*;
+//!
+//! // 4 users, 4 radios each, 6 channels — the setting of the paper's Fig. 5.
+//! let cfg = GameConfig::new(4, 4, 6)?;
+//! let game = ChannelAllocationGame::with_constant_rate(cfg, 1.0);
+//!
+//! // Run the paper's Algorithm 1 and verify its output.
+//! let s = algorithm1(&game, &Ordering::default());
+//! assert!(game.nash_check(&s).is_nash());
+//! assert!(theorem1(&game, &s).is_nash());
+//! assert!(is_system_optimal(&game, &s));
+//! # Ok::<(), mrca_core::Error>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod algorithm;
+pub mod analysis;
+pub mod config;
+pub mod display;
+pub mod distributed;
+pub mod dynamics;
+pub mod enumerate;
+pub mod error;
+pub mod game;
+pub mod heterogeneous;
+pub mod multi_rate;
+pub mod nash;
+pub mod pareto;
+pub mod strategy;
+pub mod types;
+pub mod utility_models;
+
+pub use config::GameConfig;
+pub use error::Error;
+pub use game::ChannelAllocationGame;
+pub use strategy::{StrategyMatrix, StrategyVector};
+pub use types::{ChannelId, UserId};
+
+/// Convenience re-exports for downstream crates and examples.
+pub mod prelude {
+    pub use crate::algorithm::{algorithm1, Ordering, TieBreak};
+    pub use crate::analysis::{jain_fairness, load_balance_delta, AllocationStats};
+    pub use crate::config::GameConfig;
+    pub use crate::display::render_allocation;
+    pub use crate::dynamics::{BestResponseDriver, RadioDynamics, Schedule};
+    pub use crate::enumerate::enumerate_allocations;
+    pub use crate::error::Error;
+    pub use crate::game::ChannelAllocationGame;
+    pub use crate::nash::{theorem1, NashCheck, Theorem1Verdict};
+    pub use crate::pareto::{is_pareto_optimal_ne, is_system_optimal, optimal_total_rate};
+    pub use crate::strategy::{StrategyMatrix, StrategyVector};
+    pub use crate::types::{ChannelId, UserId};
+    pub use mrca_mac::{ConstantRate, RateFunction};
+}

@@ -1,0 +1,86 @@
+//! Nash-equilibrium structure: Lemmas 1–4, Proposition 1, Fact 1,
+//! Theorem 1.
+//!
+//! Two independent roads to the same answer:
+//!
+//! 1. **Exact deviation search** —
+//!    [`ChannelAllocationGame::nash_check`](crate::game::ChannelAllocationGame::nash_check)
+//!    computes every user's exact best response (polynomial DP). This is
+//!    ground truth, valid for *any* rate model.
+//! 2. **Structural characterization** — [`theorem1()`] evaluates the
+//!    paper's closed-form conditions in `O(|N|·|C|)` without touching the
+//!    rate function.
+//!
+//! Experiment T1 enumerates all allocations of small instances and checks
+//! the two agree. The lemma predicates in [`lemmas`] additionally explain
+//! *why* a given allocation fails (used to reproduce the paper's running
+//! Figure-1 commentary).
+
+pub mod lemmas;
+pub mod theorem1;
+
+pub use crate::game::NashCheck;
+pub use lemmas::{lemma1_violations, lemma2_violations, lemma3_violations, lemma4_violations,
+    proposition1_holds, LemmaViolation};
+pub use theorem1::{theorem1, Theorem1Verdict};
+
+use crate::game::ChannelAllocationGame;
+use crate::strategy::StrategyMatrix;
+
+/// Fact 1 of the paper: when `|N|·k ≤ |C|`, any allocation in which every
+/// channel carries at most one radio **and every user deploys all its
+/// radios** is a (Pareto-optimal) NE.
+///
+/// Returns `None` when the precondition `|N|·k ≤ |C|` does not hold;
+/// otherwise whether the allocation is of the stated flat form.
+pub fn fact1_applies(game: &ChannelAllocationGame, s: &StrategyMatrix) -> Option<bool> {
+    let cfg = game.config();
+    if cfg.has_conflict() {
+        return None;
+    }
+    let flat = s.loads().iter().all(|&l| l <= 1)
+        && (0..cfg.n_users())
+            .all(|i| s.user_total(crate::types::UserId(i)) == cfg.radios_per_user());
+    Some(flat)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::GameConfig;
+    use crate::game::ChannelAllocationGame;
+
+    #[test]
+    fn fact1_flat_allocation_is_nash() {
+        // 2 users × 2 radios, 5 channels: 4 ≤ 5.
+        let g = ChannelAllocationGame::with_constant_rate(GameConfig::new(2, 2, 5).unwrap(), 1.0);
+        let s = StrategyMatrix::from_rows(&[vec![1, 1, 0, 0, 0], vec![0, 0, 1, 1, 0]]).unwrap();
+        assert_eq!(fact1_applies(&g, &s), Some(true));
+        assert!(g.nash_check(&s).is_nash());
+    }
+
+    #[test]
+    fn fact1_rejects_stacked_allocation() {
+        let g = ChannelAllocationGame::with_constant_rate(GameConfig::new(2, 2, 5).unwrap(), 1.0);
+        let s = StrategyMatrix::from_rows(&[vec![2, 0, 0, 0, 0], vec![0, 0, 1, 1, 0]]).unwrap();
+        assert_eq!(fact1_applies(&g, &s), Some(false));
+        // And indeed it is not a NE: u1 gains by spreading.
+        assert!(!g.nash_check(&s).is_nash());
+    }
+
+    #[test]
+    fn fact1_not_applicable_under_conflict() {
+        let g = ChannelAllocationGame::with_constant_rate(GameConfig::new(4, 4, 5).unwrap(), 1.0);
+        let s = StrategyMatrix::zeros(4, 5);
+        assert_eq!(fact1_applies(&g, &s), None);
+    }
+
+    #[test]
+    fn fact1_requires_all_radios_used() {
+        let g = ChannelAllocationGame::with_constant_rate(GameConfig::new(2, 2, 5).unwrap(), 1.0);
+        // u2 idles one radio: flat loads but not a NE (Lemma 1).
+        let s = StrategyMatrix::from_rows(&[vec![1, 1, 0, 0, 0], vec![0, 0, 1, 0, 0]]).unwrap();
+        assert_eq!(fact1_applies(&g, &s), Some(false));
+        assert!(!g.nash_check(&s).is_nash());
+    }
+}

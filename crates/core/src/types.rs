@@ -1,0 +1,95 @@
+//! Identifier newtypes for users and channels.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of a user (the paper's `u_i`); users are numbered `0..|N|`.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct UserId(pub usize);
+
+impl UserId {
+    /// Raw index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0
+    }
+
+    /// Iterator over the first `n` user ids.
+    pub fn all(n: usize) -> impl Iterator<Item = UserId> {
+        (0..n).map(UserId)
+    }
+}
+
+impl fmt::Display for UserId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // One-based in display to match the paper's u1, u2, …
+        write!(f, "u{}", self.0 + 1)
+    }
+}
+
+impl From<usize> for UserId {
+    fn from(i: usize) -> Self {
+        UserId(i)
+    }
+}
+
+/// Identifier of a channel (the paper's `c_j`); channels are numbered
+/// `0..|C|`.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct ChannelId(pub usize);
+
+impl ChannelId {
+    /// Raw index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0
+    }
+
+    /// Iterator over the first `n` channel ids.
+    pub fn all(n: usize) -> impl Iterator<Item = ChannelId> {
+        (0..n).map(ChannelId)
+    }
+}
+
+impl fmt::Display for ChannelId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // One-based in display to match the paper's c1, c2, …
+        write!(f, "c{}", self.0 + 1)
+    }
+}
+
+impl From<usize> for ChannelId {
+    fn from(i: usize) -> Self {
+        ChannelId(i)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_one_based_like_the_paper() {
+        assert_eq!(UserId(0).to_string(), "u1");
+        assert_eq!(ChannelId(4).to_string(), "c5");
+    }
+
+    #[test]
+    fn conversions_roundtrip() {
+        let u: UserId = 3usize.into();
+        assert_eq!(u.index(), 3);
+        let c: ChannelId = 2usize.into();
+        assert_eq!(c.index(), 2);
+    }
+
+    #[test]
+    fn all_iterates_in_order() {
+        let users: Vec<_> = UserId::all(3).collect();
+        assert_eq!(users, vec![UserId(0), UserId(1), UserId(2)]);
+        assert_eq!(ChannelId::all(0).count(), 0);
+    }
+}

@@ -1,0 +1,340 @@
+//! Extension: alternative utility functions.
+//!
+//! The paper fixes `U_i = total rate` and explicitly leaves "the study of
+//! other utility functions for future work". This module supplies the two
+//! most natural alternatives and the machinery to analyse them:
+//!
+//! * [`EnergyCostGame`] — `U_i = Σ_c (k_{i,c}/k_c)·R(k_c) − cost·k_i`:
+//!   each active radio costs energy. The paper's Lemma 1 ("use all
+//!   radios") **fails** once `cost` exceeds the marginal rate of the last
+//!   radio — equilibria with idle radios appear, and the equilibrium
+//!   number of active radios becomes a supply curve in the cost
+//!   (demonstrated in tests and the `t6` experiment).
+//! * [`ConcaveUtilityGame`] — `U_i = (Σ_c rate_i,c)^α` with `0 < α ≤ 1`:
+//!   diminishing returns to rate. A strictly increasing transform of the
+//!   paper's utility, so the best responses — and therefore the NE set —
+//!   are *unchanged* (monotone-transformation invariance, verified
+//!   mechanically): the paper's analysis is robust to risk-averse users.
+
+use crate::game::{ChannelAllocationGame, UTILITY_TOLERANCE};
+use crate::strategy::{StrategyMatrix, StrategyVector};
+use crate::types::{ChannelId, UserId};
+use serde::{Deserialize, Serialize};
+
+/// Rate-minus-energy utility wrapper.
+#[derive(Debug, Clone)]
+pub struct EnergyCostGame {
+    inner: ChannelAllocationGame,
+    cost_per_radio: f64,
+}
+
+/// Outcome of the energy game's Nash check.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EnergyNashCheck {
+    /// Per-user best-response gains.
+    pub gains: Vec<f64>,
+    /// Radios each user activates in its best response.
+    pub best_active: Vec<u32>,
+}
+
+impl EnergyCostGame {
+    /// Wrap a game with a per-radio activation cost (same units as the
+    /// rate function, e.g. bit/s-equivalents).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cost_per_radio` is negative or non-finite.
+    pub fn new(inner: ChannelAllocationGame, cost_per_radio: f64) -> Self {
+        assert!(
+            cost_per_radio >= 0.0 && cost_per_radio.is_finite(),
+            "cost must be non-negative and finite, got {cost_per_radio}"
+        );
+        EnergyCostGame {
+            inner,
+            cost_per_radio,
+        }
+    }
+
+    /// The wrapped rate-only game.
+    pub fn inner(&self) -> &ChannelAllocationGame {
+        &self.inner
+    }
+
+    /// The activation cost.
+    pub fn cost_per_radio(&self) -> f64 {
+        self.cost_per_radio
+    }
+
+    /// Utility: paper's Eq. 3 minus `cost · k_i`.
+    pub fn utility(&self, s: &StrategyMatrix, user: UserId) -> f64 {
+        self.inner.utility(s, user) - self.cost_per_radio * s.user_total(user) as f64
+    }
+
+    /// Exact best response: DP over channels and radio budget, where
+    /// *using fewer radios is allowed to win* (each used radio pays the
+    /// cost). `O(|C|·k²)`.
+    pub fn best_response(&self, s: &StrategyMatrix, user: UserId) -> (StrategyVector, f64) {
+        let cfg = self.inner.config();
+        let k = cfg.radios_per_user() as usize;
+        let n_ch = cfg.n_channels();
+        let rate = self.inner.rate();
+        let loads_wo: Vec<u32> = ChannelId::all(n_ch)
+            .map(|c| s.channel_load(c) - s.get(user, c))
+            .collect();
+        let mut f = vec![vec![0.0f64; k + 1]; n_ch];
+        for c in 0..n_ch {
+            for t in 1..=k {
+                let total = loads_wo[c] + t as u32;
+                f[c][t] =
+                    t as f64 / total as f64 * rate.rate(total) - self.cost_per_radio * t as f64;
+            }
+        }
+        let neg = f64::NEG_INFINITY;
+        let mut dp = vec![neg; k + 1];
+        dp[0] = 0.0;
+        let mut choice = vec![vec![0usize; k + 1]; n_ch];
+        for c in 0..n_ch {
+            let mut next = vec![neg; k + 1];
+            for r in 0..=k {
+                for t in 0..=r {
+                    if dp[r - t] == neg {
+                        continue;
+                    }
+                    let v = dp[r - t] + f[c][t];
+                    if v > next[r] {
+                        next[r] = v;
+                        choice[c][r] = t;
+                    }
+                }
+            }
+            dp = next;
+        }
+        // The budget DP above forces "up to r" radios per prefix; the best
+        // over all budgets r ≤ k is the true best response (idle radios
+        // are free).
+        let (best_r, &best_v) = dp
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite utilities"))
+            .expect("non-empty dp");
+        let mut counts = vec![0u32; n_ch];
+        let mut r = best_r;
+        for c in (0..n_ch).rev() {
+            let t = choice[c][r];
+            counts[c] = t as u32;
+            r -= t;
+        }
+        debug_assert_eq!(r, 0);
+        (StrategyVector::from_counts(counts), best_v)
+    }
+
+    /// Exact Nash check.
+    pub fn nash_check(&self, s: &StrategyMatrix) -> EnergyNashCheck {
+        let n = self.inner.config().n_users();
+        let mut gains = Vec::with_capacity(n);
+        let mut best_active = Vec::with_capacity(n);
+        for u in UserId::all(n) {
+            let before = self.utility(s, u);
+            let (br, after) = self.best_response(s, u);
+            gains.push((after - before).max(0.0));
+            best_active.push(br.radios_in_use());
+        }
+        EnergyNashCheck { gains, best_active }
+    }
+
+    /// True when no user can improve.
+    pub fn is_nash(&self, s: &StrategyMatrix) -> bool {
+        self.nash_check(s)
+            .gains
+            .iter()
+            .all(|&g| g <= UTILITY_TOLERANCE)
+    }
+
+    /// Best-response dynamics to a fixed point.
+    pub fn converge(&self, mut s: StrategyMatrix, max_rounds: usize) -> (StrategyMatrix, bool) {
+        let n = self.inner.config().n_users();
+        for _ in 0..max_rounds {
+            let mut moved = false;
+            for u in UserId::all(n) {
+                let before = self.utility(&s, u);
+                let (br, after) = self.best_response(&s, u);
+                if after > before + UTILITY_TOLERANCE {
+                    s.set_user_strategy(u, &br);
+                    moved = true;
+                }
+            }
+            if !moved {
+                return (s, true);
+            }
+        }
+        (s, false)
+    }
+}
+
+/// Concave (risk-averse) utility wrapper: `U_i = (rate_i)^alpha`.
+#[derive(Debug, Clone)]
+pub struct ConcaveUtilityGame {
+    inner: ChannelAllocationGame,
+    alpha: f64,
+}
+
+impl ConcaveUtilityGame {
+    /// Wrap a game with exponent `alpha ∈ (0, 1]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `alpha` is outside `(0, 1]`.
+    pub fn new(inner: ChannelAllocationGame, alpha: f64) -> Self {
+        assert!(
+            alpha > 0.0 && alpha <= 1.0,
+            "alpha must be in (0, 1], got {alpha}"
+        );
+        ConcaveUtilityGame { inner, alpha }
+    }
+
+    /// Transformed utility.
+    pub fn utility(&self, s: &StrategyMatrix, user: UserId) -> f64 {
+        self.inner.utility(s, user).powf(self.alpha)
+    }
+
+    /// Best response — computed on the *inner* game: `x ↦ x^α` is strictly
+    /// increasing on `x ≥ 0`, so argmaxes coincide.
+    pub fn best_response(&self, s: &StrategyMatrix, user: UserId) -> (StrategyVector, f64) {
+        let (v, u) = self.inner.best_response(s, user);
+        (v, u.powf(self.alpha))
+    }
+
+    /// Nash check — delegated for the same reason; the NE set is provably
+    /// identical to the inner game's (tests verify on enumerations).
+    pub fn is_nash(&self, s: &StrategyMatrix) -> bool {
+        self.inner.nash_check(s).is_nash()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algorithm::{algorithm1, Ordering, TieBreak};
+    use crate::config::GameConfig;
+    use crate::enumerate::enumerate_allocations;
+
+    fn base(n: usize, k: u32, c: usize) -> ChannelAllocationGame {
+        ChannelAllocationGame::with_constant_rate(GameConfig::new(n, k, c).unwrap(), 1.0)
+    }
+
+    #[test]
+    fn zero_cost_reduces_to_paper_game() {
+        let g = base(3, 2, 3);
+        let e = EnergyCostGame::new(g.clone(), 0.0);
+        let s = algorithm1(&g, &Ordering::default());
+        assert_eq!(g.nash_check(&s).is_nash(), e.is_nash(&s));
+        for u in UserId::all(3) {
+            assert_eq!(g.utility(&s, u), e.utility(&s, u));
+        }
+    }
+
+    #[test]
+    fn high_cost_breaks_lemma1() {
+        // With per-radio cost above the marginal share, users idle radios:
+        // the paper's Lemma 1 fails by design.
+        let g = base(3, 2, 3);
+        // Per-radio share at the balanced loads (2,2,2) is 0.5; a cost of
+        // 0.55 makes the marginal radio unprofitable there (while a lone
+        // radio on a load-1 channel, earning 1.0, stays on).
+        let e = EnergyCostGame::new(g.clone(), 0.55);
+        let start = algorithm1(&g, &Ordering::default()); // loads (2,2,2)
+        let (end, converged) = e.converge(start, 100);
+        assert!(converged);
+        assert!(e.is_nash(&end));
+        let total_active: u32 = UserId::all(3).map(|u| end.user_total(u)).sum();
+        assert!(
+            total_active < 6,
+            "someone must switch a radio off: matrix {end}"
+        );
+        // And the resulting profile is NOT a NE of the costless game
+        // (there, deploying is always better).
+        assert!(!g.nash_check(&end).is_nash());
+    }
+
+    #[test]
+    fn moderate_cost_keeps_all_radios_on() {
+        // Cost below every marginal share: Lemma 1 survives.
+        let g = base(3, 2, 3);
+        let e = EnergyCostGame::new(g.clone(), 0.05);
+        let s = algorithm1(&g, &Ordering::default());
+        assert!(e.is_nash(&s), "gains {:?}", e.nash_check(&s).gains);
+    }
+
+    #[test]
+    fn active_radio_count_is_monotone_in_cost() {
+        // The "supply curve": higher energy price, fewer active radios at
+        // equilibrium.
+        let g = base(4, 3, 4);
+        let mut prev_active = u32::MAX;
+        for cost in [0.0, 0.1, 0.3, 0.6, 1.1] {
+            let e = EnergyCostGame::new(g.clone(), cost);
+            let (end, converged) = e.converge(algorithm1(&g, &Ordering::default()), 200);
+            assert!(converged, "cost {cost}");
+            let active: u32 = UserId::all(4).map(|u| end.user_total(u)).sum();
+            assert!(
+                active <= prev_active,
+                "cost {cost}: active {active} > previous {prev_active}"
+            );
+            prev_active = active;
+        }
+        // At cost > R(1) = 1 every radio is off.
+        assert_eq!(prev_active, 0);
+    }
+
+    #[test]
+    fn energy_best_response_beats_enumeration() {
+        let g = base(2, 2, 3);
+        let e = EnergyCostGame::new(g, 0.3);
+        let s = StrategyMatrix::from_rows(&[vec![1, 1, 0], vec![0, 1, 1]]).unwrap();
+        for u in UserId::all(2) {
+            let (_, dp_val) = e.best_response(&s, u);
+            let mut best = f64::NEG_INFINITY;
+            for cand in crate::enumerate::user_strategy_space(3, 2) {
+                let mut alt = s.clone();
+                alt.set_user_strategy(u, &cand);
+                best = best.max(e.utility(&alt, u));
+            }
+            assert!((dp_val - best).abs() < 1e-12, "user {u}");
+        }
+    }
+
+    #[test]
+    fn concave_transform_preserves_ne_set() {
+        let g = base(2, 2, 2);
+        let cg = ConcaveUtilityGame::new(g.clone(), 0.5);
+        enumerate_allocations(g.config(), |s| {
+            assert_eq!(
+                g.nash_check(s).is_nash(),
+                cg.is_nash(s),
+                "NE sets must coincide at {s}"
+            );
+        });
+    }
+
+    #[test]
+    fn concave_utility_values_are_transformed() {
+        let g = base(2, 2, 2);
+        let cg = ConcaveUtilityGame::new(g.clone(), 0.5);
+        let s = algorithm1(&g, &Ordering::with_tie_break(TieBreak::PreferUnused));
+        for u in UserId::all(2) {
+            assert!((cg.utility(&s, u) - g.utility(&s, u).sqrt()).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha")]
+    fn bad_alpha_rejected() {
+        let _ = ConcaveUtilityGame::new(base(2, 2, 2), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "cost")]
+    fn negative_cost_rejected() {
+        let _ = EnergyCostGame::new(base(2, 2, 2), -1.0);
+    }
+}

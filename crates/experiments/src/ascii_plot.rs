@@ -1,0 +1,108 @@
+//! Quick ASCII line plots for experiment output (Figure-3 style).
+
+/// Plot one or more named series over a shared integer x-axis.
+///
+/// Values are scaled into `height` text rows; each series draws with its
+/// own glyph. Intended for monotone-ish curves like `R(k_c)`.
+pub fn plot_series(
+    title: &str,
+    x_label: &str,
+    xs: &[u32],
+    series: &[(&str, &[f64])],
+    height: usize,
+) -> String {
+    assert!(height >= 2, "plot needs at least two rows");
+    assert!(!xs.is_empty(), "plot needs at least one x value");
+    for (name, ys) in series {
+        assert_eq!(
+            ys.len(),
+            xs.len(),
+            "series {name} has {} points, x-axis has {}",
+            ys.len(),
+            xs.len()
+        );
+    }
+    let glyphs = ['*', '+', 'o', 'x', '#', '@'];
+    let max = series
+        .iter()
+        .flat_map(|(_, ys)| ys.iter().copied())
+        .fold(f64::NEG_INFINITY, f64::max);
+    let min = series
+        .iter()
+        .flat_map(|(_, ys)| ys.iter().copied())
+        .fold(f64::INFINITY, f64::min);
+    let span = (max - min).max(1e-12);
+
+    let width = xs.len();
+    let mut grid = vec![vec![' '; width]; height];
+    for (si, (_, ys)) in series.iter().enumerate() {
+        let g = glyphs[si % glyphs.len()];
+        for (xi, &y) in ys.iter().enumerate() {
+            let row = ((max - y) / span * (height - 1) as f64).round() as usize;
+            grid[row.min(height - 1)][xi] = g;
+        }
+    }
+
+    let mut out = String::new();
+    out.push_str(&format!("{title}\n"));
+    for (ri, row) in grid.iter().enumerate() {
+        let y_val = max - span * ri as f64 / (height - 1) as f64;
+        out.push_str(&format!("{y_val:>12.3} |"));
+        for &c in row {
+            out.push(c);
+            out.push(' ');
+        }
+        out.push('\n');
+    }
+    out.push_str(&format!("{:>12} +{}\n", "", "-".repeat(width * 2)));
+    out.push_str(&format!(
+        "{:>12}  {} = {} .. {}\n",
+        "", x_label, xs[0], xs[xs.len() - 1]
+    ));
+    for (si, (name, _)) in series.iter().enumerate() {
+        out.push_str(&format!(
+            "{:>12}  {} {}\n",
+            "",
+            glyphs[si % glyphs.len()],
+            name
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_flat_and_decreasing_series() {
+        let xs: Vec<u32> = (1..=10).collect();
+        let flat = vec![1.0; 10];
+        let dec: Vec<f64> = (0..10).map(|i| 1.0 - 0.05 * i as f64).collect();
+        let text = plot_series(
+            "test",
+            "k",
+            &xs,
+            &[("flat", &flat), ("dec", &dec)],
+            8,
+        );
+        assert!(text.contains("test"));
+        assert!(text.contains("* flat"));
+        assert!(text.contains("+ dec"));
+        // Flat series occupies the top row.
+        let first_data_line = text.lines().nth(1).unwrap();
+        assert!(first_data_line.contains('*'));
+    }
+
+    #[test]
+    #[should_panic(expected = "points")]
+    fn mismatched_series_rejected() {
+        let _ = plot_series("t", "x", &[1, 2], &[("bad", &[1.0])], 4);
+    }
+
+    #[test]
+    fn constant_series_does_not_divide_by_zero() {
+        let text = plot_series("t", "x", &[1, 2, 3], &[("c", &[2.0, 2.0, 2.0])], 4);
+        assert!(text.contains('*'));
+    }
+}

@@ -1,0 +1,40 @@
+//! Run every experiment binary in sequence (the one-shot regeneration of
+//! all figures/tables; see EXPERIMENTS.md).
+
+use std::process::Command;
+
+fn main() {
+    let bins = [
+        "fig1_example",
+        "fig3_rate_functions",
+        "fig45_ne_examples",
+        "t1_characterization",
+        "t2_efficiency",
+        "t3_algorithm",
+        "t4_convergence",
+        "t5_bianchi",
+        "t6_distributed",
+        "t7_extensions",
+    ];
+    let exe_dir = std::env::current_exe()
+        .expect("current exe path")
+        .parent()
+        .expect("exe dir")
+        .to_path_buf();
+    let mut failures = Vec::new();
+    for bin in bins {
+        println!("\n================ {bin} ================\n");
+        let status = Command::new(exe_dir.join(bin))
+            .status()
+            .unwrap_or_else(|e| panic!("spawning {bin}: {e}"));
+        if !status.success() {
+            failures.push(bin);
+        }
+    }
+    if failures.is_empty() {
+        println!("\nAll experiments regenerated successfully.");
+    } else {
+        eprintln!("\nFAILED experiments: {failures:?}");
+        std::process::exit(1);
+    }
+}

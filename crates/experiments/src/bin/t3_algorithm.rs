@@ -1,0 +1,86 @@
+//! T3 — Algorithm 1 invariants across a parameter sweep.
+//!
+//! For every instance in a grid, every tie-break policy and several user
+//! orderings: is the output a NE (exact check), does Theorem 1 certify
+//! it, is it load-balanced, and is it system-optimal? The table also
+//! quantifies the literal-tie-breaking failure mode documented in
+//! `mrca_core::algorithm`.
+
+use mrca_core::algorithm::{algorithm1, Ordering, TieBreak};
+use mrca_core::nash::theorem1;
+use mrca_core::prelude::*;
+use mrca_experiments::{cells, table::Table, write_result};
+
+fn main() {
+    println!("== T3: Algorithm 1 sweep ==\n");
+    let mut t = Table::new(&[
+        "tie-break", "runs", "NE%", "thm1%", "balanced%", "system-opt%",
+    ]);
+    let policies: Vec<(&str, Vec<TieBreak>)> = vec![
+        ("lowest-index", vec![TieBreak::LowestIndex]),
+        ("prefer-unused", vec![TieBreak::PreferUnused]),
+        (
+            "random(literal)",
+            (0..8).map(TieBreak::Random).collect(),
+        ),
+    ];
+
+    for (pname, ties) in &policies {
+        let mut runs = 0u64;
+        let mut ne = 0u64;
+        let mut thm = 0u64;
+        let mut balanced = 0u64;
+        let mut sysopt = 0u64;
+        for n in 1..=8usize {
+            for k in 1..=4u32 {
+                for c in (k as usize)..=7 {
+                    let cfg = GameConfig::new(n, k, c).expect("valid");
+                    let game = ChannelAllocationGame::with_constant_rate(cfg, 1.0);
+                    for tie in ties {
+                        for order_seed in 0..3u64 {
+                            let ordering = if order_seed == 0 {
+                                Ordering::with_tie_break(*tie)
+                            } else {
+                                let mut o = Ordering::random(order_seed, n);
+                                o.tie_break = *tie;
+                                o
+                            };
+                            let s = algorithm1(&game, &ordering);
+                            runs += 1;
+                            if game.nash_check(&s).is_nash() {
+                                ne += 1;
+                            }
+                            if theorem1(&game, &s).is_nash() {
+                                thm += 1;
+                            }
+                            if s.max_delta() <= 1 {
+                                balanced += 1;
+                            }
+                            if is_system_optimal(&game, &s) {
+                                sysopt += 1;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        let pct = |x: u64| format!("{:.2}", 100.0 * x as f64 / runs as f64);
+        t.row(&cells![pname, runs, pct(ne), pct(thm), pct(balanced), pct(sysopt)]);
+    }
+    println!("{}", t.to_text());
+    write_result("t3_algorithm.csv", &t.to_csv());
+
+    // Reproduction targets: balanced + system-optimal always (the welfare
+    // claim of Theorem 2 via Algorithm 1); prefer-unused reaches a NE in
+    // 100% of runs; the literal reading can miss (documented finding).
+    let text = t.to_text();
+    for line in text.lines().skip(2) {
+        let cells: Vec<&str> = line.split_whitespace().collect();
+        assert_eq!(cells[4], "100.00", "balanced% must be 100: {line}");
+        assert_eq!(cells[5], "100.00", "system-opt% must be 100: {line}");
+        if cells[0] == "prefer-unused" {
+            assert_eq!(cells[2], "100.00", "prefer-unused must always reach NE");
+        }
+    }
+    println!("OK: Algorithm 1 always balanced + system-optimal; prefer-unused always NE.");
+}

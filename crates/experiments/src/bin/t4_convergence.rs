@@ -1,0 +1,81 @@
+//! T4 — convergence of decentralized dynamics.
+//!
+//! The paper's Algorithm 1 is centralized; the natural decentralized
+//! variant is best-response dynamics from arbitrary deployments. This
+//! experiment measures rounds-to-convergence across instance sizes for
+//! user-level best response and radio-level better response, from random
+//! starts.
+
+use mrca_core::dynamics::{random_start, BestResponseDriver, RadioDynamics, Schedule};
+use mrca_core::prelude::*;
+use mrca_experiments::{cells, table::Table, write_result};
+use mrca_sim::stats::OnlineStats;
+
+fn main() {
+    println!("== T4: convergence of best-response dynamics (random starts) ==\n");
+    let mut t = Table::new(&[
+        "instance", "radios", "dynamic", "runs", "converged%", "mean rounds", "max rounds", "mean moves", "NE%",
+    ]);
+    let instances = [
+        (4usize, 2u32, 3usize),
+        (6, 3, 5),
+        (10, 4, 8),
+        (20, 4, 10),
+        (40, 4, 12),
+        (50, 4, 16),
+    ];
+    let seeds: Vec<u64> = (0..12).collect();
+    let cap = 500usize;
+
+    for &(n, k, c) in &instances {
+        let cfg = GameConfig::new(n, k, c).expect("valid");
+        let game = ChannelAllocationGame::with_constant_rate(cfg, 1.0);
+
+        for dyn_name in ["user-BR", "radio-BR"] {
+            let mut rounds = OnlineStats::new();
+            let mut moves = OnlineStats::new();
+            let mut converged = 0usize;
+            let mut nash = 0usize;
+            for &seed in &seeds {
+                let start = random_start(&game, seed);
+                let out = match dyn_name {
+                    "user-BR" => BestResponseDriver::new(Schedule::RandomPermutation { seed })
+                        .run(&game, start, cap),
+                    _ => RadioDynamics::new(seed).run(&game, start, cap),
+                };
+                rounds.push(out.rounds as f64);
+                moves.push(out.moves as f64);
+                if out.converged {
+                    converged += 1;
+                }
+                if game.nash_check(&out.matrix).is_nash() {
+                    nash += 1;
+                }
+            }
+            t.row(&cells![
+                format!("N={n},k={k},C={c}"),
+                n as u32 * k,
+                dyn_name,
+                seeds.len(),
+                format!("{:.0}", 100.0 * converged as f64 / seeds.len() as f64),
+                format!("{:.1}", rounds.mean()),
+                format!("{:.0}", rounds.max()),
+                format!("{:.1}", moves.mean()),
+                format!("{:.0}", 100.0 * nash as f64 / seeds.len() as f64)
+            ]);
+        }
+    }
+    println!("{}", t.to_text());
+    write_result("t4_convergence.csv", &t.to_csv());
+
+    // Reproduction targets: user-level BR always converges to a NE within
+    // the cap, and does so in a handful of rounds even at 200 radios.
+    for line in t.to_text().lines().skip(2) {
+        let cells: Vec<&str> = line.split_whitespace().collect();
+        if cells[2] == "user-BR" {
+            assert_eq!(cells[4], "100", "user BR must converge: {line}");
+            assert_eq!(cells[8], "100", "user BR must land on NE: {line}");
+        }
+    }
+    println!("OK: user-level best response converged to a NE on every run.");
+}

@@ -1,0 +1,69 @@
+//! # mrca-experiments — figure/table regeneration harness
+//!
+//! One binary per artifact of the paper (see `DESIGN.md` §3 and
+//! `EXPERIMENTS.md` for the index):
+//!
+//! | binary | artifact |
+//! |---|---|
+//! | `fig1_example` | Figures 1–2: the running example + lemma diagnosis |
+//! | `fig3_rate_functions` | Figure 3: `R(k_c)` for three MAC models |
+//! | `fig45_ne_examples` | Figures 4–5: NE examples, verified both ways |
+//! | `t1_characterization` | Theorem 1 vs exhaustive search |
+//! | `t2_efficiency` | Theorem 2: NE welfare vs optimum vs baselines |
+//! | `t3_algorithm` | Algorithm 1 invariants across sweeps |
+//! | `t4_convergence` | Best-response convergence scaling |
+//! | `t5_bianchi` | Bianchi model vs slot-level simulation |
+//! | `all` | run everything |
+//!
+//! Each binary prints an ASCII table/plot and writes a CSV to `results/`
+//! (workspace root), so the repository regenerates every number quoted in
+//! `EXPERIMENTS.md` with `cargo run --release -p mrca-experiments --bin all`.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod ascii_plot;
+pub mod table;
+
+use std::fs;
+use std::path::PathBuf;
+
+/// Resolve the shared `results/` directory (workspace root), creating it
+/// if needed.
+pub fn results_dir() -> PathBuf {
+    // CARGO_MANIFEST_DIR = crates/experiments; results live two levels up.
+    let mut p = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    p.pop();
+    p.pop();
+    p.push("results");
+    let _ = fs::create_dir_all(&p);
+    p
+}
+
+/// Write `contents` to `results/<name>` and echo the path.
+pub fn write_result(name: &str, contents: &str) -> PathBuf {
+    let path = results_dir().join(name);
+    fs::write(&path, contents).unwrap_or_else(|e| panic!("writing {}: {e}", path.display()));
+    println!("  [written] {}", path.display());
+    path
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_dir_exists_after_call() {
+        let d = results_dir();
+        assert!(d.is_dir());
+        assert!(d.ends_with("results"));
+    }
+
+    #[test]
+    fn write_result_roundtrips() {
+        let p = write_result("_selftest.csv", "a,b\n1,2\n");
+        let back = std::fs::read_to_string(&p).unwrap();
+        assert_eq!(back, "a,b\n1,2\n");
+        let _ = std::fs::remove_file(p);
+    }
+}

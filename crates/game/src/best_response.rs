@@ -1,0 +1,215 @@
+//! Best-response dynamics.
+//!
+//! Algorithm 1 of the paper is a *sequential* best-response process; its
+//! convergence discussion implicitly relies on the extensive-form
+//! (round-based) play of the channel-allocation game. This module provides a
+//! generic driver for such dynamics: starting from an arbitrary profile,
+//! players revise to exact best responses under a configurable schedule
+//! until a fixed point (a Nash equilibrium) or a round limit is reached.
+
+use crate::equilibrium::DEFAULT_TOLERANCE;
+use crate::{Game, PlayerId};
+use rand::seq::SliceRandom;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+/// Order in which players revise within a round.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum UpdateSchedule {
+    /// Players revise in index order every round (deterministic).
+    RoundRobin,
+    /// A fresh uniformly-random permutation of the players each round,
+    /// derived from the given seed (deterministic given the seed).
+    RandomPermutation {
+        /// RNG seed for the per-round permutations.
+        seed: u64,
+    },
+}
+
+/// Result of running [`BestResponseDynamics`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DynamicsOutcome {
+    /// The final profile.
+    pub profile: Vec<usize>,
+    /// Whether the final profile is a fixed point (no player moved in the
+    /// last round), i.e. a Nash equilibrium up to the tolerance.
+    pub converged: bool,
+    /// Number of *rounds* (full passes over all players) executed.
+    pub rounds: usize,
+    /// Number of individual strategy revisions that changed the profile.
+    pub moves: usize,
+    /// Per-round social welfare (sum of utilities) trajectory, including the
+    /// starting profile as entry 0.
+    pub welfare_trajectory: Vec<f64>,
+}
+
+/// Driver for (exact) best-response dynamics.
+///
+/// ```
+/// use mrca_game::normal_form::NormalFormGame;
+/// use mrca_game::best_response::{BestResponseDynamics, UpdateSchedule};
+///
+/// // Coordination game: dynamics converge to one of the two equilibria.
+/// let g = NormalFormGame::from_bimatrix(
+///     [[2.0, 0.0], [0.0, 1.0]],
+///     [[2.0, 0.0], [0.0, 1.0]],
+/// );
+/// let out = BestResponseDynamics::new(UpdateSchedule::RoundRobin)
+///     .run(&g, vec![0, 1], 100);
+/// assert!(out.converged);
+/// ```
+#[derive(Debug, Clone)]
+pub struct BestResponseDynamics {
+    schedule: UpdateSchedule,
+    tolerance: f64,
+}
+
+impl BestResponseDynamics {
+    /// Create a driver with the given schedule and the default strict
+    /// improvement tolerance.
+    pub fn new(schedule: UpdateSchedule) -> Self {
+        BestResponseDynamics {
+            schedule,
+            tolerance: DEFAULT_TOLERANCE,
+        }
+    }
+
+    /// Override the strict-improvement tolerance: a player only moves when
+    /// its best response gains more than `tol`. This is what makes the
+    /// dynamics terminate in games with payoff ties.
+    pub fn with_tolerance(mut self, tol: f64) -> Self {
+        self.tolerance = tol;
+        self
+    }
+
+    /// Run the dynamics from `start` for at most `max_rounds` rounds.
+    ///
+    /// A round is one pass over all players in schedule order; within the
+    /// pass each player switches to an exact best response if (and only if)
+    /// it strictly improves. The run stops early at the first full round in
+    /// which nobody moved — by definition the profile is then a pure Nash
+    /// equilibrium (up to the tolerance).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `start.len() != game.num_players()`.
+    pub fn run<G: Game>(&self, game: &G, start: Vec<usize>, max_rounds: usize) -> DynamicsOutcome {
+        assert_eq!(
+            start.len(),
+            game.num_players(),
+            "start profile length must equal number of players"
+        );
+        let n = game.num_players();
+        let mut profile = start;
+        let mut order: Vec<usize> = (0..n).collect();
+        let mut rng = match self.schedule {
+            UpdateSchedule::RandomPermutation { seed } => Some(StdRng::seed_from_u64(seed)),
+            UpdateSchedule::RoundRobin => None,
+        };
+        let mut welfare_trajectory = vec![total_welfare(game, &profile)];
+        let mut moves = 0usize;
+        let mut rounds = 0usize;
+        let mut converged = false;
+
+        while rounds < max_rounds {
+            if let Some(r) = rng.as_mut() {
+                order.shuffle(r);
+            }
+            let mut moved_this_round = false;
+            for &p in &order {
+                let player = PlayerId(p);
+                let before = game.utility(player, &profile);
+                let (best, after) = game.best_response(player, &profile);
+                if after > before + self.tolerance {
+                    profile[p] = best;
+                    moves += 1;
+                    moved_this_round = true;
+                }
+            }
+            rounds += 1;
+            welfare_trajectory.push(total_welfare(game, &profile));
+            if !moved_this_round {
+                converged = true;
+                break;
+            }
+        }
+
+        DynamicsOutcome {
+            profile,
+            converged,
+            rounds,
+            moves,
+            welfare_trajectory,
+        }
+    }
+}
+
+fn total_welfare<G: Game>(game: &G, profile: &[usize]) -> f64 {
+    (0..game.num_players())
+        .map(|p| game.utility(PlayerId(p), profile))
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::equilibrium::is_pure_nash;
+    use crate::normal_form::NormalFormGame;
+
+    fn coordination() -> NormalFormGame {
+        NormalFormGame::from_bimatrix([[2.0, 0.0], [0.0, 1.0]], [[2.0, 0.0], [0.0, 1.0]])
+    }
+
+    #[test]
+    fn converges_in_coordination_game() {
+        let g = coordination();
+        for start in [[0, 0], [0, 1], [1, 0], [1, 1]] {
+            let out =
+                BestResponseDynamics::new(UpdateSchedule::RoundRobin).run(&g, start.to_vec(), 50);
+            assert!(out.converged, "start {start:?} did not converge");
+            assert!(is_pure_nash(&g, &out.profile));
+        }
+    }
+
+    #[test]
+    fn fixed_point_detected_in_one_round() {
+        let g = coordination();
+        let out = BestResponseDynamics::new(UpdateSchedule::RoundRobin).run(&g, vec![0, 0], 50);
+        assert!(out.converged);
+        assert_eq!(out.rounds, 1);
+        assert_eq!(out.moves, 0);
+        assert_eq!(out.profile, vec![0, 0]);
+    }
+
+    #[test]
+    fn matching_pennies_never_converges() {
+        let g = NormalFormGame::from_bimatrix(
+            [[1.0, -1.0], [-1.0, 1.0]],
+            [[-1.0, 1.0], [1.0, -1.0]],
+        );
+        let out = BestResponseDynamics::new(UpdateSchedule::RoundRobin).run(&g, vec![0, 0], 25);
+        assert!(!out.converged);
+        assert_eq!(out.rounds, 25);
+    }
+
+    #[test]
+    fn random_schedule_is_deterministic_per_seed() {
+        let g = coordination();
+        let d = |seed| {
+            BestResponseDynamics::new(UpdateSchedule::RandomPermutation { seed })
+                .run(&g, vec![0, 1], 50)
+        };
+        assert_eq!(d(7), d(7));
+    }
+
+    #[test]
+    fn welfare_trajectory_has_rounds_plus_one_entries() {
+        let g = coordination();
+        let out = BestResponseDynamics::new(UpdateSchedule::RoundRobin).run(&g, vec![1, 0], 50);
+        assert_eq!(out.welfare_trajectory.len(), out.rounds + 1);
+        // Final welfare equals welfare of final profile.
+        let last = *out.welfare_trajectory.last().unwrap();
+        assert_eq!(last, total_welfare(&g, &out.profile));
+    }
+}

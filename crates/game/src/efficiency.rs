@@ -1,0 +1,129 @@
+//! Efficiency of equilibria: price of anarchy and price of stability.
+//!
+//! Theorem 2 of the paper states that *every* Nash equilibrium of the
+//! channel-allocation game is system-optimal, i.e. the price of anarchy is
+//! exactly 1. These helpers compute PoA/PoS generically so that claim can be
+//! verified mechanically on enumerable instances (experiment T2).
+
+use crate::equilibrium::pure_nash_profiles;
+use crate::pareto::{max_welfare_profile, social_welfare};
+use crate::Game;
+use serde::{Deserialize, Serialize};
+
+/// Summary of equilibrium efficiency for one game instance.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EfficiencyReport {
+    /// Maximum social welfare over all profiles (the system optimum).
+    pub optimal_welfare: f64,
+    /// Welfare of the worst pure Nash equilibrium.
+    pub worst_ne_welfare: f64,
+    /// Welfare of the best pure Nash equilibrium.
+    pub best_ne_welfare: f64,
+    /// Number of pure Nash equilibria found.
+    pub num_equilibria: usize,
+    /// `optimal_welfare / worst_ne_welfare` (∞ if a NE has zero welfare).
+    pub price_of_anarchy: f64,
+    /// `optimal_welfare / best_ne_welfare` (∞ if all NE have zero welfare).
+    pub price_of_stability: f64,
+}
+
+/// Compute the efficiency report of `game` by exhaustive enumeration.
+///
+/// Returns `None` when the game has no pure Nash equilibrium (then neither
+/// PoA nor PoS over pure equilibria is defined).
+///
+/// Exponential in players; intended for the small cross-validation
+/// instances.
+pub fn efficiency_report<G: Game>(game: &G) -> Option<EfficiencyReport> {
+    let equilibria = pure_nash_profiles(game);
+    if equilibria.is_empty() {
+        return None;
+    }
+    let (_, optimal_welfare) = max_welfare_profile(game)?;
+    let mut worst = f64::INFINITY;
+    let mut best = f64::NEG_INFINITY;
+    for ne in &equilibria {
+        let w = social_welfare(&game.utilities(ne));
+        worst = worst.min(w);
+        best = best.max(w);
+    }
+    Some(EfficiencyReport {
+        optimal_welfare,
+        worst_ne_welfare: worst,
+        best_ne_welfare: best,
+        num_equilibria: equilibria.len(),
+        price_of_anarchy: ratio(optimal_welfare, worst),
+        price_of_stability: ratio(optimal_welfare, best),
+    })
+}
+
+/// `opt / welfare` with conventional handling of the zero-welfare edge:
+/// `0/0 = 1` (an all-zero game is trivially efficient), `x/0 = ∞`.
+fn ratio(opt: f64, welfare: f64) -> f64 {
+    if welfare == 0.0 {
+        if opt == 0.0 {
+            1.0
+        } else {
+            f64::INFINITY
+        }
+    } else {
+        opt / welfare
+    }
+}
+
+/// Price of anarchy of `game` (worst equilibrium vs optimum), or `None`
+/// when the game has no pure equilibrium.
+pub fn price_of_anarchy<G: Game>(game: &G) -> Option<f64> {
+    efficiency_report(game).map(|r| r.price_of_anarchy)
+}
+
+/// Price of stability of `game` (best equilibrium vs optimum), or `None`
+/// when the game has no pure equilibrium.
+pub fn price_of_stability<G: Game>(game: &G) -> Option<f64> {
+    efficiency_report(game).map(|r| r.price_of_stability)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::normal_form::NormalFormGame;
+
+    #[test]
+    fn pd_has_poa_three() {
+        // PD: optimum 6 (mutual cooperation), unique NE (defect,defect) = 2.
+        let g = NormalFormGame::from_bimatrix([[3.0, 0.0], [5.0, 1.0]], [[3.0, 5.0], [0.0, 1.0]]);
+        let r = efficiency_report(&g).unwrap();
+        assert_eq!(r.optimal_welfare, 6.0);
+        assert_eq!(r.worst_ne_welfare, 2.0);
+        assert_eq!(r.num_equilibria, 1);
+        assert!((r.price_of_anarchy - 3.0).abs() < 1e-12);
+        assert!((r.price_of_stability - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn coordination_poa_vs_pos() {
+        // Two equilibria with welfare 4 and 2; optimum 4.
+        let g = NormalFormGame::from_bimatrix([[2.0, 0.0], [0.0, 1.0]], [[2.0, 0.0], [0.0, 1.0]]);
+        let r = efficiency_report(&g).unwrap();
+        assert_eq!(r.num_equilibria, 2);
+        assert!((r.price_of_anarchy - 2.0).abs() < 1e-12);
+        assert!((r.price_of_stability - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn no_pure_ne_yields_none() {
+        let g = NormalFormGame::from_bimatrix(
+            [[1.0, -1.0], [-1.0, 1.0]],
+            [[-1.0, 1.0], [1.0, -1.0]],
+        );
+        assert!(efficiency_report(&g).is_none());
+        assert!(price_of_anarchy(&g).is_none());
+        assert!(price_of_stability(&g).is_none());
+    }
+
+    #[test]
+    fn zero_welfare_edge_cases() {
+        assert_eq!(super::ratio(0.0, 0.0), 1.0);
+        assert_eq!(super::ratio(1.0, 0.0), f64::INFINITY);
+    }
+}

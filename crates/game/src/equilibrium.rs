@@ -1,0 +1,209 @@
+//! Nash-equilibrium verification and enumeration.
+//!
+//! A pure-strategy profile is a Nash equilibrium (Definition 1 of the paper)
+//! when no player can strictly increase its own utility by a unilateral
+//! strategy change. The functions here decide that by *deviation search*:
+//! comparing each player's current utility against its exact best response.
+//!
+//! Floating-point payoffs make "strictly increase" delicate; every function
+//! takes the comparison through a tolerance so that utility-preserving
+//! deviations (common in the channel-allocation game, where many allocations
+//! are payoff-equivalent) do not spuriously disqualify an equilibrium.
+
+use crate::{Game, PlayerId};
+use serde::{Deserialize, Serialize};
+
+/// Default tolerance used when deciding whether a deviation is *strictly*
+/// improving. Utilities in this workspace are O(1)–O(100) (bit-rates in
+/// Mbit/s), for which 1e-9 is far below any meaningful rate difference.
+pub const DEFAULT_TOLERANCE: f64 = 1e-9;
+
+/// Outcome of checking one profile for unilateral deviations.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum DeviationReport {
+    /// No player can improve by more than the tolerance: the profile is a
+    /// (pure) Nash equilibrium.
+    NoImprovingDeviation,
+    /// Some player can improve; the witness records who, to which strategy,
+    /// and by how much.
+    Improves {
+        /// The deviating player.
+        player: PlayerId,
+        /// The improving strategy index.
+        strategy: usize,
+        /// Utility before the deviation.
+        utility_before: f64,
+        /// Utility after the deviation.
+        utility_after: f64,
+    },
+}
+
+impl DeviationReport {
+    /// True when the report certifies a Nash equilibrium.
+    pub fn is_nash(&self) -> bool {
+        matches!(self, DeviationReport::NoImprovingDeviation)
+    }
+
+    /// The improvement margin of the witness (0 for equilibria).
+    pub fn gain(&self) -> f64 {
+        match self {
+            DeviationReport::NoImprovingDeviation => 0.0,
+            DeviationReport::Improves {
+                utility_before,
+                utility_after,
+                ..
+            } => utility_after - utility_before,
+        }
+    }
+}
+
+/// Check whether `profile` is a pure Nash equilibrium of `game`, reporting a
+/// witness deviation if not.
+///
+/// Uses [`Game::best_response`], so games with fast structured best-response
+/// computations are checked in their native complexity.
+///
+/// ```
+/// use mrca_game::normal_form::NormalFormGame;
+/// use mrca_game::equilibrium::check_deviations;
+///
+/// let pd = NormalFormGame::from_bimatrix(
+///     [[3.0, 0.0], [5.0, 1.0]],
+///     [[3.0, 5.0], [0.0, 1.0]],
+/// );
+/// assert!(check_deviations(&pd, &[1, 1]).is_nash());
+/// assert!(!check_deviations(&pd, &[0, 0]).is_nash());
+/// ```
+pub fn check_deviations<G: Game>(game: &G, profile: &[usize]) -> DeviationReport {
+    check_deviations_with_tolerance(game, profile, DEFAULT_TOLERANCE)
+}
+
+/// Like [`check_deviations`] but with an explicit strict-improvement
+/// tolerance: a deviation counts only if it gains more than `tol`.
+pub fn check_deviations_with_tolerance<G: Game>(
+    game: &G,
+    profile: &[usize],
+    tol: f64,
+) -> DeviationReport {
+    assert_eq!(
+        profile.len(),
+        game.num_players(),
+        "profile length must equal number of players"
+    );
+    for player in PlayerId::all(game.num_players()) {
+        let before = game.utility(player, profile);
+        let (best, after) = game.best_response(player, profile);
+        if after > before + tol {
+            return DeviationReport::Improves {
+                player,
+                strategy: best,
+                utility_before: before,
+                utility_after: after,
+            };
+        }
+    }
+    DeviationReport::NoImprovingDeviation
+}
+
+/// True when `profile` is a pure Nash equilibrium of `game`.
+pub fn is_pure_nash<G: Game>(game: &G, profile: &[usize]) -> bool {
+    check_deviations(game, profile).is_nash()
+}
+
+/// True when `profile` is an ε-Nash equilibrium: no unilateral deviation
+/// gains more than `epsilon`.
+pub fn is_epsilon_nash<G: Game>(game: &G, profile: &[usize], epsilon: f64) -> bool {
+    check_deviations_with_tolerance(game, profile, epsilon).is_nash()
+}
+
+/// Enumerate every pure Nash equilibrium of `game` by exhaustive profile
+/// scan. Exponential in the number of players; intended for the small
+/// instances used to cross-validate Theorem 1 of the paper.
+pub fn pure_nash_profiles<G: Game>(game: &G) -> Vec<Vec<usize>> {
+    game.profiles()
+        .filter(|p| is_pure_nash(game, p))
+        .collect()
+}
+
+/// Count pure Nash equilibria without materializing them.
+pub fn count_pure_nash<G: Game>(game: &G) -> usize {
+    game.profiles().filter(|p| is_pure_nash(game, p)).count()
+}
+
+/// Find one pure Nash equilibrium by exhaustive scan, or `None` if the game
+/// has no pure equilibrium (e.g. matching pennies).
+pub fn find_pure_nash<G: Game>(game: &G) -> Option<Vec<usize>> {
+    game.profiles().find(|p| is_pure_nash(game, p))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::normal_form::NormalFormGame;
+
+    fn matching_pennies() -> NormalFormGame {
+        NormalFormGame::from_bimatrix([[1.0, -1.0], [-1.0, 1.0]], [[-1.0, 1.0], [1.0, -1.0]])
+    }
+
+    fn battle_of_sexes() -> NormalFormGame {
+        NormalFormGame::from_bimatrix([[2.0, 0.0], [0.0, 1.0]], [[1.0, 0.0], [0.0, 2.0]])
+    }
+
+    #[test]
+    fn matching_pennies_has_no_pure_ne() {
+        let g = matching_pennies();
+        assert_eq!(pure_nash_profiles(&g), Vec::<Vec<usize>>::new());
+        assert!(find_pure_nash(&g).is_none());
+        assert_eq!(count_pure_nash(&g), 0);
+    }
+
+    #[test]
+    fn battle_of_sexes_has_two_pure_ne() {
+        let g = battle_of_sexes();
+        let ne = pure_nash_profiles(&g);
+        assert_eq!(ne, vec![vec![0, 0], vec![1, 1]]);
+        assert_eq!(find_pure_nash(&g), Some(vec![0, 0]));
+    }
+
+    #[test]
+    fn deviation_witness_is_meaningful() {
+        let g = battle_of_sexes();
+        match check_deviations(&g, &[0, 1]) {
+            DeviationReport::Improves {
+                player,
+                utility_before,
+                utility_after,
+                ..
+            } => {
+                assert_eq!(utility_before, 0.0);
+                assert!(utility_after > 0.0);
+                assert!(player.0 < 2);
+            }
+            other => panic!("expected improving deviation, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn epsilon_nash_is_weaker() {
+        let g = battle_of_sexes();
+        // In (0,1) both players earn 0 and can gain exactly 1 by switching;
+        // so the profile is a 1-NE but not a 0.5-NE.
+        assert!(is_epsilon_nash(&g, &[0, 1], 1.0));
+        assert!(!is_epsilon_nash(&g, &[0, 1], 0.5));
+    }
+
+    #[test]
+    fn gain_reports_margin() {
+        let g = battle_of_sexes();
+        let rep = check_deviations(&g, &[0, 1]);
+        assert!(rep.gain() >= 1.0);
+        assert_eq!(check_deviations(&g, &[0, 0]).gain(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "profile length")]
+    fn wrong_profile_length_panics() {
+        let g = battle_of_sexes();
+        let _ = check_deviations(&g, &[0]);
+    }
+}

@@ -1,0 +1,143 @@
+//! Fictitious play for two-player games.
+//!
+//! An extension beyond the paper: the paper proposes distributed
+//! implementations as future work, and fictitious play is the classical
+//! model-free learning dynamic. We provide it for bimatrix games so the
+//! examples can contrast convergent (potential) games with non-convergent
+//! ones.
+
+use crate::normal_form::NormalFormGame;
+use crate::{Game, PlayerId};
+use serde::{Deserialize, Serialize};
+
+/// Result of a fictitious-play run on a bimatrix game.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FictitiousPlayOutcome {
+    /// Empirical frequency of each strategy for player 0.
+    pub empirical_p0: Vec<f64>,
+    /// Empirical frequency of each strategy for player 1.
+    pub empirical_p1: Vec<f64>,
+    /// Number of iterations executed.
+    pub iterations: usize,
+    /// Final pure action pair.
+    pub last_actions: (usize, usize),
+    /// Whether the pure action pair was constant over the final quarter of
+    /// the run (a heuristic signal of convergence to a pure equilibrium).
+    pub settled: bool,
+}
+
+/// Run discrete fictitious play on a two-player [`NormalFormGame`].
+///
+/// Both players start from strategy 0 and at each step best-respond to the
+/// opponent's empirical action distribution (ties broken toward the lowest
+/// index, which keeps the process deterministic).
+///
+/// # Panics
+///
+/// Panics if the game does not have exactly two players.
+pub fn fictitious_play(game: &NormalFormGame, iterations: usize) -> FictitiousPlayOutcome {
+    assert_eq!(
+        game.num_players(),
+        2,
+        "fictitious play is implemented for two-player games"
+    );
+    let d0 = game.num_strategies(PlayerId(0));
+    let d1 = game.num_strategies(PlayerId(1));
+    let mut counts0 = vec![0u64; d0];
+    let mut counts1 = vec![0u64; d1];
+    let mut last = (0usize, 0usize);
+    let mut history = Vec::with_capacity(iterations);
+
+    for step in 0..iterations {
+        let (a0, a1) = if step == 0 {
+            (0, 0)
+        } else {
+            (
+                best_vs_empirical(game, PlayerId(0), &counts1),
+                best_vs_empirical(game, PlayerId(1), &counts0),
+            )
+        };
+        counts0[a0] += 1;
+        counts1[a1] += 1;
+        last = (a0, a1);
+        history.push(last);
+    }
+
+    let total = iterations.max(1) as f64;
+    let tail_start = iterations - iterations / 4;
+    let settled = iterations > 4 && history[tail_start..].iter().all(|&a| a == last);
+    FictitiousPlayOutcome {
+        empirical_p0: counts0.iter().map(|&c| c as f64 / total).collect(),
+        empirical_p1: counts1.iter().map(|&c| c as f64 / total).collect(),
+        iterations,
+        last_actions: last,
+        settled,
+    }
+}
+
+/// Best response of `player` against the opponent's empirical counts.
+fn best_vs_empirical(game: &NormalFormGame, player: PlayerId, opp_counts: &[u64]) -> usize {
+    let total: u64 = opp_counts.iter().sum();
+    let my_dim = game.num_strategies(player);
+    let mut best = (0usize, f64::NEG_INFINITY);
+    for s in 0..my_dim {
+        let mut expected = 0.0;
+        for (o, &cnt) in opp_counts.iter().enumerate() {
+            if cnt == 0 {
+                continue;
+            }
+            let profile = if player.0 == 0 { [s, o] } else { [o, s] };
+            expected += game.utility(player, &profile) * cnt as f64;
+        }
+        let expected = if total == 0 {
+            0.0
+        } else {
+            expected / total as f64
+        };
+        if expected > best.1 {
+            best = (s, expected);
+        }
+    }
+    best.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn converges_in_coordination_game() {
+        let g = NormalFormGame::from_bimatrix([[2.0, 0.0], [0.0, 1.0]], [[2.0, 0.0], [0.0, 1.0]]);
+        let out = fictitious_play(&g, 400);
+        assert!(out.settled);
+        assert_eq!(out.last_actions, (0, 0));
+        assert!(out.empirical_p0[0] > 0.9);
+    }
+
+    #[test]
+    fn matching_pennies_mixes_toward_half_half() {
+        let g = NormalFormGame::from_bimatrix(
+            [[1.0, -1.0], [-1.0, 1.0]],
+            [[-1.0, 1.0], [1.0, -1.0]],
+        );
+        let out = fictitious_play(&g, 20_000);
+        assert!(!out.settled);
+        assert!((out.empirical_p0[0] - 0.5).abs() < 0.05);
+        assert!((out.empirical_p1[0] - 0.5).abs() < 0.05);
+    }
+
+    #[test]
+    #[should_panic(expected = "two-player")]
+    fn rejects_three_player_games() {
+        let g = NormalFormGame::zeros(&[2, 2, 2]);
+        let _ = fictitious_play(&g, 10);
+    }
+
+    #[test]
+    fn zero_iterations_is_safe() {
+        let g = NormalFormGame::zeros(&[2, 2]);
+        let out = fictitious_play(&g, 0);
+        assert_eq!(out.iterations, 0);
+        assert!(!out.settled);
+    }
+}

@@ -1,0 +1,211 @@
+//! # mrca-game — a generic finite-game toolkit
+//!
+//! This crate provides reusable game-theoretic machinery used by the
+//! multi-radio channel-allocation reproduction (Félegyházi, Čagalj, Hubaux,
+//! *Multi-radio channel allocation in competitive wireless networks*,
+//! ICDCS 2006):
+//!
+//! * [`Game`] — an abstract finite strategic-form game with enumerable
+//!   strategy spaces,
+//! * [`equilibrium`] — Nash-equilibrium verification and enumeration by
+//!   unilateral-deviation search,
+//! * [`best_response`] — best/better-response dynamics with configurable
+//!   player schedules,
+//! * [`pareto`] — Pareto dominance, Pareto frontiers and social welfare,
+//! * [`efficiency`] — price of anarchy / price of stability,
+//! * [`normal_form`] — dense payoff-tensor games for exhaustive analysis,
+//! * [`potential`] — exact/ordinal potential-function detection,
+//! * [`fictitious`] — fictitious play for bimatrix games.
+//!
+//! The channel-allocation game itself lives in the `mrca-core` crate and
+//! implements the [`Game`] trait, so every claim of the paper can be
+//! cross-checked against this *generic* machinery rather than only against
+//! bespoke checkers.
+//!
+//! ## Example
+//!
+//! ```
+//! use mrca_game::normal_form::NormalFormGame;
+//! use mrca_game::equilibrium::pure_nash_profiles;
+//!
+//! // Prisoner's dilemma: strategies 0=cooperate, 1=defect.
+//! let g = NormalFormGame::from_bimatrix(
+//!     [[3.0, 0.0], [5.0, 1.0]],
+//!     [[3.0, 5.0], [0.0, 1.0]],
+//! );
+//! let ne = pure_nash_profiles(&g);
+//! assert_eq!(ne, vec![vec![1, 1]]); // mutual defection
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod best_response;
+pub mod dominance;
+pub mod efficiency;
+pub mod equilibrium;
+pub mod fictitious;
+pub mod normal_form;
+pub mod pareto;
+pub mod player;
+pub mod potential;
+
+pub use best_response::{BestResponseDynamics, DynamicsOutcome, UpdateSchedule};
+pub use efficiency::{price_of_anarchy, price_of_stability, EfficiencyReport};
+pub use equilibrium::{is_pure_nash, pure_nash_profiles, DeviationReport};
+pub use normal_form::NormalFormGame;
+pub use pareto::{dominates, pareto_frontier, social_welfare};
+pub use player::PlayerId;
+
+/// A finite strategic-form (one-shot) game.
+///
+/// Strategies are identified by dense indices `0..num_strategies(p)` per
+/// player; a *profile* is a `Vec<usize>` with one entry per player. This
+/// indexed representation keeps the trait object-safe and lets generic
+/// algorithms enumerate profiles without knowing the concrete strategy type.
+///
+/// Implementations must guarantee:
+///
+/// * `num_players() >= 1`,
+/// * `num_strategies(p) >= 1` for every player,
+/// * `utility` is deterministic and total for all valid profiles.
+pub trait Game {
+    /// Number of players in the game.
+    fn num_players(&self) -> usize;
+
+    /// Number of pure strategies available to `player`.
+    fn num_strategies(&self, player: PlayerId) -> usize;
+
+    /// Payoff of `player` under the pure-strategy `profile`.
+    ///
+    /// # Panics
+    ///
+    /// Implementations may panic if `profile.len() != num_players()` or any
+    /// strategy index is out of range.
+    fn utility(&self, player: PlayerId, profile: &[usize]) -> f64;
+
+    /// Payoffs of all players under `profile`, as a vector indexed by player.
+    fn utilities(&self, profile: &[usize]) -> Vec<f64> {
+        (0..self.num_players())
+            .map(|p| self.utility(PlayerId(p), profile))
+            .collect()
+    }
+
+    /// An exact best response of `player` against `profile` (the player's own
+    /// entry is ignored), together with its utility.
+    ///
+    /// The default implementation scans the player's whole strategy space;
+    /// games with structured strategy spaces should override it with
+    /// something faster (e.g. the channel-allocation game uses a dynamic
+    /// program over channels).
+    fn best_response(&self, player: PlayerId, profile: &[usize]) -> (usize, f64) {
+        let mut work = profile.to_vec();
+        let mut best = (0usize, f64::NEG_INFINITY);
+        for s in 0..self.num_strategies(player) {
+            work[player.0] = s;
+            let u = self.utility(player, &work);
+            if u > best.1 {
+                best = (s, u);
+            }
+        }
+        best
+    }
+
+    /// Iterate over all pure-strategy profiles of the game.
+    ///
+    /// The iterator yields profiles in lexicographic order. Only usable for
+    /// games whose joint strategy space is small; the iterator is lazy, so
+    /// early termination is cheap.
+    fn profiles(&self) -> ProfileIter<'_, Self>
+    where
+        Self: Sized,
+    {
+        ProfileIter::new(self)
+    }
+}
+
+/// Lazy lexicographic iterator over all pure profiles of a [`Game`].
+///
+/// Produced by [`Game::profiles`].
+#[derive(Debug)]
+pub struct ProfileIter<'g, G: Game> {
+    game: &'g G,
+    current: Option<Vec<usize>>,
+}
+
+impl<'g, G: Game> ProfileIter<'g, G> {
+    fn new(game: &'g G) -> Self {
+        let n = game.num_players();
+        let nonempty = (0..n).all(|p| game.num_strategies(PlayerId(p)) > 0);
+        ProfileIter {
+            game,
+            current: nonempty.then(|| vec![0; n]),
+        }
+    }
+}
+
+impl<'g, G: Game> Iterator for ProfileIter<'g, G> {
+    type Item = Vec<usize>;
+
+    fn next(&mut self) -> Option<Vec<usize>> {
+        let out = self.current.clone()?;
+        // Advance like a mixed-radix counter, least-significant digit last.
+        let cur = self.current.as_mut().expect("checked above");
+        let n = cur.len();
+        let mut pos = n;
+        loop {
+            if pos == 0 {
+                self.current = None;
+                break;
+            }
+            pos -= 1;
+            cur[pos] += 1;
+            if cur[pos] < self.game.num_strategies(PlayerId(pos)) {
+                break;
+            }
+            cur[pos] = 0;
+        }
+        Some(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Two players, two strategies each; payoff = own strategy index.
+    struct Trivial;
+
+    impl Game for Trivial {
+        fn num_players(&self) -> usize {
+            2
+        }
+        fn num_strategies(&self, _p: PlayerId) -> usize {
+            2
+        }
+        fn utility(&self, player: PlayerId, profile: &[usize]) -> f64 {
+            profile[player.0] as f64
+        }
+    }
+
+    #[test]
+    fn profile_iter_covers_joint_space() {
+        let g = Trivial;
+        let all: Vec<_> = g.profiles().collect();
+        assert_eq!(all, vec![vec![0, 0], vec![0, 1], vec![1, 0], vec![1, 1]]);
+    }
+
+    #[test]
+    fn default_best_response_maximizes() {
+        let g = Trivial;
+        let (s, u) = g.best_response(PlayerId(0), &[0, 0]);
+        assert_eq!(s, 1);
+        assert_eq!(u, 1.0);
+    }
+
+    #[test]
+    fn utilities_vector_is_per_player() {
+        let g = Trivial;
+        assert_eq!(g.utilities(&[1, 0]), vec![1.0, 0.0]);
+    }
+}

@@ -1,0 +1,246 @@
+//! Dense normal-form (payoff-tensor) games.
+//!
+//! A [`NormalFormGame`] stores the payoff of every player at every joint
+//! pure-strategy profile, which makes exhaustive analyses (equilibrium
+//! enumeration, Pareto frontier, potential detection) straightforward. It is
+//! the work-horse for cross-validating the structured channel-allocation
+//! game on small instances: `mrca-core` can *materialize* its game into a
+//! `NormalFormGame` and run the generic algorithms on it.
+
+use crate::{Game, PlayerId};
+use serde::{Deserialize, Serialize};
+
+/// A finite game stored as a dense payoff tensor.
+///
+/// For `n` players with strategy-space sizes `d_0, …, d_{n-1}`, the tensor
+/// has `d_0·d_1·…·d_{n-1}` cells and each cell holds `n` payoffs. Profiles
+/// are addressed in mixed-radix order with player 0 as the most significant
+/// digit (matching [`Game::profiles`]).
+///
+/// ```
+/// use mrca_game::normal_form::NormalFormGame;
+/// use mrca_game::{Game, PlayerId};
+///
+/// // Matching pennies.
+/// let g = NormalFormGame::from_bimatrix(
+///     [[1.0, -1.0], [-1.0, 1.0]],
+///     [[-1.0, 1.0], [1.0, -1.0]],
+/// );
+/// assert_eq!(g.num_players(), 2);
+/// assert_eq!(g.utility(PlayerId(0), &[0, 0]), 1.0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NormalFormGame {
+    /// Strategy-space size per player.
+    dims: Vec<usize>,
+    /// Payoffs, laid out as `payoffs[cell * n + player]`.
+    payoffs: Vec<f64>,
+}
+
+impl NormalFormGame {
+    /// Create a game with the given strategy-space sizes, all payoffs zero.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dims` is empty, any dimension is zero, or the tensor would
+    /// overflow `usize`.
+    pub fn zeros(dims: &[usize]) -> Self {
+        assert!(!dims.is_empty(), "a game needs at least one player");
+        assert!(
+            dims.iter().all(|&d| d > 0),
+            "every player needs at least one strategy"
+        );
+        let cells: usize = dims
+            .iter()
+            .copied()
+            .try_fold(1usize, usize::checked_mul)
+            .expect("payoff tensor too large");
+        let len = cells
+            .checked_mul(dims.len())
+            .expect("payoff tensor too large");
+        NormalFormGame {
+            dims: dims.to_vec(),
+            payoffs: vec![0.0; len],
+        }
+    }
+
+    /// Build a two-player game from the row player's and column player's
+    /// payoff matrices (`a[i][j]`, `b[i][j]` for row strategy `i`, column
+    /// strategy `j`).
+    pub fn from_bimatrix<const R: usize, const C: usize>(
+        a: [[f64; C]; R],
+        b: [[f64; C]; R],
+    ) -> Self {
+        let mut g = NormalFormGame::zeros(&[R, C]);
+        for i in 0..R {
+            for j in 0..C {
+                g.set_utility(PlayerId(0), &[i, j], a[i][j]);
+                g.set_utility(PlayerId(1), &[i, j], b[i][j]);
+            }
+        }
+        g
+    }
+
+    /// Build a game by evaluating `f(player, profile)` on every cell.
+    ///
+    /// This is how structured games (e.g. the channel-allocation game) are
+    /// materialized for exhaustive analysis.
+    pub fn tabulate<F>(dims: &[usize], mut f: F) -> Self
+    where
+        F: FnMut(PlayerId, &[usize]) -> f64,
+    {
+        let mut g = NormalFormGame::zeros(dims);
+        let n = dims.len();
+        let mut profile = vec![0usize; n];
+        loop {
+            let cell = g.cell_index(&profile);
+            for p in 0..n {
+                g.payoffs[cell * n + p] = f(PlayerId(p), &profile);
+            }
+            // Advance mixed-radix counter.
+            let mut pos = n;
+            loop {
+                if pos == 0 {
+                    return g;
+                }
+                pos -= 1;
+                profile[pos] += 1;
+                if profile[pos] < dims[pos] {
+                    break;
+                }
+                profile[pos] = 0;
+            }
+        }
+    }
+
+    /// Materialize any [`Game`] with small joint strategy space into a dense
+    /// normal form.
+    pub fn from_game<G: Game>(game: &G) -> Self {
+        let dims: Vec<usize> = (0..game.num_players())
+            .map(|p| game.num_strategies(PlayerId(p)))
+            .collect();
+        Self::tabulate(&dims, |p, profile| game.utility(p, profile))
+    }
+
+    /// Set the payoff of `player` at `profile`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-range profile or player.
+    pub fn set_utility(&mut self, player: PlayerId, profile: &[usize], value: f64) {
+        let cell = self.cell_index(profile);
+        let n = self.dims.len();
+        assert!(player.0 < n, "player out of range");
+        self.payoffs[cell * n + player.0] = value;
+    }
+
+    /// Strategy-space sizes per player.
+    pub fn dims(&self) -> &[usize] {
+        &self.dims
+    }
+
+    /// Total number of joint pure-strategy profiles.
+    pub fn num_profiles(&self) -> usize {
+        self.dims.iter().product()
+    }
+
+    fn cell_index(&self, profile: &[usize]) -> usize {
+        assert_eq!(
+            profile.len(),
+            self.dims.len(),
+            "profile length must equal number of players"
+        );
+        let mut idx = 0usize;
+        for (i, (&s, &d)) in profile.iter().zip(&self.dims).enumerate() {
+            assert!(s < d, "strategy {s} out of range for player {i}");
+            idx = idx * d + s;
+        }
+        idx
+    }
+}
+
+impl Game for NormalFormGame {
+    fn num_players(&self) -> usize {
+        self.dims.len()
+    }
+
+    fn num_strategies(&self, player: PlayerId) -> usize {
+        self.dims[player.0]
+    }
+
+    fn utility(&self, player: PlayerId, profile: &[usize]) -> f64 {
+        let cell = self.cell_index(profile);
+        self.payoffs[cell * self.dims.len() + player.0]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::equilibrium::pure_nash_profiles;
+
+    #[test]
+    fn zeros_has_right_shape() {
+        let g = NormalFormGame::zeros(&[2, 3, 4]);
+        assert_eq!(g.num_players(), 3);
+        assert_eq!(g.num_profiles(), 24);
+        assert_eq!(g.utility(PlayerId(2), &[1, 2, 3]), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one strategy")]
+    fn zero_dimension_rejected() {
+        let _ = NormalFormGame::zeros(&[2, 0]);
+    }
+
+    #[test]
+    fn bimatrix_roundtrip() {
+        let g = NormalFormGame::from_bimatrix([[1.0, 2.0], [3.0, 4.0]], [[5.0, 6.0], [7.0, 8.0]]);
+        assert_eq!(g.utility(PlayerId(0), &[1, 0]), 3.0);
+        assert_eq!(g.utility(PlayerId(1), &[0, 1]), 6.0);
+    }
+
+    #[test]
+    fn tabulate_matches_closure() {
+        let g = NormalFormGame::tabulate(&[3, 2], |p, prof| (prof[0] * 10 + prof[1]) as f64 + p.0 as f64);
+        assert_eq!(g.utility(PlayerId(0), &[2, 1]), 21.0);
+        assert_eq!(g.utility(PlayerId(1), &[2, 1]), 22.0);
+    }
+
+    #[test]
+    fn from_game_preserves_payoffs() {
+        struct Sum;
+        impl Game for Sum {
+            fn num_players(&self) -> usize {
+                2
+            }
+            fn num_strategies(&self, _p: PlayerId) -> usize {
+                3
+            }
+            fn utility(&self, _p: PlayerId, prof: &[usize]) -> f64 {
+                (prof[0] + prof[1]) as f64
+            }
+        }
+        let dense = NormalFormGame::from_game(&Sum);
+        for prof in Sum.profiles() {
+            assert_eq!(
+                dense.utility(PlayerId(0), &prof),
+                Sum.utility(PlayerId(0), &prof)
+            );
+        }
+    }
+
+    #[test]
+    fn coordination_game_has_two_pure_ne() {
+        let g = NormalFormGame::from_bimatrix([[2.0, 0.0], [0.0, 1.0]], [[2.0, 0.0], [0.0, 1.0]]);
+        let ne = pure_nash_profiles(&g);
+        assert_eq!(ne, vec![vec![0, 0], vec![1, 1]]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_strategy_panics() {
+        let g = NormalFormGame::zeros(&[2, 2]);
+        let _ = g.utility(PlayerId(0), &[2, 0]);
+    }
+}

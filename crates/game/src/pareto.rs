@@ -1,0 +1,151 @@
+//! Pareto dominance, Pareto frontiers and social welfare.
+//!
+//! Definition 2 of the paper calls a strategy matrix Pareto-optimal when it
+//! "cannot be improved upon without decreasing the utility of at least one
+//! player". In standard terms: no other profile weakly improves every
+//! player and strictly improves at least one. The helpers here operate on
+//! utility vectors so they work for any [`Game`] implementation.
+
+use crate::{Game, PlayerId};
+
+/// Numerical tolerance used in dominance comparisons.
+const TOL: f64 = 1e-9;
+
+/// True when utility vector `a` Pareto-dominates `b`: `a` is at least as
+/// good for every player and strictly better for at least one.
+///
+/// ```
+/// use mrca_game::pareto::dominates;
+/// assert!(dominates(&[2.0, 1.0], &[1.0, 1.0]));
+/// assert!(!dominates(&[1.0, 1.0], &[1.0, 1.0])); // equal: not a strict improvement
+/// assert!(!dominates(&[2.0, 0.0], &[1.0, 1.0])); // trade-off: incomparable
+/// ```
+///
+/// # Panics
+///
+/// Panics if the vectors have different lengths.
+pub fn dominates(a: &[f64], b: &[f64]) -> bool {
+    assert_eq!(a.len(), b.len(), "utility vectors must have equal length");
+    let mut strictly_better = false;
+    for (&x, &y) in a.iter().zip(b) {
+        if x < y - TOL {
+            return false;
+        }
+        if x > y + TOL {
+            strictly_better = true;
+        }
+    }
+    strictly_better
+}
+
+/// Sum of utilities (the paper's `U_total`, also called social welfare).
+pub fn social_welfare(utilities: &[f64]) -> f64 {
+    utilities.iter().sum()
+}
+
+/// True when `profile` is Pareto-optimal in `game`, decided by exhaustive
+/// scan over all profiles. Exponential; for small instances only.
+pub fn is_pareto_optimal<G: Game>(game: &G, profile: &[usize]) -> bool {
+    let mine = game.utilities(profile);
+    !game
+        .profiles()
+        .any(|other| dominates(&game.utilities(&other), &mine))
+}
+
+/// All Pareto-optimal profiles of `game` together with their utility
+/// vectors, by exhaustive scan. Exponential; for small instances only.
+pub fn pareto_frontier<G: Game>(game: &G) -> Vec<(Vec<usize>, Vec<f64>)> {
+    let all: Vec<(Vec<usize>, Vec<f64>)> = game
+        .profiles()
+        .map(|p| {
+            let u = game.utilities(&p);
+            (p, u)
+        })
+        .collect();
+    all.iter()
+        .filter(|(_, u)| !all.iter().any(|(_, v)| dominates(v, u)))
+        .cloned()
+        .collect()
+}
+
+/// The maximum social welfare over all profiles and one profile achieving
+/// it, by exhaustive scan. Exponential; for small instances only.
+///
+/// Returns `None` for games with an empty joint strategy space (cannot
+/// happen for well-formed games).
+pub fn max_welfare_profile<G: Game>(game: &G) -> Option<(Vec<usize>, f64)> {
+    let mut best: Option<(Vec<usize>, f64)> = None;
+    for p in game.profiles() {
+        let w = social_welfare(&game.utilities(&p));
+        match &best {
+            Some((_, bw)) if *bw >= w => {}
+            _ => best = Some((p, w)),
+        }
+    }
+    best
+}
+
+/// Convenience: utilities of all players at `profile`.
+pub fn utilities_at<G: Game>(game: &G, profile: &[usize]) -> Vec<f64> {
+    PlayerId::all(game.num_players())
+        .map(|p| game.utility(p, profile))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::normal_form::NormalFormGame;
+
+    fn prisoners_dilemma() -> NormalFormGame {
+        NormalFormGame::from_bimatrix([[3.0, 0.0], [5.0, 1.0]], [[3.0, 5.0], [0.0, 1.0]])
+    }
+
+    #[test]
+    fn dominance_is_irreflexive_and_antisymmetric() {
+        let u = [1.0, 2.0, 3.0];
+        assert!(!dominates(&u, &u));
+        let v = [1.0, 2.0, 4.0];
+        assert!(dominates(&v, &u));
+        assert!(!dominates(&u, &v));
+    }
+
+    #[test]
+    fn pd_defection_is_not_pareto_optimal() {
+        let g = prisoners_dilemma();
+        // (defect, defect) = (1,1) is dominated by (cooperate, cooperate) = (3,3).
+        assert!(!is_pareto_optimal(&g, &[1, 1]));
+        assert!(is_pareto_optimal(&g, &[0, 0]));
+    }
+
+    #[test]
+    fn pd_frontier_excludes_mutual_defection() {
+        let g = prisoners_dilemma();
+        let frontier = pareto_frontier(&g);
+        let profiles: Vec<_> = frontier.iter().map(|(p, _)| p.clone()).collect();
+        assert!(profiles.contains(&vec![0, 0]));
+        assert!(!profiles.contains(&vec![1, 1]));
+        // (0,1) and (1,0) give one player 5: also non-dominated.
+        assert_eq!(profiles.len(), 3);
+    }
+
+    #[test]
+    fn max_welfare_in_pd_is_cooperation() {
+        let g = prisoners_dilemma();
+        let (p, w) = max_welfare_profile(&g).unwrap();
+        assert_eq!(p, vec![0, 0]);
+        assert_eq!(w, 6.0);
+    }
+
+    #[test]
+    fn welfare_is_sum() {
+        assert_eq!(social_welfare(&[1.0, 2.5, 3.5]), 7.0);
+        assert_eq!(social_welfare(&[]), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "equal length")]
+    fn dominance_length_mismatch_panics() {
+        let _ = dominates(&[1.0], &[1.0, 2.0]);
+    }
+}

@@ -1,0 +1,81 @@
+//! Player identity newtype.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Dense identifier of a player in a finite game.
+///
+/// Players are numbered `0..n`. The newtype prevents accidentally mixing
+/// player indices with strategy indices (both are `usize` underneath).
+///
+/// ```
+/// use mrca_game::PlayerId;
+/// let p = PlayerId(3);
+/// assert_eq!(p.index(), 3);
+/// assert_eq!(p.to_string(), "P3");
+/// ```
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct PlayerId(pub usize);
+
+impl PlayerId {
+    /// The raw index of this player.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0
+    }
+
+    /// Iterator over the first `n` player ids: `P0, P1, …, P(n-1)`.
+    ///
+    /// ```
+    /// use mrca_game::PlayerId;
+    /// let ids: Vec<_> = PlayerId::all(3).collect();
+    /// assert_eq!(ids, vec![PlayerId(0), PlayerId(1), PlayerId(2)]);
+    /// ```
+    pub fn all(n: usize) -> impl Iterator<Item = PlayerId> {
+        (0..n).map(PlayerId)
+    }
+}
+
+impl fmt::Display for PlayerId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "P{}", self.0)
+    }
+}
+
+impl From<usize> for PlayerId {
+    fn from(i: usize) -> Self {
+        PlayerId(i)
+    }
+}
+
+impl From<PlayerId> for usize {
+    fn from(p: PlayerId) -> usize {
+        p.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_conversions() {
+        let p: PlayerId = 7usize.into();
+        assert_eq!(usize::from(p), 7);
+        assert_eq!(format!("{p}"), "P7");
+    }
+
+    #[test]
+    fn all_enumerates_in_order() {
+        assert_eq!(PlayerId::all(0).count(), 0);
+        let v: Vec<usize> = PlayerId::all(4).map(|p| p.index()).collect();
+        assert_eq!(v, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn ordering_follows_index() {
+        assert!(PlayerId(1) < PlayerId(2));
+    }
+}

@@ -1,0 +1,102 @@
+//! Property tests on the generic game toolkit.
+
+use mrca_game::best_response::{BestResponseDynamics, UpdateSchedule};
+use mrca_game::equilibrium::{check_deviations, is_pure_nash, pure_nash_profiles};
+use mrca_game::normal_form::NormalFormGame;
+use mrca_game::pareto::{dominates, max_welfare_profile, pareto_frontier, social_welfare};
+use mrca_game::potential::{has_exact_potential, has_ordinal_potential};
+use mrca_game::{Game, PlayerId};
+use proptest::prelude::*;
+
+/// Arbitrary small bimatrix game with payoffs in [-10, 10].
+fn arb_bimatrix() -> impl Strategy<Value = NormalFormGame> {
+    (1usize..=3, 1usize..=3).prop_flat_map(|(r, c)| {
+        proptest::collection::vec(-10.0f64..10.0, r * c * 2).prop_map(move |vals| {
+            let mut g = NormalFormGame::zeros(&[r, c]);
+            let mut it = vals.into_iter();
+            for i in 0..r {
+                for j in 0..c {
+                    g.set_utility(PlayerId(0), &[i, j], it.next().expect("enough values"));
+                    g.set_utility(PlayerId(1), &[i, j], it.next().expect("enough values"));
+                }
+            }
+            g
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Every profile the enumerator labels NE withstands deviation checks,
+    /// and vice versa (internal consistency).
+    #[test]
+    fn ne_enumeration_consistent(g in arb_bimatrix()) {
+        let ne = pure_nash_profiles(&g);
+        for p in g.profiles() {
+            let in_set = ne.contains(&p);
+            prop_assert_eq!(in_set, is_pure_nash(&g, &p));
+        }
+    }
+
+    /// Deviation witnesses really improve.
+    #[test]
+    fn witness_improves(g in arb_bimatrix()) {
+        for p in g.profiles() {
+            if let mrca_game::equilibrium::DeviationReport::Improves {
+                player, strategy, utility_before, utility_after,
+            } = check_deviations(&g, &p) {
+                let mut q = p.clone();
+                q[player.0] = strategy;
+                prop_assert!((g.utility(player, &q) - utility_after).abs() < 1e-12);
+                prop_assert!(utility_after > utility_before);
+            }
+        }
+    }
+
+    /// Pareto dominance is a strict partial order on the frontier: no
+    /// frontier point dominates another.
+    #[test]
+    fn frontier_is_antichain(g in arb_bimatrix()) {
+        let frontier = pareto_frontier(&g);
+        for (_, u) in &frontier {
+            for (_, v) in &frontier {
+                prop_assert!(!dominates(u, v) || u == v);
+            }
+        }
+        // The welfare maximizer is always on the frontier.
+        let (best, w) = max_welfare_profile(&g).expect("non-empty game");
+        let bu = g.utilities(&best);
+        prop_assert!((social_welfare(&bu) - w).abs() < 1e-12);
+        let best_on_frontier = frontier
+            .iter()
+            .any(|(_, u)| u.iter().zip(&bu).all(|(a, b)| (a - b).abs() < 1e-12));
+        prop_assert!(best_on_frontier);
+    }
+
+    /// Best-response dynamics, when they converge, stop at a NE.
+    #[test]
+    fn converged_dynamics_are_nash(g in arb_bimatrix(), seed in 0u64..100) {
+        let out = BestResponseDynamics::new(UpdateSchedule::RandomPermutation { seed })
+            .run(&g, vec![0; 2], 60);
+        if out.converged {
+            prop_assert!(is_pure_nash(&g, &out.profile));
+        }
+    }
+
+    /// An exact potential implies an ordinal potential.
+    #[test]
+    fn exact_implies_ordinal(g in arb_bimatrix()) {
+        if has_exact_potential(&g) {
+            prop_assert!(has_ordinal_potential(&g));
+        }
+    }
+
+    /// Games with an ordinal potential always have a pure NE.
+    #[test]
+    fn ordinal_potential_implies_pure_ne(g in arb_bimatrix()) {
+        if has_ordinal_potential(&g) {
+            prop_assert!(!pure_nash_profiles(&g).is_empty());
+        }
+    }
+}

@@ -1,0 +1,222 @@
+//! Slotted-Aloha rate model.
+//!
+//! The paper's related work (MacKenzie & Wicker, INFOCOM '03) analyses
+//! selfish behaviour under slotted Aloha; we provide the corresponding
+//! `R(k_c)` substrate as a fourth MAC family next to TDMA and the two
+//! CSMA variants.
+//!
+//! With `k` saturated stations each transmitting independently with
+//! probability `p` per slot, the per-slot success probability is
+//! `k·p·(1−p)^(k−1)`; with the throughput-optimal `p* = 1/k` this becomes
+//! `(1−1/k)^(k−1)`, which decreases monotonically from 1 (k = 1) toward
+//! `1/e ≈ 0.368` — a legitimately non-increasing, positive rate function,
+//! sitting well below CSMA/CA (Aloha never senses the carrier).
+
+use crate::rate::RateFunction;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Per-slot success probability of `k` stations transmitting with
+/// probability `p` each.
+pub fn success_probability(k: u32, p: f64) -> f64 {
+    assert!((0.0..=1.0).contains(&p), "p must be a probability, got {p}");
+    if k == 0 {
+        return 0.0;
+    }
+    k as f64 * p * (1.0 - p).powi(k as i32 - 1)
+}
+
+/// The throughput-optimal per-station transmission probability `1/k`.
+pub fn optimal_p(k: u32) -> f64 {
+    assert!(k >= 1, "need at least one station");
+    1.0 / k as f64
+}
+
+/// Slotted Aloha with per-population optimal transmission probability, as
+/// a [`RateFunction`]: `R(k) = bitrate · (1 − 1/k)^(k−1)`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OptimalAlohaRate {
+    bitrate: f64,
+    name: String,
+}
+
+impl OptimalAlohaRate {
+    /// Aloha over a channel of `bitrate` bit/s.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `bitrate > 0`.
+    pub fn new(bitrate: f64) -> Self {
+        assert!(bitrate > 0.0, "bitrate must be positive, got {bitrate}");
+        OptimalAlohaRate {
+            bitrate,
+            name: format!("aloha-opt({bitrate}bps)"),
+        }
+    }
+}
+
+impl RateFunction for OptimalAlohaRate {
+    fn rate(&self, k: u32) -> f64 {
+        if k == 0 {
+            0.0
+        } else {
+            self.bitrate * success_probability(k, optimal_p(k))
+        }
+    }
+    fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+/// Slotted Aloha with a *fixed* transmission probability (what naive
+/// stations do): `R(k) = bitrate · k·p·(1−p)^(k−1)`.
+///
+/// Beyond `k = 1/p` this collapses toward zero — but it is non-monotone
+/// *below* that point when `p < 1/2` (throughput first rises with k), so
+/// the constructor clamps the curve with a running minimum to satisfy the
+/// [`RateFunction`] contract, exactly like the practical-DCF envelope.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FixedAlohaRate {
+    bitrate: f64,
+    p: f64,
+    table: Vec<f64>,
+    name: String,
+}
+
+impl FixedAlohaRate {
+    /// Fixed-probability Aloha; the envelope table is precomputed up to
+    /// `max_k`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `bitrate > 0`, `0 < p < 1` and `max_k ≥ 1`.
+    pub fn new(bitrate: f64, p: f64, max_k: u32) -> Self {
+        assert!(bitrate > 0.0, "bitrate must be positive");
+        assert!(p > 0.0 && p < 1.0, "p must be in (0,1), got {p}");
+        assert!(max_k >= 1, "need at least one table entry");
+        let mut table = Vec::with_capacity(max_k as usize);
+        let mut min = f64::INFINITY;
+        for k in 1..=max_k {
+            let raw = bitrate * success_probability(k, p);
+            min = min.min(raw.max(f64::MIN_POSITIVE)); // keep positive
+            table.push(min);
+        }
+        FixedAlohaRate {
+            bitrate,
+            p,
+            table,
+            name: format!("aloha-fixed(p={p})"),
+        }
+    }
+}
+
+impl RateFunction for FixedAlohaRate {
+    fn rate(&self, k: u32) -> f64 {
+        if k == 0 {
+            0.0
+        } else {
+            self.table[(k as usize).min(self.table.len()) - 1]
+        }
+    }
+    fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+/// Monte-Carlo check of the analytic success probability: simulate
+/// `slots` slots of `k` stations transmitting with probability `p` and
+/// return the measured per-slot success rate.
+pub fn simulate_success_rate(k: u32, p: f64, slots: u64, seed: u64) -> f64 {
+    assert!(k >= 1 && slots >= 1);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut successes = 0u64;
+    for _ in 0..slots {
+        let transmitters = (0..k).filter(|_| rng.gen_bool(p)).count();
+        if transmitters == 1 {
+            successes += 1;
+        }
+    }
+    successes as f64 / slots as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rate::validate_rate_function;
+
+    #[test]
+    fn success_probability_hand_values() {
+        // k=1: p. k=2, p=0.5: 2·0.5·0.5 = 0.5.
+        assert_eq!(success_probability(1, 0.3), 0.3);
+        assert!((success_probability(2, 0.5) - 0.5).abs() < 1e-12);
+        assert_eq!(success_probability(0, 0.5), 0.0);
+    }
+
+    #[test]
+    fn optimal_aloha_satisfies_contract() {
+        let r = OptimalAlohaRate::new(1e6);
+        validate_rate_function(&r, 200).unwrap();
+        // R(1) = full rate; R(k) → bitrate/e.
+        assert_eq!(r.rate(1), 1e6);
+        assert!((r.rate(200) / 1e6 - (1.0f64).exp().recip()).abs() < 1e-3);
+    }
+
+    #[test]
+    fn optimal_aloha_below_csma() {
+        use crate::csma::PracticalDcfRate;
+        use crate::params::PhyParams;
+        let aloha = OptimalAlohaRate::new(1e6);
+        let dcf = PracticalDcfRate::new(PhyParams::bianchi_fhss(), 30);
+        for k in [3u32, 10, 25] {
+            assert!(
+                aloha.rate(k) < dcf.rate(k),
+                "k={k}: aloha {} should trail CSMA {}",
+                aloha.rate(k),
+                dcf.rate(k)
+            );
+        }
+    }
+
+    #[test]
+    fn fixed_aloha_envelope_is_monotone() {
+        let r = FixedAlohaRate::new(1e6, 0.1, 64);
+        validate_rate_function(&r, 80).unwrap();
+        // Far beyond 1/p the channel is mostly collisions.
+        assert!(r.rate(60) < 0.05 * 1e6);
+    }
+
+    #[test]
+    fn optimal_p_maximizes() {
+        for k in [2u32, 5, 12] {
+            let p_star = optimal_p(k);
+            let best = success_probability(k, p_star);
+            for p in [p_star * 0.5, p_star * 0.9, p_star * 1.1, p_star * 2.0] {
+                if p < 1.0 {
+                    assert!(
+                        success_probability(k, p) <= best + 1e-12,
+                        "k={k}, p={p}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn simulation_matches_analytic() {
+        for (k, p) in [(3u32, 0.2f64), (8, 1.0 / 8.0)] {
+            let analytic = success_probability(k, p);
+            let measured = simulate_success_rate(k, p, 200_000, 99);
+            assert!(
+                (analytic - measured).abs() < 0.01,
+                "k={k}, p={p}: {analytic} vs {measured}"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "probability")]
+    fn bad_p_rejected() {
+        let _ = success_probability(3, 1.5);
+    }
+}

@@ -1,0 +1,65 @@
+//! # mrca-mac — MAC-layer rate substrates
+//!
+//! The channel-allocation game of Félegyházi–Čagalj–Hubaux (ICDCS 2006)
+//! abstracts the medium-access layer of each channel into a single function
+//! `R(k_c)`: the **total rate available on a channel occupied by `k_c`
+//! radios**, assumed non-increasing in `k_c` and shared equally among the
+//! radios. The paper's Figure 3 sketches the three canonical shapes:
+//!
+//! * **reservation TDMA** — constant in `k_c` (a perfect schedule wastes
+//!   nothing as contenders are added): [`tdma::TdmaRate`];
+//! * **optimal CSMA/CA** — CSMA/CA with per-population optimal contention
+//!   windows is near-constant (Bianchi 2000): [`csma::OptimalCsmaRate`];
+//! * **practical CSMA/CA** — 802.11 DCF with standard window parameters
+//!   loses throughput to collisions as `k_c` grows:
+//!   [`csma::PracticalDcfRate`].
+//!
+//! Instead of hard-coding curves, this crate implements the actual models:
+//!
+//! * [`bianchi`] — Bianchi's fixed-point analysis of IEEE 802.11 DCF in
+//!   saturation (the paper's reference \[3\]), including the optimal
+//!   contention-window search;
+//! * [`tdma`] — a reservation-TDMA frame model with an explicit schedule
+//!   builder (used by `mrca-sim` for packet-level validation);
+//! * [`sim_dcf`] — a slot-level Monte-Carlo simulation of DCF used to
+//!   validate the analytic model (experiment T5);
+//! * [`rate`] — the [`RateFunction`] trait plus synthetic monotone families
+//!   used in property tests.
+//!
+//! ## Example: the three Figure-3 curves
+//!
+//! ```
+//! use mrca_mac::{PhyParams, RateFunction};
+//! use mrca_mac::tdma::TdmaRate;
+//! use mrca_mac::csma::{OptimalCsmaRate, PracticalDcfRate};
+//!
+//! let phy = PhyParams::bianchi_fhss();
+//! let tdma = TdmaRate::from_phy(&phy);
+//! let opt = OptimalCsmaRate::new(phy.clone(), 30);
+//! let prac = PracticalDcfRate::new(phy.clone(), 30);
+//!
+//! // TDMA is flat; practical DCF decays; optimal CSMA sits in between.
+//! assert!(tdma.rate(10) == tdma.rate(1));
+//! assert!(prac.rate(10) < prac.rate(1));
+//! assert!(opt.rate(10) > prac.rate(10));
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod aloha;
+pub mod bianchi;
+pub mod csma;
+pub mod params;
+pub mod rate;
+pub mod sim_dcf;
+pub mod tdma;
+
+pub use aloha::{FixedAlohaRate, OptimalAlohaRate};
+pub use bianchi::{BianchiModel, BianchiSolution};
+pub use csma::{OptimalCsmaRate, PracticalDcfRate};
+pub use params::{AccessMechanism, PhyParams};
+pub use rate::{
+    ConstantRate, ExponentialDecayRate, LinearDecayRate, MonotoneEnvelope, RateFunction, StepRate,
+};
+pub use tdma::TdmaRate;

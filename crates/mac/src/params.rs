@@ -1,0 +1,299 @@
+//! PHY/MAC parameter sets.
+//!
+//! All durations are in microseconds, all sizes in bits, all rates in
+//! bits per second, matching the conventions of Bianchi's paper
+//! ("Performance Analysis of the IEEE 802.11 Distributed Coordination
+//! Function", IEEE JSAC 18(3), 2000 — the channel-allocation paper's
+//! reference \[3\]).
+
+use serde::{Deserialize, Serialize};
+
+/// DCF channel-access mechanism.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AccessMechanism {
+    /// Two-way handshake (DATA + ACK).
+    Basic,
+    /// Four-way handshake (RTS + CTS + DATA + ACK).
+    RtsCts,
+}
+
+/// A complete PHY + MAC parameter set for one channel.
+///
+/// Construct via one of the named presets ([`PhyParams::bianchi_fhss`],
+/// [`PhyParams::dot11b`]) or customize with the builder-style `with_*`
+/// methods:
+///
+/// ```
+/// use mrca_mac::PhyParams;
+/// let phy = PhyParams::bianchi_fhss().with_payload_bits(4096).with_cw(64, 4);
+/// assert_eq!(phy.payload_bits, 4096);
+/// assert_eq!(phy.cw_min, 64);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PhyParams {
+    /// Human-readable preset name.
+    pub name: String,
+    /// Channel bit rate in bit/s (PHY data rate used for payloads).
+    pub bitrate: f64,
+    /// MAC frame payload size in bits (fixed-size packets, per Bianchi).
+    pub payload_bits: u32,
+    /// MAC header size in bits.
+    pub mac_header_bits: u32,
+    /// PHY header size in bits (transmitted at `bitrate` in Bianchi's
+    /// model; for 802.11b the preamble duration is folded in here).
+    pub phy_header_bits: u32,
+    /// ACK frame size in bits (MAC part; the PHY header is added on top).
+    pub ack_bits: u32,
+    /// RTS frame size in bits (MAC part).
+    pub rts_bits: u32,
+    /// CTS frame size in bits (MAC part).
+    pub cts_bits: u32,
+    /// Empty-slot duration σ in µs.
+    pub slot_us: f64,
+    /// SIFS duration in µs.
+    pub sifs_us: f64,
+    /// DIFS duration in µs.
+    pub difs_us: f64,
+    /// One-way propagation delay δ in µs.
+    pub prop_delay_us: f64,
+    /// Minimum contention window `W = CW_min` (number of slots; backoff is
+    /// drawn uniformly from `0..W`).
+    pub cw_min: u32,
+    /// Maximum backoff stage `m` (`CW_max = 2^m · CW_min`).
+    pub max_backoff_stage: u32,
+    /// Channel-access mechanism.
+    pub access: AccessMechanism,
+}
+
+impl PhyParams {
+    /// Bianchi's FHSS PHY parameter set (Table II of his paper): 1 Mbit/s
+    /// channel, 8184-bit payloads, 50 µs slots. This is the set behind his
+    /// published saturation-throughput figures, so we use it as the default
+    /// for reproducing the paper's Figure 3.
+    pub fn bianchi_fhss() -> Self {
+        PhyParams {
+            name: "bianchi-fhss".to_owned(),
+            bitrate: 1e6,
+            payload_bits: 8184,
+            mac_header_bits: 272,
+            phy_header_bits: 128,
+            ack_bits: 112,
+            rts_bits: 160,
+            cts_bits: 112,
+            slot_us: 50.0,
+            sifs_us: 28.0,
+            difs_us: 128.0,
+            prop_delay_us: 1.0,
+            cw_min: 32,
+            max_backoff_stage: 5,
+            access: AccessMechanism::Basic,
+        }
+    }
+
+    /// IEEE 802.11b DSSS at 11 Mbit/s with long preamble. The 192 µs PHY
+    /// preamble+header is expressed as an equivalent bit count at the data
+    /// rate so the Bianchi timing formulas apply unchanged.
+    pub fn dot11b() -> Self {
+        let bitrate = 11e6;
+        let preamble_us = 192.0;
+        PhyParams {
+            name: "802.11b-11Mbps".to_owned(),
+            bitrate,
+            payload_bits: 8184,
+            mac_header_bits: 272,
+            phy_header_bits: (preamble_us * bitrate / 1e6) as u32,
+            ack_bits: 112,
+            rts_bits: 160,
+            cts_bits: 112,
+            slot_us: 20.0,
+            sifs_us: 10.0,
+            difs_us: 50.0,
+            prop_delay_us: 1.0,
+            cw_min: 32,
+            max_backoff_stage: 5,
+            access: AccessMechanism::Basic,
+        }
+    }
+
+    /// Override the payload size.
+    pub fn with_payload_bits(mut self, bits: u32) -> Self {
+        self.payload_bits = bits;
+        self
+    }
+
+    /// Override the contention-window parameters `(CW_min, m)`.
+    pub fn with_cw(mut self, cw_min: u32, max_stage: u32) -> Self {
+        self.cw_min = cw_min;
+        self.max_backoff_stage = max_stage;
+        self
+    }
+
+    /// Override the access mechanism.
+    pub fn with_access(mut self, access: AccessMechanism) -> Self {
+        self.access = access;
+        self
+    }
+
+    /// Transmission time of `bits` at the channel bit rate, in µs.
+    #[inline]
+    pub fn tx_us(&self, bits: u32) -> f64 {
+        bits as f64 / self.bitrate * 1e6
+    }
+
+    /// Duration in µs of a *successful* transmission slot `T_s`
+    /// (Bianchi Eq. 14 for basic access, Eq. 15-style for RTS/CTS).
+    pub fn t_success_us(&self) -> f64 {
+        let header = self.tx_us(self.phy_header_bits + self.mac_header_bits);
+        let payload = self.tx_us(self.payload_bits);
+        let ack = self.tx_us(self.phy_header_bits + self.ack_bits);
+        match self.access {
+            AccessMechanism::Basic => {
+                header
+                    + payload
+                    + self.sifs_us
+                    + self.prop_delay_us
+                    + ack
+                    + self.difs_us
+                    + self.prop_delay_us
+            }
+            AccessMechanism::RtsCts => {
+                let rts = self.tx_us(self.phy_header_bits + self.rts_bits);
+                let cts = self.tx_us(self.phy_header_bits + self.cts_bits);
+                rts + self.sifs_us
+                    + self.prop_delay_us
+                    + cts
+                    + self.sifs_us
+                    + self.prop_delay_us
+                    + header
+                    + payload
+                    + self.sifs_us
+                    + self.prop_delay_us
+                    + ack
+                    + self.difs_us
+                    + self.prop_delay_us
+            }
+        }
+    }
+
+    /// Duration in µs of a *collision* slot `T_c`.
+    ///
+    /// For basic access the colliding stations transmit their whole frames;
+    /// for RTS/CTS only the RTS frames collide.
+    pub fn t_collision_us(&self) -> f64 {
+        match self.access {
+            AccessMechanism::Basic => {
+                let header = self.tx_us(self.phy_header_bits + self.mac_header_bits);
+                let payload = self.tx_us(self.payload_bits);
+                header + payload + self.difs_us + self.prop_delay_us
+            }
+            AccessMechanism::RtsCts => {
+                let rts = self.tx_us(self.phy_header_bits + self.rts_bits);
+                rts + self.difs_us + self.prop_delay_us
+            }
+        }
+    }
+
+    /// Upper bound on achievable throughput (bit/s): payload bits divided by
+    /// the duration of a back-to-back successful exchange with zero backoff.
+    pub fn max_throughput_bps(&self) -> f64 {
+        self.payload_bits as f64 / (self.t_success_us() * 1e-6)
+    }
+
+    /// Sanity-check the parameter set.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable description of the first violated
+    /// constraint (non-positive rate, zero payload, zero window, …).
+    pub fn validate(&self) -> Result<(), String> {
+        if !(self.bitrate > 0.0) {
+            return Err(format!("bitrate must be positive, got {}", self.bitrate));
+        }
+        if self.payload_bits == 0 {
+            return Err("payload_bits must be positive".into());
+        }
+        if self.cw_min < 2 {
+            return Err(format!("cw_min must be at least 2, got {}", self.cw_min));
+        }
+        if !(self.slot_us > 0.0) {
+            return Err(format!("slot_us must be positive, got {}", self.slot_us));
+        }
+        if self.sifs_us < 0.0 || self.difs_us < self.sifs_us {
+            return Err("need 0 <= SIFS <= DIFS".into());
+        }
+        Ok(())
+    }
+}
+
+impl Default for PhyParams {
+    /// The default parameter set is Bianchi's FHSS set, matching the
+    /// channel-allocation paper's reliance on Bianchi's published numbers.
+    fn default() -> Self {
+        PhyParams::bianchi_fhss()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_validate() {
+        PhyParams::bianchi_fhss().validate().unwrap();
+        PhyParams::dot11b().validate().unwrap();
+    }
+
+    #[test]
+    fn fhss_success_slot_matches_hand_computation() {
+        let p = PhyParams::bianchi_fhss();
+        // H = (128+272)/1e6 s = 400 µs; payload = 8184 µs; ACK = 240 µs.
+        // Ts = 400 + 8184 + 28 + 1 + 240 + 128 + 1 = 8982 µs.
+        assert!((p.t_success_us() - 8982.0).abs() < 1e-9);
+        // Tc = 400 + 8184 + 128 + 1 = 8713 µs.
+        assert!((p.t_collision_us() - 8713.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rts_cts_collision_is_short() {
+        let p = PhyParams::bianchi_fhss().with_access(AccessMechanism::RtsCts);
+        assert!(p.t_collision_us() < 500.0);
+        assert!(p.t_success_us() > PhyParams::bianchi_fhss().t_success_us());
+    }
+
+    #[test]
+    fn max_throughput_below_bitrate() {
+        for p in [PhyParams::bianchi_fhss(), PhyParams::dot11b()] {
+            let s = p.max_throughput_bps();
+            assert!(s > 0.0);
+            assert!(s < p.bitrate, "{}: {} >= {}", p.name, s, p.bitrate);
+        }
+    }
+
+    #[test]
+    fn builder_overrides() {
+        let p = PhyParams::dot11b().with_payload_bits(1000).with_cw(16, 3);
+        assert_eq!(p.payload_bits, 1000);
+        assert_eq!(p.cw_min, 16);
+        assert_eq!(p.max_backoff_stage, 3);
+    }
+
+    #[test]
+    fn invalid_params_rejected() {
+        let mut p = PhyParams::bianchi_fhss();
+        p.cw_min = 1;
+        assert!(p.validate().is_err());
+        let mut p = PhyParams::bianchi_fhss();
+        p.payload_bits = 0;
+        assert!(p.validate().is_err());
+        let mut p = PhyParams::bianchi_fhss();
+        p.bitrate = 0.0;
+        assert!(p.validate().is_err());
+    }
+
+    #[test]
+    fn tx_time_scales_linearly() {
+        let p = PhyParams::bianchi_fhss();
+        assert!((p.tx_us(1_000_000) - 1e6).abs() < 1e-6);
+        assert_eq!(p.tx_us(0), 0.0);
+    }
+}

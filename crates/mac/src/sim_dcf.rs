@@ -1,0 +1,282 @@
+//! Slot-level Monte-Carlo simulation of 802.11 DCF.
+//!
+//! Validates the Bianchi analytic model (experiment T5): `n` saturated
+//! stations run binary exponential backoff over an idealized slotted
+//! channel; the simulator tracks idle slots, successes and collisions with
+//! their real durations and reports the measured saturation throughput.
+//!
+//! The simulation follows the standard DCF rules that Bianchi's chain
+//! models: backoff drawn uniformly from `0..CW`, window doubling per
+//! collision up to `2^m·CW_min`, reset after success, decrement per idle
+//! slot, freeze while the medium is busy (implicit in the slotted view).
+
+use crate::params::PhyParams;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Measured outcome of a DCF slot simulation.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DcfSimResult {
+    /// Number of stations simulated.
+    pub n: u32,
+    /// Successful transmissions observed.
+    pub successes: u64,
+    /// Collision events observed (each may involve ≥ 2 stations).
+    pub collisions: u64,
+    /// Idle slots observed.
+    pub idle_slots: u64,
+    /// Total simulated time in µs.
+    pub sim_time_us: f64,
+    /// Measured saturation throughput in bit/s.
+    pub throughput_bps: f64,
+    /// Measured normalized throughput (payload time / total time).
+    pub s_normalized: f64,
+    /// Measured conditional collision probability (per transmission
+    /// attempt), comparable to Bianchi's `p`.
+    pub collision_prob: f64,
+}
+
+/// Per-station fairness sample: successes per station.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DcfFairness {
+    /// Successes per station.
+    pub per_station: Vec<u64>,
+    /// Jain fairness index of the success counts (1 = perfectly fair).
+    pub jain_index: f64,
+}
+
+/// Slot-level DCF simulator for one contention domain.
+#[derive(Debug, Clone)]
+pub struct DcfSimulator {
+    phy: PhyParams,
+    seed: u64,
+}
+
+impl DcfSimulator {
+    /// Create a simulator for a PHY parameter set with a deterministic
+    /// seed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the parameter set fails [`PhyParams::validate`].
+    pub fn new(phy: PhyParams, seed: u64) -> Self {
+        phy.validate().expect("invalid PHY parameters");
+        DcfSimulator { phy, seed }
+    }
+
+    /// Simulate `n` saturated stations for `events` transmission events
+    /// (successes + collisions) and return aggregate measurements.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `events == 0`.
+    pub fn run(&self, n: u32, events: u64) -> DcfSimResult {
+        self.run_with_fairness(n, events).0
+    }
+
+    /// Like [`DcfSimulator::run`], also returning per-station success counts
+    /// — used to verify the equal-share assumption of the paper.
+    pub fn run_with_fairness(&self, n: u32, events: u64) -> (DcfSimResult, DcfFairness) {
+        assert!(n >= 1, "need at least one station");
+        assert!(events >= 1, "need at least one event");
+        let mut rng = StdRng::seed_from_u64(self.seed ^ (n as u64) << 32);
+        let w0 = self.phy.cw_min;
+        let m = self.phy.max_backoff_stage;
+
+        // Per-station state: current backoff counter and backoff stage.
+        let mut counter: Vec<u32> = (0..n).map(|_| rng.gen_range(0..w0)).collect();
+        let mut stage: Vec<u32> = vec![0; n as usize];
+        let mut succ_per_station: Vec<u64> = vec![0; n as usize];
+
+        let mut successes = 0u64;
+        let mut collisions = 0u64;
+        let mut idle_slots = 0u64;
+        let mut attempts = 0u64;
+        let mut collided_attempts = 0u64;
+        let mut time_us = 0.0f64;
+
+        let sigma = self.phy.slot_us;
+        let ts = self.phy.t_success_us();
+        let tc = self.phy.t_collision_us();
+
+        let mut transmitters: Vec<usize> = Vec::with_capacity(n as usize);
+        while successes + collisions < events {
+            // Jump over the idle period to the next attempt: the minimum
+            // backoff counter across stations.
+            let min_cnt = *counter.iter().min().expect("n >= 1");
+            if min_cnt > 0 {
+                idle_slots += min_cnt as u64;
+                time_us += min_cnt as f64 * sigma;
+                for c in counter.iter_mut() {
+                    *c -= min_cnt;
+                }
+            }
+            transmitters.clear();
+            transmitters.extend(
+                counter
+                    .iter()
+                    .enumerate()
+                    .filter_map(|(i, &c)| (c == 0).then_some(i)),
+            );
+            attempts += transmitters.len() as u64;
+            if transmitters.len() == 1 {
+                let i = transmitters[0];
+                successes += 1;
+                succ_per_station[i] += 1;
+                time_us += ts;
+                stage[i] = 0;
+                counter[i] = rng.gen_range(0..w0);
+            } else {
+                collisions += 1;
+                collided_attempts += transmitters.len() as u64;
+                time_us += tc;
+                for &i in &transmitters {
+                    stage[i] = (stage[i] + 1).min(m);
+                    let w = w0 << stage[i];
+                    counter[i] = rng.gen_range(0..w);
+                }
+            }
+        }
+
+        let payload_us = self.phy.tx_us(self.phy.payload_bits);
+        let carried_us = successes as f64 * payload_us;
+        let s_normalized = carried_us / time_us;
+        let result = DcfSimResult {
+            n,
+            successes,
+            collisions,
+            idle_slots,
+            sim_time_us: time_us,
+            throughput_bps: s_normalized * self.phy.bitrate,
+            s_normalized,
+            collision_prob: if attempts > 0 {
+                collided_attempts as f64 / attempts as f64
+            } else {
+                0.0
+            },
+        };
+        let fairness = DcfFairness {
+            jain_index: jain(&succ_per_station),
+            per_station: succ_per_station,
+        };
+        (result, fairness)
+    }
+
+    /// Empirical throughput curve `R(k)` for `k = 1..=max_k` (bit/s each),
+    /// suitable for wrapping in
+    /// [`StepRate::monotone_from`](crate::rate::StepRate::monotone_from).
+    pub fn throughput_curve(&self, max_k: u32, events: u64) -> Vec<f64> {
+        (1..=max_k).map(|k| self.run(k, events).throughput_bps).collect()
+    }
+}
+
+/// Jain fairness index: `(Σx)² / (n·Σx²)`; 1 when all equal, →1/n when one
+/// station starves the rest.
+fn jain(xs: &[u64]) -> f64 {
+    if xs.is_empty() {
+        return 1.0;
+    }
+    let sum: f64 = xs.iter().map(|&x| x as f64).sum();
+    let sumsq: f64 = xs.iter().map(|&x| (x as f64) * (x as f64)).sum();
+    if sumsq == 0.0 {
+        1.0
+    } else {
+        sum * sum / (xs.len() as f64 * sumsq)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bianchi::BianchiModel;
+
+    fn sim() -> DcfSimulator {
+        DcfSimulator::new(PhyParams::bianchi_fhss(), 0xC0FFEE)
+    }
+
+    #[test]
+    fn single_station_never_collides() {
+        let r = sim().run(1, 5_000);
+        assert_eq!(r.collisions, 0);
+        assert_eq!(r.collision_prob, 0.0);
+        assert!(r.s_normalized > 0.8);
+    }
+
+    #[test]
+    fn matches_bianchi_analytic_within_5_percent() {
+        let model = BianchiModel::new(PhyParams::bianchi_fhss());
+        let s = sim();
+        for n in [2u32, 5, 10, 20] {
+            let analytic = model.solve(n).s_normalized;
+            let measured = s.run(n, 30_000).s_normalized;
+            let rel = (analytic - measured).abs() / analytic;
+            assert!(
+                rel < 0.05,
+                "n={n}: analytic {analytic:.4} vs measured {measured:.4} (rel {rel:.4})"
+            );
+        }
+    }
+
+    #[test]
+    fn collision_probability_matches_analytic() {
+        let model = BianchiModel::new(PhyParams::bianchi_fhss());
+        let s = sim();
+        for n in [5u32, 15] {
+            let analytic = model.solve(n).p;
+            let measured = s.run(n, 30_000).collision_prob;
+            assert!(
+                (analytic - measured).abs() < 0.03,
+                "n={n}: p analytic {analytic:.4} vs measured {measured:.4}"
+            );
+        }
+    }
+
+    #[test]
+    fn long_run_shares_are_fair() {
+        // The fair-share assumption of the paper: symmetric stations get
+        // equal long-run shares (Jain index ≈ 1).
+        let (_, fairness) = sim().run_with_fairness(8, 40_000);
+        assert!(
+            fairness.jain_index > 0.99,
+            "jain = {}",
+            fairness.jain_index
+        );
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = sim().run(5, 2_000);
+        let b = sim().run(5, 2_000);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = DcfSimulator::new(PhyParams::bianchi_fhss(), 1).run(5, 2_000);
+        let b = DcfSimulator::new(PhyParams::bianchi_fhss(), 2).run(5, 2_000);
+        assert_ne!(a.sim_time_us, b.sim_time_us);
+    }
+
+    #[test]
+    fn throughput_curve_has_requested_length() {
+        let curve = sim().throughput_curve(4, 2_000);
+        assert_eq!(curve.len(), 4);
+        assert!(curve.iter().all(|&v| v > 0.0));
+    }
+
+    #[test]
+    fn jain_index_extremes() {
+        assert_eq!(super::jain(&[5, 5, 5, 5]), 1.0);
+        let skewed = super::jain(&[100, 0, 0, 0]);
+        assert!((skewed - 0.25).abs() < 1e-12);
+        assert_eq!(super::jain(&[]), 1.0);
+        assert_eq!(super::jain(&[0, 0]), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one station")]
+    fn zero_stations_rejected() {
+        let _ = sim().run(0, 100);
+    }
+}

@@ -1,0 +1,196 @@
+//! Reservation TDMA: rate model and schedule builder.
+//!
+//! The paper's fair-share assumption ("the total rate on channel c is
+//! shared equally among the radio transmitters using that channel … achieved
+//! for example by using a reservation-based TDMA schedule") and the flat
+//! `R(k_c)` curve of Figure 3 correspond to this module. A TDMA frame of
+//! `F` slots is divided round-robin among the `k` radios on the channel;
+//! apart from a fixed per-slot guard overhead, the total carried rate does
+//! not depend on `k`.
+
+use crate::rate::RateFunction;
+use serde::{Deserialize, Serialize};
+
+/// Reservation-TDMA rate model: `R(k) = bitrate · (1 − overhead)` for all
+/// `k ≥ 1`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TdmaRate {
+    bitrate: f64,
+    overhead: f64,
+    name: String,
+}
+
+impl TdmaRate {
+    /// A TDMA channel carrying `bitrate` bit/s with a fraction `overhead`
+    /// of each slot lost to guard time and synchronization.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `bitrate > 0` and `0 <= overhead < 1`.
+    pub fn new(bitrate: f64, overhead: f64) -> Self {
+        assert!(bitrate > 0.0, "bitrate must be positive, got {bitrate}");
+        assert!(
+            (0.0..1.0).contains(&overhead),
+            "overhead must be in [0, 1), got {overhead}"
+        );
+        TdmaRate {
+            bitrate,
+            overhead,
+            name: format!("tdma({bitrate}bps,oh={overhead})"),
+        }
+    }
+
+    /// Derive a TDMA model from a PHY parameter set: same channel bitrate,
+    /// with the per-frame header/ACK cost expressed as the equivalent
+    /// overhead fraction (so TDMA and DCF are compared at matched PHYs,
+    /// which is what makes the Figure-3 comparison meaningful).
+    pub fn from_phy(phy: &crate::params::PhyParams) -> Self {
+        let useful = phy.payload_bits as f64;
+        let total = (phy.payload_bits + phy.mac_header_bits + phy.phy_header_bits) as f64;
+        TdmaRate::new(phy.bitrate, 1.0 - useful / total)
+    }
+
+    /// The effective carried rate (equals `rate(k)` for any `k ≥ 1`).
+    pub fn effective_bps(&self) -> f64 {
+        self.bitrate * (1.0 - self.overhead)
+    }
+}
+
+impl RateFunction for TdmaRate {
+    fn rate(&self, k: u32) -> f64 {
+        if k == 0 {
+            0.0
+        } else {
+            self.effective_bps()
+        }
+    }
+    fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+/// A concrete round-robin TDMA frame schedule for one channel.
+///
+/// Slot `t` of each frame belongs to radio `order[t mod k]`; radios are
+/// identified by opaque `u32` handles supplied by the caller (the simulator
+/// passes its radio ids). The schedule realizes the equal-share assumption
+/// *exactly* when `frame_slots % k == 0`, and up to a one-slot quantization
+/// otherwise — [`TdmaSchedule::share_of`] reports the exact share.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TdmaSchedule {
+    radios: Vec<u32>,
+    frame_slots: u32,
+}
+
+impl TdmaSchedule {
+    /// Build a schedule for the given radios with `frame_slots` slots per
+    /// frame.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `radios` is empty or `frame_slots == 0`.
+    pub fn new(radios: Vec<u32>, frame_slots: u32) -> Self {
+        assert!(!radios.is_empty(), "schedule needs at least one radio");
+        assert!(frame_slots > 0, "frame must have at least one slot");
+        TdmaSchedule {
+            radios,
+            frame_slots,
+        }
+    }
+
+    /// Number of radios sharing the frame.
+    pub fn num_radios(&self) -> usize {
+        self.radios.len()
+    }
+
+    /// Owner of slot `t` (slots are numbered globally across frames).
+    pub fn owner_of_slot(&self, t: u64) -> u32 {
+        let in_frame = (t % self.frame_slots as u64) as usize;
+        self.radios[in_frame % self.radios.len()]
+    }
+
+    /// Exact fraction of slots owned by `radio` (0 if not in the schedule).
+    pub fn share_of(&self, radio: u32) -> f64 {
+        let k = self.radios.len() as u64;
+        let f = self.frame_slots as u64;
+        let mine = (0..f)
+            .filter(|t| self.radios[(t % k) as usize] == radio)
+            .count() as f64;
+        mine / f as f64
+    }
+
+    /// Maximum absolute deviation from the ideal `1/k` share across radios —
+    /// the quantization error of the schedule.
+    pub fn max_share_error(&self) -> f64 {
+        let ideal = 1.0 / self.radios.len() as f64;
+        self.radios
+            .iter()
+            .map(|&r| (self.share_of(r) - ideal).abs())
+            .fold(0.0, f64::max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::PhyParams;
+    use crate::rate::validate_rate_function;
+
+    #[test]
+    fn tdma_rate_is_flat_and_valid() {
+        let r = TdmaRate::new(1e6, 0.05);
+        validate_rate_function(&r, 200).unwrap();
+        assert_eq!(r.rate(1), r.rate(200));
+        assert!((r.rate(1) - 0.95e6).abs() < 1e-9);
+    }
+
+    #[test]
+    fn from_phy_matches_header_overhead() {
+        let phy = PhyParams::bianchi_fhss();
+        let r = TdmaRate::from_phy(&phy);
+        // payload 8184 of total 8184+272+128 = 8584 bits.
+        let expected = 1e6 * 8184.0 / 8584.0;
+        assert!((r.rate(3) - expected).abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "overhead")]
+    fn rejects_full_overhead() {
+        let _ = TdmaRate::new(1e6, 1.0);
+    }
+
+    #[test]
+    fn schedule_round_robin_ownership() {
+        let s = TdmaSchedule::new(vec![7, 8, 9], 6);
+        assert_eq!(s.owner_of_slot(0), 7);
+        assert_eq!(s.owner_of_slot(1), 8);
+        assert_eq!(s.owner_of_slot(2), 9);
+        assert_eq!(s.owner_of_slot(3), 7);
+        // Wraps across frames consistently.
+        assert_eq!(s.owner_of_slot(6), 7);
+    }
+
+    #[test]
+    fn equal_shares_when_divisible() {
+        let s = TdmaSchedule::new(vec![1, 2, 3, 4], 8);
+        for r in [1, 2, 3, 4] {
+            assert!((s.share_of(r) - 0.25).abs() < 1e-12);
+        }
+        assert_eq!(s.max_share_error(), 0.0);
+    }
+
+    #[test]
+    fn quantization_error_bounded_by_one_slot() {
+        let s = TdmaSchedule::new(vec![1, 2, 3], 7); // 7 slots for 3 radios
+        assert!(s.max_share_error() <= 1.0 / 7.0 + 1e-12);
+        // All slots are still owned.
+        let total: f64 = [1, 2, 3].iter().map(|&r| s.share_of(r)).sum();
+        assert!((total - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unknown_radio_has_zero_share() {
+        let s = TdmaSchedule::new(vec![1, 2], 4);
+        assert_eq!(s.share_of(99), 0.0);
+    }
+}

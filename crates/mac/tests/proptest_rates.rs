@@ -1,0 +1,111 @@
+//! Property tests on the MAC substrates: every model family satisfies the
+//! RateFunction contract over its whole parameter range, and the Bianchi
+//! fixed point is a genuine fixed point.
+
+use mrca_mac::aloha::{optimal_p, success_probability, OptimalAlohaRate};
+use mrca_mac::rate::validate_rate_function;
+use mrca_mac::{
+    BianchiModel, ConstantRate, ExponentialDecayRate, LinearDecayRate, MonotoneEnvelope,
+    PhyParams, RateFunction, StepRate, TdmaRate,
+};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn constant_rate_contract(bps in 0.001f64..1e9) {
+        let r = ConstantRate::new(bps);
+        prop_assert!(validate_rate_function(&r, 64).is_ok());
+    }
+
+    #[test]
+    fn linear_decay_contract(r1 in 1.0f64..100.0, slope in 0.0f64..5.0, floor_frac in 0.01f64..1.0) {
+        let floor = r1 * floor_frac;
+        let r = LinearDecayRate::new(r1, slope, floor);
+        prop_assert!(validate_rate_function(&r, 128).is_ok());
+    }
+
+    #[test]
+    fn exp_decay_contract(r1 in 0.1f64..100.0, factor in 0.05f64..1.0) {
+        let r = ExponentialDecayRate::new(r1, factor);
+        prop_assert!(validate_rate_function(&r, 32).is_ok());
+    }
+
+    #[test]
+    fn tdma_contract(bitrate in 1e3f64..1e9, overhead in 0.0f64..0.99) {
+        let r = TdmaRate::new(bitrate, overhead);
+        prop_assert!(validate_rate_function(&r, 64).is_ok());
+        // Flat everywhere.
+        prop_assert_eq!(r.rate(1), r.rate(64));
+    }
+
+    #[test]
+    fn monotone_envelope_always_validates(raw in proptest::collection::vec(0.01f64..100.0, 1..32)) {
+        let step = StepRate::monotone_from("prop", &raw);
+        prop_assert!(validate_rate_function(&step, raw.len() as u32 + 8).is_ok());
+        // The envelope never exceeds the raw values.
+        for (i, &v) in raw.iter().enumerate() {
+            prop_assert!(step.rate(i as u32 + 1) <= v + 1e-12);
+        }
+    }
+
+    #[test]
+    fn envelope_of_monotone_is_identity(start in 1.0f64..100.0, drops in proptest::collection::vec(0.0f64..1.0, 1..16)) {
+        let mut v = Vec::new();
+        let mut x = start;
+        for d in &drops {
+            v.push(x);
+            x = (x - d).max(0.01);
+        }
+        let inner = StepRate::new("mono", v.clone());
+        let wrapped = MonotoneEnvelope::new(inner.clone());
+        for k in 0..v.len() as u32 + 2 {
+            prop_assert_eq!(wrapped.rate(k), inner.rate(k));
+        }
+    }
+
+    #[test]
+    fn bianchi_fixed_point_property(n in 1u32..40, w_exp in 2u32..10, m in 0u32..6) {
+        let w = 1u32 << w_exp;
+        let phy = PhyParams::bianchi_fhss().with_cw(w, m);
+        let model = BianchiModel::new(phy);
+        let sol = model.solve_with_window(n, w, m);
+        // p consistent with τ.
+        let p_check = 1.0 - (1.0 - sol.tau).powi(n as i32 - 1);
+        prop_assert!((sol.p - p_check).abs() < 1e-6);
+        // τ consistent with p (Eq. 7).
+        let tau_check = BianchiModel::tau_of_p(sol.p, w, m);
+        prop_assert!((sol.tau - tau_check).abs() < 1e-5, "τ {} vs {}", sol.tau, tau_check);
+        // Throughput is a valid fraction.
+        prop_assert!(sol.s_normalized > 0.0 && sol.s_normalized < 1.0);
+    }
+
+    #[test]
+    fn bianchi_collision_prob_monotone_in_n(w_exp in 2u32..8) {
+        let w = 1u32 << w_exp;
+        let phy = PhyParams::bianchi_fhss().with_cw(w, 5);
+        let model = BianchiModel::new(phy);
+        let mut prev = -1.0;
+        for n in 1..=20 {
+            let p = model.solve(n).p;
+            prop_assert!(p >= prev - 1e-9, "n={n}");
+            prev = p;
+        }
+    }
+
+    #[test]
+    fn aloha_success_prob_bounds(k in 1u32..100, p in 0.0001f64..0.9999) {
+        let s = success_probability(k, p);
+        prop_assert!((0.0..=1.0).contains(&s));
+        // Optimal p is never beaten.
+        let best = success_probability(k, optimal_p(k));
+        prop_assert!(s <= best + 1e-12);
+    }
+
+    #[test]
+    fn aloha_rate_contract(bitrate in 1e3f64..1e9) {
+        let r = OptimalAlohaRate::new(bitrate);
+        prop_assert!(validate_rate_function(&r, 64).is_ok());
+    }
+}

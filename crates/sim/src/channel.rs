@@ -1,0 +1,360 @@
+//! Per-channel MAC processes.
+//!
+//! Each orthogonal channel runs its own medium-access process over the
+//! radios pinned to it by the (fixed) allocation:
+//!
+//! * [`MacKind::Tdma`] — reservation TDMA: slots are assigned round-robin
+//!   among the channel's radios; a slot carries its owner's payload (or
+//!   idles if the owner has nothing to send, as reservations do).
+//! * [`MacKind::Csma`] — slotted CSMA/CA with binary exponential backoff,
+//!   the same discipline validated against Bianchi's model in
+//!   `mrca_mac::sim_dcf`, here generalized to non-saturated sources.
+//!
+//! A channel advances in *rounds*; [`ChannelSim::advance`] resolves one
+//! round and reports its duration plus any delivered payload, which the
+//! network event loop (see [`crate::network`]) splices into global time.
+
+use crate::traffic::{Source, TrafficModel};
+use mrca_mac::params::PhyParams;
+use rand::rngs::StdRng;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Which MAC discipline a channel runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+pub enum MacKind {
+    /// Reservation TDMA (the paper's fair-share reference).
+    #[default]
+    Tdma,
+    /// Slotted CSMA/CA with binary exponential backoff (802.11 DCF).
+    Csma,
+}
+
+/// Counters kept per channel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub struct ChannelStats {
+    /// Successful transmissions.
+    pub successes: u64,
+    /// Collision rounds (CSMA only).
+    pub collisions: u64,
+    /// Idle rounds/slots.
+    pub idle: u64,
+}
+
+/// One radio attached to a channel.
+#[derive(Debug)]
+struct AttachedRadio {
+    /// Owning user (index into the scenario's user table).
+    user: usize,
+    source: Source,
+    /// CSMA backoff state.
+    backoff: u32,
+    stage: u32,
+}
+
+/// The per-channel simulation state machine.
+#[derive(Debug)]
+pub struct ChannelSim {
+    mac: MacKind,
+    phy: PhyParams,
+    radios: Vec<AttachedRadio>,
+    rng: StdRng,
+    next_tdma_slot: usize,
+    /// Accumulated statistics.
+    pub stats: ChannelStats,
+}
+
+/// Result of advancing a channel by one round.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RoundOutcome {
+    /// Wall-clock duration of the round in nanoseconds.
+    pub duration_ns: u64,
+    /// Payload delivered this round: `(user, bits)`.
+    pub delivered: Option<(usize, u64)>,
+}
+
+impl ChannelSim {
+    /// Create a channel with the given MAC, PHY, attached radios (one
+    /// entry per radio: the owning user index), traffic model and RNG.
+    pub fn new(
+        mac: MacKind,
+        phy: PhyParams,
+        radio_owners: &[usize],
+        traffic: TrafficModel,
+        mut rng: StdRng,
+    ) -> Self {
+        let radios = radio_owners
+            .iter()
+            .map(|&user| {
+                let source = Source::new(traffic, &mut rng);
+                let backoff = rng.gen_range(0..phy.cw_min);
+                AttachedRadio {
+                    user,
+                    source,
+                    backoff,
+                    stage: 0,
+                }
+            })
+            .collect();
+        ChannelSim {
+            mac,
+            phy,
+            radios,
+            rng,
+            next_tdma_slot: 0,
+            stats: ChannelStats::default(),
+        }
+    }
+
+    /// Number of radios on this channel (`k_c`).
+    pub fn num_radios(&self) -> usize {
+        self.radios.len()
+    }
+
+    /// Resolve one MAC round starting at `now_ns`.
+    ///
+    /// Returns `None` when the channel has no radios (it then never needs
+    /// to be scheduled).
+    pub fn advance(&mut self, now_ns: u64) -> Option<RoundOutcome> {
+        if self.radios.is_empty() {
+            return None;
+        }
+        Some(match self.mac {
+            MacKind::Tdma => self.advance_tdma(now_ns),
+            MacKind::Csma => self.advance_csma(now_ns),
+        })
+    }
+
+    /// One TDMA slot: fixed duration, owned round-robin.
+    fn advance_tdma(&mut self, now_ns: u64) -> RoundOutcome {
+        let slot_owner = self.next_tdma_slot % self.radios.len();
+        self.next_tdma_slot = (self.next_tdma_slot + 1) % self.radios.len();
+        // Slot long enough for PHY+MAC header and payload; reservation
+        // TDMA needs no per-slot contention signalling.
+        let slot_bits =
+            self.phy.payload_bits + self.phy.mac_header_bits + self.phy.phy_header_bits;
+        let duration_ns = (self.phy.tx_us(slot_bits) * 1e3).round() as u64;
+        let radio = &mut self.radios[slot_owner];
+        if radio.source.has_packet(now_ns, &mut self.rng) {
+            radio.source.consume();
+            self.stats.successes += 1;
+            RoundOutcome {
+                duration_ns,
+                delivered: Some((radio.user, self.phy.payload_bits as u64)),
+            }
+        } else {
+            self.stats.idle += 1;
+            RoundOutcome {
+                duration_ns,
+                delivered: None,
+            }
+        }
+    }
+
+    /// One CSMA contention round: idle backoff slots, then a success or a
+    /// collision.
+    fn advance_csma(&mut self, now_ns: u64) -> RoundOutcome {
+        let sigma_ns = (self.phy.slot_us * 1e3).round() as u64;
+
+        // Which radios are contending (have traffic)?
+        let mut contending: Vec<usize> = Vec::with_capacity(self.radios.len());
+        for i in 0..self.radios.len() {
+            let r = &mut self.radios[i];
+            if r.source.has_packet(now_ns, &mut self.rng) {
+                contending.push(i);
+            }
+        }
+        if contending.is_empty() {
+            // Idle channel: advance one slot and re-examine (bursty
+            // sources will eventually queue a packet).
+            self.stats.idle += 1;
+            return RoundOutcome {
+                duration_ns: sigma_ns,
+                delivered: None,
+            };
+        }
+
+        // Jump the shared idle period: smallest backoff among contenders.
+        let min_backoff = contending
+            .iter()
+            .map(|&i| self.radios[i].backoff)
+            .min()
+            .expect("contending set is non-empty");
+        for &i in &contending {
+            self.radios[i].backoff -= min_backoff;
+        }
+        self.stats.idle += min_backoff as u64;
+        let idle_ns = min_backoff as u64 * sigma_ns;
+
+        let transmitters: Vec<usize> = contending
+            .iter()
+            .copied()
+            .filter(|&i| self.radios[i].backoff == 0)
+            .collect();
+        debug_assert!(!transmitters.is_empty());
+
+        if transmitters.len() == 1 {
+            let i = transmitters[0];
+            let ts_ns = (self.phy.t_success_us() * 1e3).round() as u64;
+            let w0 = self.phy.cw_min;
+            let r = &mut self.radios[i];
+            r.source.consume();
+            r.stage = 0;
+            r.backoff = self.rng.gen_range(0..w0);
+            self.stats.successes += 1;
+            RoundOutcome {
+                duration_ns: idle_ns + ts_ns,
+                delivered: Some((self.radios[i].user, self.phy.payload_bits as u64)),
+            }
+        } else {
+            let tc_ns = (self.phy.t_collision_us() * 1e3).round() as u64;
+            let m = self.phy.max_backoff_stage;
+            let w0 = self.phy.cw_min;
+            for &i in &transmitters {
+                let r = &mut self.radios[i];
+                r.stage = (r.stage + 1).min(m);
+                let w = w0 << r.stage;
+                r.backoff = self.rng.gen_range(0..w);
+            }
+            self.stats.collisions += 1;
+            RoundOutcome {
+                duration_ns: idle_ns + tc_ns,
+                delivered: None,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::stream_n;
+
+    fn phy() -> PhyParams {
+        PhyParams::bianchi_fhss()
+    }
+
+    #[test]
+    fn empty_channel_never_schedules() {
+        let mut ch = ChannelSim::new(MacKind::Tdma, phy(), &[], TrafficModel::Saturated, stream_n(1, "c", 0));
+        assert!(ch.advance(0).is_none());
+    }
+
+    #[test]
+    fn tdma_slots_rotate_among_radios() {
+        let mut ch = ChannelSim::new(
+            MacKind::Tdma,
+            phy(),
+            &[0, 1, 2],
+            TrafficModel::Saturated,
+            stream_n(1, "c", 0),
+        );
+        let users: Vec<usize> = (0..6)
+            .map(|_| ch.advance(0).unwrap().delivered.unwrap().0)
+            .collect();
+        assert_eq!(users, vec![0, 1, 2, 0, 1, 2]);
+    }
+
+    #[test]
+    fn tdma_throughput_matches_rate_model() {
+        // Saturated TDMA delivers payload/(payload+headers) of the bitrate
+        // regardless of radio count — exactly mrca_mac::TdmaRate::from_phy.
+        let mut ch = ChannelSim::new(
+            MacKind::Tdma,
+            phy(),
+            &[0, 1],
+            TrafficModel::Saturated,
+            stream_n(2, "c", 0),
+        );
+        let mut bits = 0u64;
+        let mut t = 0u64;
+        for _ in 0..1000 {
+            let o = ch.advance(t).unwrap();
+            t += o.duration_ns;
+            if let Some((_, b)) = o.delivered {
+                bits += b;
+            }
+        }
+        let measured = bits as f64 / (t as f64 * 1e-9);
+        let expected = mrca_mac::TdmaRate::from_phy(&phy());
+        use mrca_mac::RateFunction;
+        let rel = (measured - expected.rate(2)).abs() / expected.rate(2);
+        assert!(rel < 0.001, "measured {measured} vs model {}", expected.rate(2));
+    }
+
+    #[test]
+    fn csma_single_radio_never_collides() {
+        let mut ch = ChannelSim::new(
+            MacKind::Csma,
+            phy(),
+            &[0],
+            TrafficModel::Saturated,
+            stream_n(3, "c", 0),
+        );
+        let mut t = 0u64;
+        for _ in 0..500 {
+            t += ch.advance(t).unwrap().duration_ns;
+        }
+        assert_eq!(ch.stats.collisions, 0);
+        assert_eq!(ch.stats.successes, 500);
+    }
+
+    #[test]
+    fn csma_multi_radio_collides_sometimes() {
+        let mut ch = ChannelSim::new(
+            MacKind::Csma,
+            phy(),
+            &[0, 1, 2, 3, 4],
+            TrafficModel::Saturated,
+            stream_n(4, "c", 0),
+        );
+        let mut t = 0u64;
+        for _ in 0..2000 {
+            t += ch.advance(t).unwrap().duration_ns;
+        }
+        assert!(ch.stats.collisions > 0, "5 saturated radios must collide");
+        assert!(ch.stats.successes > ch.stats.collisions, "but mostly succeed");
+    }
+
+    #[test]
+    fn csma_shares_are_fair_across_users() {
+        let mut ch = ChannelSim::new(
+            MacKind::Csma,
+            phy(),
+            &[0, 1, 1],
+            TrafficModel::Saturated,
+            stream_n(5, "c", 0),
+        );
+        let mut per_user = [0u64; 2];
+        let mut t = 0u64;
+        for _ in 0..30_000 {
+            let o = ch.advance(t).unwrap();
+            t += o.duration_ns;
+            if let Some((u, b)) = o.delivered {
+                per_user[u] += b;
+            }
+        }
+        // User 1 owns 2 of 3 radios → 2/3 of the bits.
+        let share = per_user[1] as f64 / (per_user[0] + per_user[1]) as f64;
+        assert!(
+            (share - 2.0 / 3.0).abs() < 0.02,
+            "user 1 share {share}, expected ~0.667"
+        );
+    }
+
+    #[test]
+    fn idle_poisson_channel_advances_time() {
+        let mut ch = ChannelSim::new(
+            MacKind::Csma,
+            phy(),
+            &[0],
+            TrafficModel::Poisson {
+                packets_per_sec: 1.0, // essentially idle at µs scales
+            },
+            stream_n(6, "c", 0),
+        );
+        let o = ch.advance(0).unwrap();
+        assert!(o.delivered.is_none());
+        assert!(o.duration_ns > 0);
+    }
+}

@@ -1,0 +1,165 @@
+//! Simulated time as integer nanoseconds.
+//!
+//! Integer time makes event ordering exact and runs reproducible across
+//! platforms (no floating-point accumulation drift in the event loop).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// An instant on the simulation clock, in nanoseconds since start.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct SimTime(u64);
+
+/// A span of simulated time, in nanoseconds.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct SimDuration(u64);
+
+impl SimTime {
+    /// The clock origin.
+    pub const ZERO: SimTime = SimTime(0);
+
+    /// Nanoseconds since start.
+    #[inline]
+    pub fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    /// Seconds since start.
+    #[inline]
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 * 1e-9
+    }
+}
+
+impl SimDuration {
+    /// Zero-length span.
+    pub const ZERO: SimDuration = SimDuration(0);
+
+    /// From nanoseconds.
+    #[inline]
+    pub fn from_nanos(ns: u64) -> Self {
+        SimDuration(ns)
+    }
+
+    /// From microseconds (fractional µs are rounded to nanoseconds).
+    ///
+    /// # Panics
+    ///
+    /// Panics on negative or non-finite input.
+    pub fn from_micros_f64(us: f64) -> Self {
+        assert!(
+            us.is_finite() && us >= 0.0,
+            "duration must be non-negative and finite, got {us}"
+        );
+        SimDuration((us * 1e3).round() as u64)
+    }
+
+    /// From seconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics on negative or non-finite input.
+    pub fn from_secs(s: f64) -> Self {
+        assert!(
+            s.is_finite() && s >= 0.0,
+            "duration must be non-negative and finite, got {s}"
+        );
+        SimDuration((s * 1e9).round() as u64)
+    }
+
+    /// Nanoseconds in the span.
+    #[inline]
+    pub fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    /// Seconds in the span.
+    #[inline]
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 * 1e-9
+    }
+}
+
+impl Add<SimDuration> for SimTime {
+    type Output = SimTime;
+    fn add(self, d: SimDuration) -> SimTime {
+        SimTime(self.0 + d.0)
+    }
+}
+
+impl AddAssign<SimDuration> for SimTime {
+    fn add_assign(&mut self, d: SimDuration) {
+        self.0 += d.0;
+    }
+}
+
+impl Sub<SimTime> for SimTime {
+    type Output = SimDuration;
+    fn sub(self, other: SimTime) -> SimDuration {
+        SimDuration(self.0.checked_sub(other.0).expect("time went backwards"))
+    }
+}
+
+impl Add for SimDuration {
+    type Output = SimDuration;
+    fn add(self, other: SimDuration) -> SimDuration {
+        SimDuration(self.0 + other.0)
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.6}s", self.as_secs_f64())
+    }
+}
+
+impl fmt::Display for SimDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.6}s", self.as_secs_f64())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic_roundtrips() {
+        let t = SimTime::ZERO + SimDuration::from_micros_f64(1.5);
+        assert_eq!(t.as_nanos(), 1500);
+        let t2 = t + SimDuration::from_nanos(500);
+        assert_eq!((t2 - t).as_nanos(), 500);
+    }
+
+    #[test]
+    fn seconds_conversion() {
+        let d = SimDuration::from_secs(2.5);
+        assert_eq!(d.as_nanos(), 2_500_000_000);
+        assert!((d.as_secs_f64() - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "time went backwards")]
+    fn negative_span_panics() {
+        let _ = SimTime::ZERO - (SimTime::ZERO + SimDuration::from_nanos(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_duration_rejected() {
+        let _ = SimDuration::from_secs(-1.0);
+    }
+
+    #[test]
+    fn ordering_is_numeric() {
+        let a = SimTime::ZERO + SimDuration::from_nanos(10);
+        let b = SimTime::ZERO + SimDuration::from_nanos(20);
+        assert!(a < b);
+        assert_eq!(a.to_string(), "0.000000s");
+    }
+}

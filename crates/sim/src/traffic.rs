@@ -1,0 +1,150 @@
+//! Traffic sources.
+//!
+//! The paper's utility is *saturation* throughput: every radio always has
+//! data to send ([`TrafficModel::Saturated`]). Poisson sources are
+//! provided for the cognitive-radio example, where secondary users are
+//! bursty and channels are intermittently idle.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Offered-load model of one user's radios.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum TrafficModel {
+    /// Always backlogged (the paper's regime).
+    Saturated,
+    /// Poisson packet arrivals at `packets_per_sec` per radio.
+    Poisson {
+        /// Mean arrival rate per radio, packets per second.
+        packets_per_sec: f64,
+    },
+}
+
+/// Per-radio packet queue driven by a [`TrafficModel`].
+#[derive(Debug)]
+pub struct Source {
+    model: TrafficModel,
+    /// Backlogged packets (saturated sources report a bottomless queue).
+    queued: u64,
+    /// Next Poisson arrival, in nanoseconds (saturated: unused).
+    next_arrival_ns: u64,
+}
+
+impl Source {
+    /// Create a source; Poisson sources draw their first arrival from
+    /// `rng`.
+    pub fn new(model: TrafficModel, rng: &mut StdRng) -> Self {
+        let next_arrival_ns = match model {
+            TrafficModel::Saturated => 0,
+            TrafficModel::Poisson { packets_per_sec } => exp_sample_ns(packets_per_sec, rng),
+        };
+        Source {
+            model,
+            queued: 0,
+            next_arrival_ns,
+        }
+    }
+
+    /// True when a packet is ready to transmit at time `now_ns`.
+    pub fn has_packet(&mut self, now_ns: u64, rng: &mut StdRng) -> bool {
+        match self.model {
+            TrafficModel::Saturated => true,
+            TrafficModel::Poisson { packets_per_sec } => {
+                // Materialize all arrivals up to now.
+                while self.next_arrival_ns <= now_ns {
+                    self.queued += 1;
+                    self.next_arrival_ns += exp_sample_ns(packets_per_sec, rng);
+                }
+                self.queued > 0
+            }
+        }
+    }
+
+    /// Consume one packet after a successful transmission.
+    pub fn consume(&mut self) {
+        if let TrafficModel::Poisson { .. } = self.model {
+            debug_assert!(self.queued > 0, "consumed from an empty queue");
+            self.queued = self.queued.saturating_sub(1);
+        }
+    }
+
+    /// Current backlog (saturated sources report `u64::MAX`).
+    pub fn backlog(&self) -> u64 {
+        match self.model {
+            TrafficModel::Saturated => u64::MAX,
+            TrafficModel::Poisson { .. } => self.queued,
+        }
+    }
+}
+
+/// Exponential inter-arrival sample in nanoseconds.
+fn exp_sample_ns(rate_per_sec: f64, rng: &mut StdRng) -> u64 {
+    assert!(rate_per_sec > 0.0, "arrival rate must be positive");
+    let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    let secs = -u.ln() / rate_per_sec;
+    (secs * 1e9).round().max(1.0) as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::stream;
+
+    #[test]
+    fn saturated_always_has_packets() {
+        let mut rng = stream(1, "t");
+        let mut s = Source::new(TrafficModel::Saturated, &mut rng);
+        assert!(s.has_packet(0, &mut rng));
+        assert!(s.has_packet(u64::MAX / 2, &mut rng));
+        assert_eq!(s.backlog(), u64::MAX);
+        s.consume(); // no-op, must not underflow
+    }
+
+    #[test]
+    fn poisson_arrivals_accumulate() {
+        let mut rng = stream(2, "t");
+        let mut s = Source::new(
+            TrafficModel::Poisson {
+                packets_per_sec: 1000.0,
+            },
+            &mut rng,
+        );
+        // After 1 simulated second ≈ 1000 arrivals.
+        assert!(s.has_packet(1_000_000_000, &mut rng));
+        let backlog = s.backlog();
+        assert!(
+            (800..1200).contains(&(backlog as i64)),
+            "backlog {backlog} far from mean 1000"
+        );
+    }
+
+    #[test]
+    fn consume_decrements_queue() {
+        let mut rng = stream(3, "t");
+        let mut s = Source::new(
+            TrafficModel::Poisson {
+                packets_per_sec: 10.0,
+            },
+            &mut rng,
+        );
+        assert!(s.has_packet(10_000_000_000, &mut rng));
+        let before = s.backlog();
+        s.consume();
+        assert_eq!(s.backlog(), before - 1);
+    }
+
+    #[test]
+    fn mean_interarrival_matches_rate() {
+        let mut rng = stream(4, "t");
+        let rate = 500.0;
+        let n = 20_000;
+        let total: u64 = (0..n).map(|_| exp_sample_ns(rate, &mut rng)).sum();
+        let mean_secs = total as f64 / n as f64 * 1e-9;
+        assert!(
+            (mean_secs - 1.0 / rate).abs() < 0.1 / rate,
+            "mean {mean_secs} vs expected {}",
+            1.0 / rate
+        );
+    }
+}

@@ -1,0 +1,87 @@
+//! Simulator-wide determinism and conservation properties.
+
+use mrca_core::StrategyMatrix;
+use mrca_sim::prelude::*;
+use proptest::prelude::*;
+
+fn arb_matrix() -> impl Strategy<Value = StrategyMatrix> {
+    // 2–4 users, 1–3 channels, each user 1–2 radios placed anywhere.
+    (2usize..=4, 1usize..=3).prop_flat_map(|(n, c)| {
+        proptest::collection::vec(proptest::collection::vec(0u32..=2, c), n).prop_filter_map(
+            "at least one radio somewhere",
+            |rows| {
+                let m = StrategyMatrix::from_rows(&rows).ok()?;
+                let any = m.loads().iter().any(|&l| l > 0);
+                any.then_some(m)
+            },
+        )
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn same_seed_same_report(m in arb_matrix(), seed in 0u64..1000, csma in proptest::bool::ANY) {
+        let mac = if csma { MacKind::Csma } else { MacKind::Tdma };
+        let run = |s: u64| {
+            ScenarioBuilder::new(m.n_channels())
+                .mac(mac)
+                .allocation(&m)
+                .seed(s)
+                .build()
+                .expect("valid scenario")
+                .run(SimDuration::from_secs(0.2))
+        };
+        prop_assert_eq!(run(seed), run(seed));
+    }
+
+    #[test]
+    fn delivered_bits_bounded_by_capacity(m in arb_matrix(), seed in 0u64..1000) {
+        let secs = 0.5;
+        let report = ScenarioBuilder::new(m.n_channels())
+            .mac(MacKind::Tdma)
+            .allocation(&m)
+            .seed(seed)
+            .build()
+            .expect("valid scenario")
+            .run(SimDuration::from_secs(secs));
+        // No channel can carry more than bitrate × time; sum over occupied
+        // channels bounds the total.
+        let occupied = m.loads().iter().filter(|&&l| l > 0).count() as f64;
+        let cap = occupied * 1e6 * secs; // bianchi_fhss default is 1 Mbit/s
+        prop_assert!((report.total_bits() as f64) <= cap + 1.0);
+    }
+
+    #[test]
+    fn users_without_radios_receive_nothing(seed in 0u64..1000) {
+        let m = StrategyMatrix::from_rows(&[vec![1, 1], vec![0, 0]]).unwrap();
+        let report = ScenarioBuilder::new(2)
+            .allocation(&m)
+            .seed(seed)
+            .build()
+            .expect("valid scenario")
+            .run(SimDuration::from_secs(0.3));
+        prop_assert_eq!(report.per_user_bits[1], 0);
+        prop_assert!(report.per_user_bits[0] > 0);
+    }
+}
+
+#[test]
+fn longer_runs_deliver_proportionally_more() {
+    let m = StrategyMatrix::from_rows(&[vec![1, 1], vec![1, 1]]).unwrap();
+    let run = |secs: f64| {
+        ScenarioBuilder::new(2)
+            .mac(MacKind::Tdma)
+            .allocation(&m)
+            .seed(3)
+            .build()
+            .unwrap()
+            .run(SimDuration::from_secs(secs))
+            .total_bits() as f64
+    };
+    let one = run(1.0);
+    let four = run(4.0);
+    let ratio = four / one;
+    assert!((ratio - 4.0).abs() < 0.05, "ratio {ratio}");
+}

@@ -1,0 +1,59 @@
+//! Packet-level validation of the paper's fluid model (Eq. 3).
+//!
+//! Builds a Nash-equilibrium allocation, then runs it in the
+//! discrete-event simulator twice — once with reservation-TDMA channels,
+//! once with CSMA/CA channels — and compares each user's *measured*
+//! throughput with the analytic utility the game assigns it.
+//!
+//! ```sh
+//! cargo run --release --example mac_comparison
+//! ```
+
+use multi_radio_alloc::prelude::*;
+use multi_radio_alloc::sim::channel::MacKind;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let cfg = GameConfig::new(4, 3, 4)?;
+    let game = ChannelAllocationGame::with_constant_rate(cfg, 1.0);
+    let allocation = algorithm1(&game, &Ordering::default());
+    println!("Equilibrium allocation under test:\n{}", render_allocation(&allocation));
+
+    for (mac, secs) in [(MacKind::Tdma, 3.0), (MacKind::Csma, 12.0)] {
+        println!("--- per-channel MAC: {mac:?} ({secs}s of simulated traffic) ---");
+        let scenario = ScenarioBuilder::new(4)
+            .mac(mac)
+            .phy(PhyParams::bianchi_fhss())
+            .allocation(&allocation)
+            .seed(2026)
+            .build()?;
+        let predicted = scenario.predicted_utilities_bps();
+        let report = scenario.run(SimDuration::from_secs(secs));
+        println!(
+            "{:>6} {:>16} {:>16} {:>8}",
+            "user", "measured bit/s", "Eq. 3 bit/s", "err %"
+        );
+        for u in 0..4 {
+            let measured = report.per_user_throughput_bps(u);
+            let err = 100.0 * (measured - predicted[u]).abs() / predicted[u];
+            println!(
+                "{:>6} {:>16.0} {:>16.0} {:>8.2}",
+                format!("u{}", u + 1),
+                measured,
+                predicted[u],
+                err
+            );
+            assert!(
+                err < 8.0,
+                "packet-level measurement must track the fluid model"
+            );
+        }
+        let stats: Vec<_> = report
+            .per_channel
+            .iter()
+            .map(|c| (c.successes, c.collisions))
+            .collect();
+        println!("per-channel (successes, collisions): {stats:?}\n");
+    }
+    println!("The paper's fluid utility (Eq. 3) matches packet-level reality for both MACs.");
+    Ok(())
+}

@@ -1,0 +1,66 @@
+//! Mesh-network scenario: the motivating setting of the paper's
+//! introduction (multi-radio mesh nodes, refs [1], [2], [13]).
+//!
+//! A neighborhood mesh of multi-radio routers shares the 802.11 channel
+//! pool. We compare what happens when the operators plan channels
+//! centrally (graph coloring on the interference graph) versus when each
+//! router selfishly best-responds — the paper's thesis is that selfishness
+//! costs nothing in this game.
+//!
+//! ```sh
+//! cargo run --example mesh_network
+//! ```
+
+use multi_radio_alloc::prelude::*;
+use std::sync::Arc;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 12 mesh routers, 2 radios each (a common commodity build), sharing
+    // the 3 non-overlapping 2.4 GHz channels… is too tight for k ≤ |C|
+    // with interesting spread, so use the 8 usable 5 GHz channels.
+    let n_routers = 12;
+    let radios = 2;
+    let channels = 8;
+    let cfg = GameConfig::new(n_routers, radios, channels)?;
+
+    // Channels run practical 802.11 DCF: the total rate *decreases* as
+    // radios pile on (collisions), so load balancing genuinely matters.
+    let phy = PhyParams::dot11b();
+    let rate: Arc<dyn RateFunction> =
+        Arc::new(PracticalDcfRate::new(phy, (n_routers * radios as usize) as u32));
+    let game = ChannelAllocationGame::new(cfg, rate);
+
+    // Centralized planning: color the geometric interference graph.
+    let (graph, positions) =
+        multi_radio_alloc::baselines::ConflictGraph::random_geometric(n_routers, 100.0, 45.0, 7);
+    println!("Interference graph (range 45m in a 100m×100m block):");
+    for i in 0..n_routers {
+        println!(
+            "  router {i:2} at ({:5.1},{:5.1}), conflicts with {:?}",
+            positions[i].0,
+            positions[i].1,
+            graph.neighbors(i)
+        );
+    }
+    let planned = ColoringAllocator::new(graph);
+
+    // Selfish operation: every router repeatedly best-responds.
+    let selfish = SelfishAllocator::default();
+
+    let rows = compare(&game, &[&planned, &selfish, &RandomAllocator], &[1, 2, 3, 4, 5]);
+    println!("\n{}", multi_radio_alloc::baselines::harness::format_table(&rows));
+
+    let selfish_row = rows.iter().find(|r| r.allocator == "selfish-br").unwrap();
+    let planned_row = rows.iter().find(|r| r.allocator == "coloring").unwrap();
+    println!(
+        "Selfish welfare = {:.2} Mbit/s vs centrally planned = {:.2} Mbit/s ({:+.2}%)",
+        selfish_row.mean_welfare / 1e6,
+        planned_row.mean_welfare / 1e6,
+        100.0 * (selfish_row.mean_welfare - planned_row.mean_welfare) / planned_row.mean_welfare
+    );
+    println!(
+        "…and the selfish outcome is an equilibrium in {}% of runs — nobody has an incentive to re-tune.",
+        selfish_row.nash_fraction * 100.0
+    );
+    Ok(())
+}

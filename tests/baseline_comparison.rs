@@ -1,0 +1,97 @@
+//! Efficiency-ordering invariants across the baseline allocators.
+
+use multi_radio_alloc::prelude::*;
+use std::sync::Arc;
+
+fn dcf_game(n: usize, k: u32, c: usize) -> ChannelAllocationGame {
+    let cfg = GameConfig::new(n, k, c).unwrap();
+    let rate: Arc<dyn RateFunction> = Arc::new(PracticalDcfRate::new(
+        PhyParams::bianchi_fhss(),
+        (n as u32 * k).max(1),
+    ));
+    ChannelAllocationGame::new(cfg, rate)
+}
+
+#[test]
+fn selfish_never_loses_to_random() {
+    let game = dcf_game(8, 3, 6);
+    let seeds: Vec<u64> = (0..10).collect();
+    let rows = compare(&game, &[&RandomAllocator, &SelfishAllocator::default()], &seeds);
+    let random = &rows[0];
+    let selfish = &rows[1];
+    assert!(selfish.mean_welfare >= random.mean_welfare - 1e-6);
+    assert!(selfish.mean_fairness >= random.mean_fairness - 1e-9);
+    assert!(selfish.max_delta <= 1);
+}
+
+#[test]
+fn selfish_matches_centralized_welfare() {
+    // The paper's headline: zero price of coordination (for its MAC
+    // models). Balanced allocators all achieve the same welfare.
+    let game = dcf_game(10, 2, 5);
+    let seeds: Vec<u64> = (0..6).collect();
+    let rows = compare(
+        &game,
+        &[
+            &GreedyAllocator,
+            &RoundRobinAllocator,
+            &SelfishAllocator::default(),
+            &Algorithm1Allocator,
+        ],
+        &seeds,
+    );
+    let welfare: Vec<f64> = rows.iter().map(|r| r.mean_welfare).collect();
+    for w in &welfare {
+        assert!(
+            (w - welfare[0]).abs() < 1e-6 * welfare[0],
+            "balanced allocators must tie: {welfare:?}"
+        );
+    }
+}
+
+#[test]
+fn equilibrium_allocators_always_report_nash() {
+    let game = dcf_game(7, 3, 5);
+    let seeds: Vec<u64> = (0..8).collect();
+    let rows = compare(
+        &game,
+        &[&SelfishAllocator::default(), &Algorithm1Allocator],
+        &seeds,
+    );
+    for r in &rows {
+        assert_eq!(r.nash_fraction, 1.0, "{}", r.allocator);
+    }
+}
+
+#[test]
+fn coloring_equals_round_robin_on_a_clique() {
+    // In the paper's single collision domain the conflict graph is
+    // complete and coloring degenerates to spreading — same welfare as
+    // round-robin.
+    let game = dcf_game(6, 2, 6);
+    let coloring = ColoringAllocator::clique(6);
+    let rows = compare(&game, &[&coloring, &RoundRobinAllocator], &[0]);
+    assert!((rows[0].mean_welfare - rows[1].mean_welfare).abs() < 1e-6 * rows[0].mean_welfare);
+}
+
+#[test]
+fn random_allocation_wastes_channels_under_light_load() {
+    // Random allocation's dominant welfare loss is *empty channels*: with
+    // 8 radios thrown at 8 channels some stay vacant (coupon-collector),
+    // while 48 radios over 6 channels cover everything and the flat-ish
+    // DCF curve forgives the imbalance. So light load is where random
+    // hurts most, relative to the optimum.
+    let light = dcf_game(4, 2, 8);
+    let heavy = dcf_game(12, 4, 6);
+    let seeds: Vec<u64> = (0..10).collect();
+    let eff = |g: &ChannelAllocationGame| compare(g, &[&RandomAllocator], &seeds)[0].mean_efficiency;
+    let e_light = eff(&light);
+    let e_heavy = eff(&heavy);
+    assert!(
+        e_light < e_heavy - 0.05,
+        "light-load random efficiency {e_light} should trail heavy-load {e_heavy}"
+    );
+    // And the selfish process fixes exactly that gap.
+    let selfish = compare(&light, &[&SelfishAllocator::default()], &seeds)[0].mean_efficiency;
+    assert!(selfish > e_light + 0.05);
+}

@@ -1,0 +1,119 @@
+//! Packet-level simulator vs the fluid model: the assumptions of Section 2
+//! demonstrated end-to-end.
+
+use multi_radio_alloc::core::algorithm::{algorithm1, Ordering};
+use multi_radio_alloc::prelude::*;
+use multi_radio_alloc::sim::channel::MacKind;
+
+#[test]
+fn tdma_simulation_matches_eq3_on_an_equilibrium() {
+    let cfg = GameConfig::new(4, 2, 3).unwrap();
+    let game = ChannelAllocationGame::with_constant_rate(cfg, 1.0);
+    let s = algorithm1(&game, &Ordering::default());
+    let scenario = ScenarioBuilder::new(3)
+        .mac(MacKind::Tdma)
+        .phy(PhyParams::bianchi_fhss())
+        .allocation(&s)
+        .seed(11)
+        .build()
+        .unwrap();
+    let predicted = scenario.predicted_utilities_bps();
+    let report = scenario.run(SimDuration::from_secs(2.0));
+    for u in 0..4 {
+        let measured = report.per_user_throughput_bps(u);
+        let rel = (measured - predicted[u]).abs() / predicted[u];
+        assert!(rel < 0.02, "user {u}: rel {rel}");
+    }
+}
+
+#[test]
+fn csma_simulation_matches_eq3_within_model_error() {
+    let cfg = GameConfig::new(3, 2, 2).unwrap();
+    let game = ChannelAllocationGame::with_constant_rate(cfg, 1.0);
+    let s = algorithm1(&game, &Ordering::default());
+    let scenario = ScenarioBuilder::new(2)
+        .mac(MacKind::Csma)
+        .phy(PhyParams::bianchi_fhss())
+        .allocation(&s)
+        .seed(12)
+        .build()
+        .unwrap();
+    let predicted = scenario.predicted_utilities_bps();
+    let report = scenario.run(SimDuration::from_secs(8.0));
+    for u in 0..3 {
+        let measured = report.per_user_throughput_bps(u);
+        let rel = (measured - predicted[u]).abs() / predicted[u];
+        assert!(rel < 0.08, "user {u}: rel {rel}");
+    }
+}
+
+#[test]
+fn equal_share_assumption_holds_per_channel() {
+    // Two users sharing one CSMA channel with one radio each split the
+    // channel evenly (the fair-share assumption behind Eq. 3).
+    let s = multi_radio_alloc::core::StrategyMatrix::from_rows(&[vec![1], vec![1]]).unwrap();
+    let report = ScenarioBuilder::new(1)
+        .mac(MacKind::Csma)
+        .allocation(&s)
+        .seed(13)
+        .build()
+        .unwrap()
+        .run(SimDuration::from_secs(8.0));
+    let a = report.per_user_bits[0] as f64;
+    let b = report.per_user_bits[1] as f64;
+    let imbalance = (a - b).abs() / (a + b);
+    assert!(imbalance < 0.03, "imbalance {imbalance}");
+}
+
+#[test]
+fn non_increasing_rate_assumption_holds_in_simulation() {
+    // Measured total channel rate must be non-increasing in the number of
+    // radios (up to Monte Carlo noise) — the R(k_c) contract.
+    let mut prev = f64::INFINITY;
+    for k in 1..=6u32 {
+        let rows: Vec<Vec<u32>> = (0..k).map(|_| vec![1]).collect();
+        let s = multi_radio_alloc::core::StrategyMatrix::from_rows(&rows).unwrap();
+        let report = ScenarioBuilder::new(1)
+            .mac(MacKind::Csma)
+            .allocation(&s)
+            .seed(100 + k as u64)
+            .build()
+            .unwrap()
+            .run(SimDuration::from_secs(6.0));
+        let total = report.total_bits() as f64 / 6.0;
+        assert!(
+            total < prev * 1.02,
+            "k={k}: measured total rate {total} rose above {prev}"
+        );
+        prev = total;
+    }
+}
+
+#[test]
+fn unbalanced_allocation_measures_worse_than_equilibrium_under_dcf() {
+    // The welfare cost of imbalance, measured at packet level: all radios
+    // piled on one channel vs the balanced NE.
+    let cfg = GameConfig::new(3, 2, 3).unwrap();
+    let game = ChannelAllocationGame::with_constant_rate(cfg, 1.0);
+    let balanced = algorithm1(&game, &Ordering::default());
+    let mut piled = multi_radio_alloc::core::StrategyMatrix::zeros(3, 3);
+    for u in 0..3 {
+        piled.set(UserId(u), ChannelId(0), 2);
+    }
+    let run = |s: &multi_radio_alloc::core::StrategyMatrix| {
+        ScenarioBuilder::new(3)
+            .mac(MacKind::Csma)
+            .allocation(s)
+            .seed(77)
+            .build()
+            .unwrap()
+            .run(SimDuration::from_secs(6.0))
+            .total_bits()
+    };
+    let b = run(&balanced);
+    let p = run(&piled);
+    assert!(
+        (b as f64) > 2.5 * p as f64,
+        "balanced {b} should be ≈3× piled {p} (3 channels vs 1)"
+    );
+}

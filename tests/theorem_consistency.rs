@@ -1,0 +1,147 @@
+//! Cross-crate integration: the paper's theorems checked through the
+//! *generic* game toolkit (`mrca-game`) rather than the bespoke checkers,
+//! on exhaustively enumerable instances.
+
+use multi_radio_alloc::core::enumerate::enumerate_allocations;
+use multi_radio_alloc::core::nash::theorem1;
+use multi_radio_alloc::core::prelude::*;
+use multi_radio_alloc::game::equilibrium::{is_pure_nash, pure_nash_profiles};
+use multi_radio_alloc::game::pareto::is_pareto_optimal;
+use multi_radio_alloc::game::Game as _;
+use multi_radio_alloc::prelude::*;
+use std::sync::Arc;
+
+fn constant_game(n: usize, k: u32, c: usize) -> ChannelAllocationGame {
+    ChannelAllocationGame::with_constant_rate(GameConfig::new(n, k, c).unwrap(), 1.0)
+}
+
+#[test]
+fn generic_ne_enumeration_matches_theorem1() {
+    // Enumerate all pure NE through the generic machinery (indexed game)
+    // and through Theorem 1; the sets must coincide.
+    for (n, k, c) in [(2usize, 2u32, 2usize), (2, 2, 3), (3, 1, 3), (3, 2, 2)] {
+        let game = constant_game(n, k, c);
+        let idx = game.indexed();
+        let generic_ne = pure_nash_profiles(&idx);
+        let mut thm_count = 0usize;
+        enumerate_allocations(game.config(), |s| {
+            if theorem1(&game, s).is_nash() {
+                thm_count += 1;
+            }
+        });
+        assert_eq!(
+            generic_ne.len(),
+            thm_count,
+            "({n},{k},{c}): generic toolkit vs Theorem 1"
+        );
+        for profile in &generic_ne {
+            let m = idx.to_matrix(profile);
+            assert!(theorem1(&game, &m).is_nash(), "({n},{k},{c}): {m}");
+            assert!(game.nash_check(&m).is_nash());
+        }
+    }
+}
+
+#[test]
+fn every_ne_is_pareto_optimal_for_constant_rate() {
+    // Theorem 2 through the generic Pareto machinery.
+    for (n, k, c) in [(2usize, 2u32, 2usize), (2, 2, 3), (3, 1, 2)] {
+        let game = constant_game(n, k, c);
+        let idx = game.indexed();
+        for profile in pure_nash_profiles(&idx) {
+            assert!(
+                is_pareto_optimal(&idx, &profile),
+                "({n},{k},{c}): NE {profile:?} must be Pareto-optimal"
+            );
+            let m = idx.to_matrix(&profile);
+            assert!(is_system_optimal(&game, &m));
+        }
+    }
+}
+
+#[test]
+fn ne_loads_are_always_balanced() {
+    // Proposition 1 over every enumerated equilibrium.
+    for (n, k, c) in [(2usize, 2u32, 2usize), (3, 2, 3), (2, 3, 3)] {
+        let game = constant_game(n, k, c);
+        enumerate_allocations(game.config(), |s| {
+            if game.nash_check(s).is_nash() {
+                assert!(
+                    s.max_delta() <= 1,
+                    "({n},{k},{c}): NE with unbalanced loads {:?}",
+                    s.loads()
+                );
+            }
+        });
+    }
+}
+
+#[test]
+fn lemma1_holds_in_every_ne() {
+    for (n, k, c) in [(2usize, 2u32, 3usize), (3, 2, 3)] {
+        let game = constant_game(n, k, c);
+        enumerate_allocations(game.config(), |s| {
+            if game.nash_check(s).is_nash() {
+                for u in UserId::all(n) {
+                    assert_eq!(
+                        s.user_total(u),
+                        k,
+                        "({n},{k},{c}): NE with idle radios: {s}"
+                    );
+                }
+            }
+        });
+    }
+}
+
+#[test]
+fn deviation_search_agrees_with_generic_default_best_response() {
+    // The overridden (DP) best response must never find less than the
+    // generic full scan.
+    let game = constant_game(2, 2, 3);
+    let idx = game.indexed();
+    for profile in idx.profiles().step_by(7) {
+        for p in 0..2 {
+            let player = multi_radio_alloc::game::PlayerId(p);
+            let (_, u_dp) = idx.best_response(player, &profile);
+            // Generic scan.
+            let mut work = profile.clone();
+            let mut u_scan = f64::NEG_INFINITY;
+            for s in 0..idx.num_strategies(player) {
+                work[p] = s;
+                u_scan = u_scan.max(idx.utility(player, &work));
+            }
+            assert!((u_dp - u_scan).abs() < 1e-12);
+        }
+    }
+}
+
+#[test]
+fn indexed_nash_matches_matrix_nash_for_decreasing_rate() {
+    use mrca_mac::LinearDecayRate;
+    let cfg = GameConfig::new(2, 2, 3).unwrap();
+    let game = ChannelAllocationGame::new(cfg, Arc::new(LinearDecayRate::new(5.0, 0.7, 0.5)));
+    let idx = game.indexed();
+    for profile in idx.profiles() {
+        let m = idx.to_matrix(&profile);
+        assert_eq!(
+            is_pure_nash(&idx, &profile),
+            game.nash_check(&m).is_nash(),
+            "profile {profile:?}"
+        );
+    }
+}
+
+#[test]
+fn the_channel_allocation_game_has_an_ordinal_potential_radio_view() {
+    // The radio-level view is a congestion game: verify the ordinal
+    // potential property mechanically on a small instance by checking the
+    // user-level game with k = 1 (users == radios).
+    use multi_radio_alloc::game::potential::{has_exact_potential, has_ordinal_potential};
+    let game = constant_game(3, 1, 2);
+    let idx = game.indexed();
+    let dense = multi_radio_alloc::game::NormalFormGame::from_game(&idx);
+    assert!(has_ordinal_potential(&dense));
+    // Single-radio users with anonymous shares: even exact.
+    assert!(has_exact_potential(&dense));
+}
