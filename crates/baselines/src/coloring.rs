@@ -68,12 +68,7 @@ impl ConflictGraph {
     /// Random positions in the `side × side` square with the given
     /// conflict `range` (deterministic per seed). Returns the graph and
     /// the positions.
-    pub fn random_geometric(
-        n: usize,
-        side: f64,
-        range: f64,
-        seed: u64,
-    ) -> (Self, Vec<(f64, f64)>) {
+    pub fn random_geometric(n: usize, side: f64, range: f64, seed: u64) -> (Self, Vec<(f64, f64)>) {
         let mut rng = StdRng::seed_from_u64(seed);
         let positions: Vec<(f64, f64)> = (0..n)
             .map(|_| (rng.gen_range(0.0..side), rng.gen_range(0.0..side)))
@@ -167,8 +162,8 @@ impl Allocator for ColoringAllocator {
             // Usage of each color among already-colored neighbors.
             let mut usage = vec![0u32; c];
             for &j in &neighbors {
-                for ch in 0..c {
-                    usage[ch] += s.get(UserId(j), ChannelId(ch));
+                for (ch, used) in usage.iter_mut().enumerate() {
+                    *used += s.get(UserId(j), ChannelId(ch));
                 }
             }
             // Pick k distinct channels with the lowest neighbor usage

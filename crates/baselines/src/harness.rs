@@ -99,7 +99,7 @@ mod tests {
     /// loads are *strictly* welfare-optimal, so imbalance shows up in the
     /// efficiency column.
     fn concave_game() -> ChannelAllocationGame {
-        use mrca_mac::StepRate;
+        use mrca_core::rate_model::StepRate;
         use std::sync::Arc;
         let mut table = Vec::new();
         let mut r: f64 = 10.0;

@@ -195,7 +195,8 @@ mod tests {
         ];
         for a in &allocators {
             let s = a.allocate(&g, 7);
-            s.validate(g.config()).expect(a.name());
+            s.validate(g.config())
+                .unwrap_or_else(|_| panic!("{}", a.name()));
             for u in UserId::all(5) {
                 assert_eq!(s.user_total(u), 3, "{}", a.name());
             }
@@ -205,8 +206,14 @@ mod tests {
     #[test]
     fn random_is_deterministic_per_seed() {
         let g = game();
-        assert_eq!(RandomAllocator.allocate(&g, 3), RandomAllocator.allocate(&g, 3));
-        assert_ne!(RandomAllocator.allocate(&g, 3), RandomAllocator.allocate(&g, 4));
+        assert_eq!(
+            RandomAllocator.allocate(&g, 3),
+            RandomAllocator.allocate(&g, 3)
+        );
+        assert_ne!(
+            RandomAllocator.allocate(&g, 3),
+            RandomAllocator.allocate(&g, 4)
+        );
     }
 
     #[test]

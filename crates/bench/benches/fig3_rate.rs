@@ -2,7 +2,9 @@
 //! (table-driven vs Bianchi fixed point vs optimal-window search).
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
-use mrca_mac::{BianchiModel, OptimalCsmaRate, PhyParams, PracticalDcfRate, RateFunction, TdmaRate};
+use mrca_mac::{
+    BianchiModel, OptimalCsmaRate, PhyParams, PracticalDcfRate, RateFunction, TdmaRate,
+};
 
 fn bench_rate_models(c: &mut Criterion) {
     let phy = PhyParams::bianchi_fhss();

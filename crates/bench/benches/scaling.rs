@@ -5,6 +5,7 @@ use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criteri
 use mrca_bench::constant_game;
 use mrca_core::algorithm::{algorithm1, Ordering, TieBreak};
 use mrca_core::UserId;
+use mrca_experiments::{OrderingSpec, RateSpec, ScenarioGrid, ScenarioSuite};
 use mrca_sim::prelude::*;
 
 fn bench_scaling(c: &mut Criterion) {
@@ -45,6 +46,22 @@ fn bench_scaling(c: &mut Criterion) {
             },
         );
     }
+    g.finish();
+
+    // The ScenarioSuite sweep runner itself: one small grid end-to-end
+    // (cells in parallel, standard Algorithm-1 + dynamics pipeline).
+    let mut g = c.benchmark_group("scaling/suite");
+    let grid = ScenarioGrid {
+        n_users: vec![4, 8, 12],
+        radios: vec![2, 4],
+        n_channels: vec![6],
+        rates: vec![RateSpec::ConstantUnit, RateSpec::Bianchi],
+        orderings: vec![OrderingSpec::PreferUnused],
+    };
+    let suite = ScenarioSuite::new("bench", &grid, 1).with_max_rounds(200);
+    g.bench_function(format!("sweep_{}_cells", suite.cells.len()), |b| {
+        b.iter(|| suite.run().0.len())
+    });
     g.finish();
 }
 

@@ -25,7 +25,10 @@ fn bench_welfare(c: &mut Criterion) {
                 |b, _| b.iter(|| optimal_total_rate(black_box(&cfg), rate)),
             );
             g.bench_with_input(
-                BenchmarkId::new(format!("balanced_closed_form_{rname}"), format!("N{n}k{k}C{ch}")),
+                BenchmarkId::new(
+                    format!("balanced_closed_form_{rname}"),
+                    format!("N{n}k{k}C{ch}"),
+                ),
                 &(),
                 |b, _| b.iter(|| balanced_total_rate(black_box(&cfg), rate)),
             );

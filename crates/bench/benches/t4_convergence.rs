@@ -14,8 +14,7 @@ fn bench_dynamics(c: &mut Criterion) {
             |b, _| {
                 b.iter(|| {
                     let start = random_start(&game, 3);
-                    BestResponseDriver::new(Schedule::RoundRobin)
-                        .run(black_box(&game), start, 500)
+                    BestResponseDriver::new(Schedule::RoundRobin).run(black_box(&game), start, 500)
                 })
             },
         );
@@ -36,8 +35,7 @@ fn bench_dynamics(c: &mut Criterion) {
             |b, _| {
                 b.iter(|| {
                     let start = random_start(&dcf, 3);
-                    BestResponseDriver::new(Schedule::RoundRobin)
-                        .run(black_box(&dcf), start, 500)
+                    BestResponseDriver::new(Schedule::RoundRobin).run(black_box(&dcf), start, 500)
                 })
             },
         );

@@ -123,17 +123,25 @@ pub fn algorithm1_cfg(cfg: &GameConfig, ordering: &Ordering) -> StrategyMatrix {
     };
 
     let mut s = StrategyMatrix::zeros(n, cfg.n_channels());
-    // Loads maintained incrementally: the paper's algorithm only ever
-    // needs the current load vector, and recomputing it per placement
-    // would cost O(|N|·|C|) each time (measurably slow at 1000 users).
-    let mut loads = vec![0u32; cfg.n_channels()];
+    // Loads maintained incrementally via the shared cache type: the
+    // paper's algorithm only ever needs the current load vector, and
+    // recomputing it per placement would cost O(|N|·|C|) each time
+    // (measurably slow at 1000 users).
+    let mut loads = crate::loads::ChannelLoads::zeros(cfg.n_channels());
     for &u in &users {
         let user = UserId(u);
         for _ in 0..cfg.radios_per_user() {
-            let c = place_one(cfg, &s, &loads, user, ordering.tie_break, rng.as_mut());
+            let c = place_one(
+                cfg,
+                &s,
+                loads.as_slice(),
+                user,
+                ordering.tie_break,
+                rng.as_mut(),
+            );
             let cur = s.get(user, c);
             s.set(user, c, cur + 1);
-            loads[c.0] += 1;
+            loads.add_radio(c);
         }
     }
     s
@@ -166,9 +174,7 @@ fn place_one(
         unused
     } else {
         // Step 6: least-loaded channels.
-        (0..cfg.n_channels())
-            .filter(|&c| loads[c] == min)
-            .collect()
+        (0..cfg.n_channels()).filter(|&c| loads[c] == min).collect()
     };
 
     let pick = match tie {
@@ -242,18 +248,18 @@ mod tests {
         // Documented reproduction finding: the algorithm as literally
         // stated (step 6 = "any min-load channel") can stack a user's
         // radios — after an equal-loads placement on an unused channel,
-        // previously-chosen channels rejoin the min set. With |N| = 6,
-        // k = 3, |C| = 5 and random tie-breaking (seed 42), u4 ends with
-        // two radios on c1 and none on c3, and gains 1/12 by unstacking:
-        // the output is balanced (δ ≤ 1) but NOT a Nash equilibrium.
+        // previously-chosen channels rejoin the min set. The stacking user
+        // then gains by unstacking: the output is balanced (δ ≤ 1) but NOT
+        // a Nash equilibrium. Which seeds trigger it depends on the RNG
+        // stream, so scan a seed range for a witness instead of pinning
+        // one.
         let g = unit_game(6, 3, 5);
-        let s = algorithm1(&g, &Ordering::with_tie_break(TieBreak::Random(42)));
+        let counterexample = (0..200u64)
+            .map(|seed| algorithm1(&g, &Ordering::with_tie_break(TieBreak::Random(seed))))
+            .find(|s| !g.nash_check(s).is_nash());
+        let s = counterexample.expect("some seed must expose the literal-reading failure");
         assert!(s.max_delta() <= 1, "output is still load-balanced");
-        assert!(
-            !g.nash_check(&s).is_nash(),
-            "this seed is a counterexample to the literal reading"
-        );
-        // The PreferUnused repair fixes the same run.
+        // The PreferUnused repair fixes the same instance for every seed.
         let s2 = algorithm1(&g, &Ordering::with_tie_break(TieBreak::PreferUnused));
         assert!(g.nash_check(&s2).is_nash());
     }
@@ -293,9 +299,11 @@ mod tests {
         let a = algorithm1(&g, &Ordering::random(9, 5));
         let b = algorithm1(&g, &Ordering::random(9, 5));
         assert_eq!(a, b);
+        // Another seed still satisfies the always-true invariant (random
+        // tie-breaking may legitimately miss the NE, so only balance is
+        // asserted here).
         let c = algorithm1(&g, &Ordering::random(10, 5));
-        // Different seed very likely differs.
-        assert!(g.nash_check(&c).is_nash());
+        assert!(c.max_delta() <= 1);
     }
 
     #[test]
@@ -310,7 +318,10 @@ mod tests {
     #[should_panic(expected = "permutation")]
     fn bad_ordering_rejected() {
         let g = unit_game(3, 2, 3);
-        let _ = algorithm1(&g, &Ordering::with_users(vec![0, 0, 2], TieBreak::LowestIndex));
+        let _ = algorithm1(
+            &g,
+            &Ordering::with_users(vec![0, 0, 2], TieBreak::LowestIndex),
+        );
     }
 
     #[test]

@@ -22,10 +22,10 @@ pub fn render_allocation(s: &StrategyMatrix) -> String {
     let n_ch = s.n_channels();
     // Per channel, the stack of user labels (lowest row = first user).
     let mut stacks: Vec<Vec<String>> = vec![Vec::new(); n_ch];
-    for c in 0..n_ch {
+    for (c, stack) in stacks.iter_mut().enumerate() {
         for u in 0..s.n_users() {
             for _ in 0..s.get(UserId(u), ChannelId(c)) {
-                stacks[c].push(UserId(u).to_string());
+                stack.push(UserId(u).to_string());
             }
         }
     }

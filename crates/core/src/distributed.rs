@@ -87,15 +87,18 @@ pub fn run_protocol(
 
     for round in 1..=cfg.max_rounds {
         // Sensing snapshot: all best responses within a round are computed
-        // against the matrix as it stood at the round boundary.
-        let snapshot = s.clone();
+        // against the loads as they stood at the round boundary. Within
+        // the round only the activated user's own row matters beyond the
+        // loads, and rows of users yet to act are unchanged in `s`, so the
+        // stale-load cache alone realizes the snapshot — no matrix clone.
+        let snapshot_loads = crate::loads::ChannelLoads::of(&s);
         let mut movers: Vec<(UserId, crate::strategy::StrategyVector)> = Vec::new();
         for u in UserId::all(n) {
             if !rng.gen_bool(cfg.activation_prob) {
                 continue;
             }
-            let before = game.utility(&snapshot, u);
-            let (br, after) = game.best_response(&snapshot, u);
+            let before = game.utility_cached(&s, &snapshot_loads, u);
+            let (br, after) = game.best_response_cached(&s, &snapshot_loads, u);
             if after > before + UTILITY_TOLERANCE {
                 movers.push((u, br));
             }
@@ -271,7 +274,11 @@ mod tests {
         let seeds: Vec<u64> = (0..5).collect();
         let stats = protocol_stats(&g, 0.4, &seeds, 1000);
         assert_eq!(stats.activation_prob, 0.4);
-        assert!(stats.convergence_rate > 0.99, "rate {}", stats.convergence_rate);
+        assert!(
+            stats.convergence_rate > 0.99,
+            "rate {}",
+            stats.convergence_rate
+        );
         assert!(stats.mean_rounds >= 1.0);
     }
 

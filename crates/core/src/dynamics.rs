@@ -20,6 +20,7 @@
 //! Experiment T4 measures rounds-to-convergence across instance sizes.
 
 use crate::game::{ChannelAllocationGame, UTILITY_TOLERANCE};
+use crate::loads::ChannelLoads;
 use crate::strategy::StrategyMatrix;
 use crate::types::{ChannelId, UserId};
 use rand::rngs::StdRng;
@@ -82,7 +83,10 @@ impl BestResponseDriver {
             Schedule::RandomPermutation { seed } => Some(StdRng::seed_from_u64(seed)),
             Schedule::RoundRobin => None,
         };
-        let mut welfare = vec![game.total_utility(&s)];
+        // One load pass up front; every evaluation below is O(1)/O(|C|)
+        // against the maintained cache — no matrix clones, no column scans.
+        let mut loads = ChannelLoads::of(&s);
+        let mut welfare = vec![game.total_utility_cached(&loads)];
         let mut moves = 0usize;
         let mut rounds = 0usize;
         let mut converged = false;
@@ -94,16 +98,17 @@ impl BestResponseDriver {
             let mut moved = false;
             for &u in &order {
                 let user = UserId(u);
-                let before = game.utility(&s, user);
-                let (br, after) = game.best_response(&s, user);
+                let before = game.utility_cached(&s, &loads, user);
+                let (br, after) = game.best_response_cached(&s, &loads, user);
                 if after > before + UTILITY_TOLERANCE {
+                    loads.replace_row(&s.user_strategy(user), &br);
                     s.set_user_strategy(user, &br);
                     moves += 1;
                     moved = true;
                 }
             }
             rounds += 1;
-            welfare.push(game.total_utility(&s));
+            welfare.push(game.total_utility_cached(&loads));
             if !moved {
                 converged = true;
                 break;
@@ -150,7 +155,8 @@ impl RadioDynamics {
         let n_ch = cfg.n_channels();
         let mut s = start;
         let mut rng = StdRng::seed_from_u64(self.seed);
-        let mut welfare = vec![game.total_utility(&s)];
+        let mut loads = ChannelLoads::of(&s);
+        let mut welfare = vec![game.total_utility_cached(&loads)];
         let mut moves = 0usize;
         let mut rounds = 0usize;
         let mut converged = false;
@@ -158,7 +164,7 @@ impl RadioDynamics {
         // Radio identities: (user, slot) pairs; slot is resolved to a
         // current channel at activation time.
         let mut radios: Vec<UserId> = UserId::all(cfg.n_users())
-            .flat_map(|u| std::iter::repeat(u).take(cfg.radios_per_user() as usize))
+            .flat_map(|u| std::iter::repeat_n(u, cfg.radios_per_user() as usize))
             .collect();
 
         while rounds < max_rounds {
@@ -190,7 +196,7 @@ impl RadioDynamics {
                 let current_share = match from {
                     None => 0.0,
                     Some(b) => {
-                        let kb = s.channel_load(b);
+                        let kb = loads.load(b);
                         game.rate().rate(kb) / kb as f64
                     }
                 };
@@ -202,9 +208,9 @@ impl RadioDynamics {
                     if Some(c) == from {
                         continue;
                     }
-                    let new_load = s.channel_load(c) + 1;
+                    let new_load = loads.load(c) + 1;
                     let share = game.rate().rate(new_load) / new_load as f64;
-                    if best.map_or(true, |(_, b)| share > b) {
+                    if best.is_none_or(|(_, b)| share > b) {
                         best = Some((c, share));
                     }
                 }
@@ -214,8 +220,12 @@ impl RadioDynamics {
                             None => {
                                 let cur = s.get(user, to);
                                 s.set(user, to, cur + 1);
+                                loads.add_radio(to);
                             }
-                            Some(b) => s.move_radio(user, b, to),
+                            Some(b) => {
+                                s.move_radio(user, b, to);
+                                loads.apply_move(b, to);
+                            }
                         }
                         moves += 1;
                         moved = true;
@@ -223,7 +233,7 @@ impl RadioDynamics {
                 }
             }
             rounds += 1;
-            welfare.push(game.total_utility(&s));
+            welfare.push(game.total_utility_cached(&loads));
             if !moved {
                 converged = true;
                 break;
@@ -244,9 +254,7 @@ impl RadioDynamics {
 /// increase it (see [`mrca_game::potential::rosenthal_potential`] for the
 /// generic form).
 pub fn rosenthal_potential(game: &ChannelAllocationGame, s: &StrategyMatrix) -> f64 {
-    mrca_game::potential::rosenthal_potential(&s.loads(), |k| {
-        game.rate().rate(k) / k as f64
-    })
+    mrca_game::potential::rosenthal_potential(&s.loads(), |k| game.rate().rate(k) / k as f64)
 }
 
 /// Log-linear (noisy best-response) radio dynamics.
@@ -294,9 +302,10 @@ impl LogLinearDynamics {
         let n_ch = cfg.n_channels();
         let mut s = start;
         let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut loads = ChannelLoads::of(&s);
         // Flat radio index: (user, slot).
         let radios: Vec<UserId> = UserId::all(cfg.n_users())
-            .flat_map(|u| std::iter::repeat(u).take(cfg.radios_per_user() as usize))
+            .flat_map(|u| std::iter::repeat_n(u, cfg.radios_per_user() as usize))
             .collect();
         if radios.is_empty() {
             return s;
@@ -326,10 +335,10 @@ impl LogLinearDynamics {
             let mut total = 0.0f64;
             for c in ChannelId::all(n_ch) {
                 let share = if Some(c) == from {
-                    let kc = s.channel_load(c);
+                    let kc = loads.load(c);
                     game.rate().rate(kc) / kc as f64
                 } else {
-                    let kc = s.channel_load(c) + 1;
+                    let kc = loads.load(c) + 1;
                     game.rate().rate(kc) / kc as f64
                 };
                 let w = (share / self.temperature).exp();
@@ -346,10 +355,14 @@ impl LogLinearDynamics {
                 pick -= w;
             }
             match from {
-                Some(b) if b != dest => s.move_radio(user, b, dest),
+                Some(b) if b != dest => {
+                    s.move_radio(user, b, dest);
+                    loads.apply_move(b, dest);
+                }
                 None => {
                     let cur = s.get(user, dest);
                     s.set(user, dest, cur + 1);
+                    loads.add_radio(dest);
                 }
                 _ => {}
             }
@@ -379,7 +392,7 @@ pub fn random_start(game: &ChannelAllocationGame, seed: u64) -> StrategyMatrix {
 mod tests {
     use super::*;
     use crate::config::GameConfig;
-    use mrca_mac::LinearDecayRate;
+    use crate::rate_model::LinearDecayRate;
     use std::sync::Arc;
 
     fn unit_game(n: usize, k: u32, c: usize) -> ChannelAllocationGame {
@@ -391,8 +404,7 @@ mod tests {
         let g = unit_game(5, 3, 4);
         for seed in 0..10 {
             let start = random_start(&g, seed);
-            let out =
-                BestResponseDriver::new(Schedule::RoundRobin).run(&g, start, 100);
+            let out = BestResponseDriver::new(Schedule::RoundRobin).run(&g, start, 100);
             assert!(out.converged, "seed {seed}");
             assert!(g.nash_check(&out.matrix).is_nash(), "seed {seed}");
             assert!(out.matrix.max_delta() <= 1, "seed {seed}: not balanced");
@@ -404,8 +416,11 @@ mod tests {
         let cfg = GameConfig::new(6, 3, 5).unwrap();
         let g = ChannelAllocationGame::new(cfg, Arc::new(LinearDecayRate::new(10.0, 0.8, 1.0)));
         for seed in 0..5 {
-            let out = BestResponseDriver::new(Schedule::RandomPermutation { seed })
-                .run(&g, random_start(&g, seed), 200);
+            let out = BestResponseDriver::new(Schedule::RandomPermutation { seed }).run(
+                &g,
+                random_start(&g, seed),
+                200,
+            );
             assert!(out.converged, "seed {seed}");
             assert!(g.nash_check(&out.matrix).is_nash(), "seed {seed}");
         }
@@ -492,8 +507,7 @@ mod tests {
         // is unbalanced (each individual state may be balanced by luck).
         let g = unit_game(6, 3, 5);
         let some_unbalanced = (0..6).any(|seed| {
-            let end =
-                LogLinearDynamics::new(100.0, seed).run(&g, random_start(&g, seed), 1500);
+            let end = LogLinearDynamics::new(100.0, seed).run(&g, random_start(&g, seed), 1500);
             end.max_delta() > 1
         });
         assert!(some_unbalanced, "high-T dynamics should not always balance");

@@ -5,6 +5,7 @@
 //! best-response check) and by Theorem 1, and require 100% agreement.
 
 use crate::config::GameConfig;
+use crate::loads::ChannelLoads;
 use crate::strategy::{StrategyMatrix, StrategyVector};
 use crate::types::UserId;
 
@@ -58,6 +59,19 @@ pub fn enumerate_allocations<F>(cfg: &GameConfig, mut f: F)
 where
     F: FnMut(&StrategyMatrix),
 {
+    enumerate_allocations_with_loads(cfg, |m, _| f(m));
+}
+
+/// [`enumerate_allocations`] with the channel-load cache threaded through:
+/// the enumeration mutates one user row per step, so the loads are
+/// maintained by `O(|C|)` diffs instead of recomputed from scratch, and
+/// the callback can evaluate utilities / Nash checks through the cached
+/// `O(1)`-per-candidate game entry points
+/// ([`crate::game::ChannelAllocationGame::nash_check_cached`] etc.).
+pub fn enumerate_allocations_with_loads<F>(cfg: &GameConfig, mut f: F)
+where
+    F: FnMut(&StrategyMatrix, &ChannelLoads),
+{
     let space = user_strategy_space(cfg.n_channels(), cfg.radios_per_user());
     let n = cfg.n_users();
     let mut indices = vec![0usize; n];
@@ -65,8 +79,9 @@ where
     for i in 0..n {
         matrix.set_user_strategy(UserId(i), &space[0]);
     }
+    let mut loads = ChannelLoads::of(&matrix);
     loop {
-        f(&matrix);
+        f(&matrix, &loads);
         // Advance the mixed-radix counter over user strategies.
         let mut pos = n;
         loop {
@@ -76,9 +91,11 @@ where
             pos -= 1;
             indices[pos] += 1;
             if indices[pos] < space.len() {
+                loads.replace_row(&space[indices[pos] - 1], &space[indices[pos]]);
                 matrix.set_user_strategy(UserId(pos), &space[indices[pos]]);
                 break;
             }
+            loads.replace_row(&space[indices[pos] - 1], &space[0]);
             indices[pos] = 0;
             matrix.set_user_strategy(UserId(pos), &space[0]);
         }
@@ -137,7 +154,10 @@ mod tests {
         // Per-user space: (0,0),(0,1),(1,0) → 3; total 9 matrices.
         let mut seen = Vec::new();
         enumerate_allocations(&cfg, |m| {
-            seen.push(format!("{:?}", (m.user_strategy(UserId(0)), m.user_strategy(UserId(1)))));
+            seen.push(format!(
+                "{:?}",
+                (m.user_strategy(UserId(0)), m.user_strategy(UserId(1)))
+            ));
         });
         assert_eq!(seen.len(), 9);
         let mut dedup = seen.clone();

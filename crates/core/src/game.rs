@@ -4,9 +4,10 @@
 use crate::config::GameConfig;
 use crate::enumerate::user_strategy_space;
 use crate::error::Error;
+use crate::loads::ChannelLoads;
+use crate::rate_model::{ConstantRate, RateModel};
 use crate::strategy::{StrategyMatrix, StrategyVector};
 use crate::types::{ChannelId, UserId};
-use mrca_mac::{ConstantRate, RateFunction};
 use serde::{Deserialize, Serialize};
 use std::sync::Arc;
 
@@ -24,7 +25,7 @@ pub const UTILITY_TOLERANCE: f64 = 1e-9;
 #[derive(Debug, Clone)]
 pub struct ChannelAllocationGame {
     config: GameConfig,
-    rate: Arc<dyn RateFunction>,
+    rate: Arc<dyn RateModel>,
 }
 
 /// Outcome of the exact Nash check of [`ChannelAllocationGame::nash_check`].
@@ -53,7 +54,7 @@ impl NashCheck {
 
 impl ChannelAllocationGame {
     /// Create a game from a configuration and a rate model.
-    pub fn new(config: GameConfig, rate: Arc<dyn RateFunction>) -> Self {
+    pub fn new(config: GameConfig, rate: Arc<dyn RateModel>) -> Self {
         ChannelAllocationGame { config, rate }
     }
 
@@ -72,7 +73,7 @@ impl ChannelAllocationGame {
     }
 
     /// The channel rate model.
-    pub fn rate(&self) -> &Arc<dyn RateFunction> {
+    pub fn rate(&self) -> &Arc<dyn RateModel> {
         &self.rate
     }
 
@@ -99,10 +100,32 @@ impl ChannelAllocationGame {
         u
     }
 
-    /// Utilities of all users.
+    /// Eq. 3 against a cached load vector: `O(|C|)`, no column scans.
+    pub fn utility_cached(&self, s: &StrategyMatrix, loads: &ChannelLoads, user: UserId) -> f64 {
+        debug_assert!(loads.is_consistent_with(s), "stale load cache");
+        let mut u = 0.0;
+        for c in ChannelId::all(self.config.n_channels()) {
+            let kic = s.get(user, c);
+            if kic == 0 {
+                continue;
+            }
+            let kc = loads.load(c);
+            u += kic as f64 / kc as f64 * self.rate.rate(kc);
+        }
+        u
+    }
+
+    /// Utilities of all users (`O(|N|·|C|)` total: one load pass, then one
+    /// cached Eq.-3 evaluation per user).
     pub fn utilities(&self, s: &StrategyMatrix) -> Vec<f64> {
+        let loads = ChannelLoads::of(s);
+        self.utilities_cached(s, &loads)
+    }
+
+    /// Utilities of all users against a cached load vector.
+    pub fn utilities_cached(&self, s: &StrategyMatrix, loads: &ChannelLoads) -> Vec<f64> {
         UserId::all(self.config.n_users())
-            .map(|i| self.utility(s, i))
+            .map(|i| self.utility_cached(s, loads, i))
             .collect()
     }
 
@@ -122,15 +145,114 @@ impl ChannelAllocationGame {
             .sum()
     }
 
+    /// Total utility from a cached load vector (`O(|C|)`).
+    pub fn total_utility_cached(&self, loads: &ChannelLoads) -> f64 {
+        loads
+            .as_slice()
+            .iter()
+            .map(|&kc| if kc == 0 { 0.0 } else { self.rate.rate(kc) })
+            .sum()
+    }
+
     /// The paper's Eq. 7: the benefit of change Δ for user `i` moving one
-    /// radio from channel `b` to channel `c`, computed directly as the
-    /// utility difference (no algebraic simplification, so it is valid for
-    /// any rate model and any configuration of the two channels).
+    /// radio from channel `b` to channel `c`.
+    ///
+    /// Only channels `b` and `c` change, so Δ reduces to four terms:
+    ///
+    /// ```text
+    /// Δ = (k_{i,b}−1)/(k_b−1)·R(k_b−1) + (k_{i,c}+1)/(k_c+1)·R(k_c+1)
+    ///   −  k_{i,b}/k_b·R(k_b)          −  k_{i,c}/k_c·R(k_c)
+    /// ```
+    ///
+    /// valid for any rate model (no algebraic simplification beyond
+    /// cancelling the untouched channels). This entry point scans the two
+    /// affected columns (`O(|N|)`); inside hot loops use
+    /// [`benefit_of_move_cached`](Self::benefit_of_move_cached), which is
+    /// `O(1)` against a [`ChannelLoads`] cache. Both are pinned against
+    /// the clone-and-recompute ground truth
+    /// ([`benefit_of_move_naive`](Self::benefit_of_move_naive)) by the
+    /// `incremental_equiv` property suite.
     ///
     /// # Panics
     ///
     /// Panics if the user has no radio on `b`.
     pub fn benefit_of_move(
+        &self,
+        s: &StrategyMatrix,
+        user: UserId,
+        b: ChannelId,
+        c: ChannelId,
+    ) -> f64 {
+        if b == c {
+            assert!(s.get(user, b) > 0, "{user} has no radio on {b}");
+            return 0.0;
+        }
+        self.delta_terms(
+            s.get(user, b),
+            s.channel_load(b),
+            s.get(user, c),
+            s.channel_load(c),
+            user,
+            b,
+        )
+    }
+
+    /// Eq. 7 in `O(1)` against a cached load vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the user has no radio on `b`.
+    pub fn benefit_of_move_cached(
+        &self,
+        s: &StrategyMatrix,
+        loads: &ChannelLoads,
+        user: UserId,
+        b: ChannelId,
+        c: ChannelId,
+    ) -> f64 {
+        debug_assert!(loads.is_consistent_with(s), "stale load cache");
+        if b == c {
+            assert!(s.get(user, b) > 0, "{user} has no radio on {b}");
+            return 0.0;
+        }
+        self.delta_terms(
+            s.get(user, b),
+            loads.load(b),
+            s.get(user, c),
+            loads.load(c),
+            user,
+            b,
+        )
+    }
+
+    /// The four-term Δ shared by the two Eq.-7 entry points.
+    fn delta_terms(&self, kib: u32, kb: u32, kic: u32, kc: u32, user: UserId, b: ChannelId) -> f64 {
+        assert!(kib > 0, "{user} has no radio on {b}");
+        let before_b = kib as f64 / kb as f64 * self.rate.rate(kb);
+        let before_c = if kic == 0 {
+            0.0
+        } else {
+            kic as f64 / kc as f64 * self.rate.rate(kc)
+        };
+        let after_b = if kib == 1 {
+            0.0
+        } else {
+            (kib - 1) as f64 / (kb - 1) as f64 * self.rate.rate(kb - 1)
+        };
+        let after_c = (kic + 1) as f64 / (kc + 1) as f64 * self.rate.rate(kc + 1);
+        after_b + after_c - before_b - before_c
+    }
+
+    /// Ground-truth Eq. 7: clone the matrix, apply the move, recompute the
+    /// two full utilities. `O(|N|·|C|)` plus an allocation per call — kept
+    /// (and exercised by tests and the `incremental_vs_naive` bench)
+    /// exactly so the incremental path has an oracle to be checked
+    /// against.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the user has no radio on `b`.
+    pub fn benefit_of_move_naive(
         &self,
         s: &StrategyMatrix,
         user: UserId,
@@ -162,15 +284,30 @@ impl ChannelAllocationGame {
     /// and never affects other channels — the constructive argument behind
     /// the paper's Lemma 1. The DP therefore fixes `Σ t_c = k`.
     pub fn best_response(&self, s: &StrategyMatrix, user: UserId) -> (StrategyVector, f64) {
+        let loads = ChannelLoads::of(s);
+        self.best_response_cached(s, &loads, user)
+    }
+
+    /// [`best_response`](Self::best_response) against a cached load vector:
+    /// skips the `O(|N|·|C|)` load recomputation, leaving only the
+    /// `O(|C|·k²)` dynamic program.
+    pub fn best_response_cached(
+        &self,
+        s: &StrategyMatrix,
+        loads: &ChannelLoads,
+        user: UserId,
+    ) -> (StrategyVector, f64) {
+        debug_assert!(loads.is_consistent_with(s), "stale load cache");
         let k = self.config.radios_per_user() as usize;
         let n_ch = self.config.n_channels();
         // Other users' loads.
         let loads_wo: Vec<u32> = ChannelId::all(n_ch)
-            .map(|c| s.channel_load(c) - s.get(user, c))
+            .map(|c| loads.load(c) - s.get(user, c))
             .collect();
 
         // Per-channel payoff of placing t radios: f[c][t].
         let mut f = vec![vec![0.0f64; k + 1]; n_ch];
+        #[allow(clippy::needless_range_loop)] // the DP reads as index algebra
         for c in 0..n_ch {
             for t in 1..=k {
                 let total = loads_wo[c] + t as u32;
@@ -217,11 +354,19 @@ impl ChannelAllocationGame {
     /// each user, compare the current utility with the exact best response.
     /// `O(|N|·|C|·k²)` — polynomial, unlike exhaustive profile scans.
     pub fn nash_check(&self, s: &StrategyMatrix) -> NashCheck {
+        let loads = ChannelLoads::of(s);
+        self.nash_check_cached(s, &loads)
+    }
+
+    /// [`nash_check`](Self::nash_check) against a cached load vector —
+    /// the per-user work drops to one `O(|C|)` utility read plus the
+    /// best-response DP, with zero matrix clones and zero column scans.
+    pub fn nash_check_cached(&self, s: &StrategyMatrix, loads: &ChannelLoads) -> NashCheck {
         let mut gains = Vec::with_capacity(self.config.n_users());
         let mut witness = None;
         for user in UserId::all(self.config.n_users()) {
-            let current = self.utility(s, user);
-            let (best, best_u) = self.best_response(s, user);
+            let current = self.utility_cached(s, loads, user);
+            let (best, best_u) = self.best_response_cached(s, loads, user);
             let gain = (best_u - current).max(0.0);
             if gain > UTILITY_TOLERANCE && witness.is_none() {
                 witness = Some((user, best));
@@ -233,7 +378,7 @@ impl ChannelAllocationGame {
 
     /// True when `s` is a Nash equilibrium (Definition 1).
     pub fn is_nash(&self, s: &StrategyMatrix) -> bool {
-        self.nash_check(&s.clone()).is_nash()
+        self.nash_check(s).is_nash()
     }
 
     /// Wrap this game in an adapter implementing [`mrca_game::Game`], with
@@ -260,10 +405,8 @@ pub struct IndexedGame {
 
 impl IndexedGame {
     fn new(game: ChannelAllocationGame) -> Self {
-        let space = user_strategy_space(
-            game.config().n_channels(),
-            game.config().radios_per_user(),
-        );
+        let space =
+            user_strategy_space(game.config().n_channels(), game.config().radios_per_user());
         IndexedGame { game, space }
     }
 
@@ -336,7 +479,7 @@ impl mrca_game::Game for IndexedGame {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use mrca_mac::LinearDecayRate;
+    use crate::rate_model::LinearDecayRate;
 
     fn figure2() -> StrategyMatrix {
         StrategyMatrix::from_rows(&[

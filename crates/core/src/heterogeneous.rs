@@ -19,9 +19,9 @@
 
 use crate::algorithm::TieBreak;
 use crate::error::Error;
+use crate::rate_model::{ConstantRate, RateModel};
 use crate::strategy::{StrategyMatrix, StrategyVector};
 use crate::types::{ChannelId, UserId};
-use mrca_mac::{ConstantRate, RateFunction};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
@@ -96,12 +96,12 @@ impl HeteroConfig {
 #[derive(Debug, Clone)]
 pub struct HeteroGame {
     config: HeteroConfig,
-    rate: Arc<dyn RateFunction>,
+    rate: Arc<dyn RateModel>,
 }
 
 impl HeteroGame {
     /// Create a game from a configuration and rate model.
-    pub fn new(config: HeteroConfig, rate: Arc<dyn RateFunction>) -> Self {
+    pub fn new(config: HeteroConfig, rate: Arc<dyn RateModel>) -> Self {
         HeteroGame { config, rate }
     }
 
@@ -119,7 +119,7 @@ impl HeteroGame {
     }
 
     /// The rate model.
-    pub fn rate(&self) -> &Arc<dyn RateFunction> {
+    pub fn rate(&self) -> &Arc<dyn RateModel> {
         &self.rate
     }
 
@@ -168,6 +168,26 @@ impl HeteroGame {
         total
     }
 
+    /// Eq. 3 against a cached load vector (`O(|C|)`, no column scans).
+    pub fn utility_cached(
+        &self,
+        s: &StrategyMatrix,
+        loads: &crate::loads::ChannelLoads,
+        user: UserId,
+    ) -> f64 {
+        debug_assert!(loads.is_consistent_with(s), "stale load cache");
+        let mut total = 0.0;
+        for c in ChannelId::all(self.config.n_channels()) {
+            let kic = s.get(user, c);
+            if kic == 0 {
+                continue;
+            }
+            let kc = loads.load(c);
+            total += kic as f64 / kc as f64 * self.rate.rate(kc);
+        }
+        total
+    }
+
     /// Utilities of all users.
     pub fn utilities(&self, s: &StrategyMatrix) -> Vec<f64> {
         UserId::all(self.config.n_users())
@@ -192,12 +212,25 @@ impl HeteroGame {
     /// Exact best response of `user` (same DP as the homogeneous game,
     /// with the user's own budget `k_i`).
     pub fn best_response(&self, s: &StrategyMatrix, user: UserId) -> (StrategyVector, f64) {
+        let loads = crate::loads::ChannelLoads::of(s);
+        self.best_response_cached(s, &loads, user)
+    }
+
+    /// [`best_response`](Self::best_response) against a cached load vector.
+    pub fn best_response_cached(
+        &self,
+        s: &StrategyMatrix,
+        loads: &crate::loads::ChannelLoads,
+        user: UserId,
+    ) -> (StrategyVector, f64) {
+        debug_assert!(loads.is_consistent_with(s), "stale load cache");
         let k = self.config.radios_of(user) as usize;
         let n_ch = self.config.n_channels();
         let loads_wo: Vec<u32> = ChannelId::all(n_ch)
-            .map(|c| s.channel_load(c) - s.get(user, c))
+            .map(|c| loads.load(c) - s.get(user, c))
             .collect();
         let mut f = vec![vec![0.0f64; k + 1]; n_ch];
+        #[allow(clippy::needless_range_loop)] // the DP reads as index algebra
         for c in 0..n_ch {
             for t in 1..=k {
                 let total = loads_wo[c] + t as u32;
@@ -284,7 +317,9 @@ impl HeteroGame {
                 let min = *loads.iter().min().expect("nonempty");
                 let max = *loads.iter().max().expect("nonempty");
                 let qualifying: Vec<usize> = if min == max {
-                    (0..n_ch).filter(|&c| s.get(user, ChannelId(c)) == 0).collect()
+                    (0..n_ch)
+                        .filter(|&c| s.get(user, ChannelId(c)) == 0)
+                        .collect()
                 } else {
                     (0..n_ch).filter(|&c| loads[c] == min).collect()
                 };
@@ -313,12 +348,14 @@ impl HeteroGame {
         max_rounds: usize,
     ) -> (StrategyMatrix, bool, usize) {
         let n = self.config.n_users();
+        let mut loads = crate::loads::ChannelLoads::of(&s);
         for round in 1..=max_rounds {
             let mut moved = false;
             for u in UserId::all(n) {
-                let before = self.utility(&s, u);
-                let (br, after) = self.best_response(&s, u);
+                let before = self.utility_cached(&s, &loads, u);
+                let (br, after) = self.best_response_cached(&s, &loads, u);
                 if after > before + crate::game::UTILITY_TOLERANCE {
+                    loads.replace_row(&s.user_strategy(u), &br);
                     s.set_user_strategy(u, &br);
                     moved = true;
                 }
@@ -334,7 +371,7 @@ impl HeteroGame {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use mrca_mac::LinearDecayRate;
+    use crate::rate_model::LinearDecayRate;
 
     fn mixed() -> HeteroGame {
         // A 4-radio AP, two 2-radio laptops, three 1-radio sensors, 5 channels.
@@ -404,7 +441,8 @@ mod tests {
     fn utility_matches_homogeneous_game_when_budgets_equal() {
         use crate::config::GameConfig;
         use crate::game::ChannelAllocationGame;
-        let homo = ChannelAllocationGame::with_constant_rate(GameConfig::new(3, 2, 3).unwrap(), 1.0);
+        let homo =
+            ChannelAllocationGame::with_constant_rate(GameConfig::new(3, 2, 3).unwrap(), 1.0);
         let hetero = HeteroGame::with_unit_rate(HeteroConfig::new(vec![2, 2, 2], 3).unwrap());
         let s = StrategyMatrix::from_rows(&[vec![1, 1, 0], vec![1, 0, 1], vec![0, 1, 1]]).unwrap();
         for u in UserId::all(3) {
@@ -440,6 +478,39 @@ mod tests {
         let g = mixed();
         let s = g.algorithm1(TieBreak::LowestIndex, Some(vec![5, 4, 3, 2, 1, 0]));
         assert!(g.is_nash(&s), "gain {}", g.max_gain(&s));
+    }
+
+    #[test]
+    fn cached_paths_match_naive_recompute() {
+        use crate::dynamics::random_start;
+        use crate::game::ChannelAllocationGame;
+        let g = mixed();
+        let homo = ChannelAllocationGame::with_constant_rate(
+            crate::config::GameConfig::new(6, 4, 5).unwrap(),
+            1.0,
+        );
+        for seed in 0..10 {
+            // Random full deployment over the same shape, then clamp to
+            // each user's own budget by parking extras.
+            let mut s = random_start(&homo, seed);
+            for u in UserId::all(6) {
+                while s.user_total(u) > g.config().radios_of(u) {
+                    let c = (0..5)
+                        .map(ChannelId)
+                        .find(|&c| s.get(u, c) > 0)
+                        .expect("deployed radio exists");
+                    s.set(u, c, s.get(u, c) - 1);
+                }
+            }
+            let loads = crate::loads::ChannelLoads::of(&s);
+            for u in UserId::all(6) {
+                assert_eq!(g.utility_cached(&s, &loads, u), g.utility(&s, u));
+                assert_eq!(
+                    g.best_response_cached(&s, &loads, u),
+                    g.best_response(&s, u)
+                );
+            }
+        }
     }
 
     #[test]

@@ -64,9 +64,11 @@ pub mod enumerate;
 pub mod error;
 pub mod game;
 pub mod heterogeneous;
+pub mod loads;
 pub mod multi_rate;
 pub mod nash;
 pub mod pareto;
+pub mod rate_model;
 pub mod strategy;
 pub mod types;
 pub mod utility_models;
@@ -74,6 +76,8 @@ pub mod utility_models;
 pub use config::GameConfig;
 pub use error::Error;
 pub use game::ChannelAllocationGame;
+pub use loads::ChannelLoads;
+pub use rate_model::{ConstantRate, RateModel};
 pub use strategy::{StrategyMatrix, StrategyVector};
 pub use types::{ChannelId, UserId};
 
@@ -87,9 +91,10 @@ pub mod prelude {
     pub use crate::enumerate::enumerate_allocations;
     pub use crate::error::Error;
     pub use crate::game::ChannelAllocationGame;
+    pub use crate::loads::ChannelLoads;
     pub use crate::nash::{theorem1, NashCheck, Theorem1Verdict};
     pub use crate::pareto::{is_pareto_optimal_ne, is_system_optimal, optimal_total_rate};
+    pub use crate::rate_model::{ConstantRate, RateFunction, RateModel};
     pub use crate::strategy::{StrategyMatrix, StrategyVector};
     pub use crate::types::{ChannelId, UserId};
-    pub use mrca_mac::{ConstantRate, RateFunction};
 }

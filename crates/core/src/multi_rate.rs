@@ -21,16 +21,17 @@
 use crate::config::GameConfig;
 use crate::error::Error;
 use crate::game::UTILITY_TOLERANCE;
+use crate::loads::ChannelLoads;
+use crate::rate_model::RateModel;
 use crate::strategy::{StrategyMatrix, StrategyVector};
 use crate::types::{ChannelId, UserId};
-use mrca_mac::RateFunction;
 use std::sync::Arc;
 
 /// Channel-allocation game with a distinct rate model per channel.
 #[derive(Debug, Clone)]
 pub struct MultiRateGame {
     config: GameConfig,
-    rates: Vec<Arc<dyn RateFunction>>,
+    rates: Vec<Arc<dyn RateModel>>,
 }
 
 impl MultiRateGame {
@@ -40,7 +41,7 @@ impl MultiRateGame {
     ///
     /// Returns [`Error::InvalidConfig`] when the number of rate models
     /// does not match the channel count.
-    pub fn new(config: GameConfig, rates: Vec<Arc<dyn RateFunction>>) -> Result<Self, Error> {
+    pub fn new(config: GameConfig, rates: Vec<Arc<dyn RateModel>>) -> Result<Self, Error> {
         if rates.len() != config.n_channels() {
             return Err(Error::InvalidConfig {
                 reason: format!(
@@ -59,7 +60,7 @@ impl MultiRateGame {
     }
 
     /// Rate model of `channel`.
-    pub fn rate_of(&self, channel: ChannelId) -> &Arc<dyn RateFunction> {
+    pub fn rate_of(&self, channel: ChannelId) -> &Arc<dyn RateModel> {
         &self.rates[channel.0]
     }
 
@@ -72,6 +73,21 @@ impl MultiRateGame {
                 continue;
             }
             let kc = s.channel_load(c);
+            total += kic as f64 / kc as f64 * self.rates[c.0].rate(kc);
+        }
+        total
+    }
+
+    /// Eq. 3 with per-channel rates against a cached load vector.
+    pub fn utility_cached(&self, s: &StrategyMatrix, loads: &ChannelLoads, user: UserId) -> f64 {
+        debug_assert!(loads.is_consistent_with(s), "stale load cache");
+        let mut total = 0.0;
+        for c in ChannelId::all(self.config.n_channels()) {
+            let kic = s.get(user, c);
+            if kic == 0 {
+                continue;
+            }
+            let kc = loads.load(c);
             total += kic as f64 / kc as f64 * self.rates[c.0].rate(kc);
         }
         total
@@ -100,12 +116,25 @@ impl MultiRateGame {
 
     /// Exact best response (the homogeneous DP with per-channel `f_c`).
     pub fn best_response(&self, s: &StrategyMatrix, user: UserId) -> (StrategyVector, f64) {
+        let loads = ChannelLoads::of(s);
+        self.best_response_cached(s, &loads, user)
+    }
+
+    /// [`best_response`](Self::best_response) against a cached load vector.
+    pub fn best_response_cached(
+        &self,
+        s: &StrategyMatrix,
+        loads: &ChannelLoads,
+        user: UserId,
+    ) -> (StrategyVector, f64) {
+        debug_assert!(loads.is_consistent_with(s), "stale load cache");
         let k = self.config.radios_per_user() as usize;
         let n_ch = self.config.n_channels();
         let loads_wo: Vec<u32> = ChannelId::all(n_ch)
-            .map(|c| s.channel_load(c) - s.get(user, c))
+            .map(|c| loads.load(c) - s.get(user, c))
             .collect();
         let mut f = vec![vec![0.0f64; k + 1]; n_ch];
+        #[allow(clippy::needless_range_loop)] // the DP reads as index algebra
         for c in 0..n_ch {
             for t in 1..=k {
                 let total = loads_wo[c] + t as u32;
@@ -152,14 +181,17 @@ impl MultiRateGame {
         })
     }
 
-    /// Best-response dynamics to a fixed point.
+    /// Best-response dynamics to a fixed point (loads maintained
+    /// incrementally across moves).
     pub fn converge(&self, mut s: StrategyMatrix, max_rounds: usize) -> (StrategyMatrix, bool) {
+        let mut loads = ChannelLoads::of(&s);
         for _ in 0..max_rounds {
             let mut moved = false;
             for u in UserId::all(self.config.n_users()) {
-                let before = self.utility(&s, u);
-                let (br, after) = self.best_response(&s, u);
+                let before = self.utility_cached(&s, &loads, u);
+                let (br, after) = self.best_response_cached(&s, &loads, u);
                 if after > before + UTILITY_TOLERANCE {
+                    loads.replace_row(&s.user_strategy(u), &br);
                     s.set_user_strategy(u, &br);
                     moved = true;
                 }
@@ -224,7 +256,7 @@ mod tests {
     use super::*;
     use crate::dynamics::random_start;
     use crate::game::ChannelAllocationGame;
-    use mrca_mac::ConstantRate;
+    use crate::rate_model::ConstantRate;
 
     fn two_tier(n: usize, k: u32) -> MultiRateGame {
         // Channel 1 is twice as good as channels 2 and 3.
@@ -254,7 +286,9 @@ mod tests {
         let cfg = GameConfig::new(3, 2, 3).unwrap();
         let multi = MultiRateGame::new(
             cfg,
-            vec![Arc::new(ConstantRate::unit()); 3],
+            (0..3)
+                .map(|_| Arc::new(ConstantRate::unit()) as Arc<dyn RateModel>)
+                .collect(),
         )
         .unwrap();
         let base = ChannelAllocationGame::with_constant_rate(cfg, 1.0);
@@ -263,10 +297,11 @@ mod tests {
             assert_eq!(multi.utility(&s, u), base.utility(&s, u));
         }
         assert_eq!(multi.is_nash(&s), base.nash_check(&s).is_nash());
-        assert!((multi.optimal_total_rate()
-            - crate::pareto::optimal_total_rate(&cfg, base.rate()))
-        .abs()
-            < 1e-12);
+        assert!(
+            (multi.optimal_total_rate() - crate::pareto::optimal_total_rate(&cfg, base.rate()))
+                .abs()
+                < 1e-12
+        );
     }
 
     #[test]
@@ -332,6 +367,23 @@ mod tests {
         for seed in 0..5 {
             let (end, _) = g.converge(random_start(&base, seed), 300);
             assert!(g.total_utility(&end) <= opt + 1e-9);
+        }
+    }
+
+    #[test]
+    fn cached_paths_match_naive_recompute() {
+        let g = two_tier(5, 2);
+        let base = ChannelAllocationGame::with_constant_rate(*g.config(), 1.0);
+        for seed in 0..10 {
+            let s = random_start(&base, seed);
+            let loads = ChannelLoads::of(&s);
+            for u in UserId::all(5) {
+                assert_eq!(g.utility_cached(&s, &loads, u), g.utility(&s, u));
+                assert_eq!(
+                    g.best_response_cached(&s, &loads, u),
+                    g.best_response(&s, u)
+                );
+            }
         }
     }
 

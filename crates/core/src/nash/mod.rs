@@ -20,8 +20,10 @@ pub mod lemmas;
 pub mod theorem1;
 
 pub use crate::game::NashCheck;
-pub use lemmas::{lemma1_violations, lemma2_violations, lemma3_violations, lemma4_violations,
-    proposition1_holds, LemmaViolation};
+pub use lemmas::{
+    lemma1_violations, lemma2_violations, lemma3_violations, lemma4_violations, proposition1_holds,
+    LemmaViolation,
+};
 pub use theorem1::{theorem1, Theorem1Verdict};
 
 use crate::game::ChannelAllocationGame;

@@ -160,9 +160,7 @@ pub fn theorem1(game: &ChannelAllocationGame, s: &StrategyMatrix) -> Theorem1Ver
 
     // Condition 2.
     for user in UserId::all(cfg.n_users()) {
-        let exception = c_min
-            .iter()
-            .all(|&c| s.get(user, ChannelId(c)) > 0);
+        let exception = c_min.iter().all(|&c| s.get(user, ChannelId(c)) > 0);
         if !exception {
             for c in ChannelId::all(cfg.n_channels()) {
                 let count = s.get(user, c);
@@ -323,7 +321,11 @@ mod tests {
         // the stack.
         let s = StrategyMatrix::from_rows(&[vec![2, 0], vec![0, 2]]).unwrap();
         match theorem1(&g, &s) {
-            Theorem1Verdict::Stacked { user, channel, count } => {
+            Theorem1Verdict::Stacked {
+                user,
+                channel,
+                count,
+            } => {
                 assert_eq!(user, UserId(0));
                 assert_eq!(channel, ChannelId(0));
                 assert_eq!(count, 2);
@@ -339,12 +341,8 @@ mod tests {
         // Loads (3,3,3,3) with u1 = (3,1,0,0): C_min = every channel, u1
         // misses c3 → the regular clause applies and flags the stack.
         let g = unit_game(3, 4, 4);
-        let s = StrategyMatrix::from_rows(&[
-            vec![3, 1, 0, 0],
-            vec![0, 1, 2, 1],
-            vec![0, 1, 1, 2],
-        ])
-        .unwrap();
+        let s = StrategyMatrix::from_rows(&[vec![3, 1, 0, 0], vec![0, 1, 2, 1], vec![0, 1, 1, 2]])
+            .unwrap();
         assert_eq!(s.loads(), vec![3, 3, 3, 3]);
         match theorem1(&g, &s) {
             Theorem1Verdict::Stacked { user, .. } => assert_eq!(user, UserId(0)),

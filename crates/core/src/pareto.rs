@@ -32,8 +32,8 @@
 
 use crate::config::GameConfig;
 use crate::game::ChannelAllocationGame;
+use crate::rate_model::RateModel;
 use crate::strategy::StrategyMatrix;
-use mrca_mac::RateFunction;
 
 /// Relative tolerance for welfare comparisons.
 const REL_TOL: f64 = 1e-9;
@@ -46,7 +46,7 @@ const REL_TOL: f64 = 1e-9;
 /// loads only, and any load vector with every `k_c ≤ m` is realizable by
 /// *some* strategy matrix (users fill channels greedily), so the DP bound
 /// is tight for welfare purposes.
-pub fn optimal_total_rate(cfg: &GameConfig, rate: &dyn RateFunction) -> f64 {
+pub fn optimal_total_rate(cfg: &GameConfig, rate: &dyn RateModel) -> f64 {
     let m = cfg.total_radios() as usize;
     let c = cfg.n_channels();
     // dp[r] = best welfare placing r radios on the channels seen so far.
@@ -60,12 +60,7 @@ pub fn optimal_total_rate(cfg: &GameConfig, rate: &dyn RateFunction) -> f64 {
                 if dp[r - t] == neg {
                     continue;
                 }
-                let v = dp[r - t]
-                    + if t == 0 {
-                        0.0
-                    } else {
-                        rate.rate(t as u32)
-                    };
+                let v = dp[r - t] + if t == 0 { 0.0 } else { rate.rate(t as u32) };
                 if v > next[r] {
                     next[r] = v;
                 }
@@ -78,7 +73,7 @@ pub fn optimal_total_rate(cfg: &GameConfig, rate: &dyn RateFunction) -> f64 {
 
 /// Welfare of the perfectly balanced load vector (`δ ≤ 1`), which by
 /// Theorem 1 is the welfare of **every** NE.
-pub fn balanced_total_rate(cfg: &GameConfig, rate: &dyn RateFunction) -> f64 {
+pub fn balanced_total_rate(cfg: &GameConfig, rate: &dyn RateModel) -> f64 {
     cfg.balanced_loads()
         .iter()
         .map(|&l| if l == 0 { 0.0 } else { rate.rate(l) })
@@ -88,7 +83,7 @@ pub fn balanced_total_rate(cfg: &GameConfig, rate: &dyn RateFunction) -> f64 {
 /// `optimal_total_rate − balanced_total_rate`: the amount by which the
 /// paper's Theorem 2 can be violated for a given rate model (0 for
 /// constant `R`; tests exhibit a positive gap for cliff-shaped `R`).
-pub fn welfare_gap(cfg: &GameConfig, rate: &dyn RateFunction) -> f64 {
+pub fn welfare_gap(cfg: &GameConfig, rate: &dyn RateModel) -> f64 {
     optimal_total_rate(cfg, rate) - balanced_total_rate(cfg, rate)
 }
 
@@ -105,11 +100,11 @@ pub fn is_system_optimal(game: &ChannelAllocationGame, s: &StrategyMatrix) -> bo
 pub fn is_pareto_optimal_ne(game: &ChannelAllocationGame, s: &StrategyMatrix) -> bool {
     let mine = game.utilities(s);
     let mut dominated = false;
-    crate::enumerate::enumerate_allocations(game.config(), |other| {
+    crate::enumerate::enumerate_allocations_with_loads(game.config(), |other, loads| {
         if dominated {
             return;
         }
-        let theirs = game.utilities(other);
+        let theirs = game.utilities_cached(other, loads);
         if mrca_game::pareto::dominates(&theirs, &mine) {
             dominated = true;
         }
@@ -120,7 +115,7 @@ pub fn is_pareto_optimal_ne(game: &ChannelAllocationGame, s: &StrategyMatrix) ->
 #[cfg(test)]
 mod tests {
     use super::*;
-    use mrca_mac::{ConstantRate, StepRate};
+    use crate::rate_model::{ConstantRate, StepRate};
     use std::sync::Arc;
 
     #[test]
@@ -174,8 +169,7 @@ mod tests {
         // and after both do, both are down to 2: a prisoner's dilemma
         // embedded in the allocation game.
         let cfg = GameConfig::new(2, 2, 2).unwrap();
-        let cliff: Arc<dyn RateFunction> =
-            Arc::new(StepRate::new("cliff", vec![10.0, 2.0, 2.0, 2.0]));
+        let cliff: Arc<dyn RateModel> = Arc::new(StepRate::new("cliff", vec![10.0, 2.0, 2.0, 2.0]));
         let game = ChannelAllocationGame::new(cfg, cliff);
         let s = StrategyMatrix::from_rows(&[vec![1, 1], vec![1, 1]]).unwrap();
         // It is a NE…

@@ -1,0 +1,439 @@
+//! The `R(k_c)` abstraction ([`RateModel`]) and synthetic rate families.
+//!
+//! Section 2 of the paper assumes the total available bitrate on a channel,
+//! `R(k_c)`, is a **non-increasing** function of the number of radios
+//! `k_c`, with `R(0) = 0` and `R(k) > 0` for `k ≥ 1` (the latter is implied
+//! by the paper's `R_{i,c} > 0` whenever `k_{i,c} > 0`, and is what makes
+//! Lemma 1 work). [`RateModel`] encodes exactly this contract.
+//!
+//! This trait is the *single* rate abstraction of the workspace: the
+//! analytic families below, the `mrca-mac` MAC substrates (Bianchi DCF,
+//! optimal/practical CSMA, TDMA, Aloha) and the empirical tables measured
+//! by the slot-level simulator all implement it, so a game can be played
+//! against any of them interchangeably. (It was previously named
+//! `RateFunction` and lived in `mrca-mac`; the old name remains as an
+//! alias and `mrca-mac` re-exports everything here.)
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::sync::Arc;
+
+/// Total available rate on one channel as a function of its radio count.
+///
+/// # Contract
+///
+/// Implementations must satisfy, for all `k ≥ 1` within their intended
+/// domain:
+///
+/// * `rate(0) == 0.0` (no radios, no traffic — the paper defines `R(0)=0`),
+/// * `rate(k) > 0.0` (an occupied channel always carries *some* traffic),
+/// * `rate(k+1) <= rate(k)` (non-increasing total rate).
+///
+/// [`validate_rate_function`] checks the contract on a finite prefix and is
+/// exercised by the test-suites of every implementation in this workspace.
+pub trait RateModel: Send + Sync + fmt::Debug {
+    /// Total channel rate in bit/s when `k` radios share the channel.
+    fn rate(&self, k: u32) -> f64;
+
+    /// Short machine-readable name (used in experiment tables).
+    fn name(&self) -> &str;
+
+    /// Per-radio share `R(k)/k` (the paper's fair-TDMA share), `0` at `k=0`.
+    fn share(&self, k: u32) -> f64 {
+        if k == 0 {
+            0.0
+        } else {
+            self.rate(k) / k as f64
+        }
+    }
+}
+
+/// Back-compatibility alias: the trait's original name.
+pub use self::RateModel as RateFunction;
+
+/// Blanket impl so `Arc<dyn RateModel>` and friends are themselves rate
+/// functions — the game crate stores rate models behind `Arc`.
+impl<T: RateModel + ?Sized> RateModel for Arc<T> {
+    fn rate(&self, k: u32) -> f64 {
+        (**self).rate(k)
+    }
+    fn name(&self) -> &str {
+        (**self).name()
+    }
+}
+
+impl<T: RateModel + ?Sized> RateModel for &T {
+    fn rate(&self, k: u32) -> f64 {
+        (**self).rate(k)
+    }
+    fn name(&self) -> &str {
+        (**self).name()
+    }
+}
+
+/// Check the [`RateModel`] contract for `k = 0..=max_k`.
+///
+/// # Errors
+///
+/// Returns a description of the first violation: `R(0) ≠ 0`, a
+/// non-positive rate at occupied `k`, or an increase `R(k+1) > R(k)`.
+pub fn validate_rate_function<R: RateModel + ?Sized>(r: &R, max_k: u32) -> Result<(), String> {
+    if r.rate(0) != 0.0 {
+        return Err(format!("{}: R(0) = {}, expected 0", r.name(), r.rate(0)));
+    }
+    let mut prev = f64::INFINITY;
+    for k in 1..=max_k {
+        let v = r.rate(k);
+        #[allow(clippy::neg_cmp_op_on_partial_ord)] // also rejects NaN
+        if !(v > 0.0) {
+            return Err(format!("{}: R({k}) = {v}, expected positive", r.name()));
+        }
+        if v > prev * (1.0 + 1e-12) {
+            return Err(format!(
+                "{}: R({k}) = {v} exceeds R({}) = {prev}: not non-increasing",
+                r.name(),
+                k - 1
+            ));
+        }
+        prev = v;
+    }
+    Ok(())
+}
+
+/// Constant total rate — the idealization used throughout the paper's
+/// examples (Figures 1, 4, 5 draw `R(k_c)` as a constant bar height) and
+/// exact for reservation TDMA.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ConstantRate {
+    bps: f64,
+    name: String,
+}
+
+impl ConstantRate {
+    /// A constant `R(k) = bps` for all `k ≥ 1`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bps` is not strictly positive and finite.
+    pub fn new(bps: f64) -> Self {
+        assert!(
+            bps > 0.0 && bps.is_finite(),
+            "constant rate must be positive and finite, got {bps}"
+        );
+        ConstantRate {
+            bps,
+            name: format!("constant({bps})"),
+        }
+    }
+
+    /// Normalized variant: `R(k) = 1` (utility = fraction of one channel).
+    pub fn unit() -> Self {
+        ConstantRate::new(1.0)
+    }
+}
+
+impl RateModel for ConstantRate {
+    fn rate(&self, k: u32) -> f64 {
+        if k == 0 {
+            0.0
+        } else {
+            self.bps
+        }
+    }
+    fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+/// Linearly decaying total rate with a positive floor:
+/// `R(k) = max(floor, r1 − slope·(k−1))`.
+///
+/// A convenient stand-in for "practical CSMA/CA" in fast tests: strictly
+/// decreasing near the origin, never reaching zero.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LinearDecayRate {
+    r1: f64,
+    slope: f64,
+    floor: f64,
+    name: String,
+}
+
+impl LinearDecayRate {
+    /// Create a linear-decay model.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `r1 >= floor > 0` and `slope >= 0`.
+    pub fn new(r1: f64, slope: f64, floor: f64) -> Self {
+        assert!(floor > 0.0, "floor must be positive, got {floor}");
+        assert!(
+            r1 >= floor,
+            "r1 ({r1}) must be at least the floor ({floor})"
+        );
+        assert!(slope >= 0.0, "slope must be non-negative, got {slope}");
+        LinearDecayRate {
+            r1,
+            slope,
+            floor,
+            name: format!("linear(r1={r1},slope={slope},floor={floor})"),
+        }
+    }
+}
+
+impl RateModel for LinearDecayRate {
+    fn rate(&self, k: u32) -> f64 {
+        if k == 0 {
+            0.0
+        } else {
+            (self.r1 - self.slope * (k - 1) as f64).max(self.floor)
+        }
+    }
+    fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+/// Geometrically decaying total rate: `R(k) = r1 · factor^(k−1)`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ExponentialDecayRate {
+    r1: f64,
+    factor: f64,
+    name: String,
+}
+
+impl ExponentialDecayRate {
+    /// Create a geometric-decay model.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `r1 > 0` and `0 < factor <= 1`.
+    pub fn new(r1: f64, factor: f64) -> Self {
+        assert!(r1 > 0.0, "r1 must be positive, got {r1}");
+        assert!(
+            factor > 0.0 && factor <= 1.0,
+            "factor must be in (0, 1], got {factor}"
+        );
+        ExponentialDecayRate {
+            r1,
+            factor,
+            name: format!("expdecay(r1={r1},factor={factor})"),
+        }
+    }
+}
+
+impl RateModel for ExponentialDecayRate {
+    fn rate(&self, k: u32) -> f64 {
+        if k == 0 {
+            0.0
+        } else {
+            self.r1 * self.factor.powi(k as i32 - 1)
+        }
+    }
+    fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+/// Table-driven rate: `R(k) = table[min(k, len)−1]` for `k ≥ 1`.
+///
+/// Used to wrap empirical curves (e.g. slot-simulated DCF throughput) as a
+/// [`RateModel`]; values beyond the table are clamped to the last entry.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StepRate {
+    table: Vec<f64>,
+    name: String,
+}
+
+impl StepRate {
+    /// Wrap a table of rates for `k = 1..=table.len()`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the table is empty, contains a non-positive value, or is
+    /// not non-increasing.
+    pub fn new(name: impl Into<String>, table: Vec<f64>) -> Self {
+        assert!(!table.is_empty(), "rate table must be non-empty");
+        for (i, &v) in table.iter().enumerate() {
+            assert!(v > 0.0, "rate table entry {i} must be positive, got {v}");
+            if i > 0 {
+                assert!(
+                    v <= table[i - 1] * (1.0 + 1e-12),
+                    "rate table must be non-increasing (entry {i}: {v} > {})",
+                    table[i - 1]
+                );
+            }
+        }
+        StepRate {
+            table,
+            name: name.into(),
+        }
+    }
+
+    /// Wrap a possibly non-monotone empirical table by taking its running
+    /// minimum first (see [`MonotoneEnvelope`] for the generic wrapper).
+    pub fn monotone_from(name: impl Into<String>, raw: &[f64]) -> Self {
+        assert!(!raw.is_empty(), "rate table must be non-empty");
+        let mut table = Vec::with_capacity(raw.len());
+        let mut min = f64::INFINITY;
+        for &v in raw {
+            min = min.min(v);
+            table.push(min);
+        }
+        StepRate::new(name, table)
+    }
+}
+
+impl RateModel for StepRate {
+    fn rate(&self, k: u32) -> f64 {
+        if k == 0 {
+            0.0
+        } else {
+            let idx = (k as usize).min(self.table.len()) - 1;
+            self.table[idx]
+        }
+    }
+    fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+/// Running-minimum wrapper turning any rate model into a non-increasing one.
+///
+/// Analytic DCF curves can exhibit a tiny hump near `k = 1–2` for some
+/// parameter sets (contention increases channel utilization before
+/// collisions dominate); the paper's model requires monotonicity, so game
+/// constructions wrap such models in `MonotoneEnvelope`. For the standard
+/// parameter sets the envelope is the identity (verified in tests).
+#[derive(Debug, Clone)]
+pub struct MonotoneEnvelope<R> {
+    inner: R,
+    name: String,
+}
+
+impl<R: RateModel> MonotoneEnvelope<R> {
+    /// Wrap `inner` with a running minimum over `1..=k`.
+    pub fn new(inner: R) -> Self {
+        let name = format!("monotone({})", inner.name());
+        MonotoneEnvelope { inner, name }
+    }
+
+    /// Access the wrapped model.
+    pub fn inner(&self) -> &R {
+        &self.inner
+    }
+}
+
+impl<R: RateModel> RateModel for MonotoneEnvelope<R> {
+    fn rate(&self, k: u32) -> f64 {
+        if k == 0 {
+            return 0.0;
+        }
+        // Running minimum; rate models in this workspace are cheap and/or
+        // memoized, so the O(k) scan is acceptable and keeps the wrapper
+        // stateless (Send + Sync for free).
+        (1..=k)
+            .map(|j| self.inner.rate(j))
+            .fold(f64::INFINITY, f64::min)
+    }
+    fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_rate_contract() {
+        let r = ConstantRate::new(1e6);
+        validate_rate_function(&r, 100).unwrap();
+        assert_eq!(r.rate(0), 0.0);
+        assert_eq!(r.rate(1), 1e6);
+        assert_eq!(r.rate(50), 1e6);
+        assert_eq!(r.share(4), 0.25e6);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn constant_rate_rejects_zero() {
+        let _ = ConstantRate::new(0.0);
+    }
+
+    #[test]
+    fn linear_decay_contract_and_floor() {
+        let r = LinearDecayRate::new(10.0, 2.0, 1.0);
+        validate_rate_function(&r, 100).unwrap();
+        assert_eq!(r.rate(1), 10.0);
+        assert_eq!(r.rate(2), 8.0);
+        assert_eq!(r.rate(100), 1.0); // clamped at floor
+    }
+
+    #[test]
+    fn exponential_decay_contract() {
+        let r = ExponentialDecayRate::new(8.0, 0.5);
+        validate_rate_function(&r, 60).unwrap();
+        assert_eq!(r.rate(1), 8.0);
+        assert_eq!(r.rate(4), 1.0);
+    }
+
+    #[test]
+    fn step_rate_clamps_beyond_table() {
+        let r = StepRate::new("empirical", vec![5.0, 4.0, 3.0]);
+        validate_rate_function(&r, 10).unwrap();
+        assert_eq!(r.rate(3), 3.0);
+        assert_eq!(r.rate(9), 3.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-increasing")]
+    fn step_rate_rejects_increase() {
+        let _ = StepRate::new("bad", vec![1.0, 2.0]);
+    }
+
+    #[test]
+    fn monotone_from_fixes_hump() {
+        let r = StepRate::monotone_from("fixed", &[5.0, 5.5, 4.0]);
+        validate_rate_function(&r, 5).unwrap();
+        assert_eq!(r.rate(2), 5.0);
+        assert_eq!(r.rate(3), 4.0);
+    }
+
+    #[test]
+    fn monotone_envelope_identity_on_monotone_input() {
+        let inner = LinearDecayRate::new(10.0, 1.0, 1.0);
+        let wrapped = MonotoneEnvelope::new(inner.clone());
+        for k in 0..20 {
+            assert_eq!(wrapped.rate(k), inner.rate(k));
+        }
+    }
+
+    #[test]
+    fn arc_dyn_rate_function_works() {
+        let r: Arc<dyn RateModel> = Arc::new(ConstantRate::unit());
+        assert_eq!(r.rate(2), 1.0);
+        validate_rate_function(&r, 10).unwrap();
+    }
+
+    #[test]
+    fn validator_catches_bad_r0() {
+        #[derive(Debug)]
+        struct Bad;
+        impl RateModel for Bad {
+            fn rate(&self, _k: u32) -> f64 {
+                1.0 // R(0) should be 0
+            }
+            fn name(&self) -> &str {
+                "bad"
+            }
+        }
+        assert!(validate_rate_function(&Bad, 5).is_err());
+    }
+
+    #[test]
+    fn share_is_rate_over_k() {
+        let r = ConstantRate::new(6.0);
+        assert_eq!(r.share(0), 0.0);
+        assert_eq!(r.share(3), 2.0);
+    }
+}

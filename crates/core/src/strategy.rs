@@ -211,11 +211,18 @@ impl StrategyMatrix {
             .sum()
     }
 
-    /// Load vector `(k_{c_1}, …, k_{c_|C|})`.
+    /// Load vector `(k_{c_1}, …, k_{c_|C|})`, computed in one row-major
+    /// pass (cache-friendlier than a column scan per channel; this is the
+    /// single source of truth [`crate::loads::ChannelLoads::of`] builds
+    /// its cache from).
     pub fn loads(&self) -> Vec<u32> {
-        (0..self.n_channels)
-            .map(|c| self.channel_load(ChannelId(c)))
-            .collect()
+        let mut loads = vec![0u32; self.n_channels];
+        for row in self.data.chunks_exact(self.n_channels) {
+            for (l, &v) in loads.iter_mut().zip(row) {
+                *l += v;
+            }
+        }
+        loads
     }
 
     /// `δ_{b,c} = k_b − k_c` (paper Eq. 6), as a signed value.

@@ -82,6 +82,7 @@ impl EnergyCostGame {
             .map(|c| s.channel_load(c) - s.get(user, c))
             .collect();
         let mut f = vec![vec![0.0f64; k + 1]; n_ch];
+        #[allow(clippy::needless_range_loop)] // the DP reads as index algebra
         for c in 0..n_ch {
             for t in 1..=k {
                 let total = loads_wo[c] + t as u32;

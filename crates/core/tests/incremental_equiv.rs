@@ -1,0 +1,150 @@
+//! The tentpole's safety net: the incremental (cached-loads) evaluation
+//! path is pinned to the naive recompute-from-scratch path across random
+//! games, rate models and (possibly under-deployed) strategy matrices.
+//!
+//! * `utility_cached` / `best_response_cached` / `nash_check_cached` read
+//!   the same loads the naive path recomputes, so they must agree
+//!   *exactly* (identical arithmetic, different bookkeeping).
+//! * `benefit_of_move` (four-term Δ) versus `benefit_of_move_naive`
+//!   (clone + two full Eq.-3 evaluations) differ in summation order, so
+//!   they are compared to a tight relative tolerance.
+//! * A load cache maintained across a whole best-response-dynamics run
+//!   must stay consistent with the matrix it tracks.
+
+use mrca_core::dynamics::{random_start, BestResponseDriver, Schedule};
+use mrca_core::loads::ChannelLoads;
+use mrca_core::rate_model::{
+    ConstantRate, ExponentialDecayRate, LinearDecayRate, RateModel, StepRate,
+};
+use mrca_core::{ChannelAllocationGame, ChannelId, GameConfig, StrategyMatrix, UserId};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+/// Small valid configurations, biased toward the conflict regime.
+fn config_strategy() -> impl Strategy<Value = GameConfig> {
+    (1usize..=6, 1u32..=4, 1usize..=6).prop_filter_map("k <= |C|", |(n, k, c)| {
+        GameConfig::new(n, k, c.max(k as usize)).ok()
+    })
+}
+
+/// A mix of the analytic rate families plus random monotone tables.
+fn rate_strategy() -> impl Strategy<Value = Arc<dyn RateModel>> {
+    (0usize..4, proptest::collection::vec(0.01f64..1.0, 24)).prop_map(|(kind, drops)| match kind {
+        0 => Arc::new(ConstantRate::new(5.0)) as Arc<dyn RateModel>,
+        1 => Arc::new(LinearDecayRate::new(10.0, 0.7, 0.5)),
+        2 => Arc::new(ExponentialDecayRate::new(8.0, 0.8)),
+        _ => {
+            let mut v = Vec::with_capacity(24);
+            let mut r = 100.0f64;
+            for d in drops {
+                v.push(r);
+                r = (r - d).max(0.5);
+            }
+            Arc::new(StepRate::new("prop", v))
+        }
+    })
+}
+
+/// A possibly under-deployed matrix: each user places `0..=k` radios on
+/// random channels (under-deployment exercises the `k_{i,c} = 0` and
+/// `k_{i,b} = 1` edges of the Δ formula).
+fn matrix_strategy(cfg: GameConfig) -> impl Strategy<Value = StrategyMatrix> {
+    let n = cfg.n_users();
+    let c = cfg.n_channels();
+    let k = cfg.radios_per_user() as usize;
+    proptest::collection::vec((0usize..=k, proptest::collection::vec(0usize..c, k)), n).prop_map(
+        move |users| {
+            let mut m = StrategyMatrix::zeros(n, c);
+            for (u, (deployed, places)) in users.iter().enumerate() {
+                for ch in places.iter().take(*deployed) {
+                    let cur = m.get(UserId(u), ChannelId(*ch));
+                    m.set(UserId(u), ChannelId(*ch), cur + 1);
+                }
+            }
+            m
+        },
+    )
+}
+
+/// A full random instance: config, rate model and a (possibly
+/// under-deployed) matrix for it.
+fn game_and_matrix() -> impl Strategy<Value = (GameConfig, Arc<dyn RateModel>, StrategyMatrix)> {
+    (config_strategy(), rate_strategy()).prop_flat_map(|(cfg, rate)| {
+        matrix_strategy(cfg).prop_map(move |m| (cfg, Arc::clone(&rate), m))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Cached utility ≡ naive utility, exactly.
+    #[test]
+    fn utility_cached_equals_naive(cfg in config_strategy(), rate in rate_strategy(), seed in 0u64..1000) {
+        let game = ChannelAllocationGame::new(cfg, rate);
+        let s = random_start(&game, seed);
+        let loads = ChannelLoads::of(&s);
+        for u in UserId::all(cfg.n_users()) {
+            prop_assert_eq!(game.utility_cached(&s, &loads, u), game.utility(&s, u));
+        }
+        prop_assert_eq!(game.total_utility_cached(&loads), game.total_utility(&s));
+        prop_assert_eq!(game.utilities_cached(&s, &loads), game.utilities(&s));
+    }
+
+    /// Incremental Eq. 7 ≡ clone-and-recompute Eq. 7 for every legal
+    /// single-radio move of every user, on under-deployed matrices too.
+    #[test]
+    fn benefit_of_move_matches_naive(instance in game_and_matrix()) {
+        let (cfg, rate, s) = instance;
+        let game = ChannelAllocationGame::new(cfg, rate);
+        let loads = ChannelLoads::of(&s);
+        for u in UserId::all(cfg.n_users()) {
+            for b in ChannelId::all(cfg.n_channels()) {
+                if s.get(u, b) == 0 {
+                    continue;
+                }
+                for c in ChannelId::all(cfg.n_channels()) {
+                    let fast = game.benefit_of_move(&s, u, b, c);
+                    let cached = game.benefit_of_move_cached(&s, &loads, u, b, c);
+                    let naive = game.benefit_of_move_naive(&s, u, b, c);
+                    prop_assert_eq!(fast, cached, "direct vs cached must be identical");
+                    let scale = naive.abs().max(fast.abs()).max(1.0);
+                    prop_assert!(
+                        (fast - naive).abs() <= 1e-9 * scale,
+                        "Δ mismatch u={} {}->{}: incremental {} vs naive {}",
+                        u, b, c, fast, naive
+                    );
+                }
+            }
+        }
+    }
+
+    /// Cached best response and Nash check ≡ their naive counterparts.
+    #[test]
+    fn nash_check_cached_equals_naive(cfg in config_strategy(), rate in rate_strategy(), seed in 0u64..1000) {
+        let game = ChannelAllocationGame::new(cfg, rate);
+        let s = random_start(&game, seed);
+        let loads = ChannelLoads::of(&s);
+        for u in UserId::all(cfg.n_users()) {
+            let (brc, uc) = game.best_response_cached(&s, &loads, u);
+            let (brn, un) = game.best_response(&s, u);
+            prop_assert_eq!(uc, un);
+            prop_assert_eq!(brc, brn);
+        }
+        let cached = game.nash_check_cached(&s, &loads);
+        let naive = game.nash_check(&s);
+        prop_assert_eq!(cached, naive);
+    }
+
+    /// A load cache maintained through a full dynamics run stays exact,
+    /// and the run lands on a NE the naive checker confirms.
+    #[test]
+    fn maintained_cache_survives_dynamics(cfg in config_strategy(), rate in rate_strategy(), seed in 0u64..200) {
+        let game = ChannelAllocationGame::new(cfg, rate);
+        let out = BestResponseDriver::new(Schedule::RoundRobin)
+            .run(&game, random_start(&game, seed), 400);
+        prop_assert!(out.converged);
+        let loads = ChannelLoads::of(&out.matrix);
+        prop_assert!(loads.is_consistent_with(&out.matrix));
+        prop_assert!(game.nash_check(&out.matrix).is_nash());
+    }
+}

@@ -57,7 +57,10 @@ pub fn plot_series(
     out.push_str(&format!("{:>12} +{}\n", "", "-".repeat(width * 2)));
     out.push_str(&format!(
         "{:>12}  {} = {} .. {}\n",
-        "", x_label, xs[0], xs[xs.len() - 1]
+        "",
+        x_label,
+        xs[0],
+        xs[xs.len() - 1]
     ));
     for (si, (name, _)) in series.iter().enumerate() {
         out.push_str(&format!(
@@ -79,13 +82,7 @@ mod tests {
         let xs: Vec<u32> = (1..=10).collect();
         let flat = vec![1.0; 10];
         let dec: Vec<f64> = (0..10).map(|i| 1.0 - 0.05 * i as f64).collect();
-        let text = plot_series(
-            "test",
-            "k",
-            &xs,
-            &[("flat", &flat), ("dec", &dec)],
-            8,
-        );
+        let text = plot_series("test", "k", &xs, &[("flat", &flat), ("dec", &dec)], 8);
         assert!(text.contains("test"));
         assert!(text.contains("* flat"));
         assert!(text.contains("+ dec"));

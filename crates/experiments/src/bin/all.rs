@@ -15,6 +15,7 @@ fn main() {
         "t5_bianchi",
         "t6_distributed",
         "t7_extensions",
+        "t8_suite",
     ];
     let exe_dir = std::env::current_exe()
         .expect("current exe path")

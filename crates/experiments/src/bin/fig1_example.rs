@@ -23,7 +23,11 @@ fn main() {
 
     println!("Allocation (Figure 1):\n{}", render_allocation(&s));
     println!("Strategy matrix (Figure 2):\n{}", s);
-    println!("Channel loads k_c: {:?}  (δ_max = {})\n", s.loads(), s.max_delta());
+    println!(
+        "Channel loads k_c: {:?}  (δ_max = {})\n",
+        s.loads(),
+        s.max_delta()
+    );
 
     let mut t = Table::new(&["user", "radios used", "utility U_i (Eq. 3)"]);
     for u in UserId::all(4) {
@@ -59,16 +63,14 @@ fn main() {
     // Paper's named witnesses must be present.
     let l2 = lemma2_violations(&game, &s);
     assert!(
-        l2.iter().any(|v| v.user == UserId(0)
-            && v.from == Some(ChannelId(3))
-            && v.to == ChannelId(4)),
+        l2.iter()
+            .any(|v| v.user == UserId(0) && v.from == Some(ChannelId(3)) && v.to == ChannelId(4)),
         "paper's Lemma-2 witness (u1, c4→c5) missing"
     );
     let l3 = lemma3_violations(&game, &s);
     assert!(
-        l3.iter().any(|v| v.user == UserId(2)
-            && v.from == Some(ChannelId(1))
-            && v.to == ChannelId(2)),
+        l3.iter()
+            .any(|v| v.user == UserId(2) && v.from == Some(ChannelId(1)) && v.to == ChannelId(2)),
         "paper's Lemma-3 witness (u3, c2→c3) missing"
     );
 

@@ -19,7 +19,7 @@ fn main() {
     let tdma = TdmaRate::from_phy(&phy);
     let opt = OptimalCsmaRate::new(phy.clone(), max_k);
     let prac = PracticalDcfRate::new(phy.clone(), max_k);
-    let sim = DcfSimulator::new(phy.clone(), 0xF16_3);
+    let sim = DcfSimulator::new(phy.clone(), 0xF163);
     let sim_curve = sim.throughput_curve(max_k, 20_000);
 
     let xs: Vec<u32> = (1..=max_k).collect();
@@ -44,7 +44,13 @@ fn main() {
         )
     );
 
-    let mut t = Table::new(&["k_c", "tdma_bps", "optimal_csma_bps", "practical_dcf_bps", "practical_sim_bps"]);
+    let mut t = Table::new(&[
+        "k_c",
+        "tdma_bps",
+        "optimal_csma_bps",
+        "practical_dcf_bps",
+        "practical_sim_bps",
+    ]);
     for (i, &k) in xs.iter().enumerate() {
         t.row(&cells![
             k,
@@ -60,7 +66,10 @@ fn main() {
     // Shape assertions (the reproduction targets).
     assert!(tdma.rate(1) == tdma.rate(max_k), "TDMA must be flat");
     let opt_spread = (opt.rate(2) - opt.rate(max_k)) / opt.rate(2);
-    assert!(opt_spread < 0.05, "optimal CSMA must be near-flat, spread {opt_spread}");
+    assert!(
+        opt_spread < 0.05,
+        "optimal CSMA must be near-flat, spread {opt_spread}"
+    );
     assert!(
         prac.rate(max_k) < 0.95 * prac.rate(2),
         "practical CSMA must lose ≥5% from k=2 to k={max_k}"
@@ -69,7 +78,11 @@ fn main() {
     for (i, &k) in xs.iter().enumerate() {
         let analytic = prac.raw_curve()[i];
         let rel = (sim_curve[i] - analytic).abs() / analytic;
-        assert!(rel < 0.05, "k={k}: sim {} vs analytic {analytic} (rel {rel:.4})", sim_curve[i]);
+        assert!(
+            rel < 0.05,
+            "k={k}: sim {} vs analytic {analytic} (rel {rel:.4})",
+            sim_curve[i]
+        );
     }
     println!("\nOK: Figure 3 shape targets hold (TDMA flat ≥ optimal ≈ flat > practical decreasing; sim within 5%).");
 }

@@ -33,7 +33,14 @@ fn main() {
     let g5 = ChannelAllocationGame::with_constant_rate(GameConfig::new(4, 4, 6).unwrap(), 1.0);
 
     let mut t = Table::new(&[
-        "figure", "loads", "δmax", "thm1", "exact NE", "system-opt", "welfare", "exception user",
+        "figure",
+        "loads",
+        "δmax",
+        "thm1",
+        "exact NE",
+        "system-opt",
+        "welfare",
+        "exception user",
     ]);
     for (name, g, s, exception) in [
         ("fig4", &g4, &fig4, "u1 (2+2 on C_min)"),
@@ -64,7 +71,9 @@ fn main() {
     println!(
         "Figure 4 exception check: C_min = {:?}, u1 radios there = {:?}",
         cmin,
-        cmin.iter().map(|&c| fig4.get(UserId(0), c)).collect::<Vec<_>>()
+        cmin.iter()
+            .map(|&c| fig4.get(UserId(0), c))
+            .collect::<Vec<_>>()
     );
     assert!(cmin.iter().all(|&c| fig4.get(UserId(0), c) > 0));
     assert!(cmin.iter().any(|&c| fig4.get(UserId(0), c) >= 2));

@@ -7,20 +7,31 @@
 //! reproduction also tracks the documented corner case (an exception user
 //! stacking ≥ 3 radios on a min channel) where the literal statement
 //! over-approximates — the table shows exactly how often that occurs.
+//!
+//! Instance × rate cells run in parallel through `ScenarioSuite`; the
+//! per-profile classification uses the loads-threaded enumeration and the
+//! cached Nash check, so the exact-deviation side does no matrix clone or
+//! load recomputation per profile. (`theorem1` still recomputes loads
+//! internally — a `theorem1_cached` variant is a noted follow-on.)
 
-use mrca_core::enumerate::{allocation_count, enumerate_allocations};
+use mrca_core::enumerate::{allocation_count, enumerate_allocations_with_loads};
 use mrca_core::nash::theorem1;
-use mrca_core::prelude::*;
-use mrca_experiments::{cells, table::Table, write_result};
-use mrca_mac::{ConstantRate, ExponentialDecayRate, LinearDecayRate, RateFunction};
-use std::sync::Arc;
+use mrca_experiments::{cells, write_result};
+use mrca_experiments::{OrderingSpec, RateSpec, ScenarioSuite};
 
 fn main() {
     println!("== T1: Theorem-1 characterization vs exhaustive deviation search ==\n");
-    let rates: Vec<(&str, Arc<dyn RateFunction>)> = vec![
-        ("constant", Arc::new(ConstantRate::unit())),
-        ("linear", Arc::new(LinearDecayRate::new(10.0, 1.0, 1.0))),
-        ("expdecay", Arc::new(ExponentialDecayRate::new(10.0, 0.8))),
+    let rates = [
+        RateSpec::ConstantUnit,
+        RateSpec::LinearDecay {
+            r1: 10.0,
+            slope: 1.0,
+            floor: 1.0,
+        },
+        RateSpec::ExpDecay {
+            r1: 10.0,
+            factor: 0.8,
+        },
     ];
     // Instances kept small enough to enumerate exhaustively.
     let instances = [
@@ -35,56 +46,75 @@ fn main() {
         (4, 2, 2),
         (3, 3, 3),
     ];
+    let suite = ScenarioSuite::from_instances(
+        "t1_characterization",
+        &instances,
+        &rates,
+        &[OrderingSpec::Natural],
+        1,
+    );
 
-    let mut t = Table::new(&[
-        "instance", "rate", "allocations", "NE(brute)", "NE(thm1)", "both", "thm1-only", "brute-only", "agree%",
-    ]);
+    let headers = [
+        "instance",
+        "rate",
+        "allocations",
+        "NE(brute)",
+        "NE(thm1)",
+        "both",
+        "thm1-only",
+        "brute-only",
+        "agree%",
+    ];
+    let report = suite.run_with(&headers, |cell| {
+        let cfg = cell.config();
+        let game = cell.game();
+        let mut n_brute = 0u64;
+        let mut n_thm = 0u64;
+        let mut n_both = 0u64;
+        let mut thm_only = 0u64;
+        let mut brute_only = 0u64;
+        let mut total = 0u64;
+        enumerate_allocations_with_loads(&cfg, |s, loads| {
+            total += 1;
+            let brute = game.nash_check_cached(s, loads).is_nash();
+            let thm = theorem1(&game, s).is_nash();
+            if brute {
+                n_brute += 1;
+            }
+            if thm {
+                n_thm += 1;
+            }
+            match (brute, thm) {
+                (true, true) => n_both += 1,
+                (false, true) => thm_only += 1,
+                (true, false) => brute_only += 1,
+                _ => {}
+            }
+        });
+        assert_eq!(total as u128, allocation_count(&cfg));
+        let agree = 100.0 * (total - thm_only - brute_only) as f64 / total as f64;
+        vec![cells![
+            cell.instance(),
+            cell.rate.name(),
+            total,
+            n_brute,
+            n_thm,
+            n_both,
+            thm_only,
+            brute_only,
+            format!("{agree:.3}")
+        ]
+        .to_vec()]
+    });
+
     let mut total_disagreements = 0u64;
-    for &(n, k, c) in &instances {
-        let cfg = GameConfig::new(n, k, c).expect("valid instance");
-        for (rname, rate) in &rates {
-            let game = ChannelAllocationGame::new(cfg, Arc::clone(rate));
-            let mut n_brute = 0u64;
-            let mut n_thm = 0u64;
-            let mut n_both = 0u64;
-            let mut thm_only = 0u64;
-            let mut brute_only = 0u64;
-            let mut total = 0u64;
-            enumerate_allocations(&cfg, |s| {
-                total += 1;
-                let brute = game.nash_check(s).is_nash();
-                let thm = theorem1(&game, s).is_nash();
-                if brute {
-                    n_brute += 1;
-                }
-                if thm {
-                    n_thm += 1;
-                }
-                match (brute, thm) {
-                    (true, true) => n_both += 1,
-                    (false, true) => thm_only += 1,
-                    (true, false) => brute_only += 1,
-                    _ => {}
-                }
-            });
-            assert_eq!(total as u128, allocation_count(&cfg));
-            let agree = 100.0 * (total - thm_only - brute_only) as f64 / total as f64;
-            total_disagreements += thm_only + brute_only;
-            t.row(&cells![
-                format!("N={n},k={k},C={c}"),
-                rname,
-                total,
-                n_brute,
-                n_thm,
-                n_both,
-                thm_only,
-                brute_only,
-                format!("{agree:.3}")
-            ]);
-        }
+    for row in &report.rows {
+        let thm_only: u64 = row[6].parse().expect("thm-only count");
+        let brute_only: u64 = row[7].parse().expect("brute-only count");
+        total_disagreements += thm_only + brute_only;
     }
-    println!("{}", t.to_text());
-    write_result("t1_characterization.csv", &t.to_csv());
+    println!("{}", report.to_text());
+    write_result("t1_characterization.csv", &report.to_csv());
 
     println!("total disagreements across all instances/rates: {total_disagreements}");
     println!(

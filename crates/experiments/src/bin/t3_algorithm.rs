@@ -4,83 +4,99 @@
 //! orderings: is the output a NE (exact check), does Theorem 1 certify
 //! it, is it load-balanced, and is it system-optimal? The table also
 //! quantifies the literal-tie-breaking failure mode documented in
-//! `mrca_core::algorithm`.
+//! `mrca_core::algorithm`. The grid runs through `ScenarioSuite`
+//! (parallel cells, deterministic per-cell seeds).
 
 use mrca_core::algorithm::{algorithm1, Ordering, TieBreak};
 use mrca_core::nash::theorem1;
 use mrca_core::prelude::*;
+use mrca_experiments::suite::derive_seed;
 use mrca_experiments::{cells, table::Table, write_result};
+use mrca_experiments::{OrderingSpec, RateSpec, ScenarioGrid, ScenarioSuite};
 
 fn main() {
-    println!("== T3: Algorithm 1 sweep ==\n");
-    let mut t = Table::new(&[
-        "tie-break", "runs", "NE%", "thm1%", "balanced%", "system-opt%",
-    ]);
-    let policies: Vec<(&str, Vec<TieBreak>)> = vec![
-        ("lowest-index", vec![TieBreak::LowestIndex]),
-        ("prefer-unused", vec![TieBreak::PreferUnused]),
-        (
-            "random(literal)",
-            (0..8).map(TieBreak::Random).collect(),
-        ),
-    ];
+    println!("== T3: Algorithm 1 sweep (ScenarioSuite-parallel) ==\n");
+    let grid = ScenarioGrid {
+        n_users: (1..=8).collect(),
+        radios: (1..=4).collect(),
+        n_channels: (1..=7).collect(),
+        rates: vec![RateSpec::ConstantUnit],
+        orderings: vec![
+            OrderingSpec::Natural,
+            OrderingSpec::PreferUnused,
+            OrderingSpec::Seeded,
+        ],
+    };
+    let suite = ScenarioSuite::new("t3_algorithm", &grid, 3);
 
-    for (pname, ties) in &policies {
-        let mut runs = 0u64;
-        let mut ne = 0u64;
-        let mut thm = 0u64;
-        let mut balanced = 0u64;
-        let mut sysopt = 0u64;
-        for n in 1..=8usize {
-            for k in 1..=4u32 {
-                for c in (k as usize)..=7 {
-                    let cfg = GameConfig::new(n, k, c).expect("valid");
-                    let game = ChannelAllocationGame::with_constant_rate(cfg, 1.0);
-                    for tie in ties {
-                        for order_seed in 0..3u64 {
-                            let ordering = if order_seed == 0 {
-                                Ordering::with_tie_break(*tie)
-                            } else {
-                                let mut o = Ordering::random(order_seed, n);
-                                o.tie_break = *tie;
-                                o
-                            };
-                            let s = algorithm1(&game, &ordering);
-                            runs += 1;
-                            if game.nash_check(&s).is_nash() {
-                                ne += 1;
-                            }
-                            if theorem1(&game, &s).is_nash() {
-                                thm += 1;
-                            }
-                            if s.max_delta() <= 1 {
-                                balanced += 1;
-                            }
-                            if is_system_optimal(&game, &s) {
-                                sysopt += 1;
-                            }
-                        }
+    // Per cell: three user orderings (the spec's own, then two random
+    // permutations with the same tie-break), each yielding one row of
+    // boolean outcomes.
+    let report = suite.run_with(
+        &[
+            "policy", "instance", "order", "ne", "thm1", "balanced", "sysopt",
+        ],
+        |cell| {
+            let game = cell.game();
+            let n = cell.n_users;
+            let mut rows = Vec::new();
+            for order_seed in 0..3u64 {
+                let ordering = match (cell.ordering, order_seed) {
+                    (OrderingSpec::Seeded, s) => Ordering::random(derive_seed(cell.seed, s), n),
+                    (spec, 0) => spec.build(n, cell.seed),
+                    (OrderingSpec::Natural, s) => {
+                        let mut o = Ordering::random(derive_seed(cell.seed, s), n);
+                        o.tie_break = TieBreak::LowestIndex;
+                        o
                     }
-                }
+                    (OrderingSpec::PreferUnused, s) => {
+                        let mut o = Ordering::random(derive_seed(cell.seed, s), n);
+                        o.tie_break = TieBreak::PreferUnused;
+                        o
+                    }
+                };
+                let s = algorithm1(&game, &ordering);
+                rows.push(
+                    cells![
+                        cell.ordering.name(),
+                        cell.instance(),
+                        order_seed,
+                        game.nash_check(&s).is_nash(),
+                        theorem1(&game, &s).is_nash(),
+                        s.max_delta() <= 1,
+                        is_system_optimal(&game, &s)
+                    ]
+                    .to_vec(),
+                );
             }
-        }
+            rows
+        },
+    );
+    write_result("t3_algorithm_runs.csv", &report.to_csv());
+
+    // Aggregate per policy.
+    let mut t = Table::new(&[
+        "tie-break",
+        "runs",
+        "NE%",
+        "thm1%",
+        "balanced%",
+        "system-opt%",
+    ]);
+    for policy in ["natural", "prefer-unused", "seeded"] {
+        let rows: Vec<_> = report.rows.iter().filter(|r| r[0] == policy).collect();
+        let runs = rows.len() as u64;
+        let count = |col: usize| rows.iter().filter(|r| r[col] == "true").count() as u64;
         let pct = |x: u64| format!("{:.2}", 100.0 * x as f64 / runs as f64);
-        t.row(&cells![pname, runs, pct(ne), pct(thm), pct(balanced), pct(sysopt)]);
+        let (ne, thm, bal, opt) = (count(3), count(4), count(5), count(6));
+        assert_eq!(bal, runs, "balanced% must be 100 for {policy}");
+        assert_eq!(opt, runs, "system-opt% must be 100 for {policy}");
+        if policy == "prefer-unused" {
+            assert_eq!(ne, runs, "prefer-unused must always reach NE");
+        }
+        t.row(&cells![policy, runs, pct(ne), pct(thm), pct(bal), pct(opt)]);
     }
     println!("{}", t.to_text());
     write_result("t3_algorithm.csv", &t.to_csv());
-
-    // Reproduction targets: balanced + system-optimal always (the welfare
-    // claim of Theorem 2 via Algorithm 1); prefer-unused reaches a NE in
-    // 100% of runs; the literal reading can miss (documented finding).
-    let text = t.to_text();
-    for line in text.lines().skip(2) {
-        let cells: Vec<&str> = line.split_whitespace().collect();
-        assert_eq!(cells[4], "100.00", "balanced% must be 100: {line}");
-        assert_eq!(cells[5], "100.00", "system-opt% must be 100: {line}");
-        if cells[0] == "prefer-unused" {
-            assert_eq!(cells[2], "100.00", "prefer-unused must always reach NE");
-        }
-    }
     println!("OK: Algorithm 1 always balanced + system-optimal; prefer-unused always NE.");
 }

@@ -4,18 +4,18 @@
 //! variant is best-response dynamics from arbitrary deployments. This
 //! experiment measures rounds-to-convergence across instance sizes for
 //! user-level best response and radio-level better response, from random
-//! starts.
+//! starts. Instances run in parallel through `ScenarioSuite`
+//! (deterministic per-cell seeds; the largest instances dominate the
+//! wall-clock, so parallelism across cells pays directly).
 
 use mrca_core::dynamics::{random_start, BestResponseDriver, RadioDynamics, Schedule};
-use mrca_core::prelude::*;
-use mrca_experiments::{cells, table::Table, write_result};
+use mrca_experiments::suite::derive_seed;
+use mrca_experiments::{cells, write_result};
+use mrca_experiments::{OrderingSpec, RateSpec, ScenarioSuite};
 use mrca_sim::stats::OnlineStats;
 
 fn main() {
     println!("== T4: convergence of best-response dynamics (random starts) ==\n");
-    let mut t = Table::new(&[
-        "instance", "radios", "dynamic", "runs", "converged%", "mean rounds", "max rounds", "mean moves", "NE%",
-    ]);
     let instances = [
         (4usize, 2u32, 3usize),
         (6, 3, 5),
@@ -24,24 +24,48 @@ fn main() {
         (40, 4, 12),
         (50, 4, 16),
     ];
-    let seeds: Vec<u64> = (0..12).collect();
+    let suite = ScenarioSuite::from_instances(
+        "t4_convergence",
+        &instances,
+        &[RateSpec::ConstantUnit],
+        &[OrderingSpec::Natural],
+        4,
+    );
+    let n_seeds = 12u64;
     let cap = 500usize;
 
-    for &(n, k, c) in &instances {
-        let cfg = GameConfig::new(n, k, c).expect("valid");
-        let game = ChannelAllocationGame::with_constant_rate(cfg, 1.0);
-
+    let headers = [
+        "instance",
+        "radios",
+        "dynamic",
+        "runs",
+        "converged%",
+        "mean rounds",
+        "max rounds",
+        "mean moves",
+        "NE%",
+    ];
+    let report = suite.run_with(&headers, |cell| {
+        let game = cell.game();
+        let mut rows = Vec::new();
         for dyn_name in ["user-BR", "radio-BR"] {
             let mut rounds = OnlineStats::new();
             let mut moves = OnlineStats::new();
             let mut converged = 0usize;
             let mut nash = 0usize;
-            for &seed in &seeds {
-                let start = random_start(&game, seed);
+            for i in 0..n_seeds {
+                // Two decorrelated streams per run: seeding the start and
+                // the schedule identically would make the round-1 update
+                // order a function of the start allocation.
+                let start_seed = derive_seed(cell.seed, 2 * i);
+                let dyn_seed = derive_seed(cell.seed, 2 * i + 1);
+                let start = random_start(&game, start_seed);
                 let out = match dyn_name {
-                    "user-BR" => BestResponseDriver::new(Schedule::RandomPermutation { seed })
-                        .run(&game, start, cap),
-                    _ => RadioDynamics::new(seed).run(&game, start, cap),
+                    "user-BR" => {
+                        BestResponseDriver::new(Schedule::RandomPermutation { seed: dyn_seed })
+                            .run(&game, start, cap)
+                    }
+                    _ => RadioDynamics::new(dyn_seed).run(&game, start, cap),
                 };
                 rounds.push(out.rounds as f64);
                 moves.push(out.moves as f64);
@@ -52,29 +76,32 @@ fn main() {
                     nash += 1;
                 }
             }
-            t.row(&cells![
-                format!("N={n},k={k},C={c}"),
-                n as u32 * k,
-                dyn_name,
-                seeds.len(),
-                format!("{:.0}", 100.0 * converged as f64 / seeds.len() as f64),
-                format!("{:.1}", rounds.mean()),
-                format!("{:.0}", rounds.max()),
-                format!("{:.1}", moves.mean()),
-                format!("{:.0}", 100.0 * nash as f64 / seeds.len() as f64)
-            ]);
+            rows.push(
+                cells![
+                    cell.instance(),
+                    cell.n_users as u32 * cell.radios,
+                    dyn_name,
+                    n_seeds,
+                    format!("{:.0}", 100.0 * converged as f64 / n_seeds as f64),
+                    format!("{:.1}", rounds.mean()),
+                    format!("{:.0}", rounds.max()),
+                    format!("{:.1}", moves.mean()),
+                    format!("{:.0}", 100.0 * nash as f64 / n_seeds as f64)
+                ]
+                .to_vec(),
+            );
         }
-    }
-    println!("{}", t.to_text());
-    write_result("t4_convergence.csv", &t.to_csv());
+        rows
+    });
+    println!("{}", report.to_text());
+    write_result("t4_convergence.csv", &report.to_csv());
 
     // Reproduction targets: user-level BR always converges to a NE within
     // the cap, and does so in a handful of rounds even at 200 radios.
-    for line in t.to_text().lines().skip(2) {
-        let cells: Vec<&str> = line.split_whitespace().collect();
-        if cells[2] == "user-BR" {
-            assert_eq!(cells[4], "100", "user BR must converge: {line}");
-            assert_eq!(cells[8], "100", "user BR must land on NE: {line}");
+    for row in &report.rows {
+        if row[2] == "user-BR" {
+            assert_eq!(row[4], "100", "user BR must converge: {row:?}");
+            assert_eq!(row[8], "100", "user BR must land on NE: {row:?}");
         }
     }
     println!("OK: user-level best response converged to a NE on every run.");

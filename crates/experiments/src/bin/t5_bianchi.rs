@@ -11,7 +11,14 @@ fn main() {
     let model = BianchiModel::new(phy.clone());
 
     let mut t = Table::new(&[
-        "n", "W", "m", "S analytic", "S simulated", "rel err %", "p analytic", "p simulated",
+        "n",
+        "W",
+        "m",
+        "S analytic",
+        "S simulated",
+        "rel err %",
+        "p analytic",
+        "p simulated",
     ]);
     let mut worst_rel = 0.0f64;
     let mut worst_rel_standard = 0.0f64; // the (W=32, m=5) standard config
@@ -23,8 +30,7 @@ fn main() {
             let analytic = model_wm.solve(n);
             let sim_wm = DcfSimulator::new(p, 0xB14C ^ (w as u64) << 8);
             let measured = sim_wm.run(n, 40_000);
-            let rel = (analytic.s_normalized - measured.s_normalized).abs()
-                / analytic.s_normalized;
+            let rel = (analytic.s_normalized - measured.s_normalized).abs() / analytic.s_normalized;
             worst_rel = worst_rel.max(rel);
             if m == 5 {
                 worst_rel_standard = worst_rel_standard.max(rel);

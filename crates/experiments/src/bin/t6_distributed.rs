@@ -4,34 +4,48 @@
 //! independently best-responds with activation probability `p`. The sweep
 //! exposes the thundering-herd trade-off: `p → 1` maximizes per-round
 //! progress but acts on stale snapshots; small `p` serializes devices at
-//! the cost of idle rounds.
+//! the cost of idle rounds. Instances run in parallel through
+//! `ScenarioSuite` with deterministic per-cell seeds.
 
 use mrca_core::distributed::protocol_stats;
-use mrca_core::prelude::*;
-use mrca_experiments::{cells, table::Table, write_result};
+use mrca_experiments::suite::derive_seed;
+use mrca_experiments::{cells, write_result};
+use mrca_experiments::{OrderingSpec, RateSpec, ScenarioSuite};
 
 fn main() {
     println!("== T6: distributed sensing-based protocol ==\n");
-    let seeds: Vec<u64> = (0..20).collect();
-    let mut t = Table::new(&[
-        "instance", "p", "converged%", "mean rounds", "mean retunes",
-    ]);
-    for &(n, k, c) in &[(8usize, 3u32, 6usize), (20, 4, 10), (40, 4, 12)] {
-        let cfg = GameConfig::new(n, k, c).expect("valid");
-        let game = ChannelAllocationGame::with_constant_rate(cfg, 1.0);
-        for p in [0.05, 0.1, 0.2, 0.3, 0.5, 0.8, 1.0] {
-            let stats = protocol_stats(&game, p, &seeds, 3000);
-            t.row(&cells![
-                format!("N={n},k={k},C={c}"),
-                format!("{p:.2}"),
-                format!("{:.0}", stats.convergence_rate * 100.0),
-                format!("{:.1}", stats.mean_rounds),
-                format!("{:.1}", stats.mean_retunes)
-            ]);
-        }
-    }
-    println!("{}", t.to_text());
-    write_result("t6_distributed.csv", &t.to_csv());
+    let instances = [(8usize, 3u32, 6usize), (20, 4, 10), (40, 4, 12)];
+    let suite = ScenarioSuite::from_instances(
+        "t6_distributed",
+        &instances,
+        &[RateSpec::ConstantUnit],
+        &[OrderingSpec::Natural],
+        6,
+    );
+    let report = suite.run_with(
+        &["instance", "p", "converged%", "mean rounds", "mean retunes"],
+        |cell| {
+            let game = cell.game();
+            let seeds: Vec<u64> = (0..20).map(|i| derive_seed(cell.seed, i)).collect();
+            let mut rows = Vec::new();
+            for p in [0.05, 0.1, 0.2, 0.3, 0.5, 0.8, 1.0] {
+                let stats = protocol_stats(&game, p, &seeds, 3000);
+                rows.push(
+                    cells![
+                        cell.instance(),
+                        format!("{p:.2}"),
+                        format!("{:.0}", stats.convergence_rate * 100.0),
+                        format!("{:.1}", stats.mean_rounds),
+                        format!("{:.1}", stats.mean_retunes)
+                    ]
+                    .to_vec(),
+                );
+            }
+            rows
+        },
+    );
+    println!("{}", report.to_text());
+    write_result("t6_distributed.csv", &report.to_csv());
 
     // Reproduction target: sparse activation always converges. The table
     // shows the breakdown scales with the *expected movers per round*
@@ -40,14 +54,13 @@ fn main() {
     // never converges at any size). The workable operating point is
     // p ≈ 1/N — which is exactly the serialization Algorithm 1 imposes by
     // fiat, here recovered without any coordination.
-    for line in t.to_text().lines().skip(2) {
-        let cells: Vec<&str> = line.split_whitespace().collect();
-        let p: f64 = cells[1].parse().expect("p column");
+    for row in &report.rows {
+        let p: f64 = row[1].parse().expect("p column");
         if p <= 0.1 {
-            assert_eq!(cells[2], "100", "p={p} must always converge: {line}");
+            assert_eq!(row[2], "100", "p={p} must always converge: {row:?}");
         }
         if (p - 1.0).abs() < 1e-9 {
-            assert_eq!(cells[2], "0", "p=1 must livelock: {line}");
+            assert_eq!(row[2], "0", "p=1 must livelock: {row:?}");
         }
     }
     println!(

@@ -23,7 +23,11 @@ fn main() {
     println!("Part A — per-radio energy cost vs equilibrium active radios");
     let cfg = GameConfig::new(6, 3, 5).expect("valid");
     let base = ChannelAllocationGame::with_constant_rate(cfg, 1.0);
-    let mut a = Table::new(&["cost/radio", "active radios (of 18)", "NE of costless game?"]);
+    let mut a = Table::new(&[
+        "cost/radio",
+        "active radios (of 18)",
+        "NE of costless game?",
+    ]);
     let mut prev = u32::MAX;
     for cost in [0.0, 0.1, 0.2, 0.3, 0.4, 0.5, 0.7, 0.9, 1.1] {
         let e = EnergyCostGame::new(base.clone(), cost);
@@ -45,7 +49,14 @@ fn main() {
 
     // Part B: heterogeneous fleets.
     println!("Part B — heterogeneous fleets (Algorithm 1 + PreferUnused)");
-    let mut b = Table::new(&["fleet (radios per user)", "|C|", "loads", "δmax", "NE?", "welfare"]);
+    let mut b = Table::new(&[
+        "fleet (radios per user)",
+        "|C|",
+        "loads",
+        "δmax",
+        "NE?",
+        "welfare",
+    ]);
     for (fleet, c) in [
         (vec![4u32, 2, 2, 1, 1, 1], 5usize),
         (vec![4, 4, 1, 1], 4),
@@ -76,7 +87,13 @@ fn main() {
     let csma = OptimalCsmaRate::new(phy.clone(), 30);
     let prac = mrca_mac::PracticalDcfRate::new(phy, 30);
     let aloha = OptimalAlohaRate::new(1e6);
-    let mut cta = Table::new(&["k", "tdma", "optimal_csma", "practical_csma", "optimal_aloha"]);
+    let mut cta = Table::new(&[
+        "k",
+        "tdma",
+        "optimal_csma",
+        "practical_csma",
+        "optimal_aloha",
+    ]);
     for k in [1u32, 2, 5, 10, 20, 30] {
         cta.row(&cells![
             k,
@@ -86,7 +103,10 @@ fn main() {
             format!("{:.3}", aloha.rate(k) / 1e6)
         ]);
         if k >= 2 {
-            assert!(aloha.rate(k) < prac.rate(k), "Aloha must trail CSMA at k={k}");
+            assert!(
+                aloha.rate(k) < prac.rate(k),
+                "Aloha must trail CSMA at k={k}"
+            );
         }
     }
     println!("{}", cta.to_text());

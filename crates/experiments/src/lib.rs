@@ -23,7 +23,12 @@
 #![warn(missing_debug_implementations)]
 
 pub mod ascii_plot;
+pub mod suite;
 pub mod table;
+
+pub use suite::{
+    CellOutcome, OrderingSpec, RateSpec, ScenarioCell, ScenarioGrid, ScenarioSuite, SuiteReport,
+};
 
 use std::fs;
 use std::path::PathBuf;

@@ -1,0 +1,776 @@
+//! `ScenarioSuite` — the parallel scenario-sweep runner.
+//!
+//! Every experiment in this crate is, at heart, the same loop: build a
+//! game for each cell of a `(|N|, k, |C|, rate model, ordering)` grid,
+//! drive it (Algorithm 1 and/or dynamics), measure, and tabulate. This
+//! module factors that loop out once, with:
+//!
+//! * **declarative grids** — [`ScenarioGrid`] takes the axis values and
+//!   produces the cross product of valid cells (`k ≤ |C|` enforced);
+//! * **parallel execution** — cells run concurrently on all cores via a
+//!   work-stealing index loop over `std::thread::scope` (no external
+//!   dependency; the build environment is offline);
+//! * **deterministic per-cell seeds** — each cell's RNG seed is derived
+//!   from the suite seed and the cell's *contents* `(n, k, |C|, rate,
+//!   ordering)` with an FNV-1a/SplitMix64 hash, so two runs of the same
+//!   suite are bit-identical and growing or reordering any grid axis
+//!   never perturbs the seeds of pre-existing cells (pinned by tests);
+//! * **CSV / JSON output** — [`SuiteReport`] renders both formats with
+//!   rows in grid order regardless of completion order.
+//!
+//! The standard evaluator ([`ScenarioSuite::run`]) plays the paper's
+//! pipeline per cell — Algorithm 1, then best-response dynamics from a
+//! random start — and records equilibrium, balance, welfare and
+//! convergence metrics. Experiments with bespoke per-cell logic (T1's
+//! exhaustive enumeration, T6's protocol sweep, …) reuse the grid,
+//! seeding, parallelism and output layers through
+//! [`ScenarioSuite::run_with`].
+
+use crate::table::Table;
+use mrca_core::algorithm::{algorithm1, Ordering, TieBreak};
+use mrca_core::dynamics::{random_start, BestResponseDriver, Schedule};
+use mrca_core::nash::theorem1;
+use mrca_core::rate_model::{ConstantRate, ExponentialDecayRate, LinearDecayRate, RateModel};
+use mrca_core::{ChannelAllocationGame, GameConfig};
+use mrca_mac::{FixedAlohaRate, OptimalCsmaRate, PhyParams, PracticalDcfRate, TdmaRate};
+use std::sync::atomic::{AtomicUsize, Ordering as AtomicOrdering};
+use std::sync::Arc;
+use std::sync::Mutex;
+
+/// Rate-model axis of a scenario grid: a constructible *description* of a
+/// [`RateModel`], so cells stay `Send + Sync + Clone` and each worker can
+/// materialize its own table (the Bianchi-based models precompute their
+/// curves up to the cell's maximum load).
+#[derive(Debug, Clone, PartialEq)]
+pub enum RateSpec {
+    /// Constant `R(k) = 1` (the paper's idealized TDMA, all figures).
+    ConstantUnit,
+    /// Linear decay `max(floor, r1 − slope·(k−1))`.
+    LinearDecay {
+        /// Rate at `k = 1`.
+        r1: f64,
+        /// Decay per additional radio.
+        slope: f64,
+        /// Positive floor.
+        floor: f64,
+    },
+    /// Geometric decay `r1 · factor^(k−1)`.
+    ExpDecay {
+        /// Rate at `k = 1`.
+        r1: f64,
+        /// Factor in `(0, 1]`.
+        factor: f64,
+    },
+    /// Reservation TDMA from the Bianchi FHSS PHY (flat, realistic bps).
+    Tdma,
+    /// 802.11 DCF with standard windows — Bianchi's saturation throughput
+    /// (the paper's "practical CSMA/CA" Figure-3 curve).
+    Bianchi,
+    /// DCF with per-population optimal contention windows (the paper's
+    /// "optimal CSMA/CA" curve).
+    OptimalCsma,
+    /// Slotted Aloha with fixed transmission probability.
+    Aloha {
+        /// Per-slot transmission probability.
+        p: f64,
+    },
+    /// Constant `R(k) = bps` (reservation TDMA at an explicit bitrate).
+    Constant {
+        /// Rate in bit/s.
+        bps: f64,
+    },
+    /// Steep cliff `R(1) = r1, R(k ≥ 2) = rest` — the documented
+    /// Theorem-2 boundary case.
+    Cliff {
+        /// Rate of a private channel.
+        r1: f64,
+        /// Rate once shared.
+        rest: f64,
+    },
+}
+
+impl RateSpec {
+    /// Short name for tables/CSV.
+    pub fn name(&self) -> String {
+        match self {
+            RateSpec::ConstantUnit => "constant".into(),
+            RateSpec::LinearDecay { r1, slope, floor } => {
+                format!("linear(r1={r1};slope={slope};floor={floor})")
+            }
+            RateSpec::ExpDecay { r1, factor } => format!("expdecay(r1={r1};f={factor})"),
+            RateSpec::Tdma => "tdma".into(),
+            RateSpec::Bianchi => "bianchi-dcf".into(),
+            RateSpec::OptimalCsma => "optimal-csma".into(),
+            RateSpec::Aloha { p } => format!("aloha(p={p})"),
+            RateSpec::Constant { bps } => format!("constant({bps})"),
+            RateSpec::Cliff { r1, rest } => format!("cliff({r1};{rest})"),
+        }
+    }
+
+    /// Materialize the rate model; table-driven models precompute up to
+    /// `max_load` (the cell's `|N|·k`).
+    pub fn build(&self, max_load: u32) -> Arc<dyn RateModel> {
+        let max_k = max_load.max(1);
+        match *self {
+            RateSpec::ConstantUnit => Arc::new(ConstantRate::unit()),
+            RateSpec::LinearDecay { r1, slope, floor } => {
+                Arc::new(LinearDecayRate::new(r1, slope, floor))
+            }
+            RateSpec::ExpDecay { r1, factor } => Arc::new(ExponentialDecayRate::new(r1, factor)),
+            RateSpec::Tdma => Arc::new(TdmaRate::from_phy(&PhyParams::bianchi_fhss())),
+            RateSpec::Bianchi => Arc::new(PracticalDcfRate::new(PhyParams::bianchi_fhss(), max_k)),
+            RateSpec::OptimalCsma => {
+                Arc::new(OptimalCsmaRate::new(PhyParams::bianchi_fhss(), max_k))
+            }
+            RateSpec::Aloha { p } => Arc::new(FixedAlohaRate::new(1e6, p, max_k)),
+            RateSpec::Constant { bps } => Arc::new(ConstantRate::new(bps)),
+            RateSpec::Cliff { r1, rest } => Arc::new(mrca_core::rate_model::StepRate::new(
+                format!("cliff({r1};{rest})"),
+                std::iter::once(r1)
+                    .chain(std::iter::repeat_n(rest, max_k.max(2) as usize - 1))
+                    .collect(),
+            )),
+        }
+    }
+}
+
+/// Ordering axis: how Algorithm 1 sequences users in a cell.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OrderingSpec {
+    /// Natural user order, lowest-index tie-break (the literal reading).
+    Natural,
+    /// Natural order with the `PreferUnused` repair.
+    PreferUnused,
+    /// Random permutation and random tie-breaks from the cell seed.
+    Seeded,
+}
+
+impl OrderingSpec {
+    /// Short name for tables/CSV.
+    pub fn name(&self) -> &'static str {
+        match self {
+            OrderingSpec::Natural => "natural",
+            OrderingSpec::PreferUnused => "prefer-unused",
+            OrderingSpec::Seeded => "seeded",
+        }
+    }
+
+    /// Concrete [`Ordering`] for a cell.
+    pub fn build(&self, n_users: usize, seed: u64) -> Ordering {
+        match self {
+            OrderingSpec::Natural => Ordering::default(),
+            OrderingSpec::PreferUnused => Ordering::with_tie_break(TieBreak::PreferUnused),
+            OrderingSpec::Seeded => Ordering::random(seed, n_users),
+        }
+    }
+}
+
+/// One cell of a scenario grid.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScenarioCell {
+    /// Users `|N|`.
+    pub n_users: usize,
+    /// Radios per user `k`.
+    pub radios: u32,
+    /// Channels `|C|`.
+    pub n_channels: usize,
+    /// Rate-model description.
+    pub rate: RateSpec,
+    /// Algorithm-1 ordering policy.
+    pub ordering: OrderingSpec,
+    /// Deterministic seed derived from the suite seed and grid position.
+    pub seed: u64,
+}
+
+impl ScenarioCell {
+    /// The cell's game configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the dimensions are invalid (the grid constructor filters
+    /// them, so this only fires on hand-built cells).
+    pub fn config(&self) -> GameConfig {
+        GameConfig::new(self.n_users, self.radios, self.n_channels)
+            .expect("grid guarantees valid dimensions")
+    }
+
+    /// Materialize the cell's game.
+    pub fn game(&self) -> ChannelAllocationGame {
+        let cfg = self.config();
+        ChannelAllocationGame::new(cfg, self.rate.build(cfg.total_radios()))
+    }
+
+    /// Instance label `N=..,k=..,C=..`.
+    pub fn instance(&self) -> String {
+        format!("N={},k={},C={}", self.n_users, self.radios, self.n_channels)
+    }
+}
+
+/// Declarative `(n, k, |C|, rate, ordering)` grid.
+#[derive(Debug, Clone)]
+pub struct ScenarioGrid {
+    /// Values of `|N|`.
+    pub n_users: Vec<usize>,
+    /// Values of `k`.
+    pub radios: Vec<u32>,
+    /// Values of `|C|`.
+    pub n_channels: Vec<usize>,
+    /// Rate models to cross with the dimensions.
+    pub rates: Vec<RateSpec>,
+    /// Ordering policies to cross in.
+    pub orderings: Vec<OrderingSpec>,
+}
+
+impl ScenarioGrid {
+    /// Expand into cells (skipping invalid `k > |C|` combinations), with
+    /// per-cell seeds derived from `suite_seed` and each cell's contents
+    /// (see [`cell_seed`]).
+    pub fn cells(&self, suite_seed: u64) -> Vec<ScenarioCell> {
+        let mut out = Vec::new();
+        for &n in &self.n_users {
+            for &k in &self.radios {
+                for &c in &self.n_channels {
+                    for rate in &self.rates {
+                        for &ordering in &self.orderings {
+                            if GameConfig::new(n, k, c).is_err() {
+                                continue;
+                            }
+                            out.push(ScenarioCell {
+                                n_users: n,
+                                radios: k,
+                                n_channels: c,
+                                rate: rate.clone(),
+                                ordering,
+                                seed: cell_seed(suite_seed, n, k, c, rate, ordering),
+                            });
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Per-cell seed derived from the suite seed and the cell's *contents*
+/// (never its grid position): growing, shrinking or reordering axes
+/// leaves every surviving cell's seed unchanged. Listing the exact same
+/// `(n, k, |C|, rate, ordering)` cell twice yields the same seed — the
+/// duplicate is a duplicate measurement by construction.
+pub fn cell_seed(
+    suite_seed: u64,
+    n: usize,
+    k: u32,
+    c: usize,
+    rate: &RateSpec,
+    ordering: OrderingSpec,
+) -> u64 {
+    // FNV-1a over the cell's canonical label, then the same SplitMix64
+    // finalizer as `derive_seed`.
+    let label = format!("{n}|{k}|{c}|{}|{}", rate.name(), ordering.name());
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in label.as_bytes() {
+        h ^= *b as u64;
+        h = h.wrapping_mul(0x0100_0000_01b3);
+    }
+    derive_seed(suite_seed, h)
+}
+
+/// SplitMix64-finalized seed mixer: decorrelated, stable, and independent
+/// of thread scheduling. Used to derive sub-seeds (per repetition, per
+/// activation probability, …) from a cell seed; [`cell_seed`] builds the
+/// cell seed itself from the cell's contents.
+pub fn derive_seed(suite_seed: u64, index: u64) -> u64 {
+    let mut z = suite_seed
+        .wrapping_add(index.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+        .wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Outcome of the standard per-cell pipeline.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CellOutcome {
+    /// The evaluated cell.
+    pub cell: ScenarioCell,
+    /// Algorithm 1 output is a NE (exact check).
+    pub algo1_nash: bool,
+    /// Algorithm 1 output certified by Theorem 1.
+    pub algo1_theorem1: bool,
+    /// Algorithm 1 output max load delta.
+    pub algo1_delta: u32,
+    /// Best-response dynamics converged within the round cap.
+    pub br_converged: bool,
+    /// Rounds the dynamics took.
+    pub br_rounds: usize,
+    /// Final state of the dynamics is a NE.
+    pub br_nash: bool,
+    /// Welfare of the dynamics' final state.
+    pub br_welfare: f64,
+    /// Welfare of the dynamics' start (for the improvement column).
+    pub start_welfare: f64,
+}
+
+/// A finished sweep: cells in grid order plus the column layout.
+#[derive(Debug, Clone)]
+pub struct SuiteReport {
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// One row per cell (grid order, not completion order).
+    pub rows: Vec<Vec<String>>,
+    /// Suite name (used in file names).
+    pub name: String,
+}
+
+impl SuiteReport {
+    /// Render as CSV (deterministic given deterministic rows).
+    pub fn to_csv(&self) -> String {
+        let mut t = Table::new(&self.headers.iter().map(String::as_str).collect::<Vec<_>>());
+        for row in &self.rows {
+            t.row(row);
+        }
+        t.to_csv()
+    }
+
+    /// Render as an aligned text table.
+    pub fn to_text(&self) -> String {
+        let mut t = Table::new(&self.headers.iter().map(String::as_str).collect::<Vec<_>>());
+        for row in &self.rows {
+            t.row(row);
+        }
+        t.to_text()
+    }
+
+    /// Render as a JSON array of objects (hand-rolled: the offline build
+    /// has no serde_json; strings are escaped, numbers/bools pass through
+    /// when they parse as such).
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("[\n");
+        for (i, row) in self.rows.iter().enumerate() {
+            out.push_str("  {");
+            for (j, (h, v)) in self.headers.iter().zip(row).enumerate() {
+                if j > 0 {
+                    out.push_str(", ");
+                }
+                out.push_str(&format!("{}: {}", json_string(h), json_value(v)));
+            }
+            out.push('}');
+            if i + 1 < self.rows.len() {
+                out.push(',');
+            }
+            out.push('\n');
+        }
+        out.push(']');
+        out.push('\n');
+        out
+    }
+}
+
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// True when `s` is a number per the JSON grammar (RFC 8259 §6) — what a
+/// bare literal must satisfy. Stricter than `str::parse`: rejects leading
+/// zeros ("05"), a leading '+', and bare/trailing dots (".5", "1.") that
+/// Rust parses but strict JSON parsers reject.
+fn is_json_number(s: &str) -> bool {
+    let b = s.as_bytes();
+    let mut i = 0;
+    if b.get(i) == Some(&b'-') {
+        i += 1;
+    }
+    match b.get(i) {
+        Some(b'0') => i += 1,
+        Some(c) if c.is_ascii_digit() => {
+            while i < b.len() && b[i].is_ascii_digit() {
+                i += 1;
+            }
+        }
+        _ => return false,
+    }
+    if b.get(i) == Some(&b'.') {
+        i += 1;
+        let frac = i;
+        while i < b.len() && b[i].is_ascii_digit() {
+            i += 1;
+        }
+        if i == frac {
+            return false;
+        }
+    }
+    if matches!(b.get(i), Some(b'e') | Some(b'E')) {
+        i += 1;
+        if matches!(b.get(i), Some(b'+') | Some(b'-')) {
+            i += 1;
+        }
+        let exp = i;
+        while i < b.len() && b[i].is_ascii_digit() {
+            i += 1;
+        }
+        if i == exp {
+            return false;
+        }
+    }
+    i == b.len()
+}
+
+/// Emit bare JSON literals for cells that are booleans or valid JSON
+/// numbers; everything else is quoted. Integers outside the IEEE-754
+/// exact range (|x| > 2⁵³, e.g. the 64-bit cell seeds) are quoted too: a
+/// bare literal would silently lose precision in any double-based JSON
+/// parser. Non-finite magnitudes ("1e999") are quoted for the same
+/// reason parsers disagree on them.
+fn json_value(v: &str) -> String {
+    if v == "true" || v == "false" {
+        return v.to_string();
+    }
+    if !is_json_number(v) {
+        return json_string(v);
+    }
+    if let Ok(i) = v.parse::<i128>() {
+        const EXACT: i128 = 1 << 53;
+        if !(-EXACT..=EXACT).contains(&i) {
+            return json_string(v);
+        }
+    } else if v.parse::<f64>().map(f64::is_finite) != Ok(true) {
+        return json_string(v);
+    }
+    v.to_string()
+}
+
+/// The sweep runner: a named grid plus execution knobs.
+#[derive(Debug, Clone)]
+pub struct ScenarioSuite {
+    /// Suite name (file-name stem for results).
+    pub name: String,
+    /// The expanded cells.
+    pub cells: Vec<ScenarioCell>,
+    /// Round cap for the dynamics in the standard evaluator.
+    pub max_rounds: usize,
+}
+
+impl ScenarioSuite {
+    /// Build a suite from a grid with the given suite seed.
+    pub fn new(name: impl Into<String>, grid: &ScenarioGrid, suite_seed: u64) -> Self {
+        ScenarioSuite {
+            name: name.into(),
+            cells: grid.cells(suite_seed),
+            max_rounds: 500,
+        }
+    }
+
+    /// Build a suite from an explicit `(n, k, |C|)` instance list crossed
+    /// with rate models and orderings — for experiments whose instance
+    /// sets are curated rather than a full cross product. Seeds derive
+    /// from `suite_seed` and each cell's contents exactly like grid cells
+    /// ([`cell_seed`]), so reordering the list never shifts seeds — and a
+    /// duplicated instance reproduces the identical row rather than acting
+    /// as an independent repetition.
+    pub fn from_instances(
+        name: impl Into<String>,
+        instances: &[(usize, u32, usize)],
+        rates: &[RateSpec],
+        orderings: &[OrderingSpec],
+        suite_seed: u64,
+    ) -> Self {
+        let mut cells = Vec::new();
+        for &(n, k, c) in instances {
+            for rate in rates {
+                for &ordering in orderings {
+                    if GameConfig::new(n, k, c).is_err() {
+                        continue;
+                    }
+                    cells.push(ScenarioCell {
+                        n_users: n,
+                        radios: k,
+                        n_channels: c,
+                        rate: rate.clone(),
+                        ordering,
+                        seed: cell_seed(suite_seed, n, k, c, rate, ordering),
+                    });
+                }
+            }
+        }
+        ScenarioSuite {
+            name: name.into(),
+            cells,
+            max_rounds: 500,
+        }
+    }
+
+    /// Override the dynamics round cap.
+    pub fn with_max_rounds(mut self, max_rounds: usize) -> Self {
+        self.max_rounds = max_rounds;
+        self
+    }
+
+    /// Run the standard pipeline over every cell, in parallel, and return
+    /// the outcomes in grid order.
+    pub fn run(&self) -> (Vec<CellOutcome>, SuiteReport) {
+        let max_rounds = self.max_rounds;
+        let outcomes = parallel_map(&self.cells, |cell| evaluate_cell(cell, max_rounds));
+        let headers: Vec<String> = [
+            "instance",
+            "rate",
+            "ordering",
+            "seed",
+            "algo1_nash",
+            "algo1_thm1",
+            "algo1_delta",
+            "br_converged",
+            "br_rounds",
+            "br_nash",
+            "br_welfare",
+            "start_welfare",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        let rows = outcomes
+            .iter()
+            .map(|o| {
+                vec![
+                    o.cell.instance(),
+                    o.cell.rate.name(),
+                    o.cell.ordering.name().to_string(),
+                    o.cell.seed.to_string(),
+                    o.algo1_nash.to_string(),
+                    o.algo1_theorem1.to_string(),
+                    o.algo1_delta.to_string(),
+                    o.br_converged.to_string(),
+                    o.br_rounds.to_string(),
+                    o.br_nash.to_string(),
+                    format!("{:.6e}", o.br_welfare),
+                    format!("{:.6e}", o.start_welfare),
+                ]
+            })
+            .collect();
+        let report = SuiteReport {
+            headers,
+            rows,
+            name: self.name.clone(),
+        };
+        (outcomes, report)
+    }
+
+    /// Run a custom evaluator over every cell in parallel. `headers`
+    /// names the columns; the evaluator returns any number of rows per
+    /// cell (e.g. one per sub-seed or activation probability). Rows keep
+    /// grid order.
+    pub fn run_with<F>(&self, headers: &[&str], eval: F) -> SuiteReport
+    where
+        F: Fn(&ScenarioCell) -> Vec<Vec<String>> + Sync,
+    {
+        let per_cell = parallel_map(&self.cells, |cell| eval(cell));
+        SuiteReport {
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: per_cell.into_iter().flatten().collect(),
+            name: self.name.clone(),
+        }
+    }
+}
+
+/// The standard per-cell pipeline: Algorithm 1 (checked both ways), then
+/// best-response dynamics from a seeded random start — all through the
+/// incremental cached-loads evaluation core.
+fn evaluate_cell(cell: &ScenarioCell, max_rounds: usize) -> CellOutcome {
+    let game = cell.game();
+    // Decorrelate the three RNG consumers: seeding ordering, start matrix
+    // and update schedule with the same raw u64 would make them identical
+    // SplitMix64 streams (the "random" schedule a deterministic function
+    // of the "random" start).
+    let ordering = cell.ordering.build(cell.n_users, derive_seed(cell.seed, 0));
+    let algo1 = algorithm1(&game, &ordering);
+    let start = random_start(&game, derive_seed(cell.seed, 1));
+    let start_welfare = game.total_utility(&start);
+    let out = BestResponseDriver::new(Schedule::RandomPermutation {
+        seed: derive_seed(cell.seed, 2),
+    })
+    .run(&game, start, max_rounds);
+    CellOutcome {
+        algo1_nash: game.nash_check(&algo1).is_nash(),
+        algo1_theorem1: theorem1(&game, &algo1).is_nash(),
+        algo1_delta: algo1.max_delta(),
+        br_converged: out.converged,
+        br_rounds: out.rounds,
+        br_nash: game.nash_check(&out.matrix).is_nash(),
+        br_welfare: game.total_utility(&out.matrix),
+        start_welfare,
+        cell: cell.clone(),
+    }
+}
+
+/// Map `f` over `items` on all cores (work-stealing index loop over
+/// scoped threads), returning results in input order. The offline build
+/// has no rayon; this covers the embarrassingly-parallel sweep shape the
+/// suite needs.
+pub fn parallel_map<T, R, F>(items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    if items.is_empty() {
+        return Vec::new();
+    }
+    let n_threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(items.len());
+    if n_threads <= 1 {
+        return items.iter().map(&f).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let collected: Mutex<Vec<(usize, R)>> = Mutex::new(Vec::with_capacity(items.len()));
+    std::thread::scope(|scope| {
+        for _ in 0..n_threads {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, AtomicOrdering::Relaxed);
+                if i >= items.len() {
+                    break;
+                }
+                let r = f(&items[i]);
+                collected
+                    .lock()
+                    .expect("no panics hold this lock")
+                    .push((i, r));
+            });
+        }
+    });
+    let mut indexed = collected.into_inner().expect("workers joined");
+    indexed.sort_by_key(|&(i, _)| i);
+    debug_assert_eq!(indexed.len(), items.len());
+    indexed.into_iter().map(|(_, r)| r).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_grid() -> ScenarioGrid {
+        ScenarioGrid {
+            n_users: vec![2, 4],
+            radios: vec![2],
+            n_channels: vec![3],
+            rates: vec![RateSpec::ConstantUnit, RateSpec::Bianchi],
+            orderings: vec![OrderingSpec::PreferUnused],
+        }
+    }
+
+    #[test]
+    fn grid_expands_and_seeds_are_deterministic() {
+        let cells = small_grid().cells(7);
+        assert_eq!(cells.len(), 4);
+        // Same suite seed → same cell seeds; different → different.
+        let again = small_grid().cells(7);
+        assert_eq!(cells, again);
+        let other = small_grid().cells(8);
+        assert!(cells.iter().zip(&other).all(|(a, b)| a.seed != b.seed));
+    }
+
+    #[test]
+    fn growing_an_axis_preserves_existing_cells_seeds() {
+        // Seeds derive from cell contents, so extending any axis (here a
+        // middle one: rates) must leave the original cells' seeds intact.
+        let base = small_grid().cells(7);
+        let mut grown = small_grid();
+        grown.rates.insert(1, RateSpec::Tdma); // squeeze a new rate in
+        grown.n_users.push(9); // and a new outer value
+        let grown_cells = grown.cells(7);
+        for cell in &base {
+            let found = grown_cells
+                .iter()
+                .find(|c| {
+                    c.n_users == cell.n_users
+                        && c.rate == cell.rate
+                        && c.ordering == cell.ordering
+                        && c.n_channels == cell.n_channels
+                })
+                .expect("original cell still present");
+            assert_eq!(found.seed, cell.seed, "seed must not shift: {cell:?}");
+        }
+    }
+
+    #[test]
+    fn invalid_dimensions_are_skipped() {
+        let grid = ScenarioGrid {
+            n_users: vec![2],
+            radios: vec![2, 5],
+            n_channels: vec![3],
+            rates: vec![RateSpec::ConstantUnit],
+            orderings: vec![OrderingSpec::Natural],
+        };
+        // k = 5 > |C| = 3 is filtered.
+        let cells = grid.cells(1);
+        assert_eq!(cells.len(), 1);
+        assert_eq!(cells[0].radios, 2);
+    }
+
+    #[test]
+    fn standard_run_reaches_equilibria() {
+        let suite = ScenarioSuite::new("test", &small_grid(), 42);
+        let (outcomes, report) = suite.run();
+        assert_eq!(outcomes.len(), 4);
+        for o in &outcomes {
+            assert!(o.algo1_nash, "{:?}", o.cell);
+            assert!(o.br_converged && o.br_nash, "{:?}", o.cell);
+            assert!(o.br_welfare >= o.start_welfare - 1e-9);
+        }
+        assert_eq!(report.rows.len(), 4);
+    }
+
+    #[test]
+    fn run_is_deterministic_across_invocations() {
+        let suite = ScenarioSuite::new("det", &small_grid(), 123);
+        let (_, a) = suite.run();
+        let (_, b) = suite.run();
+        assert_eq!(a.to_csv(), b.to_csv());
+        assert_eq!(a.to_json(), b.to_json());
+    }
+
+    #[test]
+    fn json_escapes_and_types() {
+        assert_eq!(json_string("a\"b"), "\"a\\\"b\"");
+        assert_eq!(json_value("true"), "true");
+        assert_eq!(json_value("1.5e3"), "1.5e3");
+        assert_eq!(json_value("N=2,k=2"), "\"N=2,k=2\"");
+        // 64-bit seeds exceed 2^53: quoted so parsers keep them exact.
+        assert_eq!(json_value("42"), "42");
+        assert_eq!(
+            json_value("13399792675488815619"),
+            "\"13399792675488815619\""
+        );
+        // Rust-parseable but not valid JSON number literals: quoted.
+        assert_eq!(json_value("05"), "\"05\"");
+        assert_eq!(json_value("+5"), "\"+5\"");
+        assert_eq!(json_value(".5"), "\".5\"");
+        assert_eq!(json_value("1."), "\"1.\"");
+        assert_eq!(json_value("1e999"), "\"1e999\"");
+        assert_eq!(json_value("-3.25e-2"), "-3.25e-2");
+    }
+
+    #[test]
+    fn parallel_map_preserves_order() {
+        let items: Vec<usize> = (0..101).collect();
+        let out = parallel_map(&items, |&x| x * 2);
+        assert_eq!(out, items.iter().map(|x| x * 2).collect::<Vec<_>>());
+        let empty: Vec<usize> = Vec::new();
+        assert!(parallel_map(&empty, |&x: &usize| x).is_empty());
+    }
+}

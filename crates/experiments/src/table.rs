@@ -94,20 +94,21 @@ impl Table {
         );
         out.push('\n');
         for row in &self.rows {
-            out.push_str(
-                &row.iter().map(|c| quote(c)).collect::<Vec<_>>().join(","),
-            );
+            out.push_str(&row.iter().map(|c| quote(c)).collect::<Vec<_>>().join(","));
             out.push('\n');
         }
         out
     }
 }
 
-/// Shorthand for building a row of heterogeneous displayables.
+/// Shorthand for building a row of heterogeneous displayables. Expands to
+/// an array literal, so `&cells![…]` coerces to `&[String]` for
+/// [`Table::row`]; call `.to_vec()` where an owned `Vec<String>` row is
+/// needed (e.g. `ScenarioSuite::run_with`).
 #[macro_export]
 macro_rules! cells {
     ($($x:expr),* $(,)?) => {
-        vec![$(format!("{}", $x)),*]
+        [$(format!("{}", $x)),*]
     };
 }
 

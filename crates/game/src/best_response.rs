@@ -9,8 +9,8 @@
 
 use crate::equilibrium::DEFAULT_TOLERANCE;
 use crate::{Game, PlayerId};
-use rand::seq::SliceRandom;
 use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
 
@@ -184,10 +184,8 @@ mod tests {
 
     #[test]
     fn matching_pennies_never_converges() {
-        let g = NormalFormGame::from_bimatrix(
-            [[1.0, -1.0], [-1.0, 1.0]],
-            [[-1.0, 1.0], [1.0, -1.0]],
-        );
+        let g =
+            NormalFormGame::from_bimatrix([[1.0, -1.0], [-1.0, 1.0]], [[-1.0, 1.0], [1.0, -1.0]]);
         let out = BestResponseDynamics::new(UpdateSchedule::RoundRobin).run(&g, vec![0, 0], 25);
         assert!(!out.converged);
         assert_eq!(out.rounds, 25);
@@ -197,8 +195,11 @@ mod tests {
     fn random_schedule_is_deterministic_per_seed() {
         let g = coordination();
         let d = |seed| {
-            BestResponseDynamics::new(UpdateSchedule::RandomPermutation { seed })
-                .run(&g, vec![0, 1], 50)
+            BestResponseDynamics::new(UpdateSchedule::RandomPermutation { seed }).run(
+                &g,
+                vec![0, 1],
+                50,
+            )
         };
         assert_eq!(d(7), d(7));
     }

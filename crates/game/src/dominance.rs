@@ -98,9 +98,9 @@ pub fn iesds<G: Game>(game: &G) -> SurvivingStrategies {
             }
             let mut keep = Vec::with_capacity(mine.len());
             for &a in &mine {
-                let dominated = mine.iter().any(|&b| {
-                    b != a && strictly_dominated_by(game, player, a, b, &survivors)
-                });
+                let dominated = mine
+                    .iter()
+                    .any(|&b| b != a && strictly_dominated_by(game, player, a, b, &survivors));
                 if dominated {
                     eliminated = true;
                 } else {
@@ -132,10 +132,8 @@ mod tests {
 
     #[test]
     fn matching_pennies_eliminates_nothing() {
-        let g = NormalFormGame::from_bimatrix(
-            [[1.0, -1.0], [-1.0, 1.0]],
-            [[-1.0, 1.0], [1.0, -1.0]],
-        );
+        let g =
+            NormalFormGame::from_bimatrix([[1.0, -1.0], [-1.0, 1.0]], [[-1.0, 1.0], [1.0, -1.0]]);
         let out = iesds(&g);
         assert_eq!(out.survivors, vec![vec![0, 1], vec![0, 1]]);
         assert!(!out.is_dominance_solvable());
@@ -235,10 +233,10 @@ mod tests {
             fn utility(&self, p: PlayerId, profile: &[usize]) -> f64 {
                 let rows = [self.space[profile[0]], self.space[profile[1]]];
                 let mut u = 0.0;
-                for c in 0..3 {
-                    let load = rows[0][c] + rows[1][c];
-                    if load > 0 && rows[p.0][c] > 0 {
-                        u += rows[p.0][c] as f64 / load as f64; // R = 1
+                for (mine, other) in rows[p.0].iter().zip(rows[1 - p.0].iter()) {
+                    let load = mine + other;
+                    if load > 0 && *mine > 0 {
+                        u += *mine as f64 / load as f64; // R = 1
                     }
                 }
                 u

@@ -112,10 +112,8 @@ mod tests {
 
     #[test]
     fn no_pure_ne_yields_none() {
-        let g = NormalFormGame::from_bimatrix(
-            [[1.0, -1.0], [-1.0, 1.0]],
-            [[-1.0, 1.0], [1.0, -1.0]],
-        );
+        let g =
+            NormalFormGame::from_bimatrix([[1.0, -1.0], [-1.0, 1.0]], [[-1.0, 1.0], [1.0, -1.0]]);
         assert!(efficiency_report(&g).is_none());
         assert!(price_of_anarchy(&g).is_none());
         assert!(price_of_stability(&g).is_none());

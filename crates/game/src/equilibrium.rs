@@ -120,9 +120,7 @@ pub fn is_epsilon_nash<G: Game>(game: &G, profile: &[usize], epsilon: f64) -> bo
 /// scan. Exponential in the number of players; intended for the small
 /// instances used to cross-validate Theorem 1 of the paper.
 pub fn pure_nash_profiles<G: Game>(game: &G) -> Vec<Vec<usize>> {
-    game.profiles()
-        .filter(|p| is_pure_nash(game, p))
-        .collect()
+    game.profiles().filter(|p| is_pure_nash(game, p)).collect()
 }
 
 /// Count pure Nash equilibria without materializing them.

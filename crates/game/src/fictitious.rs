@@ -116,10 +116,8 @@ mod tests {
 
     #[test]
     fn matching_pennies_mixes_toward_half_half() {
-        let g = NormalFormGame::from_bimatrix(
-            [[1.0, -1.0], [-1.0, 1.0]],
-            [[-1.0, 1.0], [1.0, -1.0]],
-        );
+        let g =
+            NormalFormGame::from_bimatrix([[1.0, -1.0], [-1.0, 1.0]], [[-1.0, 1.0], [1.0, -1.0]]);
         let out = fictitious_play(&g, 20_000);
         assert!(!out.settled);
         assert!((out.empirical_p0[0] - 0.5).abs() < 0.05);

@@ -202,7 +202,9 @@ mod tests {
 
     #[test]
     fn tabulate_matches_closure() {
-        let g = NormalFormGame::tabulate(&[3, 2], |p, prof| (prof[0] * 10 + prof[1]) as f64 + p.0 as f64);
+        let g = NormalFormGame::tabulate(&[3, 2], |p, prof| {
+            (prof[0] * 10 + prof[1]) as f64 + p.0 as f64
+        });
         assert_eq!(g.utility(PlayerId(0), &[2, 1]), 21.0);
         assert_eq!(g.utility(PlayerId(1), &[2, 1]), 22.0);
     }

@@ -64,8 +64,7 @@ fn four_cycles_close<G: Game>(game: &G, base: &[usize], i: PlayerId, j: PlayerId
             let ui_d = game.utility(i, &a);
             let uj_d = game.utility(j, &a);
             // i moves A→B and D→C; j moves B→C and A→D.
-            let cycle =
-                (ui_b - ui_a) + (uj_c - uj_b) - (ui_c - ui_d) - (uj_d - uj_a);
+            let cycle = (ui_b - ui_a) + (uj_c - uj_b) - (ui_c - ui_d) - (uj_d - uj_a);
             if cycle.abs() > TOL {
                 return false;
             }
@@ -157,7 +156,7 @@ where
 {
     loads
         .iter()
-        .map(|&k| (1..=k).map(|j| payoff(j)).sum::<f64>())
+        .map(|&k| (1..=k).map(&payoff).sum::<f64>())
         .sum()
 }
 
@@ -183,10 +182,8 @@ mod tests {
 
     #[test]
     fn matching_pennies_has_no_potential() {
-        let g = NormalFormGame::from_bimatrix(
-            [[1.0, -1.0], [-1.0, 1.0]],
-            [[-1.0, 1.0], [1.0, -1.0]],
-        );
+        let g =
+            NormalFormGame::from_bimatrix([[1.0, -1.0], [-1.0, 1.0]], [[-1.0, 1.0], [1.0, -1.0]]);
         assert!(!has_exact_potential(&g));
         assert!(!has_ordinal_potential(&g));
     }

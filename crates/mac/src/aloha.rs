@@ -193,10 +193,7 @@ mod tests {
             let best = success_probability(k, p_star);
             for p in [p_star * 0.5, p_star * 0.9, p_star * 1.1, p_star * 2.0] {
                 if p < 1.0 {
-                    assert!(
-                        success_probability(k, p) <= best + 1e-12,
-                        "k={k}, p={p}"
-                    );
+                    assert!(success_probability(k, p) <= best + 1e-12, "k={k}, p={p}");
                 }
             }
         }

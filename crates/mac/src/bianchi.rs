@@ -133,8 +133,7 @@ impl BianchiModel {
         let ts = self.phy.t_success_us();
         let tc = self.phy.t_collision_us();
         let payload_us = self.phy.tx_us(self.phy.payload_bits);
-        let expected_slot =
-            (1.0 - p_tr) * sigma + p_tr * p_succ * ts + p_tr * (1.0 - p_succ) * tc;
+        let expected_slot = (1.0 - p_tr) * sigma + p_tr * p_succ * ts + p_tr * (1.0 - p_succ) * tc;
         let s_normalized = p_succ * p_tr * payload_us / expected_slot;
         BianchiSolution {
             n,
@@ -307,7 +306,11 @@ mod tests {
             let approx = m.approx_optimal_tau(n);
             let (_, sol) = m.optimal_window(n);
             let rel = (approx - sol.tau).abs() / sol.tau;
-            assert!(rel < 0.35, "n={n}: approx τ {approx} vs search τ {}", sol.tau);
+            assert!(
+                rel < 0.35,
+                "n={n}: approx τ {approx} vs search τ {}",
+                sol.tau
+            );
         }
     }
 
@@ -315,9 +318,7 @@ mod tests {
     fn rts_cts_degrades_slower() {
         use crate::params::AccessMechanism;
         let basic = model();
-        let rts = BianchiModel::new(
-            PhyParams::bianchi_fhss().with_access(AccessMechanism::RtsCts),
-        );
+        let rts = BianchiModel::new(PhyParams::bianchi_fhss().with_access(AccessMechanism::RtsCts));
         let drop_basic = basic.solve(2).s_normalized - basic.solve(50).s_normalized;
         let drop_rts = rts.solve(2).s_normalized - rts.solve(50).s_normalized;
         assert!(

@@ -47,9 +47,7 @@ impl PracticalDcfRate {
         assert!(max_k >= 1, "need at least one table entry");
         let name = format!("practical-dcf({},W={})", phy.name, phy.cw_min);
         let model = BianchiModel::new(phy);
-        let raw: Vec<f64> = (1..=max_k)
-            .map(|k| model.solve(k).throughput_bps)
-            .collect();
+        let raw: Vec<f64> = (1..=max_k).map(|k| model.solve(k).throughput_bps).collect();
         let mut table = Vec::with_capacity(raw.len());
         let mut min = f64::INFINITY;
         for &v in &raw {

@@ -23,8 +23,9 @@
 //!   builder (used by `mrca-sim` for packet-level validation);
 //! * [`sim_dcf`] — a slot-level Monte-Carlo simulation of DCF used to
 //!   validate the analytic model (experiment T5);
-//! * [`rate`] — the [`RateFunction`] trait plus synthetic monotone families
-//!   used in property tests.
+//! * [`rate`] — re-export of the workspace-wide [`RateModel`] trait
+//!   (historically named [`RateFunction`] and defined here; it now lives
+//!   in [`mrca_core::rate_model`]) plus the synthetic monotone families.
 //!
 //! ## Example: the three Figure-3 curves
 //!
@@ -60,6 +61,7 @@ pub use bianchi::{BianchiModel, BianchiSolution};
 pub use csma::{OptimalCsmaRate, PracticalDcfRate};
 pub use params::{AccessMechanism, PhyParams};
 pub use rate::{
-    ConstantRate, ExponentialDecayRate, LinearDecayRate, MonotoneEnvelope, RateFunction, StepRate,
+    ConstantRate, ExponentialDecayRate, LinearDecayRate, MonotoneEnvelope, RateFunction, RateModel,
+    StepRate,
 };
 pub use tdma::TdmaRate;

@@ -206,6 +206,7 @@ impl PhyParams {
     /// Returns a human-readable description of the first violated
     /// constraint (non-positive rate, zero payload, zero window, …).
     pub fn validate(&self) -> Result<(), String> {
+        #[allow(clippy::neg_cmp_op_on_partial_ord)] // also rejects NaN
         if !(self.bitrate > 0.0) {
             return Err(format!("bitrate must be positive, got {}", self.bitrate));
         }
@@ -215,6 +216,7 @@ impl PhyParams {
         if self.cw_min < 2 {
             return Err(format!("cw_min must be at least 2, got {}", self.cw_min));
         }
+        #[allow(clippy::neg_cmp_op_on_partial_ord)] // also rejects NaN
         if !(self.slot_us > 0.0) {
             return Err(format!("slot_us must be positive, got {}", self.slot_us));
         }

@@ -167,7 +167,9 @@ impl DcfSimulator {
     /// suitable for wrapping in
     /// [`StepRate::monotone_from`](crate::rate::StepRate::monotone_from).
     pub fn throughput_curve(&self, max_k: u32, events: u64) -> Vec<f64> {
-        (1..=max_k).map(|k| self.run(k, events).throughput_bps).collect()
+        (1..=max_k)
+            .map(|k| self.run(k, events).throughput_bps)
+            .collect()
     }
 }
 
@@ -237,11 +239,7 @@ mod tests {
         // The fair-share assumption of the paper: symmetric stations get
         // equal long-run shares (Jain index ≈ 1).
         let (_, fairness) = sim().run_with_fairness(8, 40_000);
-        assert!(
-            fairness.jain_index > 0.99,
-            "jain = {}",
-            fairness.jain_index
-        );
+        assert!(fairness.jain_index > 0.99, "jain = {}", fairness.jain_index);
     }
 
     #[test]

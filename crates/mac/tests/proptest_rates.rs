@@ -5,8 +5,8 @@
 use mrca_mac::aloha::{optimal_p, success_probability, OptimalAlohaRate};
 use mrca_mac::rate::validate_rate_function;
 use mrca_mac::{
-    BianchiModel, ConstantRate, ExponentialDecayRate, LinearDecayRate, MonotoneEnvelope,
-    PhyParams, RateFunction, StepRate, TdmaRate,
+    BianchiModel, ConstantRate, ExponentialDecayRate, LinearDecayRate, MonotoneEnvelope, PhyParams,
+    RateFunction, StepRate, TdmaRate,
 };
 use proptest::prelude::*;
 

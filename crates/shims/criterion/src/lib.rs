@@ -1,0 +1,238 @@
+//! Offline stand-in for the subset of `criterion` this workspace uses:
+//! `criterion_group!`/`criterion_main!`, benchmark groups,
+//! `bench_function`/`bench_with_input`, `black_box`, `Throughput` and
+//! `BenchmarkId`.
+//!
+//! Measurement is a plain wall-clock loop (warm-up, then timed batches
+//! targeting ~60 ms per benchmark) reporting mean ns/iteration to stdout —
+//! no statistics engine, no HTML reports. It is enough to compare
+//! alternatives on the same machine in the same run, which is all the
+//! workspace's benches assert.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier preventing the optimizer from deleting work.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Throughput annotation (recorded but only echoed).
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Two-part benchmark identifier.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Compose `function_name/parameter`.
+    pub fn new(function_name: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{function_name}/{parameter}"),
+        }
+    }
+
+    /// Parameter-only id.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Timing harness handed to benchmark closures.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    /// Mean nanoseconds per iteration of the last `iter` call.
+    pub last_mean_ns: f64,
+}
+
+impl Bencher {
+    /// Time `f`, storing the mean ns/iteration in `last_mean_ns`.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up and per-call estimate.
+        let start = Instant::now();
+        black_box(f());
+        let mut est = start.elapsed();
+        if est.is_zero() {
+            est = Duration::from_nanos(1);
+        }
+        let target = Duration::from_millis(60);
+        let iters = (target.as_nanos() / est.as_nanos()).clamp(1, 5_000_000) as u64;
+        let start = Instant::now();
+        for _ in 0..iters {
+            black_box(f());
+        }
+        let total = start.elapsed();
+        self.last_mean_ns = total.as_nanos() as f64 / iters as f64;
+    }
+}
+
+/// Top-level benchmark driver.
+#[derive(Debug)]
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    /// Set the nominal sample size (echoed only; the shim sizes batches by
+    /// wall-clock).
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// Configure the measurement time (accepted for API compatibility).
+    pub fn measurement_time(self, _d: Duration) -> Self {
+        self
+    }
+
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _parent: self,
+            name: name.into(),
+        }
+    }
+
+    /// Run a single named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        name: impl Display,
+        mut f: F,
+    ) -> &mut Self {
+        let mut b = Bencher::default();
+        f(&mut b);
+        report(&name.to_string(), b.last_mean_ns);
+        self
+    }
+}
+
+/// A named group of benchmarks.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'c> {
+    _parent: &'c mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Record the per-iteration throughput of subsequent benchmarks.
+    pub fn throughput(&mut self, _t: Throughput) -> &mut Self {
+        self
+    }
+
+    /// Set the nominal sample size (no-op in the shim).
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Run one benchmark of the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Display,
+        mut f: F,
+    ) -> &mut Self {
+        let mut b = Bencher::default();
+        f(&mut b);
+        report(&format!("{}/{}", self.name, id), b.last_mean_ns);
+        self
+    }
+
+    /// Run one benchmark parameterized by `input`.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let mut b = Bencher::default();
+        f(&mut b, input);
+        report(&format!("{}/{}", self.name, id), b.last_mean_ns);
+        self
+    }
+
+    /// Close the group.
+    pub fn finish(self) {}
+}
+
+fn report(name: &str, mean_ns: f64) {
+    if mean_ns >= 1e6 {
+        println!("bench {name:<60} {:>12.3} ms/iter", mean_ns / 1e6);
+    } else if mean_ns >= 1e3 {
+        println!("bench {name:<60} {:>12.3} us/iter", mean_ns / 1e3);
+    } else {
+        println!("bench {name:<60} {mean_ns:>12.1} ns/iter");
+    }
+}
+
+/// Group benchmark functions under one entry point.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $config;
+            $($target(&mut c);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Emit `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_bench(c: &mut Criterion) {
+        c.bench_function("noop", |b| b.iter(|| black_box(1 + 1)));
+        let mut g = c.benchmark_group("group");
+        g.throughput(Throughput::Elements(4));
+        g.bench_with_input(BenchmarkId::new("sum", 4), &4u64, |b, &n| {
+            b.iter(|| (0..n).sum::<u64>())
+        });
+        g.finish();
+    }
+
+    #[test]
+    fn harness_runs() {
+        criterion_group! {
+            name = benches;
+            config = Criterion::default().sample_size(5);
+            targets = tiny_bench
+        }
+        benches();
+    }
+}

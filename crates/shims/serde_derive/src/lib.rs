@@ -1,0 +1,20 @@
+//! No-op derive macros standing in for `serde_derive`.
+//!
+//! The build environment for this workspace has no access to crates.io, so
+//! serialization is compiled out: `#[derive(Serialize, Deserialize)]`
+//! expands to nothing. Swap the `serde` entry in the workspace
+//! `[workspace.dependencies]` back to the real crate to restore it.
+
+use proc_macro::TokenStream;
+
+/// Expands to nothing (serialization is compiled out in offline builds).
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Expands to nothing (serialization is compiled out in offline builds).
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

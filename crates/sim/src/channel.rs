@@ -131,8 +131,7 @@ impl ChannelSim {
         self.next_tdma_slot = (self.next_tdma_slot + 1) % self.radios.len();
         // Slot long enough for PHY+MAC header and payload; reservation
         // TDMA needs no per-slot contention signalling.
-        let slot_bits =
-            self.phy.payload_bits + self.phy.mac_header_bits + self.phy.phy_header_bits;
+        let slot_bits = self.phy.payload_bits + self.phy.mac_header_bits + self.phy.phy_header_bits;
         let duration_ns = (self.phy.tx_us(slot_bits) * 1e3).round() as u64;
         let radio = &mut self.radios[slot_owner];
         if radio.source.has_packet(now_ns, &mut self.rng) {
@@ -236,7 +235,13 @@ mod tests {
 
     #[test]
     fn empty_channel_never_schedules() {
-        let mut ch = ChannelSim::new(MacKind::Tdma, phy(), &[], TrafficModel::Saturated, stream_n(1, "c", 0));
+        let mut ch = ChannelSim::new(
+            MacKind::Tdma,
+            phy(),
+            &[],
+            TrafficModel::Saturated,
+            stream_n(1, "c", 0),
+        );
         assert!(ch.advance(0).is_none());
     }
 
@@ -279,7 +284,11 @@ mod tests {
         let expected = mrca_mac::TdmaRate::from_phy(&phy());
         use mrca_mac::RateFunction;
         let rel = (measured - expected.rate(2)).abs() / expected.rate(2);
-        assert!(rel < 0.001, "measured {measured} vs model {}", expected.rate(2));
+        assert!(
+            rel < 0.001,
+            "measured {measured} vs model {}",
+            expected.rate(2)
+        );
     }
 
     #[test]
@@ -313,7 +322,10 @@ mod tests {
             t += ch.advance(t).unwrap().duration_ns;
         }
         assert!(ch.stats.collisions > 0, "5 saturated radios must collide");
-        assert!(ch.stats.successes > ch.stats.collisions, "but mostly succeed");
+        assert!(
+            ch.stats.successes > ch.stats.collisions,
+            "but mostly succeed"
+        );
     }
 
     #[test]

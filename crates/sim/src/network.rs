@@ -256,9 +256,9 @@ mod tests {
             .unwrap();
         let predicted = scenario.predicted_utilities_bps();
         let report = scenario_run(scenario, 3.0);
-        for u in 0..2 {
+        for (u, pred) in predicted.iter().enumerate() {
             let measured = report.per_user_throughput_bps(u);
-            let rel = (measured - predicted[u]).abs() / predicted[u];
+            let rel = (measured - pred).abs() / pred;
             assert!(
                 rel < 0.01,
                 "user {u}: measured {measured:.0} vs predicted {:.0}",
@@ -278,9 +278,9 @@ mod tests {
             .unwrap();
         let predicted = scenario.predicted_utilities_bps();
         let report = scenario_run(scenario, 10.0);
-        for u in 0..2 {
+        for (u, pred) in predicted.iter().enumerate() {
             let measured = report.per_user_throughput_bps(u);
-            let rel = (measured - predicted[u]).abs() / predicted[u];
+            let rel = (measured - pred).abs() / pred;
             assert!(
                 rel < 0.08,
                 "user {u}: measured {measured:.0} vs predicted {:.0} (rel {rel:.3})",
@@ -329,8 +329,7 @@ mod tests {
             .build()
             .unwrap()
             .run(SimDuration::from_secs(2.0));
-        let share =
-            report.per_user_bits[0] as f64 / report.total_bits() as f64;
+        let share = report.per_user_bits[0] as f64 / report.total_bits() as f64;
         assert!((share - 2.0 / 3.0).abs() < 0.01, "share {share}");
     }
 

@@ -53,8 +53,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let check = game.nash_check(&s);
     println!("\nConverged to a Nash equilibrium: {}", check.is_nash());
-    println!("Theorem 1 certifies it:          {}", theorem1(&game, &s).is_nash());
-    println!("System-optimal (Theorem 2):      {}", is_system_optimal(&game, &s));
+    println!(
+        "Theorem 1 certifies it:          {}",
+        theorem1(&game, &s).is_nash()
+    );
+    println!(
+        "System-optimal (Theorem 2):      {}",
+        is_system_optimal(&game, &s)
+    );
     assert!(check.is_nash());
     Ok(())
 }

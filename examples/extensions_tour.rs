@@ -20,11 +20,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let fleet = HeteroGame::with_unit_rate(HeteroConfig::new(vec![4, 2, 2, 1, 1, 1], 5)?);
     let s = fleet.algorithm1(TieBreak::PreferUnused, None);
     println!("   loads {:?}  NE: {}", s.loads(), fleet.is_nash(&s));
-    println!("   utilities: {:?}\n", fleet
-        .utilities(&s)
-        .iter()
-        .map(|u| format!("{u:.2}"))
-        .collect::<Vec<_>>());
+    println!(
+        "   utilities: {:?}\n",
+        fleet
+            .utilities(&s)
+            .iter()
+            .map(|u| format!("{u:.2}"))
+            .collect::<Vec<_>>()
+    );
 
     // 2. Energy-priced radios: as the per-radio cost rises, devices shut
     //    radios down — the equilibrium "radio supply curve".
@@ -83,7 +86,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for k in [1u32, 2, 10, 50] {
         println!("   R_aloha({k:2}) = {:.0} bit/s", aloha.rate(k));
     }
-    println!("   (→ bitrate/e = {:.0} as k → ∞)\n", 1e6 / std::f64::consts::E);
+    println!(
+        "   (→ bitrate/e = {:.0} as k → ∞)\n",
+        1e6 / std::f64::consts::E
+    );
 
     // 6. Heterogeneous channels: equilibria water-fill instead of
     //    count-balancing.

@@ -16,7 +16,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let cfg = GameConfig::new(4, 3, 4)?;
     let game = ChannelAllocationGame::with_constant_rate(cfg, 1.0);
     let allocation = algorithm1(&game, &Ordering::default());
-    println!("Equilibrium allocation under test:\n{}", render_allocation(&allocation));
+    println!(
+        "Equilibrium allocation under test:\n{}",
+        render_allocation(&allocation)
+    );
 
     for (mac, secs) in [(MacKind::Tdma, 3.0), (MacKind::Csma, 12.0)] {
         println!("--- per-channel MAC: {mac:?} ({secs}s of simulated traffic) ---");
@@ -32,9 +35,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             "{:>6} {:>16} {:>16} {:>8}",
             "user", "measured bit/s", "Eq. 3 bit/s", "err %"
         );
-        for u in 0..4 {
+        for (u, pred) in predicted.iter().enumerate() {
             let measured = report.per_user_throughput_bps(u);
-            let err = 100.0 * (measured - predicted[u]).abs() / predicted[u];
+            let err = 100.0 * (measured - pred).abs() / pred;
             println!(
                 "{:>6} {:>16.0} {:>16.0} {:>8.2}",
                 format!("u{}", u + 1),

@@ -26,19 +26,21 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Channels run practical 802.11 DCF: the total rate *decreases* as
     // radios pile on (collisions), so load balancing genuinely matters.
     let phy = PhyParams::dot11b();
-    let rate: Arc<dyn RateFunction> =
-        Arc::new(PracticalDcfRate::new(phy, (n_routers * radios as usize) as u32));
+    let rate: Arc<dyn RateFunction> = Arc::new(PracticalDcfRate::new(
+        phy,
+        (n_routers * radios as usize) as u32,
+    ));
     let game = ChannelAllocationGame::new(cfg, rate);
 
     // Centralized planning: color the geometric interference graph.
     let (graph, positions) =
         multi_radio_alloc::baselines::ConflictGraph::random_geometric(n_routers, 100.0, 45.0, 7);
     println!("Interference graph (range 45m in a 100m×100m block):");
-    for i in 0..n_routers {
+    for (i, pos) in positions.iter().enumerate() {
         println!(
             "  router {i:2} at ({:5.1},{:5.1}), conflicts with {:?}",
-            positions[i].0,
-            positions[i].1,
+            pos.0,
+            pos.1,
             graph.neighbors(i)
         );
     }
@@ -47,8 +49,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Selfish operation: every router repeatedly best-responds.
     let selfish = SelfishAllocator::default();
 
-    let rows = compare(&game, &[&planned, &selfish, &RandomAllocator], &[1, 2, 3, 4, 5]);
-    println!("\n{}", multi_radio_alloc::baselines::harness::format_table(&rows));
+    let rows = compare(
+        &game,
+        &[&planned, &selfish, &RandomAllocator],
+        &[1, 2, 3, 4, 5],
+    );
+    println!(
+        "\n{}",
+        multi_radio_alloc::baselines::harness::format_table(&rows)
+    );
 
     let selfish_row = rows.iter().find(|r| r.allocator == "selfish-br").unwrap();
     let planned_row = rows.iter().find(|r| r.allocator == "coloring").unwrap();

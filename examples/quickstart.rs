@@ -25,10 +25,22 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Verify the paper's claims mechanically.
     let check = game.nash_check(&allocation);
-    println!("Nash equilibrium (no user can gain by deviating): {}", check.is_nash());
-    println!("Theorem-1 structural check:                       {:?}", theorem1(&game, &allocation).is_nash());
-    println!("Load-balanced (δ ≤ 1, Proposition 1):             {}", allocation.max_delta() <= 1);
-    println!("System-optimal (Theorem 2):                       {}", is_system_optimal(&game, &allocation));
+    println!(
+        "Nash equilibrium (no user can gain by deviating): {}",
+        check.is_nash()
+    );
+    println!(
+        "Theorem-1 structural check:                       {:?}",
+        theorem1(&game, &allocation).is_nash()
+    );
+    println!(
+        "Load-balanced (δ ≤ 1, Proposition 1):             {}",
+        allocation.max_delta() <= 1
+    );
+    println!(
+        "System-optimal (Theorem 2):                       {}",
+        is_system_optimal(&game, &allocation)
+    );
 
     // Per-user utilities: everyone gets an equal share of the spectrum.
     for (u, util) in game.utilities(&allocation).iter().enumerate() {

@@ -62,7 +62,8 @@ fn algorithm1_matches_paper_figure_settings() {
         (7usize, 4u32, 6usize, vec![5u32, 5, 5, 5, 4, 4]),
         (4, 4, 6, vec![3, 3, 3, 3, 2, 2]),
     ] {
-        let game = ChannelAllocationGame::with_constant_rate(GameConfig::new(n, k, c).unwrap(), 1.0);
+        let game =
+            ChannelAllocationGame::with_constant_rate(GameConfig::new(n, k, c).unwrap(), 1.0);
         let s = algorithm1(&game, &Ordering::default());
         let mut loads = s.loads();
         loads.sort_unstable();

@@ -16,7 +16,11 @@ fn dcf_game(n: usize, k: u32, c: usize) -> ChannelAllocationGame {
 fn selfish_never_loses_to_random() {
     let game = dcf_game(8, 3, 6);
     let seeds: Vec<u64> = (0..10).collect();
-    let rows = compare(&game, &[&RandomAllocator, &SelfishAllocator::default()], &seeds);
+    let rows = compare(
+        &game,
+        &[&RandomAllocator, &SelfishAllocator::default()],
+        &seeds,
+    );
     let random = &rows[0];
     let selfish = &rows[1];
     assert!(selfish.mean_welfare >= random.mean_welfare - 1e-6);
@@ -84,7 +88,8 @@ fn random_allocation_wastes_channels_under_light_load() {
     let light = dcf_game(4, 2, 8);
     let heavy = dcf_game(12, 4, 6);
     let seeds: Vec<u64> = (0..10).collect();
-    let eff = |g: &ChannelAllocationGame| compare(g, &[&RandomAllocator], &seeds)[0].mean_efficiency;
+    let eff =
+        |g: &ChannelAllocationGame| compare(g, &[&RandomAllocator], &seeds)[0].mean_efficiency;
     let e_light = eff(&light);
     let e_heavy = eff(&heavy);
     assert!(

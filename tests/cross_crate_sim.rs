@@ -19,9 +19,9 @@ fn tdma_simulation_matches_eq3_on_an_equilibrium() {
         .unwrap();
     let predicted = scenario.predicted_utilities_bps();
     let report = scenario.run(SimDuration::from_secs(2.0));
-    for u in 0..4 {
+    for (u, pred) in predicted.iter().enumerate() {
         let measured = report.per_user_throughput_bps(u);
-        let rel = (measured - predicted[u]).abs() / predicted[u];
+        let rel = (measured - pred).abs() / pred;
         assert!(rel < 0.02, "user {u}: rel {rel}");
     }
 }
@@ -40,9 +40,9 @@ fn csma_simulation_matches_eq3_within_model_error() {
         .unwrap();
     let predicted = scenario.predicted_utilities_bps();
     let report = scenario.run(SimDuration::from_secs(8.0));
-    for u in 0..3 {
+    for (u, pred) in predicted.iter().enumerate() {
         let measured = report.per_user_throughput_bps(u);
-        let rel = (measured - predicted[u]).abs() / predicted[u];
+        let rel = (measured - pred).abs() / pred;
         assert!(rel < 0.08, "user {u}: rel {rel}");
     }
 }

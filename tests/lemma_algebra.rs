@@ -6,9 +6,9 @@
 //! hundreds of generated configurations and require exact (1e-12)
 //! agreement: the algebra of the proofs, checked by machine.
 
+use mrca_mac::{ExponentialDecayRate, LinearDecayRate};
 use multi_radio_alloc::core::dynamics::random_start;
 use multi_radio_alloc::prelude::*;
-use mrca_mac::{ExponentialDecayRate, LinearDecayRate};
 use std::sync::Arc;
 
 fn rate_models() -> Vec<Arc<dyn RateFunction>> {
@@ -24,13 +24,7 @@ fn rate_models() -> Vec<Arc<dyn RateFunction>> {
 ///   − k_ib/k_b·R(k_b) − k_ic/k_c·R(k_c),
 /// with the 0/0 channel-emptying conventions that the utility definition
 /// implies (an emptied or unused channel contributes 0).
-fn eq7(
-    r: &dyn RateFunction,
-    kib: u32,
-    kic: u32,
-    kb: u32,
-    kc: u32,
-) -> f64 {
+fn eq7(r: &dyn RateFunction, kib: u32, kic: u32, kb: u32, kc: u32) -> f64 {
     let term = |mine: u32, load: u32| {
         if mine == 0 || load == 0 {
             0.0
@@ -45,10 +39,8 @@ fn eq7(
 fn eq7_matches_direct_utility_difference_everywhere() {
     for rate in rate_models() {
         for (n, k, c) in [(3usize, 2u32, 3usize), (4, 3, 4), (5, 4, 5)] {
-            let game = ChannelAllocationGame::new(
-                GameConfig::new(n, k, c).unwrap(),
-                Arc::clone(&rate),
-            );
+            let game =
+                ChannelAllocationGame::new(GameConfig::new(n, k, c).unwrap(), Arc::clone(&rate));
             for seed in 0..8u64 {
                 let s = random_start(&game, seed);
                 for u in UserId::all(n) {

@@ -1,11 +1,12 @@
 //! Property-based tests (proptest) over the core invariants.
 
 use multi_radio_alloc::core::algorithm::{algorithm1_cfg, Ordering, TieBreak};
-use multi_radio_alloc::core::dynamics::{random_start, rosenthal_potential, BestResponseDriver, Schedule};
+use multi_radio_alloc::core::dynamics::{
+    random_start, rosenthal_potential, BestResponseDriver, Schedule,
+};
 use multi_radio_alloc::core::enumerate::user_strategy_space;
 use multi_radio_alloc::core::nash::theorem1;
 use multi_radio_alloc::core::prelude::*;
-use multi_radio_alloc::prelude::*;
 use proptest::prelude::*;
 use std::sync::Arc;
 
@@ -27,22 +28,6 @@ fn rate_strategy() -> impl Strategy<Value = Arc<dyn RateFunction>> {
             r = (r - d).max(0.5);
         }
         Arc::new(mrca_mac::StepRate::new("prop", v)) as Arc<dyn RateFunction>
-    })
-}
-
-/// A random full-deployment matrix for a config.
-fn matrix_strategy(cfg: GameConfig) -> impl Strategy<Value = StrategyMatrix> {
-    let n = cfg.n_users();
-    let c = cfg.n_channels();
-    let k = cfg.radios_per_user();
-    proptest::collection::vec(0usize..c, (n as u32 * k) as usize).prop_map(move |places| {
-        let mut m = StrategyMatrix::zeros(n, c);
-        for (idx, &ch) in places.iter().enumerate() {
-            let u = UserId(idx / k as usize);
-            let cur = m.get(u, ChannelId(ch));
-            m.set(u, ChannelId(ch), cur + 1);
-        }
-        m
     })
 }
 

@@ -8,7 +8,6 @@ use multi_radio_alloc::core::prelude::*;
 use multi_radio_alloc::game::equilibrium::{is_pure_nash, pure_nash_profiles};
 use multi_radio_alloc::game::pareto::is_pareto_optimal;
 use multi_radio_alloc::game::Game as _;
-use multi_radio_alloc::prelude::*;
 use std::sync::Arc;
 
 fn constant_game(n: usize, k: u32, c: usize) -> ChannelAllocationGame {
