@@ -1,0 +1,521 @@
+//! The unified best-response engine: one [`ChannelGame`] trait, one
+//! knapsack DP, one traceback — shared by every game variant.
+//!
+//! The paper's best response is a per-user knapsack over channels: with
+//! the *other* users' load `L_c` on channel `c` fixed, placing `t` radios
+//! there earns some per-channel payoff `f_c(t)` independently of the other
+//! channels, and only the radio budget couples the channels. The DP
+//! `dp[c][r]` (best value over the first `c` channels using `r` radios)
+//! solves it exactly in `O(|C|·k²)`.
+//!
+//! That structure is identical across the homogeneous game of the paper,
+//! the heterogeneous-budget extension, the per-channel-rate extension and
+//! the energy-cost utility model — they differ *only* in the payoff
+//! `f_c(t)` (and, for the energy game, in whether idling radios may win).
+//! Before this module each of them carried its own copy of the DP; a DP
+//! fix had to land four times. Now a game variant implements
+//! [`ChannelGame`] — dimensions, per-user radio budgets, and the
+//! per-channel payoff closure — and gets, generically:
+//!
+//! * Eq.-3 utilities, naive and load-cached ([`utility`],
+//!   [`utility_cached`]);
+//! * the exact DP best response ([`best_response`],
+//!   [`best_response_cached`]) — the *single* `f[c][t]` + traceback
+//!   implementation in the workspace;
+//! * the Eq.-7 benefit of a single-radio move in `O(1)` against a load
+//!   cache ([`benefit_of_move_cached`]) plus its clone-and-recompute
+//!   oracle ([`benefit_of_move_naive`]);
+//! * the exact Nash check with witnesses ([`nash_check`],
+//!   [`nash_check_cached`], [`max_gain`], [`is_nash`]);
+//! * incremental best-response dynamics ([`best_response_dynamics`]);
+//! * the Lemma-1/2/3/4 predicates and the Theorem-1 structural
+//!   certification (generic over [`ChannelGame`] in [`crate::nash`]).
+//!
+//! The `crates/core/tests/conformance.rs` property suite instantiates one
+//! generic harness for every implementor and pins (a) cached ≡ naive,
+//! (b) DP ≡ exhaustive enumeration, and (c) `is_nash ⇔ max_gain ≤ ε`.
+
+use crate::game::{NashCheck, UTILITY_TOLERANCE};
+use crate::loads::ChannelLoads;
+use crate::strategy::{StrategyMatrix, StrategyVector};
+use crate::types::{ChannelId, UserId};
+
+/// A channel-allocation game variant, reduced to what the shared engine
+/// needs: dimensions, per-user radio budgets, and the per-channel payoff.
+pub trait ChannelGame {
+    /// Number of users `|N|`.
+    fn n_users(&self) -> usize;
+
+    /// Number of channels `|C|`.
+    fn n_channels(&self) -> usize;
+
+    /// Radio budget `k_i` of `user`.
+    fn radios_of(&self, user: UserId) -> u32;
+
+    /// Payoff a user earns from `channel` when it places `slots` of its
+    /// own radios there and the *other* users contribute `others_load`
+    /// radios: the paper's rate-sharing games use
+    /// `f_c(t) = t/(L+t) · R_c(L+t)`; the energy model subtracts
+    /// `cost · t`.
+    ///
+    /// # Contract
+    ///
+    /// `channel_payoff(c, L, 0) == 0.0` for every channel and load (no
+    /// radios, no payoff — and no cost). The engine relies on it: the DP
+    /// seeds `f_c(0) = 0` without calling this method.
+    fn channel_payoff(&self, channel: ChannelId, others_load: u32, slots: u32) -> f64;
+
+    /// Whether a best response may leave radios idle (true only for
+    /// variants where deploying a radio can *hurt*, e.g. per-radio energy
+    /// costs). When false the DP fixes `Σ_c t_c = k_i`, which is optimal
+    /// for every positive rate-sharing payoff (the constructive argument
+    /// behind the paper's Lemma 1).
+    fn may_idle_radios(&self) -> bool {
+        false
+    }
+}
+
+/// Total radios `Σ_i k_i` of a game.
+pub fn total_radios<G: ChannelGame + ?Sized>(game: &G) -> u64 {
+    UserId::all(game.n_users())
+        .map(|u| game.radios_of(u) as u64)
+        .sum()
+}
+
+/// Whether the interesting regime `Σ_i k_i > |C|` holds (users cannot all
+/// have private channels; Fact 1 dispatches the other case).
+pub fn has_conflict<G: ChannelGame + ?Sized>(game: &G) -> bool {
+    total_radios(game) > game.n_channels() as u64
+}
+
+/// Eq. 3 generalized: `U_i = Σ_{c: k_{i,c} > 0} f_c(k_{i,c})`, reading
+/// channel loads from the matrix (`O(|N|·|C|)` column scans).
+pub fn utility<G: ChannelGame + ?Sized>(game: &G, s: &StrategyMatrix, user: UserId) -> f64 {
+    let mut total = 0.0;
+    for c in ChannelId::all(game.n_channels()) {
+        let kic = s.get(user, c);
+        if kic == 0 {
+            continue;
+        }
+        let others = s.channel_load(c) - kic;
+        total += game.channel_payoff(c, others, kic);
+    }
+    total
+}
+
+/// Eq. 3 against a cached load vector: `O(|C|)`, no column scans.
+pub fn utility_cached<G: ChannelGame + ?Sized>(
+    game: &G,
+    s: &StrategyMatrix,
+    loads: &ChannelLoads,
+    user: UserId,
+) -> f64 {
+    loads.paranoid_check(s);
+    let mut total = 0.0;
+    for c in ChannelId::all(game.n_channels()) {
+        let kic = s.get(user, c);
+        if kic == 0 {
+            continue;
+        }
+        let others = loads.load(c) - kic;
+        total += game.channel_payoff(c, others, kic);
+    }
+    total
+}
+
+/// Utilities of all users against a cached load vector.
+pub fn utilities_cached<G: ChannelGame + ?Sized>(
+    game: &G,
+    s: &StrategyMatrix,
+    loads: &ChannelLoads,
+) -> Vec<f64> {
+    UserId::all(game.n_users())
+        .map(|u| utility_cached(game, s, loads, u))
+        .collect()
+}
+
+/// Exact best response of `user`: the strategy vector maximizing its
+/// utility given the other users' radios, with its utility value.
+/// Recomputes the load vector; inside hot loops use
+/// [`best_response_cached`].
+pub fn best_response<G: ChannelGame + ?Sized>(
+    game: &G,
+    s: &StrategyMatrix,
+    user: UserId,
+) -> (StrategyVector, f64) {
+    best_response_cached(game, s, &ChannelLoads::of(s), user)
+}
+
+/// The one knapsack DP + traceback of the workspace (`O(|C|·k²)`).
+///
+/// `f[c][t] = channel_payoff(c, L_c, t)` is the value of placing `t`
+/// radios on channel `c` against the other users' load `L_c`; `dp[r]` is
+/// the best value over the channels seen so far using exactly `r` radios,
+/// and `choice[c][r]` records the optimum's allocation for the traceback.
+/// Games that fix the budget read `dp[k]`; games that may idle radios
+/// ([`ChannelGame::may_idle_radios`]) take the best over all `r ≤ k`
+/// (ties resolved toward more deployed radios, matching the historical
+/// energy-game behavior).
+pub fn best_response_cached<G: ChannelGame + ?Sized>(
+    game: &G,
+    s: &StrategyMatrix,
+    loads: &ChannelLoads,
+    user: UserId,
+) -> (StrategyVector, f64) {
+    loads.paranoid_check(s);
+    let k = game.radios_of(user) as usize;
+    let n_ch = game.n_channels();
+    // Other users' loads.
+    let loads_wo: Vec<u32> = ChannelId::all(n_ch)
+        .map(|c| loads.load(c) - s.get(user, c))
+        .collect();
+
+    // Per-channel payoff of placing t radios: f[c][t] (f[c][0] = 0 by the
+    // trait contract).
+    let mut f = vec![vec![0.0f64; k + 1]; n_ch];
+    #[allow(clippy::needless_range_loop)] // the DP reads as index algebra
+    for c in 0..n_ch {
+        for t in 1..=k {
+            f[c][t] = game.channel_payoff(ChannelId(c), loads_wo[c], t as u32);
+        }
+    }
+
+    // dp[r] = best utility with r radios over channels 0..=c; choice[c][r]
+    // = radios on channel c in that optimum.
+    let neg = f64::NEG_INFINITY;
+    let mut dp = vec![neg; k + 1];
+    dp[0] = 0.0;
+    let mut choice = vec![vec![0usize; k + 1]; n_ch];
+    for c in 0..n_ch {
+        let mut next = vec![neg; k + 1];
+        for r in 0..=k {
+            for t in 0..=r {
+                if dp[r - t] == neg {
+                    continue;
+                }
+                let v = dp[r - t] + f[c][t];
+                if v > next[r] {
+                    next[r] = v;
+                    choice[c][r] = t;
+                }
+            }
+        }
+        dp = next;
+    }
+
+    // Pick the budget to trace back from.
+    let best_r = if game.may_idle_radios() {
+        // Best over all deployments sizes; `>=` keeps the last maximum,
+        // i.e. prefers more active radios on exact ties.
+        let mut best = 0usize;
+        for r in 1..=k {
+            if dp[r] >= dp[best] {
+                best = r;
+            }
+        }
+        best
+    } else {
+        k
+    };
+
+    // Reconstruct the allocation.
+    let mut counts = vec![0u32; n_ch];
+    let mut r = best_r;
+    for c in (0..n_ch).rev() {
+        let t = choice[c][r];
+        counts[c] = t as u32;
+        r -= t;
+    }
+    debug_assert_eq!(r, 0, "all chosen radios must be placed");
+    (StrategyVector::from_counts(counts), dp[best_r])
+}
+
+/// The paper's Eq. 7 generalized: benefit Δ for `user` moving one radio
+/// from channel `b` to channel `c`. Only the two touched channels change,
+/// so Δ reduces to four payoff terms. This entry point scans the two
+/// affected columns (`O(|N|)`); inside hot loops use
+/// [`benefit_of_move_cached`], which is `O(1)` against a load cache.
+///
+/// # Panics
+///
+/// Panics if the user has no radio on `b`.
+pub fn benefit_of_move<G: ChannelGame + ?Sized>(
+    game: &G,
+    s: &StrategyMatrix,
+    user: UserId,
+    b: ChannelId,
+    c: ChannelId,
+) -> f64 {
+    if b == c {
+        assert!(s.get(user, b) > 0, "{user} has no radio on {b}");
+        return 0.0;
+    }
+    delta_terms(
+        game,
+        s.get(user, b),
+        s.channel_load(b),
+        s.get(user, c),
+        s.channel_load(c),
+        user,
+        b,
+        c,
+    )
+}
+
+/// Eq. 7 in `O(1)` against a cached load vector.
+///
+/// # Panics
+///
+/// Panics if the user has no radio on `b`.
+pub fn benefit_of_move_cached<G: ChannelGame + ?Sized>(
+    game: &G,
+    s: &StrategyMatrix,
+    loads: &ChannelLoads,
+    user: UserId,
+    b: ChannelId,
+    c: ChannelId,
+) -> f64 {
+    loads.paranoid_check(s);
+    if b == c {
+        assert!(s.get(user, b) > 0, "{user} has no radio on {b}");
+        return 0.0;
+    }
+    delta_terms(
+        game,
+        s.get(user, b),
+        loads.load(b),
+        s.get(user, c),
+        loads.load(c),
+        user,
+        b,
+        c,
+    )
+}
+
+/// The four-term Δ shared by the two Eq.-7 entry points.
+#[allow(clippy::too_many_arguments)] // internal: the two callers above
+fn delta_terms<G: ChannelGame + ?Sized>(
+    game: &G,
+    kib: u32,
+    kb: u32,
+    kic: u32,
+    kc: u32,
+    user: UserId,
+    b: ChannelId,
+    c: ChannelId,
+) -> f64 {
+    assert!(kib > 0, "{user} has no radio on {b}");
+    let others_b = kb - kib;
+    let others_c = kc - kic;
+    let before_b = game.channel_payoff(b, others_b, kib);
+    let before_c = if kic == 0 {
+        0.0
+    } else {
+        game.channel_payoff(c, others_c, kic)
+    };
+    let after_b = if kib == 1 {
+        0.0
+    } else {
+        game.channel_payoff(b, others_b, kib - 1)
+    };
+    let after_c = game.channel_payoff(c, others_c, kic + 1);
+    after_b + after_c - before_b - before_c
+}
+
+/// Ground-truth Eq. 7: clone the matrix, apply the move, recompute the
+/// two full utilities (`O(|N|·|C|)` plus an allocation per call). Kept as
+/// the oracle the incremental path is pinned against by the conformance
+/// and `incremental_equiv` property suites.
+///
+/// # Panics
+///
+/// Panics if the user has no radio on `b`.
+pub fn benefit_of_move_naive<G: ChannelGame + ?Sized>(
+    game: &G,
+    s: &StrategyMatrix,
+    user: UserId,
+    b: ChannelId,
+    c: ChannelId,
+) -> f64 {
+    assert!(s.get(user, b) > 0, "{user} has no radio on {b}");
+    if b == c {
+        return 0.0;
+    }
+    let before = utility(game, s, user);
+    let mut moved = s.clone();
+    moved.move_radio(user, b, c);
+    utility(game, &moved, user) - before
+}
+
+/// Exact Nash check by best-response comparison (Definition 1):
+/// `O(|N|·|C|·k²)` total. Recomputes the loads; see
+/// [`nash_check_cached`].
+pub fn nash_check<G: ChannelGame + ?Sized>(game: &G, s: &StrategyMatrix) -> NashCheck {
+    nash_check_cached(game, s, &ChannelLoads::of(s))
+}
+
+/// [`nash_check`] against a cached load vector — one `O(|C|)` utility
+/// read plus the best-response DP per user, zero matrix clones.
+pub fn nash_check_cached<G: ChannelGame + ?Sized>(
+    game: &G,
+    s: &StrategyMatrix,
+    loads: &ChannelLoads,
+) -> NashCheck {
+    let mut gains = Vec::with_capacity(game.n_users());
+    let mut witness = None;
+    for user in UserId::all(game.n_users()) {
+        let current = utility_cached(game, s, loads, user);
+        let (best, best_u) = best_response_cached(game, s, loads, user);
+        let gain = (best_u - current).max(0.0);
+        if gain > UTILITY_TOLERANCE && witness.is_none() {
+            witness = Some((user, best));
+        }
+        gains.push(gain);
+    }
+    NashCheck { gains, witness }
+}
+
+/// Largest unilateral best-response improvement available to any user.
+pub fn max_gain<G: ChannelGame + ?Sized>(game: &G, s: &StrategyMatrix) -> f64 {
+    nash_check(game, s).max_gain()
+}
+
+/// [`max_gain`] against a cached load vector.
+pub fn max_gain_cached<G: ChannelGame + ?Sized>(
+    game: &G,
+    s: &StrategyMatrix,
+    loads: &ChannelLoads,
+) -> f64 {
+    nash_check_cached(game, s, loads).max_gain()
+}
+
+/// True when `s` is a Nash equilibrium (Definition 1) of `game`.
+pub fn is_nash<G: ChannelGame + ?Sized>(game: &G, s: &StrategyMatrix) -> bool {
+    nash_check(game, s).is_nash()
+}
+
+/// Round-robin best-response dynamics to a fixed point or `max_rounds`,
+/// with the load cache maintained incrementally across moves (zero matrix
+/// clones). Returns `(final matrix, converged, rounds)`.
+pub fn best_response_dynamics<G: ChannelGame + ?Sized>(
+    game: &G,
+    mut s: StrategyMatrix,
+    max_rounds: usize,
+) -> (StrategyMatrix, bool, usize) {
+    let n = game.n_users();
+    let mut loads = ChannelLoads::of(&s);
+    for round in 1..=max_rounds {
+        let mut moved = false;
+        for u in UserId::all(n) {
+            let before = utility_cached(game, &s, &loads, u);
+            let (br, after) = best_response_cached(game, &s, &loads, u);
+            if after > before + UTILITY_TOLERANCE {
+                loads.replace_row(&s.user_strategy(u), &br);
+                s.set_user_strategy(u, &br);
+                moved = true;
+            }
+        }
+        if !moved {
+            return (s, true, round);
+        }
+    }
+    (s, false, max_rounds)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::GameConfig;
+    use crate::game::ChannelAllocationGame;
+    use crate::rate_model::LinearDecayRate;
+    use std::sync::Arc;
+
+    /// A minimal bespoke implementor: single shared rate, per-user
+    /// budgets — exercising the trait without any concrete game type.
+    #[derive(Debug)]
+    struct TinyGame {
+        budgets: Vec<u32>,
+        n_channels: usize,
+    }
+
+    impl ChannelGame for TinyGame {
+        fn n_users(&self) -> usize {
+            self.budgets.len()
+        }
+        fn n_channels(&self) -> usize {
+            self.n_channels
+        }
+        fn radios_of(&self, user: UserId) -> u32 {
+            self.budgets[user.0]
+        }
+        fn channel_payoff(&self, _channel: ChannelId, others_load: u32, slots: u32) -> f64 {
+            if slots == 0 {
+                0.0
+            } else {
+                slots as f64 / (others_load + slots) as f64
+            }
+        }
+    }
+
+    #[test]
+    fn trait_engine_matches_concrete_game() {
+        // The generic engine through the trait and the concrete game's
+        // delegating methods must agree bit-for-bit.
+        let cfg = GameConfig::new(3, 2, 3).unwrap();
+        let game = ChannelAllocationGame::new(cfg, Arc::new(LinearDecayRate::new(6.0, 1.0, 1.0)));
+        let s = StrategyMatrix::from_rows(&[vec![2, 0, 0], vec![1, 1, 0], vec![0, 1, 1]]).unwrap();
+        let loads = ChannelLoads::of(&s);
+        for u in UserId::all(3) {
+            assert_eq!(utility(&game, &s, u), game.utility(&s, u));
+            assert_eq!(
+                utility_cached(&game, &s, &loads, u),
+                game.utility_cached(&s, &loads, u)
+            );
+            assert_eq!(best_response(&game, &s, u), game.best_response(&s, u));
+        }
+        assert_eq!(nash_check(&game, &s), game.nash_check(&s));
+    }
+
+    #[test]
+    fn bespoke_implementor_gets_the_full_engine() {
+        let g = TinyGame {
+            budgets: vec![2, 1, 1],
+            n_channels: 2,
+        };
+        assert_eq!(total_radios(&g), 4);
+        assert!(has_conflict(&g));
+        // Everyone stacked on channel 0.
+        let s = StrategyMatrix::from_rows(&[vec![2, 0], vec![1, 0], vec![1, 0]]).unwrap();
+        let check = nash_check(&g, &s);
+        assert!(!check.is_nash());
+        assert!(check.max_gain() > 0.0);
+        let (end, converged, _) = best_response_dynamics(&g, s, 50);
+        assert!(converged);
+        assert!(is_nash(&g, &end));
+        assert!(end.max_delta() <= 1);
+    }
+
+    #[test]
+    fn benefit_of_move_agrees_with_naive_oracle() {
+        let g = TinyGame {
+            budgets: vec![3, 2],
+            n_channels: 3,
+        };
+        let s = StrategyMatrix::from_rows(&[vec![2, 1, 0], vec![0, 1, 1]]).unwrap();
+        let loads = ChannelLoads::of(&s);
+        for u in UserId::all(2) {
+            for b in ChannelId::all(3) {
+                if s.get(u, b) == 0 {
+                    continue;
+                }
+                for c in ChannelId::all(3) {
+                    let fast = benefit_of_move(&g, &s, u, b, c);
+                    let cached = benefit_of_move_cached(&g, &s, &loads, u, b, c);
+                    let naive = benefit_of_move_naive(&g, &s, u, b, c);
+                    assert_eq!(fast, cached);
+                    assert!((fast - naive).abs() < 1e-12, "u={u} {b}->{c}");
+                }
+            }
+        }
+    }
+}

@@ -1,6 +1,7 @@
 //! The channel-allocation game: utilities (Eq. 3), benefit of change
 //! (Eq. 7), exact best responses, and Nash verification.
 
+use crate::br_dp::{self, ChannelGame};
 use crate::config::GameConfig;
 use crate::enumerate::user_strategy_space;
 use crate::error::Error;
@@ -102,17 +103,7 @@ impl ChannelAllocationGame {
 
     /// Eq. 3 against a cached load vector: `O(|C|)`, no column scans.
     pub fn utility_cached(&self, s: &StrategyMatrix, loads: &ChannelLoads, user: UserId) -> f64 {
-        debug_assert!(loads.is_consistent_with(s), "stale load cache");
-        let mut u = 0.0;
-        for c in ChannelId::all(self.config.n_channels()) {
-            let kic = s.get(user, c);
-            if kic == 0 {
-                continue;
-            }
-            let kc = loads.load(c);
-            u += kic as f64 / kc as f64 * self.rate.rate(kc);
-        }
-        u
+        br_dp::utility_cached(self, s, loads, user)
     }
 
     /// Utilities of all users (`O(|N|·|C|)` total: one load pass, then one
@@ -183,18 +174,7 @@ impl ChannelAllocationGame {
         b: ChannelId,
         c: ChannelId,
     ) -> f64 {
-        if b == c {
-            assert!(s.get(user, b) > 0, "{user} has no radio on {b}");
-            return 0.0;
-        }
-        self.delta_terms(
-            s.get(user, b),
-            s.channel_load(b),
-            s.get(user, c),
-            s.channel_load(c),
-            user,
-            b,
-        )
+        br_dp::benefit_of_move(self, s, user, b, c)
     }
 
     /// Eq. 7 in `O(1)` against a cached load vector.
@@ -210,37 +190,7 @@ impl ChannelAllocationGame {
         b: ChannelId,
         c: ChannelId,
     ) -> f64 {
-        debug_assert!(loads.is_consistent_with(s), "stale load cache");
-        if b == c {
-            assert!(s.get(user, b) > 0, "{user} has no radio on {b}");
-            return 0.0;
-        }
-        self.delta_terms(
-            s.get(user, b),
-            loads.load(b),
-            s.get(user, c),
-            loads.load(c),
-            user,
-            b,
-        )
-    }
-
-    /// The four-term Δ shared by the two Eq.-7 entry points.
-    fn delta_terms(&self, kib: u32, kb: u32, kic: u32, kc: u32, user: UserId, b: ChannelId) -> f64 {
-        assert!(kib > 0, "{user} has no radio on {b}");
-        let before_b = kib as f64 / kb as f64 * self.rate.rate(kb);
-        let before_c = if kic == 0 {
-            0.0
-        } else {
-            kic as f64 / kc as f64 * self.rate.rate(kc)
-        };
-        let after_b = if kib == 1 {
-            0.0
-        } else {
-            (kib - 1) as f64 / (kb - 1) as f64 * self.rate.rate(kb - 1)
-        };
-        let after_c = (kic + 1) as f64 / (kc + 1) as f64 * self.rate.rate(kc + 1);
-        after_b + after_c - before_b - before_c
+        br_dp::benefit_of_move_cached(self, s, loads, user, b, c)
     }
 
     /// Ground-truth Eq. 7: clone the matrix, apply the move, recompute the
@@ -290,64 +240,15 @@ impl ChannelAllocationGame {
 
     /// [`best_response`](Self::best_response) against a cached load vector:
     /// skips the `O(|N|·|C|)` load recomputation, leaving only the
-    /// `O(|C|·k²)` dynamic program.
+    /// `O(|C|·k²)` dynamic program of [`br_dp::best_response_cached`] —
+    /// the single shared DP implementation.
     pub fn best_response_cached(
         &self,
         s: &StrategyMatrix,
         loads: &ChannelLoads,
         user: UserId,
     ) -> (StrategyVector, f64) {
-        debug_assert!(loads.is_consistent_with(s), "stale load cache");
-        let k = self.config.radios_per_user() as usize;
-        let n_ch = self.config.n_channels();
-        // Other users' loads.
-        let loads_wo: Vec<u32> = ChannelId::all(n_ch)
-            .map(|c| loads.load(c) - s.get(user, c))
-            .collect();
-
-        // Per-channel payoff of placing t radios: f[c][t].
-        let mut f = vec![vec![0.0f64; k + 1]; n_ch];
-        #[allow(clippy::needless_range_loop)] // the DP reads as index algebra
-        for c in 0..n_ch {
-            for t in 1..=k {
-                let total = loads_wo[c] + t as u32;
-                f[c][t] = t as f64 / total as f64 * self.rate.rate(total);
-            }
-        }
-
-        // dp[r] = best utility with r radios over channels 0..=c; choice[c][r]
-        // = radios on channel c in that optimum.
-        let neg = f64::NEG_INFINITY;
-        let mut dp = vec![neg; k + 1];
-        dp[0] = 0.0;
-        let mut choice = vec![vec![0usize; k + 1]; n_ch];
-        for c in 0..n_ch {
-            let mut next = vec![neg; k + 1];
-            for r in 0..=k {
-                for t in 0..=r {
-                    if dp[r - t] == neg {
-                        continue;
-                    }
-                    let v = dp[r - t] + f[c][t];
-                    if v > next[r] {
-                        next[r] = v;
-                        choice[c][r] = t;
-                    }
-                }
-            }
-            dp = next;
-        }
-
-        // Reconstruct the allocation.
-        let mut counts = vec![0u32; n_ch];
-        let mut r = k;
-        for c in (0..n_ch).rev() {
-            let t = choice[c][r];
-            counts[c] = t as u32;
-            r -= t;
-        }
-        debug_assert_eq!(r, 0, "all radios must be placed");
-        (StrategyVector::from_counts(counts), dp[k])
+        br_dp::best_response_cached(self, s, loads, user)
     }
 
     /// Exact Nash check by best-response comparison (Definition 1): for
@@ -362,18 +263,7 @@ impl ChannelAllocationGame {
     /// the per-user work drops to one `O(|C|)` utility read plus the
     /// best-response DP, with zero matrix clones and zero column scans.
     pub fn nash_check_cached(&self, s: &StrategyMatrix, loads: &ChannelLoads) -> NashCheck {
-        let mut gains = Vec::with_capacity(self.config.n_users());
-        let mut witness = None;
-        for user in UserId::all(self.config.n_users()) {
-            let current = self.utility_cached(s, loads, user);
-            let (best, best_u) = self.best_response_cached(s, loads, user);
-            let gain = (best_u - current).max(0.0);
-            if gain > UTILITY_TOLERANCE && witness.is_none() {
-                witness = Some((user, best));
-            }
-            gains.push(gain);
-        }
-        NashCheck { gains, witness }
+        br_dp::nash_check_cached(self, s, loads)
     }
 
     /// True when `s` is a Nash equilibrium (Definition 1).
@@ -390,6 +280,31 @@ impl ChannelAllocationGame {
     /// instances (the cross-validation experiments cap it explicitly).
     pub fn indexed(&self) -> IndexedGame {
         IndexedGame::new(self.clone())
+    }
+}
+
+/// The paper's game through the unified engine: every user has the same
+/// budget `k`, every channel the same rate model, and the payoff is the
+/// fair share `t/(L+t)·R(L+t)` of Eq. 3.
+impl ChannelGame for ChannelAllocationGame {
+    fn n_users(&self) -> usize {
+        self.config.n_users()
+    }
+
+    fn n_channels(&self) -> usize {
+        self.config.n_channels()
+    }
+
+    fn radios_of(&self, _user: UserId) -> u32 {
+        self.config.radios_per_user()
+    }
+
+    fn channel_payoff(&self, _channel: ChannelId, others_load: u32, slots: u32) -> f64 {
+        if slots == 0 {
+            return 0.0;
+        }
+        let total = others_load + slots;
+        slots as f64 / total as f64 * self.rate.rate(total)
     }
 }
 

@@ -18,7 +18,10 @@
 //!   on equilibria across our sweeps.
 
 use crate::algorithm::TieBreak;
+use crate::br_dp::{self, ChannelGame};
 use crate::error::Error;
+use crate::game::NashCheck;
+use crate::loads::ChannelLoads;
 use crate::rate_model::{ConstantRate, RateModel};
 use crate::strategy::{StrategyMatrix, StrategyVector};
 use crate::types::{ChannelId, UserId};
@@ -169,23 +172,8 @@ impl HeteroGame {
     }
 
     /// Eq. 3 against a cached load vector (`O(|C|)`, no column scans).
-    pub fn utility_cached(
-        &self,
-        s: &StrategyMatrix,
-        loads: &crate::loads::ChannelLoads,
-        user: UserId,
-    ) -> f64 {
-        debug_assert!(loads.is_consistent_with(s), "stale load cache");
-        let mut total = 0.0;
-        for c in ChannelId::all(self.config.n_channels()) {
-            let kic = s.get(user, c);
-            if kic == 0 {
-                continue;
-            }
-            let kc = loads.load(c);
-            total += kic as f64 / kc as f64 * self.rate.rate(kc);
-        }
-        total
+    pub fn utility_cached(&self, s: &StrategyMatrix, loads: &ChannelLoads, user: UserId) -> f64 {
+        br_dp::utility_cached(self, s, loads, user)
     }
 
     /// Utilities of all users.
@@ -193,6 +181,11 @@ impl HeteroGame {
         UserId::all(self.config.n_users())
             .map(|u| self.utility(s, u))
             .collect()
+    }
+
+    /// Utilities of all users against a cached load vector.
+    pub fn utilities_cached(&self, s: &StrategyMatrix, loads: &ChannelLoads) -> Vec<f64> {
+        br_dp::utilities_cached(self, s, loads)
     }
 
     /// Total utility `Σ_c R(k_c)` over occupied channels.
@@ -209,63 +202,74 @@ impl HeteroGame {
             .sum()
     }
 
-    /// Exact best response of `user` (same DP as the homogeneous game,
-    /// with the user's own budget `k_i`).
+    /// Total utility from a cached load vector (`O(|C|)`).
+    pub fn total_utility_cached(&self, loads: &ChannelLoads) -> f64 {
+        loads
+            .as_slice()
+            .iter()
+            .map(|&kc| if kc == 0 { 0.0 } else { self.rate.rate(kc) })
+            .sum()
+    }
+
+    /// The paper's Eq. 7 for the heterogeneous game: benefit of moving
+    /// one of `user`'s radios from `b` to `c` (`O(|N|)` column scans; see
+    /// [`benefit_of_move_cached`](Self::benefit_of_move_cached) for the
+    /// `O(1)` path).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the user has no radio on `b`.
+    pub fn benefit_of_move(
+        &self,
+        s: &StrategyMatrix,
+        user: UserId,
+        b: ChannelId,
+        c: ChannelId,
+    ) -> f64 {
+        br_dp::benefit_of_move(self, s, user, b, c)
+    }
+
+    /// Eq. 7 in `O(1)` against a cached load vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the user has no radio on `b`.
+    pub fn benefit_of_move_cached(
+        &self,
+        s: &StrategyMatrix,
+        loads: &ChannelLoads,
+        user: UserId,
+        b: ChannelId,
+        c: ChannelId,
+    ) -> f64 {
+        br_dp::benefit_of_move_cached(self, s, loads, user, b, c)
+    }
+
+    /// Exact best response of `user` (the shared DP of
+    /// [`br_dp::best_response_cached`], with the user's own budget `k_i`).
     pub fn best_response(&self, s: &StrategyMatrix, user: UserId) -> (StrategyVector, f64) {
-        let loads = crate::loads::ChannelLoads::of(s);
-        self.best_response_cached(s, &loads, user)
+        br_dp::best_response(self, s, user)
     }
 
     /// [`best_response`](Self::best_response) against a cached load vector.
     pub fn best_response_cached(
         &self,
         s: &StrategyMatrix,
-        loads: &crate::loads::ChannelLoads,
+        loads: &ChannelLoads,
         user: UserId,
     ) -> (StrategyVector, f64) {
-        debug_assert!(loads.is_consistent_with(s), "stale load cache");
-        let k = self.config.radios_of(user) as usize;
-        let n_ch = self.config.n_channels();
-        let loads_wo: Vec<u32> = ChannelId::all(n_ch)
-            .map(|c| loads.load(c) - s.get(user, c))
-            .collect();
-        let mut f = vec![vec![0.0f64; k + 1]; n_ch];
-        #[allow(clippy::needless_range_loop)] // the DP reads as index algebra
-        for c in 0..n_ch {
-            for t in 1..=k {
-                let total = loads_wo[c] + t as u32;
-                f[c][t] = t as f64 / total as f64 * self.rate.rate(total);
-            }
-        }
-        let neg = f64::NEG_INFINITY;
-        let mut dp = vec![neg; k + 1];
-        dp[0] = 0.0;
-        let mut choice = vec![vec![0usize; k + 1]; n_ch];
-        for c in 0..n_ch {
-            let mut next = vec![neg; k + 1];
-            for r in 0..=k {
-                for t in 0..=r {
-                    if dp[r - t] == neg {
-                        continue;
-                    }
-                    let v = dp[r - t] + f[c][t];
-                    if v > next[r] {
-                        next[r] = v;
-                        choice[c][r] = t;
-                    }
-                }
-            }
-            dp = next;
-        }
-        let mut counts = vec![0u32; n_ch];
-        let mut r = k;
-        for c in (0..n_ch).rev() {
-            let t = choice[c][r];
-            counts[c] = t as u32;
-            r -= t;
-        }
-        debug_assert_eq!(r, 0);
-        (StrategyVector::from_counts(counts), dp[k])
+        br_dp::best_response_cached(self, s, loads, user)
+    }
+
+    /// Exact Nash check with per-user gains and a deviation witness —
+    /// the same [`NashCheck`] the homogeneous game returns.
+    pub fn nash_check(&self, s: &StrategyMatrix) -> NashCheck {
+        br_dp::nash_check(self, s)
+    }
+
+    /// [`nash_check`](Self::nash_check) against a cached load vector.
+    pub fn nash_check_cached(&self, s: &StrategyMatrix, loads: &ChannelLoads) -> NashCheck {
+        br_dp::nash_check_cached(self, s, loads)
     }
 
     /// Exact Nash check by per-user best responses.
@@ -275,13 +279,12 @@ impl HeteroGame {
 
     /// Largest unilateral improvement available to any user.
     pub fn max_gain(&self, s: &StrategyMatrix) -> f64 {
-        let mut max = 0.0f64;
-        for u in UserId::all(self.config.n_users()) {
-            let before = self.utility(s, u);
-            let (_, after) = self.best_response(s, u);
-            max = max.max(after - before);
-        }
-        max
+        br_dp::max_gain(self, s)
+    }
+
+    /// [`max_gain`](Self::max_gain) against a cached load vector.
+    pub fn max_gain_cached(&self, s: &StrategyMatrix, loads: &ChannelLoads) -> f64 {
+        br_dp::max_gain_cached(self, s, loads)
     }
 
     /// Algorithm 1 generalized: users place their own `k_i` radios in
@@ -341,30 +344,38 @@ impl HeteroGame {
         s
     }
 
-    /// Best-response dynamics until fixed point or `max_rounds`.
+    /// Best-response dynamics until fixed point or `max_rounds` (the
+    /// generic incremental loop of [`br_dp::best_response_dynamics`]).
     pub fn best_response_dynamics(
         &self,
-        mut s: StrategyMatrix,
+        s: StrategyMatrix,
         max_rounds: usize,
     ) -> (StrategyMatrix, bool, usize) {
-        let n = self.config.n_users();
-        let mut loads = crate::loads::ChannelLoads::of(&s);
-        for round in 1..=max_rounds {
-            let mut moved = false;
-            for u in UserId::all(n) {
-                let before = self.utility_cached(&s, &loads, u);
-                let (br, after) = self.best_response_cached(&s, &loads, u);
-                if after > before + crate::game::UTILITY_TOLERANCE {
-                    loads.replace_row(&s.user_strategy(u), &br);
-                    s.set_user_strategy(u, &br);
-                    moved = true;
-                }
-            }
-            if !moved {
-                return (s, true, round);
-            }
+        br_dp::best_response_dynamics(self, s, max_rounds)
+    }
+}
+
+/// The heterogeneous game through the unified engine: per-user budgets,
+/// one shared rate model.
+impl ChannelGame for HeteroGame {
+    fn n_users(&self) -> usize {
+        self.config.n_users()
+    }
+
+    fn n_channels(&self) -> usize {
+        self.config.n_channels()
+    }
+
+    fn radios_of(&self, user: UserId) -> u32 {
+        self.config.radios_of(user)
+    }
+
+    fn channel_payoff(&self, _channel: ChannelId, others_load: u32, slots: u32) -> f64 {
+        if slots == 0 {
+            return 0.0;
         }
-        (s, false, max_rounds)
+        let total = others_load + slots;
+        slots as f64 / total as f64 * self.rate.rate(total)
     }
 }
 

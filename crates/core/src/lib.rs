@@ -16,6 +16,10 @@
 //!
 //! * the strategy space and utility function (Eq. 3): [`strategy`],
 //!   [`game`];
+//! * the unified best-response engine — one [`br_dp::ChannelGame`] trait
+//!   and one knapsack DP shared by the homogeneous game and every
+//!   extension (heterogeneous budgets, per-channel rates, energy costs):
+//!   [`br_dp`];
 //! * the benefit-of-change Δ (Eq. 7):
 //!   [`game::ChannelAllocationGame::benefit_of_move`];
 //! * Lemmas 1–4, Proposition 1, and both directions of Theorem 1 as
@@ -56,6 +60,7 @@
 
 pub mod algorithm;
 pub mod analysis;
+pub mod br_dp;
 pub mod config;
 pub mod display;
 pub mod distributed;
@@ -73,6 +78,7 @@ pub mod strategy;
 pub mod types;
 pub mod utility_models;
 
+pub use br_dp::ChannelGame;
 pub use config::GameConfig;
 pub use error::Error;
 pub use game::ChannelAllocationGame;
@@ -85,6 +91,7 @@ pub use types::{ChannelId, UserId};
 pub mod prelude {
     pub use crate::algorithm::{algorithm1, Ordering, TieBreak};
     pub use crate::analysis::{jain_fairness, load_balance_delta, AllocationStats};
+    pub use crate::br_dp::ChannelGame;
     pub use crate::config::GameConfig;
     pub use crate::display::render_allocation;
     pub use crate::dynamics::{BestResponseDriver, RadioDynamics, Schedule};
@@ -92,7 +99,7 @@ pub mod prelude {
     pub use crate::error::Error;
     pub use crate::game::ChannelAllocationGame;
     pub use crate::loads::ChannelLoads;
-    pub use crate::nash::{theorem1, NashCheck, Theorem1Verdict};
+    pub use crate::nash::{theorem1, theorem1_cached, NashCheck, Theorem1Verdict};
     pub use crate::pareto::{is_pareto_optimal_ne, is_system_optimal, optimal_total_rate};
     pub use crate::rate_model::{ConstantRate, RateFunction, RateModel};
     pub use crate::strategy::{StrategyMatrix, StrategyVector};

@@ -141,6 +141,24 @@ impl ChannelLoads {
     pub fn is_consistent_with(&self, s: &StrategyMatrix) -> bool {
         self.loads == s.loads()
     }
+
+    /// Feature-gated stale-cache assertion used by every `*_cached` entry
+    /// point: an `O(|N|·|C|)` recompute-and-compare that catches cache
+    /// drift at the call site instead of as a wrong result downstream.
+    ///
+    /// Compiled in only under the `paranoid-checks` cargo feature (default
+    /// **on**, so `cargo test` gets it) *and* `debug_assertions` (so
+    /// release builds never pay for it). Property suites at
+    /// production-scale instance sizes can build with
+    /// `--no-default-features` to strip the quadratic check from debug
+    /// binaries too.
+    #[inline]
+    pub fn paranoid_check(&self, s: &StrategyMatrix) {
+        #[cfg(feature = "paranoid-checks")]
+        debug_assert!(self.is_consistent_with(s), "stale load cache");
+        #[cfg(not(feature = "paranoid-checks"))]
+        let _ = s;
+    }
 }
 
 impl From<&StrategyMatrix> for ChannelLoads {
@@ -221,5 +239,32 @@ mod tests {
     fn moving_from_empty_channel_panics() {
         let mut loads = ChannelLoads::zeros(2);
         loads.apply_move(ChannelId(0), ChannelId(1));
+    }
+
+    /// The paranoid gate must be callable (and silent on a consistent
+    /// cache) in *every* feature/profile combination — this test compiles
+    /// and runs with and without `--no-default-features`, which is what
+    /// pins "the gate compiles both ways".
+    #[test]
+    fn paranoid_check_accepts_consistent_cache_under_any_features() {
+        let s = figure2();
+        let loads = ChannelLoads::of(&s);
+        loads.paranoid_check(&s);
+        // Document which configuration this run exercised.
+        let gated = cfg!(feature = "paranoid-checks");
+        let debug = cfg!(debug_assertions);
+        // The check is active iff both hold; either way the call above
+        // must not panic on a consistent pair.
+        let _ = (gated, debug);
+    }
+
+    #[cfg(all(feature = "paranoid-checks", debug_assertions))]
+    #[test]
+    #[should_panic(expected = "stale load cache")]
+    fn paranoid_check_catches_stale_cache_when_enabled() {
+        let s = figure2();
+        let mut loads = ChannelLoads::of(&s);
+        loads.add_radio(ChannelId(0)); // drift the cache
+        loads.paranoid_check(&s);
     }
 }

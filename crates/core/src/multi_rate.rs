@@ -18,9 +18,10 @@
 //!   a congestion game, now with resource-specific payoffs, so the
 //!   Rosenthal potential argument goes through unchanged).
 
+use crate::br_dp::{self, ChannelGame};
 use crate::config::GameConfig;
 use crate::error::Error;
-use crate::game::UTILITY_TOLERANCE;
+use crate::game::NashCheck;
 use crate::loads::ChannelLoads;
 use crate::rate_model::RateModel;
 use crate::strategy::{StrategyMatrix, StrategyVector};
@@ -80,17 +81,7 @@ impl MultiRateGame {
 
     /// Eq. 3 with per-channel rates against a cached load vector.
     pub fn utility_cached(&self, s: &StrategyMatrix, loads: &ChannelLoads, user: UserId) -> f64 {
-        debug_assert!(loads.is_consistent_with(s), "stale load cache");
-        let mut total = 0.0;
-        for c in ChannelId::all(self.config.n_channels()) {
-            let kic = s.get(user, c);
-            if kic == 0 {
-                continue;
-            }
-            let kc = loads.load(c);
-            total += kic as f64 / kc as f64 * self.rates[c.0].rate(kc);
-        }
-        total
+        br_dp::utility_cached(self, s, loads, user)
     }
 
     /// Utilities of all users.
@@ -98,6 +89,11 @@ impl MultiRateGame {
         UserId::all(self.config.n_users())
             .map(|u| self.utility(s, u))
             .collect()
+    }
+
+    /// Utilities of all users against a cached load vector.
+    pub fn utilities_cached(&self, s: &StrategyMatrix, loads: &ChannelLoads) -> Vec<f64> {
+        br_dp::utilities_cached(self, s, loads)
     }
 
     /// Total utility `Σ_c R_c(k_c)` over occupied channels.
@@ -114,10 +110,9 @@ impl MultiRateGame {
             .sum()
     }
 
-    /// Exact best response (the homogeneous DP with per-channel `f_c`).
+    /// Exact best response (the shared DP with per-channel `f_c`).
     pub fn best_response(&self, s: &StrategyMatrix, user: UserId) -> (StrategyVector, f64) {
-        let loads = ChannelLoads::of(s);
-        self.best_response_cached(s, &loads, user)
+        br_dp::best_response(self, s, user)
     }
 
     /// [`best_response`](Self::best_response) against a cached load vector.
@@ -127,80 +122,71 @@ impl MultiRateGame {
         loads: &ChannelLoads,
         user: UserId,
     ) -> (StrategyVector, f64) {
-        debug_assert!(loads.is_consistent_with(s), "stale load cache");
-        let k = self.config.radios_per_user() as usize;
-        let n_ch = self.config.n_channels();
-        let loads_wo: Vec<u32> = ChannelId::all(n_ch)
-            .map(|c| loads.load(c) - s.get(user, c))
-            .collect();
-        let mut f = vec![vec![0.0f64; k + 1]; n_ch];
-        #[allow(clippy::needless_range_loop)] // the DP reads as index algebra
-        for c in 0..n_ch {
-            for t in 1..=k {
-                let total = loads_wo[c] + t as u32;
-                f[c][t] = t as f64 / total as f64 * self.rates[c].rate(total);
-            }
-        }
-        let neg = f64::NEG_INFINITY;
-        let mut dp = vec![neg; k + 1];
-        dp[0] = 0.0;
-        let mut choice = vec![vec![0usize; k + 1]; n_ch];
-        for c in 0..n_ch {
-            let mut next = vec![neg; k + 1];
-            for r in 0..=k {
-                for t in 0..=r {
-                    if dp[r - t] == neg {
-                        continue;
-                    }
-                    let v = dp[r - t] + f[c][t];
-                    if v > next[r] {
-                        next[r] = v;
-                        choice[c][r] = t;
-                    }
-                }
-            }
-            dp = next;
-        }
-        let mut counts = vec![0u32; n_ch];
-        let mut r = k;
-        for c in (0..n_ch).rev() {
-            let t = choice[c][r];
-            counts[c] = t as u32;
-            r -= t;
-        }
-        debug_assert_eq!(r, 0);
-        (StrategyVector::from_counts(counts), dp[k])
+        br_dp::best_response_cached(self, s, loads, user)
+    }
+
+    /// Eq. 7 with per-channel rates: benefit of moving one of `user`'s
+    /// radios from `b` to `c` (`O(|N|)` column scans).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the user has no radio on `b`.
+    pub fn benefit_of_move(
+        &self,
+        s: &StrategyMatrix,
+        user: UserId,
+        b: ChannelId,
+        c: ChannelId,
+    ) -> f64 {
+        br_dp::benefit_of_move(self, s, user, b, c)
+    }
+
+    /// Eq. 7 in `O(1)` against a cached load vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the user has no radio on `b`.
+    pub fn benefit_of_move_cached(
+        &self,
+        s: &StrategyMatrix,
+        loads: &ChannelLoads,
+        user: UserId,
+        b: ChannelId,
+        c: ChannelId,
+    ) -> f64 {
+        br_dp::benefit_of_move_cached(self, s, loads, user, b, c)
+    }
+
+    /// Exact Nash check with per-user gains and a deviation witness.
+    pub fn nash_check(&self, s: &StrategyMatrix) -> NashCheck {
+        br_dp::nash_check(self, s)
+    }
+
+    /// [`nash_check`](Self::nash_check) against a cached load vector.
+    pub fn nash_check_cached(&self, s: &StrategyMatrix, loads: &ChannelLoads) -> NashCheck {
+        br_dp::nash_check_cached(self, s, loads)
     }
 
     /// Exact Nash check.
     pub fn is_nash(&self, s: &StrategyMatrix) -> bool {
-        UserId::all(self.config.n_users()).all(|u| {
-            let before = self.utility(s, u);
-            let (_, after) = self.best_response(s, u);
-            after <= before + UTILITY_TOLERANCE
-        })
+        br_dp::is_nash(self, s)
+    }
+
+    /// Largest unilateral improvement available to any user.
+    pub fn max_gain(&self, s: &StrategyMatrix) -> f64 {
+        br_dp::max_gain(self, s)
+    }
+
+    /// [`max_gain`](Self::max_gain) against a cached load vector.
+    pub fn max_gain_cached(&self, s: &StrategyMatrix, loads: &ChannelLoads) -> f64 {
+        br_dp::max_gain_cached(self, s, loads)
     }
 
     /// Best-response dynamics to a fixed point (loads maintained
-    /// incrementally across moves).
-    pub fn converge(&self, mut s: StrategyMatrix, max_rounds: usize) -> (StrategyMatrix, bool) {
-        let mut loads = ChannelLoads::of(&s);
-        for _ in 0..max_rounds {
-            let mut moved = false;
-            for u in UserId::all(self.config.n_users()) {
-                let before = self.utility_cached(&s, &loads, u);
-                let (br, after) = self.best_response_cached(&s, &loads, u);
-                if after > before + UTILITY_TOLERANCE {
-                    loads.replace_row(&s.user_strategy(u), &br);
-                    s.set_user_strategy(u, &br);
-                    moved = true;
-                }
-            }
-            if !moved {
-                return (s, true);
-            }
-        }
-        (s, false)
+    /// incrementally across moves by [`br_dp::best_response_dynamics`]).
+    pub fn converge(&self, s: StrategyMatrix, max_rounds: usize) -> (StrategyMatrix, bool) {
+        let (end, converged, _) = br_dp::best_response_dynamics(self, s, max_rounds);
+        (end, converged)
     }
 
     /// Exact welfare optimum over load vectors (per-channel DP).
@@ -248,6 +234,30 @@ impl MultiRateGame {
         let max = shares.iter().copied().fold(f64::NEG_INFINITY, f64::max);
         let min = shares.iter().copied().fold(f64::INFINITY, f64::min);
         max - min
+    }
+}
+
+/// The per-channel-rate game through the unified engine: uniform budget
+/// `k`, one rate model per channel.
+impl ChannelGame for MultiRateGame {
+    fn n_users(&self) -> usize {
+        self.config.n_users()
+    }
+
+    fn n_channels(&self) -> usize {
+        self.config.n_channels()
+    }
+
+    fn radios_of(&self, _user: UserId) -> u32 {
+        self.config.radios_per_user()
+    }
+
+    fn channel_payoff(&self, channel: ChannelId, others_load: u32, slots: u32) -> f64 {
+        if slots == 0 {
+            return 0.0;
+        }
+        let total = others_load + slots;
+        slots as f64 / total as f64 * self.rates[channel.0].rate(total)
     }
 }
 

@@ -13,7 +13,7 @@
 //! benefit is strictly positive whenever the lemma fires under a
 //! non-increasing positive rate function.
 
-use crate::game::ChannelAllocationGame;
+use crate::br_dp::{self, ChannelGame};
 use crate::loads::ChannelLoads;
 use crate::strategy::StrategyMatrix;
 use crate::types::{ChannelId, UserId};
@@ -54,31 +54,37 @@ impl fmt::Display for LemmaViolation {
     }
 }
 
-/// Lemma 1: in a NE every user uses all `k` radios. Returns one violation
-/// per under-deployed user, with the (positive) benefit of deploying one
-/// idle radio on a channel the user does not occupy.
-pub fn lemma1_violations(game: &ChannelAllocationGame, s: &StrategyMatrix) -> Vec<LemmaViolation> {
-    let cfg = game.config();
+/// Lemma 1: in a NE every user uses all `k_i` radios. Returns one
+/// violation per under-deployed user, with the (positive) benefit of
+/// deploying one idle radio on a channel the user does not occupy.
+///
+/// Generic over [`ChannelGame`], so the heterogeneous and per-channel-rate
+/// games get the predicate too (the proof only needs `k_i ≤ |C|` and a
+/// positive rate; it does *not* hold for payoffs with per-radio costs,
+/// where deploying can hurt — by design, see `EnergyCostGame`).
+pub fn lemma1_violations<G: ChannelGame + ?Sized>(
+    game: &G,
+    s: &StrategyMatrix,
+) -> Vec<LemmaViolation> {
     let loads = ChannelLoads::of(s);
     let mut out = Vec::new();
-    for user in UserId::all(cfg.n_users()) {
+    for user in UserId::all(game.n_users()) {
         let used = s.user_total(user);
-        if used >= cfg.radios_per_user() {
+        if used >= game.radios_of(user) {
             continue;
         }
         // The proof's constructive move: |C_i| ≤ k_i < k ≤ |C| guarantees a
         // channel without this user's radios; deploying there gains
         // R_{i,c} > 0. Only that channel's load changes, so the benefit is
-        // exactly the newcomer's share R(k_c+1)/(k_c+1) — O(1) per channel
-        // against the cached loads. Pick the best such channel for a
-        // sharper witness.
+        // exactly the newcomer's payoff f_c(1) — O(1) per channel against
+        // the cached loads. Pick the best such channel for a sharper
+        // witness.
         let mut best: Option<(ChannelId, f64)> = None;
-        for c in ChannelId::all(cfg.n_channels()) {
+        for c in ChannelId::all(game.n_channels()) {
             if s.get(user, c) > 0 {
                 continue;
             }
-            let kc = loads.load(c) + 1;
-            let benefit = game.rate().rate(kc) / kc as f64;
+            let benefit = game.channel_payoff(c, loads.load(c), 1);
             if best.is_none_or(|(_, b)| benefit > b) {
                 best = Some((c, benefit));
             }
@@ -97,7 +103,10 @@ pub fn lemma1_violations(game: &ChannelAllocationGame, s: &StrategyMatrix) -> Ve
 
 /// Lemma 2: if `k_{i,b} > 0`, `k_{i,c} = 0` and `δ_{b,c} > 1`, the
 /// allocation is not a NE (moving a radio from `b` to `c` is profitable).
-pub fn lemma2_violations(game: &ChannelAllocationGame, s: &StrategyMatrix) -> Vec<LemmaViolation> {
+pub fn lemma2_violations<G: ChannelGame + ?Sized>(
+    game: &G,
+    s: &StrategyMatrix,
+) -> Vec<LemmaViolation> {
     collect_move_violations(game, s, 2, |s, loads, user, b, c| {
         s.get(user, b) > 0 && s.get(user, c) == 0 && loads.load(b) as i64 - loads.load(c) as i64 > 1
     })
@@ -105,7 +114,10 @@ pub fn lemma2_violations(game: &ChannelAllocationGame, s: &StrategyMatrix) -> Ve
 
 /// Lemma 3: if `k_{i,b} > 1`, `k_{i,c} = 0` and `δ_{b,c} = 1`, the
 /// allocation is not a NE.
-pub fn lemma3_violations(game: &ChannelAllocationGame, s: &StrategyMatrix) -> Vec<LemmaViolation> {
+pub fn lemma3_violations<G: ChannelGame + ?Sized>(
+    game: &G,
+    s: &StrategyMatrix,
+) -> Vec<LemmaViolation> {
     collect_move_violations(game, s, 3, |s, loads, user, b, c| {
         s.get(user, b) > 1
             && s.get(user, c) == 0
@@ -125,7 +137,10 @@ pub fn lemma3_violations(game: &ChannelAllocationGame, s: &StrategyMatrix) -> Ve
 /// equally-loaded channels on which the user's own radio counts differ by
 /// at least 2 — which subsumes the literal statement; the benefit is
 /// verified positive in tests either way.
-pub fn lemma4_violations(game: &ChannelAllocationGame, s: &StrategyMatrix) -> Vec<LemmaViolation> {
+pub fn lemma4_violations<G: ChannelGame + ?Sized>(
+    game: &G,
+    s: &StrategyMatrix,
+) -> Vec<LemmaViolation> {
     collect_move_violations(game, s, 4, |s, loads, user, b, c| {
         loads.load(b) == loads.load(c) && s.get(user, b) >= s.get(user, c) + 2
     })
@@ -138,30 +153,30 @@ pub fn proposition1_holds(s: &StrategyMatrix) -> bool {
 }
 
 /// Shared scan over (user, b, c) triples for the move-based lemmas.
-fn collect_move_violations<F>(
-    game: &ChannelAllocationGame,
+fn collect_move_violations<G, F>(
+    game: &G,
     s: &StrategyMatrix,
     lemma: u8,
     applies: F,
 ) -> Vec<LemmaViolation>
 where
+    G: ChannelGame + ?Sized,
     F: Fn(&StrategyMatrix, &ChannelLoads, UserId, ChannelId, ChannelId) -> bool,
 {
-    let cfg = game.config();
     let loads = ChannelLoads::of(s);
     let mut out = Vec::new();
-    for user in UserId::all(cfg.n_users()) {
-        for b in ChannelId::all(cfg.n_channels()) {
+    for user in UserId::all(game.n_users()) {
+        for b in ChannelId::all(game.n_channels()) {
             if s.get(user, b) == 0 {
                 continue;
             }
-            for c in ChannelId::all(cfg.n_channels()) {
+            for c in ChannelId::all(game.n_channels()) {
                 if b == c || !applies(s, &loads, user, b, c) {
                     continue;
                 }
                 // O(1) Eq. 7 against the cached loads: the scan over
                 // (user, b, c) triples dominates, not the Δ evaluations.
-                let benefit = game.benefit_of_move_cached(s, &loads, user, b, c);
+                let benefit = br_dp::benefit_of_move_cached(game, s, &loads, user, b, c);
                 out.push(LemmaViolation {
                     lemma,
                     user,
@@ -179,6 +194,7 @@ where
 mod tests {
     use super::*;
     use crate::config::GameConfig;
+    use crate::game::ChannelAllocationGame;
     use crate::rate_model::{ExponentialDecayRate, LinearDecayRate};
     use std::sync::Arc;
 
@@ -303,5 +319,40 @@ mod tests {
         let text = v.to_string();
         assert!(text.contains("Lemma 2"));
         assert!(text.contains("->"));
+    }
+
+    #[test]
+    fn lemmas_apply_to_heterogeneous_and_multi_rate_games() {
+        use crate::heterogeneous::{HeteroConfig, HeteroGame};
+        use crate::multi_rate::MultiRateGame;
+        use crate::rate_model::{ConstantRate, RateModel};
+        use crate::strategy::StrategyMatrix;
+
+        // Hetero: the 2-radio user idles one radio (Lemma 1) and stacks
+        // none; the 1-radio user sits on the crowded channel (Lemma 2).
+        let hg = HeteroGame::with_unit_rate(HeteroConfig::new(vec![2, 1, 1], 3).unwrap());
+        let s = StrategyMatrix::from_rows(&[vec![1, 0, 0], vec![1, 0, 0], vec![1, 0, 0]]).unwrap();
+        let l1 = lemma1_violations(&hg, &s);
+        assert_eq!(l1.len(), 1, "only the 2-radio user under-deploys");
+        assert_eq!(l1[0].user, UserId(0));
+        assert!(l1[0].benefit > 0.0);
+        let l2 = lemma2_violations(&hg, &s);
+        assert!(!l2.is_empty(), "load (3,0,0) violates balance");
+        assert!(l2.iter().all(|v| v.benefit > 0.0));
+
+        // Multi-rate: same structural predicates, benefits from the
+        // per-channel payoffs.
+        let mg = MultiRateGame::new(
+            GameConfig::new(3, 1, 3).unwrap(),
+            vec![
+                Arc::new(ConstantRate::new(2.0)) as Arc<dyn RateModel>,
+                Arc::new(ConstantRate::unit()),
+                Arc::new(ConstantRate::unit()),
+            ],
+        )
+        .unwrap();
+        let l2m = lemma2_violations(&mg, &s);
+        assert!(!l2m.is_empty());
+        assert!(l2m.iter().all(|v| v.benefit > 0.0));
     }
 }

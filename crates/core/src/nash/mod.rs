@@ -24,25 +24,27 @@ pub use lemmas::{
     lemma1_violations, lemma2_violations, lemma3_violations, lemma4_violations, proposition1_holds,
     LemmaViolation,
 };
-pub use theorem1::{theorem1, Theorem1Verdict};
+pub use theorem1::{theorem1, theorem1_cached, Theorem1Verdict};
 
-use crate::game::ChannelAllocationGame;
+use crate::br_dp::{self, ChannelGame};
 use crate::strategy::StrategyMatrix;
 
-/// Fact 1 of the paper: when `|N|·k ≤ |C|`, any allocation in which every
-/// channel carries at most one radio **and every user deploys all its
-/// radios** is a (Pareto-optimal) NE.
+/// Fact 1 of the paper: when `Σ_i k_i ≤ |C|`, any allocation in which
+/// every channel carries at most one radio **and every user deploys all
+/// its radios** is a (Pareto-optimal) NE. Generic over [`ChannelGame`]
+/// (per-user budgets read individually).
 ///
-/// Returns `None` when the precondition `|N|·k ≤ |C|` does not hold;
+/// Returns `None` when the precondition `Σ_i k_i ≤ |C|` does not hold;
 /// otherwise whether the allocation is of the stated flat form.
-pub fn fact1_applies(game: &ChannelAllocationGame, s: &StrategyMatrix) -> Option<bool> {
-    let cfg = game.config();
-    if cfg.has_conflict() {
+pub fn fact1_applies<G: ChannelGame + ?Sized>(game: &G, s: &StrategyMatrix) -> Option<bool> {
+    if br_dp::has_conflict(game) {
         return None;
     }
     let flat = s.loads().iter().all(|&l| l <= 1)
-        && (0..cfg.n_users())
-            .all(|i| s.user_total(crate::types::UserId(i)) == cfg.radios_per_user());
+        && (0..game.n_users()).all(|i| {
+            let u = crate::types::UserId(i);
+            s.user_total(u) == game.radios_of(u)
+        });
     Some(flat)
 }
 

@@ -31,7 +31,8 @@
 //! improving path produces. We keep the checker faithful to the paper and
 //! surface disagreements in T1 rather than silently "fixing" the theorem.
 
-use crate::game::ChannelAllocationGame;
+use crate::br_dp::{self, ChannelGame};
+use crate::loads::ChannelLoads;
 use crate::strategy::StrategyMatrix;
 use crate::types::{ChannelId, UserId};
 use serde::{Deserialize, Serialize};
@@ -105,22 +106,43 @@ impl Theorem1Verdict {
 /// Purely structural: only the radio counts matter, never the rate
 /// function (that independence is itself one of the paper's punchlines and
 /// is validated against the rate-aware deviation search in experiment T1).
-pub fn theorem1(game: &ChannelAllocationGame, s: &StrategyMatrix) -> Theorem1Verdict {
-    let cfg = game.config();
+///
+/// Generic over [`ChannelGame`]: the heterogeneous game reads condition 0
+/// against each user's own budget `k_i` (the form the paper's theorem
+/// takes with `k` replaced per user — empirically validated, not claimed
+/// as a theorem), and the per-channel-rate game gets the *structural*
+/// verdict, which genuinely diverges from the exact NE check there
+/// (equilibria water-fill; the T1-style sweeps surface the disagreement
+/// rather than hiding it). Recomputes the loads; certification loops
+/// should use [`theorem1_cached`].
+pub fn theorem1<G: ChannelGame + ?Sized>(game: &G, s: &StrategyMatrix) -> Theorem1Verdict {
+    theorem1_cached(game, s, &ChannelLoads::of(s))
+}
 
-    // Condition 0 (Lemma 1): every user deploys all k radios.
-    for user in UserId::all(cfg.n_users()) {
+/// [`theorem1`] against a cached load vector: the whole certification
+/// drops to `O(|N|·|C|)` with zero column scans, so incremental drivers
+/// (T1's enumeration, the suite pipelines) can certify every visited
+/// profile against the loads they already maintain.
+pub fn theorem1_cached<G: ChannelGame + ?Sized>(
+    game: &G,
+    s: &StrategyMatrix,
+    loads: &ChannelLoads,
+) -> Theorem1Verdict {
+    loads.paranoid_check(s);
+
+    // Condition 0 (Lemma 1): every user deploys all its radios.
+    for user in UserId::all(game.n_users()) {
         let used = s.user_total(user);
-        if used != cfg.radios_per_user() {
+        if used != game.radios_of(user) {
             return Theorem1Verdict::IdleRadios { user, used };
         }
     }
 
-    let loads = s.loads();
+    let loads = loads.as_slice();
     let max = *loads.iter().max().expect("at least one channel");
     let min = *loads.iter().min().expect("at least one channel");
 
-    if !cfg.has_conflict() {
+    if !br_dp::has_conflict(game) {
         // Fact 1's regime: flat allocations (k_c ≤ 1) are the equilibria.
         if max <= 1 {
             return Theorem1Verdict::Nash;
@@ -159,10 +181,10 @@ pub fn theorem1(game: &ChannelAllocationGame, s: &StrategyMatrix) -> Theorem1Ver
         .collect();
 
     // Condition 2.
-    for user in UserId::all(cfg.n_users()) {
+    for user in UserId::all(game.n_users()) {
         let exception = c_min.iter().all(|&c| s.get(user, ChannelId(c)) > 0);
         if !exception {
-            for c in ChannelId::all(cfg.n_channels()) {
+            for c in ChannelId::all(game.n_channels()) {
                 let count = s.get(user, c);
                 if count > 1 {
                     return Theorem1Verdict::Stacked {
@@ -214,6 +236,7 @@ pub fn theorem1(game: &ChannelAllocationGame, s: &StrategyMatrix) -> Theorem1Ver
 mod tests {
     use super::*;
     use crate::config::GameConfig;
+    use crate::game::ChannelAllocationGame;
 
     fn unit_game(n: usize, k: u32, c: usize) -> ChannelAllocationGame {
         ChannelAllocationGame::with_constant_rate(GameConfig::new(n, k, c).unwrap(), 1.0)
@@ -419,5 +442,73 @@ mod tests {
         let g = unit_game(2, 2, 5);
         let s = StrategyMatrix::from_rows(&[vec![2, 0, 0, 0, 0], vec![0, 0, 1, 1, 0]]).unwrap();
         assert!(!theorem1(&g, &s).is_nash());
+    }
+
+    #[test]
+    fn cached_verdict_matches_uncached_on_the_paper_figures() {
+        let g4 = unit_game(7, 4, 6);
+        let g5 = unit_game(4, 4, 6);
+        for (g, s) in [(&g4, figure4()), (&g5, figure5())] {
+            let loads = ChannelLoads::of(&s);
+            assert_eq!(theorem1(g, &s), theorem1_cached(g, &s, &loads));
+        }
+    }
+
+    #[test]
+    fn theorem1_applies_to_hetero_with_per_user_budgets() {
+        use crate::heterogeneous::{HeteroConfig, HeteroGame};
+        // Equal budgets reduce to the homogeneous verdict.
+        let homo = unit_game(7, 4, 6);
+        let hetero = HeteroGame::with_unit_rate(HeteroConfig::new(vec![4; 7], 6).unwrap());
+        let s = figure4();
+        assert_eq!(theorem1(&homo, &s), theorem1(&hetero, &s));
+        // A genuinely mixed fleet: condition 0 reads each user's own k_i,
+        // so a full deployment of (2,1,1) radios has no idle-radio verdict.
+        let mixed = HeteroGame::with_unit_rate(HeteroConfig::new(vec![2, 1, 1], 2).unwrap());
+        let sm = StrategyMatrix::from_rows(&[vec![1, 1], vec![1, 0], vec![0, 1]]).unwrap();
+        assert!(theorem1(&mixed, &sm).is_nash());
+        assert!(mixed.is_nash(&sm), "exact check agrees on the mixed fleet");
+        // Under-deployment is flagged against the *user's* budget.
+        let idle = StrategyMatrix::from_rows(&[vec![1, 0], vec![1, 0], vec![0, 1]]).unwrap();
+        match theorem1(&mixed, &idle) {
+            Theorem1Verdict::IdleRadios { user, used } => {
+                assert_eq!(user, UserId(0));
+                assert_eq!(used, 1);
+            }
+            other => panic!("expected IdleRadios, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn theorem1_structural_verdict_can_disagree_with_exact_check_on_multi_rate() {
+        use crate::multi_rate::MultiRateGame;
+        use crate::rate_model::{ConstantRate, RateModel};
+        use std::sync::Arc;
+        // 4 single-radio users, channel 1 is 4x better: the exact NE
+        // water-fills (3,1,0)-ish, while the count-balanced (2,1,1) the
+        // structural theorem certifies is NOT deviation-stable. The
+        // predicate is *available* on multi-rate games precisely so sweeps
+        // can measure this divergence.
+        let g = MultiRateGame::new(
+            crate::config::GameConfig::new(4, 1, 3).unwrap(),
+            vec![
+                Arc::new(ConstantRate::new(4.0)) as Arc<dyn RateModel>,
+                Arc::new(ConstantRate::unit()),
+                Arc::new(ConstantRate::unit()),
+            ],
+        )
+        .unwrap();
+        let balanced = StrategyMatrix::from_rows(&[
+            vec![1, 0, 0],
+            vec![1, 0, 0],
+            vec![0, 1, 0],
+            vec![0, 0, 1],
+        ])
+        .unwrap();
+        assert!(theorem1(&g, &balanced).is_nash(), "structurally balanced");
+        assert!(
+            !g.is_nash(&balanced),
+            "but a user on a unit channel gains by joining the 4x one"
+        );
     }
 }

@@ -297,6 +297,59 @@ impl RateModel for StepRate {
     }
 }
 
+/// Multiplicative wrapper `factor · R(k)`: a wider (factor > 1) or
+/// interference-impaired (factor < 1) channel with the same sharing
+/// shape. The per-channel rate-vector axis of the scenario suites builds
+/// [`MultiRateGame`](crate::multi_rate::MultiRateGame)-style channel sets
+/// by scaling one base model, so a single grid axis can express
+/// "channel 1 is twice as good" without enumerating whole model families.
+#[derive(Debug, Clone)]
+pub struct ScaledRate<R> {
+    inner: R,
+    factor: f64,
+    name: String,
+}
+
+impl<R: RateModel> ScaledRate<R> {
+    /// Wrap `inner`, multiplying every rate by `factor`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor` is not strictly positive and finite (a zero or
+    /// negative factor would violate the `R(k) > 0` contract).
+    pub fn new(inner: R, factor: f64) -> Self {
+        assert!(
+            factor > 0.0 && factor.is_finite(),
+            "scale factor must be positive and finite, got {factor}"
+        );
+        let name = format!("{}x{}", factor, inner.name());
+        ScaledRate {
+            inner,
+            factor,
+            name,
+        }
+    }
+
+    /// Access the wrapped model.
+    pub fn inner(&self) -> &R {
+        &self.inner
+    }
+
+    /// The multiplier.
+    pub fn factor(&self) -> f64 {
+        self.factor
+    }
+}
+
+impl<R: RateModel> RateModel for ScaledRate<R> {
+    fn rate(&self, k: u32) -> f64 {
+        self.factor * self.inner.rate(k)
+    }
+    fn name(&self) -> &str {
+        &self.name
+    }
+}
+
 /// Running-minimum wrapper turning any rate model into a non-increasing one.
 ///
 /// Analytic DCF curves can exhibit a tiny hump near `k = 1–2` for some
@@ -375,6 +428,23 @@ mod tests {
         validate_rate_function(&r, 60).unwrap();
         assert_eq!(r.rate(1), 8.0);
         assert_eq!(r.rate(4), 1.0);
+    }
+
+    #[test]
+    fn scaled_rate_multiplies_and_keeps_contract() {
+        let r = ScaledRate::new(LinearDecayRate::new(10.0, 2.0, 1.0), 2.5);
+        validate_rate_function(&r, 100).unwrap();
+        assert_eq!(r.rate(0), 0.0);
+        assert_eq!(r.rate(1), 25.0);
+        assert_eq!(r.rate(2), 20.0);
+        assert_eq!(r.factor(), 2.5);
+        assert!(r.name().starts_with("2.5x"));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn scaled_rate_rejects_zero_factor() {
+        let _ = ScaledRate::new(ConstantRate::unit(), 0.0);
     }
 
     #[test]

@@ -16,6 +16,7 @@
 //!   are *unchanged* (monotone-transformation invariance, verified
 //!   mechanically): the paper's analysis is robust to risk-averse users.
 
+use crate::br_dp::{self, ChannelGame};
 use crate::game::{ChannelAllocationGame, UTILITY_TOLERANCE};
 use crate::strategy::{StrategyMatrix, StrategyVector};
 use crate::types::{ChannelId, UserId};
@@ -70,63 +71,12 @@ impl EnergyCostGame {
         self.inner.utility(s, user) - self.cost_per_radio * s.user_total(user) as f64
     }
 
-    /// Exact best response: DP over channels and radio budget, where
-    /// *using fewer radios is allowed to win* (each used radio pays the
-    /// cost). `O(|C|·k²)`.
+    /// Exact best response: the shared DP over channels and radio budget
+    /// ([`br_dp::best_response`]), where *using fewer radios is allowed to
+    /// win* (each used radio pays the cost —
+    /// [`ChannelGame::may_idle_radios`]). `O(|C|·k²)`.
     pub fn best_response(&self, s: &StrategyMatrix, user: UserId) -> (StrategyVector, f64) {
-        let cfg = self.inner.config();
-        let k = cfg.radios_per_user() as usize;
-        let n_ch = cfg.n_channels();
-        let rate = self.inner.rate();
-        let loads_wo: Vec<u32> = ChannelId::all(n_ch)
-            .map(|c| s.channel_load(c) - s.get(user, c))
-            .collect();
-        let mut f = vec![vec![0.0f64; k + 1]; n_ch];
-        #[allow(clippy::needless_range_loop)] // the DP reads as index algebra
-        for c in 0..n_ch {
-            for t in 1..=k {
-                let total = loads_wo[c] + t as u32;
-                f[c][t] =
-                    t as f64 / total as f64 * rate.rate(total) - self.cost_per_radio * t as f64;
-            }
-        }
-        let neg = f64::NEG_INFINITY;
-        let mut dp = vec![neg; k + 1];
-        dp[0] = 0.0;
-        let mut choice = vec![vec![0usize; k + 1]; n_ch];
-        for c in 0..n_ch {
-            let mut next = vec![neg; k + 1];
-            for r in 0..=k {
-                for t in 0..=r {
-                    if dp[r - t] == neg {
-                        continue;
-                    }
-                    let v = dp[r - t] + f[c][t];
-                    if v > next[r] {
-                        next[r] = v;
-                        choice[c][r] = t;
-                    }
-                }
-            }
-            dp = next;
-        }
-        // The budget DP above forces "up to r" radios per prefix; the best
-        // over all budgets r ≤ k is the true best response (idle radios
-        // are free).
-        let (best_r, &best_v) = dp
-            .iter()
-            .enumerate()
-            .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite utilities"))
-            .expect("non-empty dp");
-        let mut counts = vec![0u32; n_ch];
-        let mut r = best_r;
-        for c in (0..n_ch).rev() {
-            let t = choice[c][r];
-            counts[c] = t as u32;
-            r -= t;
-        }
-        debug_assert_eq!(r, 0);
-        (StrategyVector::from_counts(counts), best_v)
+        br_dp::best_response(self, s, user)
     }
 
     /// Exact Nash check.
@@ -152,6 +102,12 @@ impl EnergyCostGame {
     }
 
     /// Best-response dynamics to a fixed point.
+    ///
+    /// Kept on the naive utility path (not the generic cached loop): the
+    /// per-channel cost accounting of [`ChannelGame::channel_payoff`] sums
+    /// in a different order than [`utility`](Self::utility), and the
+    /// historical trajectories — pinned by the supply-curve experiments —
+    /// compare utilities on the latter.
     pub fn converge(&self, mut s: StrategyMatrix, max_rounds: usize) -> (StrategyMatrix, bool) {
         let n = self.inner.config().n_users();
         for _ in 0..max_rounds {
@@ -169,6 +125,35 @@ impl EnergyCostGame {
             }
         }
         (s, false)
+    }
+}
+
+/// The energy-cost model through the unified engine: fair-share payoff
+/// minus `cost · t` per channel, with idle radios allowed to win the DP.
+impl ChannelGame for EnergyCostGame {
+    fn n_users(&self) -> usize {
+        self.inner.config().n_users()
+    }
+
+    fn n_channels(&self) -> usize {
+        self.inner.config().n_channels()
+    }
+
+    fn radios_of(&self, _user: UserId) -> u32 {
+        self.inner.config().radios_per_user()
+    }
+
+    fn channel_payoff(&self, _channel: ChannelId, others_load: u32, slots: u32) -> f64 {
+        if slots == 0 {
+            return 0.0;
+        }
+        let total = others_load + slots;
+        slots as f64 / total as f64 * self.inner.rate().rate(total)
+            - self.cost_per_radio * slots as f64
+    }
+
+    fn may_idle_radios(&self) -> bool {
+        true
     }
 }
 

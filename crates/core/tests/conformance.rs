@@ -1,0 +1,287 @@
+//! Cross-model conformance suite: one generic harness, instantiated for
+//! every [`ChannelGame`] implementor, pinning the invariants the unified
+//! best-response engine must preserve for *all* of them:
+//!
+//! (a) **cached ≡ naive** — utilities, best responses and Eq.-7 benefits
+//!     computed against a [`ChannelLoads`] cache agree with the
+//!     column-scanning / clone-and-recompute paths;
+//! (b) **DP ≡ enumeration** — the shared knapsack DP's best response is
+//!     optimal against brute-force enumeration of the user's whole
+//!     strategy space (and its traceback achieves its claimed value);
+//! (c) **`is_nash ⇔ max_gain ≤ ε`** — the Nash verdict and the gain
+//!     vector tell the same story, and agree with the concrete game's own
+//!     `is_nash`.
+//!
+//! Instantiated for the homogeneous paper game, the heterogeneous-budget
+//! extension and the per-channel-rate extension. Runs under the default
+//! case count per property; the scheduled CI job raises `PROPTEST_CASES`
+//! ~10x for deep fuzzing without slowing the per-PR gate.
+
+use mrca_core::br_dp::{self, ChannelGame};
+use mrca_core::enumerate::user_strategy_space;
+use mrca_core::heterogeneous::{HeteroConfig, HeteroGame};
+use mrca_core::multi_rate::MultiRateGame;
+use mrca_core::rate_model::{
+    ConstantRate, ExponentialDecayRate, LinearDecayRate, RateModel, StepRate,
+};
+use mrca_core::{ChannelId, ChannelLoads, GameConfig, StrategyMatrix, UserId};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+/// Tolerance mirroring `mrca_core::game::UTILITY_TOLERANCE`.
+const TOL: f64 = 1e-9;
+
+/// The generic invariant harness. `naive_utility` must be an
+/// *independent* implementation of the game's utility (the concrete
+/// games' column-scanning `utility`), so (a) actually cross-checks two
+/// bookkeeping schemes rather than one function against itself.
+fn check_conformance<G: ChannelGame>(
+    game: &G,
+    naive_utility: &dyn Fn(&StrategyMatrix, UserId) -> f64,
+    s: &StrategyMatrix,
+) -> Result<(), TestCaseError> {
+    let loads = ChannelLoads::of(s);
+    let n = game.n_users();
+    let n_ch = game.n_channels();
+
+    for u in UserId::all(n) {
+        // (a) utilities: generic naive == generic cached == concrete naive.
+        let nu = naive_utility(s, u);
+        prop_assert_eq!(br_dp::utility(game, s, u), nu, "naive utility, user {}", u);
+        prop_assert_eq!(
+            br_dp::utility_cached(game, s, &loads, u),
+            nu,
+            "cached utility, user {}",
+            u
+        );
+
+        // (a) best responses: cached == uncached, and the traceback's
+        // vector really achieves the DP's claimed value.
+        let (br_c, u_c) = br_dp::best_response_cached(game, s, &loads, u);
+        let (br_n, u_n) = br_dp::best_response(game, s, u);
+        prop_assert_eq!(u_c, u_n);
+        prop_assert_eq!(&br_c, &br_n);
+        let mut replayed = s.clone();
+        replayed.set_user_strategy(u, &br_c);
+        let achieved = naive_utility(&replayed, u);
+        let scale = achieved.abs().max(u_c.abs()).max(1.0);
+        prop_assert!(
+            (achieved - u_c).abs() <= 1e-9 * scale,
+            "traceback vector achieves {} but DP claims {} (user {})",
+            achieved,
+            u_c,
+            u
+        );
+
+        // (b) DP optimal vs exhaustive enumeration of the user's whole
+        // (up-to-k_i) strategy space.
+        let mut best = f64::NEG_INFINITY;
+        for cand in user_strategy_space(n_ch, game.radios_of(u)) {
+            let mut alt = s.clone();
+            alt.set_user_strategy(u, &cand);
+            best = best.max(naive_utility(&alt, u));
+        }
+        let scale = best.abs().max(1.0);
+        prop_assert!(
+            (u_c - best).abs() <= 1e-9 * scale,
+            "user {}: DP {} vs enumeration {}",
+            u,
+            u_c,
+            best
+        );
+
+        // (a) Eq.-7 benefits: direct == cached == clone-and-recompute.
+        for b in ChannelId::all(n_ch) {
+            if s.get(u, b) == 0 {
+                continue;
+            }
+            for c in ChannelId::all(n_ch) {
+                let fast = br_dp::benefit_of_move(game, s, u, b, c);
+                let cached = br_dp::benefit_of_move_cached(game, s, &loads, u, b, c);
+                let naive = br_dp::benefit_of_move_naive(game, s, u, b, c);
+                prop_assert_eq!(fast, cached, "direct vs cached Δ must be identical");
+                let scale = naive.abs().max(fast.abs()).max(1.0);
+                prop_assert!(
+                    (fast - naive).abs() <= 1e-9 * scale,
+                    "Δ mismatch u={} {}->{}: {} vs naive {}",
+                    u,
+                    b,
+                    c,
+                    fast,
+                    naive
+                );
+            }
+        }
+    }
+
+    // (c) is_nash ⇔ max_gain ≤ ε, and the witness is consistent.
+    let check = br_dp::nash_check(game, s);
+    prop_assert_eq!(check.is_nash(), check.max_gain() <= TOL);
+    prop_assert_eq!(check.gains.len(), n);
+    if let Some((witness, ref better)) = check.witness {
+        prop_assert!(check.gains[witness.0] > TOL);
+        let mut improved = s.clone();
+        improved.set_user_strategy(witness, better);
+        prop_assert!(
+            naive_utility(&improved, witness) > naive_utility(s, witness),
+            "witness deviation must strictly improve"
+        );
+    }
+    prop_assert_eq!(
+        br_dp::max_gain_cached(game, s, &loads),
+        check.max_gain(),
+        "cached max_gain"
+    );
+    Ok(())
+}
+
+/// Small configurations, biased toward the conflict regime.
+fn config_strategy() -> impl Strategy<Value = GameConfig> {
+    (1usize..=4, 1u32..=3, 1usize..=4).prop_filter_map("k <= |C|", |(n, k, c)| {
+        GameConfig::new(n, k, c.max(k as usize)).ok()
+    })
+}
+
+/// Strictly positive rate models (the DP's "use all radios" optimality —
+/// the paper's Lemma 1 — needs `R(k) > 0`).
+fn rate_strategy() -> impl Strategy<Value = Arc<dyn RateModel>> {
+    (0usize..4, proptest::collection::vec(0.01f64..1.0, 16)).prop_map(|(kind, drops)| match kind {
+        0 => Arc::new(ConstantRate::new(5.0)) as Arc<dyn RateModel>,
+        1 => Arc::new(LinearDecayRate::new(10.0, 0.7, 0.5)),
+        2 => Arc::new(ExponentialDecayRate::new(8.0, 0.8)),
+        _ => {
+            let mut v = Vec::with_capacity(16);
+            let mut r = 50.0f64;
+            for d in drops {
+                v.push(r);
+                r = (r - d).max(0.5);
+            }
+            Arc::new(StepRate::new("prop", v))
+        }
+    })
+}
+
+/// A matrix where user `i` deploys up to `budgets[i]` radios on random
+/// channels (under-deployment exercises the `k_{i,c} = 0` / `k_{i,b} = 1`
+/// edges of Δ and the Lemma-1 side of the Nash check).
+fn matrix_for_budgets(
+    budgets: Vec<u32>,
+    n_channels: usize,
+) -> impl Strategy<Value = StrategyMatrix> {
+    let n = budgets.len();
+    let max_k = budgets.iter().copied().max().unwrap_or(1) as usize;
+    proptest::collection::vec(
+        (
+            0usize..=max_k,
+            proptest::collection::vec(0usize..n_channels, max_k),
+        ),
+        n,
+    )
+    .prop_map(move |users| {
+        let mut m = StrategyMatrix::zeros(n, n_channels);
+        for (u, (deployed, places)) in users.iter().enumerate() {
+            let cap = budgets[u] as usize;
+            for ch in places.iter().take((*deployed).min(cap)) {
+                let cur = m.get(UserId(u), ChannelId(*ch));
+                m.set(UserId(u), ChannelId(*ch), cur + 1);
+            }
+        }
+        m
+    })
+}
+
+/// Homogeneous instance: `(game, matrix)`.
+fn homogeneous_instance(
+) -> impl Strategy<Value = (mrca_core::ChannelAllocationGame, StrategyMatrix)> {
+    (config_strategy(), rate_strategy()).prop_flat_map(|(cfg, rate)| {
+        let game = mrca_core::ChannelAllocationGame::new(cfg, rate);
+        matrix_for_budgets(vec![cfg.radios_per_user(); cfg.n_users()], cfg.n_channels())
+            .prop_map(move |m| (game.clone(), m))
+    })
+}
+
+/// Heterogeneous instance: per-user budgets in `[1, |C|]`.
+fn hetero_instance() -> impl Strategy<Value = (HeteroGame, StrategyMatrix)> {
+    (1usize..=4, 1usize..=4, rate_strategy())
+        .prop_flat_map(|(n, c, rate)| {
+            (
+                proptest::collection::vec(1u32..=c as u32, n),
+                Just(c),
+                Just(rate),
+            )
+        })
+        .prop_flat_map(|(budgets, c, rate)| {
+            let game = HeteroGame::new(HeteroConfig::new(budgets.clone(), c).unwrap(), rate);
+            matrix_for_budgets(budgets, c).prop_map(move |m| (game.clone(), m))
+        })
+}
+
+/// Multi-rate instance: an independent strictly positive model per channel.
+fn multi_rate_instance() -> impl Strategy<Value = (MultiRateGame, StrategyMatrix)> {
+    (
+        config_strategy(),
+        proptest::collection::vec(rate_strategy(), 4),
+    )
+        .prop_flat_map(|(cfg, rates)| {
+            let per_channel: Vec<Arc<dyn RateModel>> = (0..cfg.n_channels())
+                .map(|c| Arc::clone(&rates[c % rates.len()]))
+                .collect();
+            let game = MultiRateGame::new(cfg, per_channel).unwrap();
+            matrix_for_budgets(vec![cfg.radios_per_user(); cfg.n_users()], cfg.n_channels())
+                .prop_map(move |m| (game.clone(), m))
+        })
+}
+
+proptest! {
+    // Default case count — the scheduled CI job overrides it via the
+    // PROPTEST_CASES environment variable for deep fuzzing.
+
+    /// The paper's homogeneous game satisfies every engine invariant.
+    #[test]
+    fn homogeneous_game_conforms(instance in homogeneous_instance()) {
+        let (game, s) = instance;
+        check_conformance(&game, &|m, u| game.utility(m, u), &s)?;
+        // The concrete verdict agrees with the generic one.
+        prop_assert_eq!(game.nash_check(&s), br_dp::nash_check(&game, &s));
+        prop_assert_eq!(game.is_nash(&s), br_dp::is_nash(&game, &s));
+    }
+
+    /// The heterogeneous-budget extension satisfies every engine invariant.
+    #[test]
+    fn hetero_game_conforms(instance in hetero_instance()) {
+        let (game, s) = instance;
+        check_conformance(&game, &|m, u| game.utility(m, u), &s)?;
+        prop_assert_eq!(game.is_nash(&s), br_dp::is_nash(&game, &s));
+        prop_assert_eq!(game.max_gain(&s), br_dp::nash_check(&game, &s).max_gain());
+    }
+
+    /// The per-channel-rate extension satisfies every engine invariant.
+    #[test]
+    fn multi_rate_game_conforms(instance in multi_rate_instance()) {
+        let (game, s) = instance;
+        check_conformance(&game, &|m, u| game.utility(m, u), &s)?;
+        prop_assert_eq!(game.is_nash(&s), br_dp::is_nash(&game, &s));
+    }
+
+    /// Lemma and Theorem-1 predicates run on every variant, and every
+    /// lemma witness is a genuinely profitable deviation (positive Δ by
+    /// the rate-sharing proofs).
+    #[test]
+    fn lemma_witnesses_are_profitable_on_every_variant(instance in hetero_instance()) {
+        use mrca_core::nash::{lemma1_violations, lemma2_violations, lemma3_violations,
+                              lemma4_violations, theorem1, theorem1_cached};
+        let (game, s) = instance;
+        for v in lemma1_violations(&game, &s) {
+            prop_assert!(v.benefit > 0.0, "{}", v);
+        }
+        for v in lemma2_violations(&game, &s)
+            .into_iter()
+            .chain(lemma3_violations(&game, &s))
+            .chain(lemma4_violations(&game, &s))
+        {
+            prop_assert!(v.benefit > 0.0, "{}", v);
+        }
+        let loads = ChannelLoads::of(&s);
+        prop_assert_eq!(theorem1(&game, &s), theorem1_cached(&game, &s, &loads));
+    }
+}

@@ -75,7 +75,10 @@ fn game_and_matrix() -> impl Strategy<Value = (GameConfig, Arc<dyn RateModel>, S
 }
 
 proptest! {
-    #![proptest_config(ProptestConfig::with_cases(96))]
+    // 96 cases per-PR; the scheduled deep-fuzz CI job raises it via env.
+    #![proptest_config(ProptestConfig::with_cases(
+        std::env::var("PROPTEST_CASES").ok().and_then(|v| v.parse().ok()).unwrap_or(96)
+    ))]
 
     /// Cached utility ≡ naive utility, exactly.
     #[test]

@@ -11,11 +11,12 @@
 //! Instance × rate cells run in parallel through `ScenarioSuite`; the
 //! per-profile classification uses the loads-threaded enumeration and the
 //! cached Nash check, so the exact-deviation side does no matrix clone or
-//! load recomputation per profile. (`theorem1` still recomputes loads
-//! internally — a `theorem1_cached` variant is a noted follow-on.)
+//! load recomputation per profile — and `theorem1_cached` certifies each
+//! profile against the same maintained loads, so the enumeration never
+//! recomputes a load vector at all.
 
 use mrca_core::enumerate::{allocation_count, enumerate_allocations_with_loads};
-use mrca_core::nash::theorem1;
+use mrca_core::nash::theorem1_cached;
 use mrca_experiments::{cells, write_result};
 use mrca_experiments::{OrderingSpec, RateSpec, ScenarioSuite};
 
@@ -77,7 +78,7 @@ fn main() {
         enumerate_allocations_with_loads(&cfg, |s, loads| {
             total += 1;
             let brute = game.nash_check_cached(s, loads).is_nash();
-            let thm = theorem1(&game, s).is_nash();
+            let thm = theorem1_cached(&game, s, loads).is_nash();
             if brute {
                 n_brute += 1;
             }

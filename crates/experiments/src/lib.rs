@@ -27,7 +27,9 @@ pub mod suite;
 pub mod table;
 
 pub use suite::{
-    CellOutcome, OrderingSpec, RateSpec, ScenarioCell, ScenarioGrid, ScenarioSuite, SuiteReport,
+    AxisGame, BudgetSpec, CellOutcome, ChannelScaleSpec, ExtendedCell, ExtendedOutcome,
+    ExtendedScenarioGrid, ExtendedScenarioSuite, OrderingSpec, RateSpec, ScenarioCell,
+    ScenarioGrid, ScenarioSuite, SuiteReport,
 };
 
 use std::fs;

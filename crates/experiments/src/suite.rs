@@ -28,11 +28,18 @@
 
 use crate::table::Table;
 use mrca_core::algorithm::{algorithm1, Ordering, TieBreak};
+use mrca_core::br_dp::{self, ChannelGame};
 use mrca_core::dynamics::{random_start, BestResponseDriver, Schedule};
-use mrca_core::nash::theorem1;
-use mrca_core::rate_model::{ConstantRate, ExponentialDecayRate, LinearDecayRate, RateModel};
-use mrca_core::{ChannelAllocationGame, GameConfig};
+use mrca_core::nash::{theorem1, theorem1_cached};
+use mrca_core::rate_model::{
+    ConstantRate, ExponentialDecayRate, LinearDecayRate, RateModel, ScaledRate,
+};
+use mrca_core::{
+    ChannelAllocationGame, ChannelId, ChannelLoads, GameConfig, StrategyMatrix, UserId,
+};
 use mrca_mac::{FixedAlohaRate, OptimalCsmaRate, PhyParams, PracticalDcfRate, TdmaRate};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 use std::sync::atomic::{AtomicUsize, Ordering as AtomicOrdering};
 use std::sync::Arc;
 use std::sync::Mutex;
@@ -616,6 +623,418 @@ fn evaluate_cell(cell: &ScenarioCell, max_rounds: usize) -> CellOutcome {
     }
 }
 
+/// Per-user radio-budget axis of an [`ExtendedScenarioGrid`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BudgetSpec {
+    /// Every user gets the cell's `k` (the homogeneous paper setting).
+    Uniform,
+    /// Budgets cycle through the pattern: user `i` gets
+    /// `pattern[i mod len]`, clamped into `[1, |C|]` (the model's
+    /// `1 ≤ k_i ≤ |C|`).
+    Cycle(Vec<u32>),
+}
+
+impl BudgetSpec {
+    /// Short name for tables/CSV (and the content-derived cell seed).
+    pub fn name(&self) -> String {
+        match self {
+            BudgetSpec::Uniform => "uniform".into(),
+            BudgetSpec::Cycle(p) => {
+                let parts: Vec<String> = p.iter().map(u32::to_string).collect();
+                format!("cycle({})", parts.join(";"))
+            }
+        }
+    }
+
+    /// Materialize per-user budgets for a cell.
+    pub fn budgets(&self, n_users: usize, k: u32, n_channels: usize) -> Vec<u32> {
+        let cap = n_channels as u32;
+        match self {
+            BudgetSpec::Uniform => vec![k.min(cap); n_users],
+            BudgetSpec::Cycle(p) => {
+                assert!(!p.is_empty(), "BudgetSpec::Cycle needs a non-empty pattern");
+                (0..n_users).map(|i| p[i % p.len()].clamp(1, cap)).collect()
+            }
+        }
+    }
+}
+
+/// Per-channel rate-vector axis: multiplicative scales over the cell's
+/// base rate model (channel `c` runs `scale[c mod len] · R(·)` via
+/// [`ScaledRate`]).
+#[derive(Debug, Clone, PartialEq)]
+pub enum ChannelScaleSpec {
+    /// All channels share the base model unchanged.
+    Uniform,
+    /// Scales cycle through the pattern across channels.
+    Cycle(Vec<f64>),
+}
+
+impl ChannelScaleSpec {
+    /// Short name for tables/CSV (and the content-derived cell seed).
+    pub fn name(&self) -> String {
+        match self {
+            ChannelScaleSpec::Uniform => "uniform".into(),
+            ChannelScaleSpec::Cycle(p) => {
+                let parts: Vec<String> = p.iter().map(f64::to_string).collect();
+                format!("scale({})", parts.join(";"))
+            }
+        }
+    }
+
+    /// Materialize the per-channel factors for a cell.
+    pub fn scales(&self, n_channels: usize) -> Vec<f64> {
+        match self {
+            ChannelScaleSpec::Uniform => vec![1.0; n_channels],
+            ChannelScaleSpec::Cycle(p) => {
+                assert!(
+                    !p.is_empty(),
+                    "ChannelScaleSpec::Cycle needs a non-empty pattern"
+                );
+                (0..n_channels).map(|c| p[c % p.len()]).collect()
+            }
+        }
+    }
+}
+
+/// The extended cell's game — per-user budgets × per-channel rates —
+/// evaluated entirely through the generic [`ChannelGame`] engine. This is
+/// the trait's extensibility story in one type: no bespoke DP, no bespoke
+/// Nash check, just dimensions and a payoff.
+#[derive(Debug, Clone)]
+pub struct AxisGame {
+    budgets: Vec<u32>,
+    rates: Vec<Arc<dyn RateModel>>,
+}
+
+impl AxisGame {
+    /// Build from explicit budgets and per-channel rate models.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either vector is empty (the grid constructors never
+    /// produce such cells).
+    pub fn new(budgets: Vec<u32>, rates: Vec<Arc<dyn RateModel>>) -> Self {
+        assert!(!budgets.is_empty() && !rates.is_empty(), "empty axis game");
+        AxisGame { budgets, rates }
+    }
+
+    /// Per-user budgets.
+    pub fn budgets(&self) -> &[u32] {
+        &self.budgets
+    }
+
+    /// Total utility `Σ_c R_c(k_c)` from a cached load vector.
+    pub fn total_utility(&self, loads: &ChannelLoads) -> f64 {
+        loads
+            .as_slice()
+            .iter()
+            .enumerate()
+            .map(|(c, &kc)| if kc == 0 { 0.0 } else { self.rates[c].rate(kc) })
+            .sum()
+    }
+}
+
+impl ChannelGame for AxisGame {
+    fn n_users(&self) -> usize {
+        self.budgets.len()
+    }
+
+    fn n_channels(&self) -> usize {
+        self.rates.len()
+    }
+
+    fn radios_of(&self, user: UserId) -> u32 {
+        self.budgets[user.0]
+    }
+
+    fn channel_payoff(&self, channel: ChannelId, others_load: u32, slots: u32) -> f64 {
+        if slots == 0 {
+            return 0.0;
+        }
+        let total = others_load + slots;
+        slots as f64 / total as f64 * self.rates[channel.0].rate(total)
+    }
+}
+
+/// One cell of an extended grid: the classic dimensions plus the budget
+/// and channel-scale axes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExtendedCell {
+    /// Users `|N|`.
+    pub n_users: usize,
+    /// Baseline radios per user `k` (the `Uniform` budget; cycles ignore
+    /// it).
+    pub radios: u32,
+    /// Channels `|C|`.
+    pub n_channels: usize,
+    /// Base rate-model description.
+    pub rate: RateSpec,
+    /// Per-user budget pattern.
+    pub budget: BudgetSpec,
+    /// Per-channel scale pattern.
+    pub scale: ChannelScaleSpec,
+    /// Deterministic seed derived from the suite seed and the cell's
+    /// contents.
+    pub seed: u64,
+}
+
+impl ExtendedCell {
+    /// Materialized per-user budgets.
+    pub fn budgets(&self) -> Vec<u32> {
+        self.budget
+            .budgets(self.n_users, self.radios, self.n_channels)
+    }
+
+    /// Materialize the cell's game.
+    pub fn game(&self) -> AxisGame {
+        let budgets = self.budgets();
+        let max_load: u32 = budgets.iter().sum();
+        let base = self.rate.build(max_load);
+        let rates = self
+            .scale
+            .scales(self.n_channels)
+            .into_iter()
+            .map(|f| {
+                if f == 1.0 {
+                    Arc::clone(&base)
+                } else {
+                    Arc::new(ScaledRate::new(Arc::clone(&base), f)) as Arc<dyn RateModel>
+                }
+            })
+            .collect();
+        AxisGame::new(budgets, rates)
+    }
+
+    /// Instance label `N=..,k=..,C=..`.
+    pub fn instance(&self) -> String {
+        format!("N={},k={},C={}", self.n_users, self.radios, self.n_channels)
+    }
+}
+
+/// Declarative grid over `(n, k, |C|, rate) × budgets × channel scales`.
+///
+/// Orderings are absent on purpose: the extended pipeline is
+/// dynamics-only (Algorithm 1 is a homogeneous-game construction; its
+/// heterogeneous generalization lives on `HeteroGame` directly).
+#[derive(Debug, Clone)]
+pub struct ExtendedScenarioGrid {
+    /// Values of `|N|`.
+    pub n_users: Vec<usize>,
+    /// Values of `k` (the `Uniform` budget baseline).
+    pub radios: Vec<u32>,
+    /// Values of `|C|`.
+    pub n_channels: Vec<usize>,
+    /// Base rate models.
+    pub rates: Vec<RateSpec>,
+    /// Per-user budget patterns.
+    pub budgets: Vec<BudgetSpec>,
+    /// Per-channel scale patterns.
+    pub scales: Vec<ChannelScaleSpec>,
+}
+
+impl ExtendedScenarioGrid {
+    /// Expand into cells (skipping invalid `k > |C|` baselines), with
+    /// seeds derived from `suite_seed` and each cell's contents — same
+    /// stability contract as [`ScenarioGrid::cells`]: growing or
+    /// reordering any axis never shifts surviving cells' seeds.
+    pub fn cells(&self, suite_seed: u64) -> Vec<ExtendedCell> {
+        let mut out = Vec::new();
+        for &n in &self.n_users {
+            for &k in &self.radios {
+                for &c in &self.n_channels {
+                    if GameConfig::new(n, k, c).is_err() {
+                        continue;
+                    }
+                    for rate in &self.rates {
+                        for budget in &self.budgets {
+                            for scale in &self.scales {
+                                out.push(ExtendedCell {
+                                    n_users: n,
+                                    radios: k,
+                                    n_channels: c,
+                                    rate: rate.clone(),
+                                    budget: budget.clone(),
+                                    scale: scale.clone(),
+                                    seed: extended_cell_seed(
+                                        suite_seed, n, k, c, rate, budget, scale,
+                                    ),
+                                });
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Content-derived seed for an extended cell (the [`cell_seed`] scheme
+/// with the two new axes folded into the label).
+pub fn extended_cell_seed(
+    suite_seed: u64,
+    n: usize,
+    k: u32,
+    c: usize,
+    rate: &RateSpec,
+    budget: &BudgetSpec,
+    scale: &ChannelScaleSpec,
+) -> u64 {
+    let label = format!(
+        "{n}|{k}|{c}|{}|{}|{}",
+        rate.name(),
+        budget.name(),
+        scale.name()
+    );
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in label.as_bytes() {
+        h ^= *b as u64;
+        h = h.wrapping_mul(0x0100_0000_01b3);
+    }
+    derive_seed(suite_seed, h)
+}
+
+/// Outcome of the extended per-cell pipeline.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExtendedOutcome {
+    /// The evaluated cell.
+    pub cell: ExtendedCell,
+    /// Dynamics converged within the round cap.
+    pub converged: bool,
+    /// Rounds the dynamics took.
+    pub rounds: usize,
+    /// Final state is a NE (exact generic check).
+    pub nash: bool,
+    /// Largest remaining unilateral improvement.
+    pub max_gain: f64,
+    /// Max load delta of the final state (water-filling can exceed 1 on
+    /// scaled channels).
+    pub delta: u32,
+    /// Welfare `Σ_c R_c(k_c)` of the final state.
+    pub welfare: f64,
+    /// Theorem-1 structural verdict on the final state (diverges from
+    /// `nash` by design on non-uniform scales).
+    pub thm1_nash: bool,
+}
+
+/// The extended sweep runner: budget × scale axes over the generic
+/// engine, sharing the seeding, parallelism and output layers of
+/// [`ScenarioSuite`].
+#[derive(Debug, Clone)]
+pub struct ExtendedScenarioSuite {
+    /// Suite name (file-name stem for results).
+    pub name: String,
+    /// The expanded cells.
+    pub cells: Vec<ExtendedCell>,
+    /// Round cap for the dynamics.
+    pub max_rounds: usize,
+}
+
+impl ExtendedScenarioSuite {
+    /// Build a suite from an extended grid with the given suite seed.
+    pub fn new(name: impl Into<String>, grid: &ExtendedScenarioGrid, suite_seed: u64) -> Self {
+        ExtendedScenarioSuite {
+            name: name.into(),
+            cells: grid.cells(suite_seed),
+            max_rounds: 500,
+        }
+    }
+
+    /// Override the dynamics round cap.
+    pub fn with_max_rounds(mut self, max_rounds: usize) -> Self {
+        self.max_rounds = max_rounds;
+        self
+    }
+
+    /// Run the extended pipeline over every cell, in parallel, and return
+    /// the outcomes in grid order.
+    pub fn run(&self) -> (Vec<ExtendedOutcome>, SuiteReport) {
+        let max_rounds = self.max_rounds;
+        let outcomes = parallel_map(&self.cells, |cell| evaluate_extended_cell(cell, max_rounds));
+        let headers: Vec<String> = [
+            "instance",
+            "rate",
+            "budget",
+            "scales",
+            "seed",
+            "converged",
+            "rounds",
+            "nash",
+            "max_gain",
+            "delta",
+            "welfare",
+            "thm1_nash",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        let rows = outcomes
+            .iter()
+            .map(|o| {
+                vec![
+                    o.cell.instance(),
+                    o.cell.rate.name(),
+                    o.cell.budget.name(),
+                    o.cell.scale.name(),
+                    o.cell.seed.to_string(),
+                    o.converged.to_string(),
+                    o.rounds.to_string(),
+                    o.nash.to_string(),
+                    format!("{:.6e}", o.max_gain),
+                    o.delta.to_string(),
+                    format!("{:.6e}", o.welfare),
+                    o.thm1_nash.to_string(),
+                ]
+            })
+            .collect();
+        let report = SuiteReport {
+            headers,
+            rows,
+            name: self.name.clone(),
+        };
+        (outcomes, report)
+    }
+}
+
+/// Seeded random start respecting per-user budgets: every user deploys
+/// its full `k_i` on uniformly random channels (the extended analogue of
+/// `dynamics::random_start`).
+pub fn random_budget_start(budgets: &[u32], n_channels: usize, seed: u64) -> StrategyMatrix {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut s = StrategyMatrix::zeros(budgets.len(), n_channels);
+    for (u, &k) in budgets.iter().enumerate() {
+        let user = UserId(u);
+        for _ in 0..k {
+            let c = ChannelId(rng.gen_range(0..n_channels));
+            s.set(user, c, s.get(user, c) + 1);
+        }
+    }
+    s
+}
+
+/// The extended per-cell pipeline: seeded random start, generic
+/// incremental best-response dynamics, exact Nash check and Theorem-1
+/// certification — all through the [`ChannelGame`] engine.
+fn evaluate_extended_cell(cell: &ExtendedCell, max_rounds: usize) -> ExtendedOutcome {
+    let game = cell.game();
+    let start = random_budget_start(game.budgets(), cell.n_channels, derive_seed(cell.seed, 1));
+    let (end, converged, rounds) = br_dp::best_response_dynamics(&game, start, max_rounds);
+    let loads = ChannelLoads::of(&end);
+    let check = br_dp::nash_check_cached(&game, &end, &loads);
+    let thm1_nash = theorem1_cached(&game, &end, &loads).is_nash();
+    ExtendedOutcome {
+        converged,
+        rounds,
+        nash: check.is_nash(),
+        max_gain: check.max_gain(),
+        delta: end.max_delta(),
+        welfare: game.total_utility(&loads),
+        thm1_nash,
+        cell: cell.clone(),
+    }
+}
+
 /// Map `f` over `items` on all cores (work-stealing index loop over
 /// scoped threads), returning results in input order. The offline build
 /// has no rayon; this covers the embarrassingly-parallel sweep shape the
@@ -763,6 +1182,135 @@ mod tests {
         assert_eq!(json_value("1."), "\"1.\"");
         assert_eq!(json_value("1e999"), "\"1e999\"");
         assert_eq!(json_value("-3.25e-2"), "-3.25e-2");
+    }
+
+    fn small_extended_grid() -> ExtendedScenarioGrid {
+        ExtendedScenarioGrid {
+            n_users: vec![3, 5],
+            radios: vec![2],
+            n_channels: vec![3],
+            rates: vec![RateSpec::ConstantUnit],
+            budgets: vec![BudgetSpec::Uniform, BudgetSpec::Cycle(vec![1, 2, 3])],
+            scales: vec![
+                ChannelScaleSpec::Uniform,
+                ChannelScaleSpec::Cycle(vec![2.0, 1.0]),
+            ],
+        }
+    }
+
+    #[test]
+    fn extended_grid_expands_with_stable_seeds() {
+        let cells = small_extended_grid().cells(7);
+        assert_eq!(cells.len(), 2 * 2 * 2);
+        assert_eq!(cells, small_extended_grid().cells(7));
+        // Growing a new axis value leaves surviving seeds untouched.
+        let mut grown = small_extended_grid();
+        grown.budgets.insert(0, BudgetSpec::Cycle(vec![4, 1]));
+        let grown_cells = grown.cells(7);
+        for cell in &cells {
+            let found = grown_cells
+                .iter()
+                .find(|c| {
+                    c.n_users == cell.n_users && c.budget == cell.budget && c.scale == cell.scale
+                })
+                .expect("original cell still present");
+            assert_eq!(found.seed, cell.seed);
+        }
+    }
+
+    #[test]
+    fn budget_and_scale_specs_materialize() {
+        assert_eq!(BudgetSpec::Uniform.budgets(3, 2, 4), vec![2, 2, 2]);
+        // Cycling pattern, clamped into [1, |C|].
+        assert_eq!(
+            BudgetSpec::Cycle(vec![1, 5]).budgets(4, 2, 3),
+            vec![1, 3, 1, 3]
+        );
+        assert_eq!(ChannelScaleSpec::Uniform.scales(2), vec![1.0, 1.0]);
+        assert_eq!(
+            ChannelScaleSpec::Cycle(vec![2.0, 0.5]).scales(3),
+            vec![2.0, 0.5, 2.0]
+        );
+    }
+
+    #[test]
+    fn extended_run_reaches_equilibria_and_respects_budgets() {
+        let suite = ExtendedScenarioSuite::new("ext", &small_extended_grid(), 42);
+        let (outcomes, report) = suite.run();
+        assert_eq!(report.rows.len(), outcomes.len());
+        for o in &outcomes {
+            assert!(o.converged && o.nash, "{:?}", o.cell);
+            assert!(o.max_gain <= 1e-9);
+            // Uniform × uniform cells reduce to the paper's game: their
+            // equilibria stay count-balanced.
+            if o.cell.budget == BudgetSpec::Uniform && o.cell.scale == ChannelScaleSpec::Uniform {
+                assert!(o.delta <= 1, "{:?}", o.cell);
+            }
+        }
+        // The 2x-scaled channel set must yield strictly more welfare than
+        // the uniform variant of the same (instance, budget) cell: at any
+        // NE of the unit-rate game every 2x channel is occupied (an empty
+        // one would offer R = 2 against per-radio shares < 2), so the
+        // scaled welfare strictly dominates the all-unit welfare.
+        let mut compared = 0usize;
+        for o in &outcomes {
+            if o.cell.scale == ChannelScaleSpec::Uniform {
+                continue;
+            }
+            let twin = outcomes
+                .iter()
+                .find(|u| {
+                    u.cell.scale == ChannelScaleSpec::Uniform
+                        && u.cell.instance() == o.cell.instance()
+                        && u.cell.budget == o.cell.budget
+                })
+                .expect("uniform twin exists for every scaled cell");
+            assert!(
+                o.welfare > twin.welfare + 1e-9,
+                "scaled {:?}: welfare {} vs uniform {}",
+                o.cell,
+                o.welfare,
+                twin.welfare
+            );
+            compared += 1;
+        }
+        assert!(compared > 0);
+    }
+
+    #[test]
+    fn extended_run_is_deterministic() {
+        let suite = ExtendedScenarioSuite::new("det-ext", &small_extended_grid(), 123);
+        let (_, a) = suite.run();
+        let (_, b) = suite.run();
+        assert_eq!(a.to_csv(), b.to_csv());
+        assert_eq!(a.to_json(), b.to_json());
+    }
+
+    #[test]
+    fn axis_game_uniform_axes_match_the_concrete_games() {
+        use mrca_core::heterogeneous::{HeteroConfig, HeteroGame};
+        // AxisGame with uniform scales ≡ HeteroGame on the same budgets.
+        let budgets = vec![3u32, 2, 1];
+        let axis = AxisGame::new(
+            budgets.clone(),
+            (0..4)
+                .map(|_| Arc::new(ConstantRate::unit()) as Arc<dyn RateModel>)
+                .collect(),
+        );
+        let hetero = HeteroGame::with_unit_rate(HeteroConfig::new(budgets.clone(), 4).unwrap());
+        let s = random_budget_start(&budgets, 4, 99);
+        let loads = ChannelLoads::of(&s);
+        for u in UserId::all(3) {
+            assert_eq!(
+                br_dp::utility_cached(&axis, &s, &loads, u),
+                hetero.utility_cached(&s, &loads, u)
+            );
+            assert_eq!(
+                br_dp::best_response_cached(&axis, &s, &loads, u),
+                hetero.best_response_cached(&s, &loads, u)
+            );
+        }
+        assert_eq!(br_dp::nash_check(&axis, &s), hetero.nash_check(&s));
     }
 
     #[test]

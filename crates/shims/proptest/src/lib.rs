@@ -33,15 +33,23 @@ pub struct ProptestConfig {
 }
 
 impl ProptestConfig {
-    /// Run each property over `cases` inputs.
+    /// Run each property over exactly `cases` inputs (an explicit count
+    /// wins over the environment, like upstream proptest).
     pub fn with_cases(cases: u32) -> Self {
         ProptestConfig { cases }
     }
 }
 
 impl Default for ProptestConfig {
+    /// 64 cases, overridable via the `PROPTEST_CASES` environment
+    /// variable — mirroring upstream proptest, so scheduled deep-fuzz CI
+    /// runs can raise the count without touching the suites.
     fn default() -> Self {
-        ProptestConfig { cases: 64 }
+        let cases = std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(64);
+        ProptestConfig { cases }
     }
 }
 

@@ -10,6 +10,16 @@ use multi_radio_alloc::core::prelude::*;
 use proptest::prelude::*;
 use std::sync::Arc;
 
+/// Per-PR default case count, overridable by the deep-fuzz CI job
+/// (`PROPTEST_CASES`); works identically with the shim and upstream
+/// proptest.
+fn cases_from_env(default: u32) -> u32 {
+    std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
 /// Strategy for small valid game configurations.
 fn config_strategy() -> impl Strategy<Value = GameConfig> {
     (1usize..=6, 1u32..=4, 1usize..=6).prop_filter_map("k <= |C|", |(n, k, c)| {
@@ -32,7 +42,8 @@ fn rate_strategy() -> impl Strategy<Value = Arc<dyn RateFunction>> {
 }
 
 proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+    // 64 cases per-PR; the scheduled deep-fuzz CI job raises it via env.
+    #![proptest_config(ProptestConfig::with_cases(cases_from_env(64)))]
 
     /// Total utility always equals the sum of occupied channels' rates
     /// (the identity behind Theorem 2's proof).
@@ -150,7 +161,8 @@ proptest! {
 }
 
 proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
+    // 32 cases per-PR; the scheduled deep-fuzz CI job raises it via env.
+    #![proptest_config(ProptestConfig::with_cases(cases_from_env(32)))]
 
     /// For any full deployment, if Theorem 1 accepts and the instance is
     /// within the regime where no user stacks ≥ 3 radios on a channel,

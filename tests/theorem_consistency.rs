@@ -132,6 +132,104 @@ fn indexed_nash_matches_matrix_nash_for_decreasing_rate() {
 }
 
 #[test]
+fn theorem1_cached_matches_theorem1_on_randomized_instances() {
+    // The cached certification path must render the identical verdict —
+    // not merely the same is_nash bit — on randomized instances covering
+    // every verdict variant: full and under-deployed matrices, balanced
+    // and stacked loads, conflict and Fact-1 regimes.
+    use multi_radio_alloc::core::dynamics::random_start;
+    use multi_radio_alloc::core::loads::ChannelLoads;
+    use multi_radio_alloc::core::nash::theorem1_cached;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    let mut rng = StdRng::seed_from_u64(20260728);
+    let mut verdict_kinds = std::collections::HashSet::new();
+    for trial in 0..300 {
+        let n = rng.gen_range(1..=5usize);
+        let c = rng.gen_range(1..=5usize);
+        let k = rng.gen_range(1..=c as u32);
+        let game = constant_game(n, k, c);
+        let mut s = random_start(&game, rng.gen());
+        // Half the trials park random radios to hit the IdleRadios branch.
+        if rng.gen_bool(0.5) {
+            for u in UserId::all(n) {
+                while s.user_total(u) > 0 && rng.gen_bool(0.3) {
+                    let ch = (0..c)
+                        .map(ChannelId)
+                        .find(|&ch| s.get(u, ch) > 0)
+                        .expect("deployed radio exists");
+                    s.set(u, ch, s.get(u, ch) - 1);
+                }
+            }
+        }
+        let loads = ChannelLoads::of(&s);
+        let uncached = theorem1(&game, &s);
+        let cached = theorem1_cached(&game, &s, &loads);
+        assert_eq!(uncached, cached, "trial {trial}: N={n},k={k},C={c} {s}");
+        verdict_kinds.insert(std::mem::discriminant(&cached));
+    }
+    assert!(
+        verdict_kinds.len() >= 3,
+        "the sweep should exercise several verdict variants, got {}",
+        verdict_kinds.len()
+    );
+}
+
+#[test]
+fn theorem1_cached_consistency_extends_to_hetero_and_multi_rate() {
+    use multi_radio_alloc::core::heterogeneous::{HeteroConfig, HeteroGame};
+    use multi_radio_alloc::core::loads::ChannelLoads;
+    use multi_radio_alloc::core::multi_rate::MultiRateGame;
+    use multi_radio_alloc::core::nash::theorem1_cached;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    let mut rng = StdRng::seed_from_u64(7);
+    for trial in 0..100 {
+        let n = rng.gen_range(2..=5usize);
+        let c = rng.gen_range(2..=5usize);
+        // Heterogeneous budgets, random (budget-respecting) deployment.
+        let budgets: Vec<u32> = (0..n).map(|_| rng.gen_range(1..=c as u32)).collect();
+        let hg = HeteroGame::with_unit_rate(HeteroConfig::new(budgets.clone(), c).unwrap());
+        let mut s = multi_radio_alloc::core::StrategyMatrix::zeros(n, c);
+        for (u, &b) in budgets.iter().enumerate() {
+            for _ in 0..rng.gen_range(0..=b) {
+                let ch = ChannelId(rng.gen_range(0..c));
+                s.set(UserId(u), ch, s.get(UserId(u), ch) + 1);
+            }
+        }
+        let loads = ChannelLoads::of(&s);
+        assert_eq!(
+            theorem1(&hg, &s),
+            theorem1_cached(&hg, &s, &loads),
+            "hetero trial {trial}"
+        );
+
+        // Multi-rate: same structural check, per-channel models.
+        let k = rng.gen_range(1..=c as u32);
+        let mg = MultiRateGame::new(
+            GameConfig::new(n, k, c).unwrap(),
+            (0..c)
+                .map(|i| {
+                    std::sync::Arc::new(ConstantRate::new(1.0 + i as f64))
+                        as std::sync::Arc<dyn RateModel>
+                })
+                .collect(),
+        )
+        .unwrap();
+        let base = constant_game(n, k, c);
+        let sm = multi_radio_alloc::core::dynamics::random_start(&base, rng.gen());
+        let loads_m = ChannelLoads::of(&sm);
+        assert_eq!(
+            theorem1(&mg, &sm),
+            theorem1_cached(&mg, &sm, &loads_m),
+            "multi-rate trial {trial}"
+        );
+    }
+}
+
+#[test]
 fn the_channel_allocation_game_has_an_ordinal_potential_radio_view() {
     // The radio-level view is a congestion game: verify the ordinal
     // potential property mechanically on a small instance by checking the
