@@ -73,6 +73,22 @@ pub trait ChannelGame {
     fn may_idle_radios(&self) -> bool {
         false
     }
+
+    /// Whether the payoff is **separable-monotone**: for every channel `c`
+    /// and others-load `L`, the marginal gain
+    /// `channel_payoff(c, L, t) − channel_payoff(c, L, t−1)` is
+    /// non-increasing in `t` (diminishing returns per extra own radio on
+    /// one channel). Under this property — and only under it — the greedy
+    /// selection of the `k` best marginals is an exact best response, so
+    /// the engine may route [`best_response_cached`]-equivalent queries to
+    /// the `O(k log |C|)` heap path of [`crate::br_fast`] instead of the
+    /// `O(|C|·k²)` DP. Declaring it falsely yields *wrong* best responses;
+    /// the default is therefore `false`, and the rate-sharing games
+    /// forward the per-model [`crate::rate_model::RateModel::concave_sharing`]
+    /// declaration (true for constant rates, the paper's idealization).
+    fn payoff_is_separable_monotone(&self) -> bool {
+        false
+    }
 }
 
 /// Total radios `Σ_i k_i` of a game.
@@ -180,12 +196,42 @@ pub fn best_response_cached<G: ChannelGame + ?Sized>(
         }
     }
 
-    // dp[r] = best utility with r radios over channels 0..=c; choice[c][r]
-    // = radios on channel c in that optimum.
+    let (counts, value) = solve_knapsack(n_ch, k, game.may_idle_radios(), |c, t| f[c][t]);
+    (StrategyVector::from_counts(counts), value)
+}
+
+/// The knapsack core shared by every best-response path: `f(c, t)` is the
+/// payoff of placing `t` radios on channel `c` (with `f(c, 0) == 0`),
+/// `dp[r]` the best value over the channels seen so far using exactly `r`
+/// radios, and `choice[c][r]` the optimum's allocation for the traceback.
+/// Games that fix the budget read `dp[k]`; games that may idle radios take
+/// the best over all `r ≤ k` (ties resolved toward more deployed radios,
+/// matching the historical energy-game behavior).
+///
+/// # Tie-breaking (pinned)
+///
+/// Among allocations of equal value the result is deterministic: the
+/// inner maximization uses strict `>` with `t` scanned upward, so each
+/// `choice[c][r]` records the **smallest** optimal count for channel `c`,
+/// and the traceback walks channels from the highest index down. The
+/// returned allocation is therefore the reverse-lexicographically minimal
+/// optimum — radios are **packed toward the lowest-indexed channels**.
+/// The heap engine of [`crate::br_fast`] resolves its marginal ties
+/// toward the lowest channel index for the same reason; a dedicated unit
+/// test there constructs an exact tie and pins both paths, and the
+/// `fast_path_equiv` differential suite pins value equality across all
+/// engines.
+pub(crate) fn solve_knapsack<F: Fn(usize, usize) -> f64>(
+    n_ch: usize,
+    k: usize,
+    may_idle: bool,
+    f: F,
+) -> (Vec<u32>, f64) {
     let neg = f64::NEG_INFINITY;
     let mut dp = vec![neg; k + 1];
     dp[0] = 0.0;
     let mut choice = vec![vec![0usize; k + 1]; n_ch];
+    #[allow(clippy::needless_range_loop)] // the DP reads as index algebra
     for c in 0..n_ch {
         let mut next = vec![neg; k + 1];
         for r in 0..=k {
@@ -193,7 +239,7 @@ pub fn best_response_cached<G: ChannelGame + ?Sized>(
                 if dp[r - t] == neg {
                     continue;
                 }
-                let v = dp[r - t] + f[c][t];
+                let v = dp[r - t] + f(c, t);
                 if v > next[r] {
                     next[r] = v;
                     choice[c][r] = t;
@@ -204,8 +250,8 @@ pub fn best_response_cached<G: ChannelGame + ?Sized>(
     }
 
     // Pick the budget to trace back from.
-    let best_r = if game.may_idle_radios() {
-        // Best over all deployments sizes; `>=` keeps the last maximum,
+    let best_r = if may_idle {
+        // Best over all deployment sizes; `>=` keeps the last maximum,
         // i.e. prefers more active radios on exact ties.
         let mut best = 0usize;
         for r in 1..=k {
@@ -227,7 +273,7 @@ pub fn best_response_cached<G: ChannelGame + ?Sized>(
         r -= t;
     }
     debug_assert_eq!(r, 0, "all chosen radios must be placed");
-    (StrategyVector::from_counts(counts), dp[best_r])
+    (counts, dp[best_r])
 }
 
 /// The paper's Eq. 7 generalized: benefit Δ for `user` moving one radio
@@ -399,11 +445,26 @@ pub fn is_nash<G: ChannelGame + ?Sized>(game: &G, s: &StrategyMatrix) -> bool {
 /// clones). Returns `(final matrix, converged, rounds)`.
 pub fn best_response_dynamics<G: ChannelGame + ?Sized>(
     game: &G,
-    mut s: StrategyMatrix,
+    s: StrategyMatrix,
     max_rounds: usize,
 ) -> (StrategyMatrix, bool, usize) {
+    let (s, converged, rounds, _) = best_response_dynamics_traced(game, s, max_rounds);
+    (s, converged, rounds)
+}
+
+/// [`best_response_dynamics`] with the applied moves recorded: the trace
+/// lists each strategy switch as `(user, new row)` in application order.
+/// The convergence-trace golden suite replays the same seed through this
+/// and the sparse engine of [`crate::br_fast`] and asserts identical
+/// traces, so engine choice can never silently change reproduced results.
+pub fn best_response_dynamics_traced<G: ChannelGame + ?Sized>(
+    game: &G,
+    mut s: StrategyMatrix,
+    max_rounds: usize,
+) -> (StrategyMatrix, bool, usize, Vec<(UserId, StrategyVector)>) {
     let n = game.n_users();
     let mut loads = ChannelLoads::of(&s);
+    let mut trace = Vec::new();
     for round in 1..=max_rounds {
         let mut moved = false;
         for u in UserId::all(n) {
@@ -412,14 +473,15 @@ pub fn best_response_dynamics<G: ChannelGame + ?Sized>(
             if after > before + UTILITY_TOLERANCE {
                 loads.replace_row(&s.user_strategy(u), &br);
                 s.set_user_strategy(u, &br);
+                trace.push((u, br));
                 moved = true;
             }
         }
         if !moved {
-            return (s, true, round);
+            return (s, true, round, trace);
         }
     }
-    (s, false, max_rounds)
+    (s, false, max_rounds, trace)
 }
 
 #[cfg(test)]

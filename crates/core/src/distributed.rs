@@ -20,9 +20,13 @@
 //! quantified by experiment T6. A device that sees no improving response
 //! stays put, so every equilibrium of the game is absorbing.
 
+use crate::br_dp::ChannelGame;
+use crate::br_fast::{self, BrEngine};
 use crate::game::{ChannelAllocationGame, UTILITY_TOLERANCE};
+use crate::loads::ChannelLoads;
+use crate::sparse::{SparseEntry, SparseStrategies};
 use crate::strategy::StrategyMatrix;
-use crate::types::UserId;
+use crate::types::{ChannelId, UserId};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
@@ -127,6 +131,112 @@ pub fn run_protocol(
         retunes,
         simultaneous_rounds,
         matrix: s,
+    }
+}
+
+/// Outcome of a sparse-engine protocol run (the large-N analogue of
+/// [`ProtocolOutcome`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SparseProtocolOutcome {
+    /// Final sparse allocation.
+    pub strategies: SparseStrategies,
+    /// Whether a Nash equilibrium was reached within the round budget.
+    pub converged: bool,
+    /// Rounds executed.
+    pub rounds: usize,
+    /// Total retunings performed.
+    pub retunes: usize,
+    /// Rounds in which ≥ 2 devices moved simultaneously.
+    pub simultaneous_rounds: usize,
+}
+
+/// [`run_protocol`] on the sparse large-N path, generic over every
+/// [`ChannelGame`]: the same sensing-snapshot semantics (all movers of a
+/// round best-respond to the round-boundary loads), but best responses go
+/// through the [`BrEngine`] and the state never leaves
+/// [`SparseStrategies`] + [`ChannelLoads`]. The per-round termination
+/// test is the exact engine-based Nash check with early exit.
+///
+/// # Panics
+///
+/// Panics if `activation_prob` is outside `(0, 1]`.
+pub fn run_protocol_sparse<G: ChannelGame + ?Sized>(
+    game: &G,
+    start: SparseStrategies,
+    cfg: &ProtocolConfig,
+) -> SparseProtocolOutcome {
+    assert!(
+        cfg.activation_prob > 0.0 && cfg.activation_prob <= 1.0,
+        "activation probability must be in (0, 1], got {}",
+        cfg.activation_prob
+    );
+    let n = game.n_users();
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut s = start;
+    let mut loads = ChannelLoads::of_sparse(&s);
+    let mut engine = BrEngine::new(game, &loads);
+    let mut retunes = 0usize;
+    let mut simultaneous_rounds = 0usize;
+
+    for round in 1..=cfg.max_rounds {
+        // Sensing snapshot: loads and engine stay fixed while the round's
+        // movers are computed, exactly like the dense protocol's
+        // round-boundary load vector.
+        let mut movers: Vec<(UserId, Vec<SparseEntry>)> = Vec::new();
+        for u in UserId::all(n) {
+            if !rng.gen_bool(cfg.activation_prob) {
+                continue;
+            }
+            let before = br_fast::utility_sparse(game, &s, &loads, u);
+            let (br, after) = engine.best_response(game, s.row(u), &loads, u);
+            if after > before + UTILITY_TOLERANCE {
+                movers.push((u, br));
+            }
+        }
+        if movers.len() >= 2 {
+            simultaneous_rounds += 1;
+        }
+        let mut touched: Vec<ChannelId> = Vec::new();
+        for (u, br) in &movers {
+            let old = s.row(*u).to_vec();
+            loads.replace_sparse_row(&old, br);
+            touched.extend(
+                old.iter()
+                    .chain(br.iter())
+                    .map(|&(c, _)| ChannelId(c as usize)),
+            );
+            s.set_row(*u, br);
+            retunes += 1;
+        }
+        touched.sort_unstable();
+        touched.dedup();
+        engine.repair(game, &loads, &touched);
+        // Termination test against the *current* state, with early exit.
+        let mut is_ne = true;
+        for u in UserId::all(n) {
+            let before = br_fast::utility_sparse(game, &s, &loads, u);
+            let (_, after) = engine.best_response(game, s.row(u), &loads, u);
+            if after > before + UTILITY_TOLERANCE {
+                is_ne = false;
+                break;
+            }
+        }
+        if is_ne {
+            return SparseProtocolOutcome {
+                strategies: s,
+                converged: true,
+                rounds: round,
+                retunes,
+                simultaneous_rounds,
+            };
+        }
+    }
+    SparseProtocolOutcome {
+        converged: false,
+        rounds: cfg.max_rounds,
+        retunes,
+        simultaneous_rounds,
+        strategies: s,
     }
 }
 
@@ -266,6 +376,30 @@ mod tests {
             sim_full > sim_sparse,
             "full activation should collide more: {sim_full} vs {sim_sparse}"
         );
+    }
+
+    #[test]
+    fn sparse_protocol_matches_dense_protocol() {
+        let g = game(8, 3, 6);
+        for seed in 0..4 {
+            let start = random_start(&g, 40 + seed);
+            let cfg = ProtocolConfig {
+                activation_prob: 0.3,
+                max_rounds: 2000,
+                seed,
+            };
+            let dense = run_protocol(&g, start.clone(), &cfg);
+            let sparse = run_protocol_sparse(
+                &g,
+                crate::sparse::SparseStrategies::from_matrix(&g, &start),
+                &cfg,
+            );
+            assert_eq!(sparse.converged, dense.converged, "seed {seed}");
+            assert_eq!(sparse.rounds, dense.rounds, "seed {seed}");
+            assert_eq!(sparse.retunes, dense.retunes, "seed {seed}");
+            assert_eq!(sparse.simultaneous_rounds, dense.simultaneous_rounds);
+            assert_eq!(sparse.strategies.to_dense(), dense.matrix, "seed {seed}");
+        }
     }
 
     #[test]

@@ -19,8 +19,11 @@
 //!
 //! Experiment T4 measures rounds-to-convergence across instance sizes.
 
+use crate::br_dp::ChannelGame;
+use crate::br_fast::{self, BrEngine};
 use crate::game::{ChannelAllocationGame, UTILITY_TOLERANCE};
 use crate::loads::ChannelLoads;
+use crate::sparse::{touched_channels, SparseStrategies};
 use crate::strategy::StrategyMatrix;
 use crate::types::{ChannelId, UserId};
 use rand::rngs::StdRng;
@@ -116,6 +119,89 @@ impl BestResponseDriver {
         }
         ConvergenceOutcome {
             matrix: s,
+            converged,
+            rounds,
+            moves,
+            welfare_trajectory: welfare,
+        }
+    }
+}
+
+/// Outcome of a sparse-engine dynamics run: the sparse analogue of
+/// [`ConvergenceOutcome`], produced without ever materializing a dense
+/// matrix.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SparseOutcome {
+    /// Final sparse strategy set.
+    pub strategies: SparseStrategies,
+    /// Whether a fixed point was reached within the round budget.
+    pub converged: bool,
+    /// Rounds executed (full passes over the player set).
+    pub rounds: usize,
+    /// Individual strategy changes applied.
+    pub moves: usize,
+    /// Total-welfare trajectory, entry 0 = start (computed from the loads
+    /// via the per-channel identity — see
+    /// [`br_fast::welfare_from_loads`]).
+    pub welfare_trajectory: Vec<f64>,
+}
+
+impl BestResponseDriver {
+    /// [`run`](Self::run) on the sparse large-N path: same schedules,
+    /// same improvement tolerance, same per-round welfare samples, but
+    /// every best response goes through the [`BrEngine`] (lazy heap or
+    /// incremental DP) and the state never leaves
+    /// [`SparseStrategies`] + [`ChannelLoads`]. Works for any
+    /// [`ChannelGame`]; the convergence-trace golden suite pins it to
+    /// [`run`](Self::run) move-for-move on the paper's game.
+    pub fn run_sparse<G: ChannelGame + ?Sized>(
+        &self,
+        game: &G,
+        start: SparseStrategies,
+        max_rounds: usize,
+    ) -> SparseOutcome {
+        let n = game.n_users();
+        let mut s = start;
+        let mut order: Vec<usize> = (0..n).collect();
+        let mut rng = match self.schedule {
+            Schedule::RandomPermutation { seed } => Some(StdRng::seed_from_u64(seed)),
+            Schedule::RoundRobin => None,
+        };
+        let mut loads = ChannelLoads::of_sparse(&s);
+        let mut engine = BrEngine::new(game, &loads);
+        let mut welfare = vec![br_fast::welfare_from_loads(game, &loads)];
+        let mut moves = 0usize;
+        let mut rounds = 0usize;
+        let mut converged = false;
+
+        while rounds < max_rounds {
+            if let Some(r) = rng.as_mut() {
+                order.shuffle(r);
+            }
+            let mut moved = false;
+            for &u in &order {
+                let user = UserId(u);
+                let before = br_fast::utility_sparse(game, &s, &loads, user);
+                let (br, after) = engine.best_response(game, s.row(user), &loads, user);
+                if after > before + UTILITY_TOLERANCE {
+                    let old = s.row(user).to_vec();
+                    loads.replace_sparse_row(&old, &br);
+                    let touched = touched_channels(&old, &br);
+                    s.set_row(user, &br);
+                    engine.repair(game, &loads, &touched);
+                    moves += 1;
+                    moved = true;
+                }
+            }
+            rounds += 1;
+            welfare.push(br_fast::welfare_from_loads(game, &loads));
+            if !moved {
+                converged = true;
+                break;
+            }
+        }
+        SparseOutcome {
+            strategies: s,
             converged,
             rounds,
             moves,
@@ -472,6 +558,28 @@ mod tests {
             );
             phi = phi2;
             s = out.matrix;
+        }
+    }
+
+    #[test]
+    fn run_sparse_matches_dense_run_for_both_schedules() {
+        let g = unit_game(6, 3, 5);
+        for schedule in [
+            Schedule::RoundRobin,
+            Schedule::RandomPermutation { seed: 4 },
+        ] {
+            let start = random_start(&g, 2);
+            let dense = BestResponseDriver::new(schedule).run(&g, start.clone(), 100);
+            let sparse = BestResponseDriver::new(schedule).run_sparse(
+                &g,
+                crate::sparse::SparseStrategies::from_matrix(&g, &start),
+                100,
+            );
+            assert_eq!(sparse.converged, dense.converged);
+            assert_eq!(sparse.rounds, dense.rounds);
+            assert_eq!(sparse.moves, dense.moves);
+            assert_eq!(sparse.strategies.to_dense(), dense.matrix);
+            assert_eq!(sparse.welfare_trajectory, dense.welfare_trajectory);
         }
     }
 

@@ -306,6 +306,12 @@ impl ChannelGame for ChannelAllocationGame {
         let total = others_load + slots;
         slots as f64 / total as f64 * self.rate.rate(total)
     }
+
+    fn payoff_is_separable_monotone(&self) -> bool {
+        // Forwarded per rate model: true for constant rates (the paper's
+        // idealization), enabling the O(k log |C|) heap best response.
+        self.rate.concave_sharing()
+    }
 }
 
 /// Adapter presenting [`ChannelAllocationGame`] through the generic

@@ -377,6 +377,12 @@ impl ChannelGame for HeteroGame {
         let total = others_load + slots;
         slots as f64 / total as f64 * self.rate.rate(total)
     }
+
+    fn payoff_is_separable_monotone(&self) -> bool {
+        // Per-user budgets do not affect per-channel concavity; forward
+        // the shared rate model's declaration.
+        self.rate.concave_sharing()
+    }
 }
 
 #[cfg(test)]

@@ -20,6 +20,11 @@
 //!   and one knapsack DP shared by the homogeneous game and every
 //!   extension (heterogeneous budgets, per-channel rates, energy costs):
 //!   [`br_dp`];
+//! * the large-N evaluation layer — sparse CSR strategy storage
+//!   ([`sparse`]) and the `O(k log |C|)` lazy-heap / incremental-DP best
+//!   responses with sparse dynamics and Nash checks ([`br_fast`]),
+//!   pinned to the oracle DP by the `fast_path_equiv` and
+//!   `convergence_trace` differential suites;
 //! * the benefit-of-change Δ (Eq. 7):
 //!   [`game::ChannelAllocationGame::benefit_of_move`];
 //! * Lemmas 1–4, Proposition 1, and both directions of Theorem 1 as
@@ -61,6 +66,7 @@
 pub mod algorithm;
 pub mod analysis;
 pub mod br_dp;
+pub mod br_fast;
 pub mod config;
 pub mod display;
 pub mod distributed;
@@ -74,16 +80,19 @@ pub mod multi_rate;
 pub mod nash;
 pub mod pareto;
 pub mod rate_model;
+pub mod sparse;
 pub mod strategy;
 pub mod types;
 pub mod utility_models;
 
 pub use br_dp::ChannelGame;
+pub use br_fast::BrEngine;
 pub use config::GameConfig;
 pub use error::Error;
 pub use game::ChannelAllocationGame;
 pub use loads::ChannelLoads;
 pub use rate_model::{ConstantRate, RateModel};
+pub use sparse::SparseStrategies;
 pub use strategy::{StrategyMatrix, StrategyVector};
 pub use types::{ChannelId, UserId};
 
@@ -92,6 +101,9 @@ pub mod prelude {
     pub use crate::algorithm::{algorithm1, Ordering, TieBreak};
     pub use crate::analysis::{jain_fairness, load_balance_delta, AllocationStats};
     pub use crate::br_dp::ChannelGame;
+    pub use crate::br_fast::{
+        best_response_dynamics_sparse, is_nash_sparse, nash_check_sparse, BrEngine,
+    };
     pub use crate::config::GameConfig;
     pub use crate::display::render_allocation;
     pub use crate::dynamics::{BestResponseDriver, RadioDynamics, Schedule};
@@ -102,6 +114,7 @@ pub mod prelude {
     pub use crate::nash::{theorem1, theorem1_cached, NashCheck, Theorem1Verdict};
     pub use crate::pareto::{is_pareto_optimal_ne, is_system_optimal, optimal_total_rate};
     pub use crate::rate_model::{ConstantRate, RateFunction, RateModel};
+    pub use crate::sparse::SparseStrategies;
     pub use crate::strategy::{StrategyMatrix, StrategyVector};
     pub use crate::types::{ChannelId, UserId};
 }

@@ -48,6 +48,19 @@ impl ChannelLoads {
         ChannelLoads { loads: s.loads() }
     }
 
+    /// Compute the loads of a sparse strategy set in one pass over its
+    /// occupied entries (`O(Σ_i k_i)`) — the dense-matrix-free
+    /// constructor of the large-N path.
+    pub fn of_sparse(s: &crate::sparse::SparseStrategies) -> Self {
+        s.loads()
+    }
+
+    /// Wrap an explicit load vector (used by the sparse constructor; the
+    /// caller vouches for consistency).
+    pub(crate) fn from_vec(loads: Vec<u32>) -> Self {
+        ChannelLoads { loads }
+    }
+
     /// All-zero loads over `n_channels` channels (an empty deployment).
     pub fn zeros(n_channels: usize) -> Self {
         ChannelLoads {
@@ -127,6 +140,31 @@ impl ChannelLoads {
                 .checked_sub(before)
                 .expect("replace_row: old row exceeds cached load")
                 + after;
+        }
+    }
+
+    /// Record a user replacing its sparse row `old → new` (`O(k)` — only
+    /// the occupied entries are touched, the sparse counterpart of
+    /// [`replace_row`](Self::replace_row)).
+    ///
+    /// # Panics
+    ///
+    /// Panics if an entry's channel is out of range or the swap would
+    /// drive some load negative (i.e. `old` was not the user's actual
+    /// current row).
+    pub fn replace_sparse_row(
+        &mut self,
+        old: &[crate::sparse::SparseEntry],
+        new: &[crate::sparse::SparseEntry],
+    ) {
+        for &(c, k) in old {
+            let l = &mut self.loads[c as usize];
+            *l = l
+                .checked_sub(k)
+                .expect("replace_sparse_row: old row exceeds cached load");
+        }
+        for &(c, k) in new {
+            self.loads[c as usize] += k;
         }
     }
 

@@ -259,6 +259,12 @@ impl ChannelGame for MultiRateGame {
         let total = others_load + slots;
         slots as f64 / total as f64 * self.rates[channel.0].rate(total)
     }
+
+    fn payoff_is_separable_monotone(&self) -> bool {
+        // Greedy needs diminishing marginals on *every* channel; each
+        // channel's declaration is independent of the others.
+        self.rates.iter().all(|r| r.concave_sharing())
+    }
 }
 
 #[cfg(test)]

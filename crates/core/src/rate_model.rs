@@ -46,6 +46,24 @@ pub trait RateModel: Send + Sync + fmt::Debug {
             self.rate(k) / k as f64
         }
     }
+
+    /// Whether the induced fair-share payoff
+    /// `f_L(t) = t/(L+t)·R(L+t)` has **non-increasing marginals** in `t`
+    /// for every fixed load `L` (diminishing returns per extra radio on
+    /// one channel). Games route best responses to the `O(k log |C|)`
+    /// greedy/heap engine only when this holds, because greedy selection
+    /// is exact only for separable concave objectives; the generic DP
+    /// remains the fallback.
+    ///
+    /// Default `false` (conservative: the DP is always correct). Constant
+    /// rates override to `true` — there
+    /// `f_L(t+1) − f_L(t) = R·L/((L+t+1)(L+t))`, non-increasing in `t`.
+    /// Decaying families are *not* concave-sharing in general (e.g. a
+    /// linear decay clamped at its floor has a marginal that jumps back
+    /// up at the clamp), so they keep the default.
+    fn concave_sharing(&self) -> bool {
+        false
+    }
 }
 
 /// Back-compatibility alias: the trait's original name.
@@ -60,6 +78,9 @@ impl<T: RateModel + ?Sized> RateModel for Arc<T> {
     fn name(&self) -> &str {
         (**self).name()
     }
+    fn concave_sharing(&self) -> bool {
+        (**self).concave_sharing()
+    }
 }
 
 impl<T: RateModel + ?Sized> RateModel for &T {
@@ -68,6 +89,9 @@ impl<T: RateModel + ?Sized> RateModel for &T {
     }
     fn name(&self) -> &str {
         (**self).name()
+    }
+    fn concave_sharing(&self) -> bool {
+        (**self).concave_sharing()
     }
 }
 
@@ -142,6 +166,11 @@ impl RateModel for ConstantRate {
     }
     fn name(&self) -> &str {
         &self.name
+    }
+    fn concave_sharing(&self) -> bool {
+        // f_L(t) = t/(L+t)·bps: marginal bps·L/((L+t)(L+t−1)), strictly
+        // non-increasing in t for every L.
+        true
     }
 }
 
@@ -348,6 +377,10 @@ impl<R: RateModel> RateModel for ScaledRate<R> {
     fn name(&self) -> &str {
         &self.name
     }
+    fn concave_sharing(&self) -> bool {
+        // A positive multiple preserves the marginal ordering.
+        self.inner.concave_sharing()
+    }
 }
 
 /// Running-minimum wrapper turning any rate model into a non-increasing one.
@@ -391,6 +424,12 @@ impl<R: RateModel> RateModel for MonotoneEnvelope<R> {
     fn name(&self) -> &str {
         &self.name
     }
+    // `concave_sharing` deliberately stays at the default `false`: the
+    // running-minimum transform can break diminishing marginals of a
+    // non-constant concave-sharing inner model, and a false `true` would
+    // route best responses to the greedy heap and silently corrupt them.
+    // (For constant inner models the envelope is the identity — unwrap it
+    // instead if heap eligibility matters.)
 }
 
 #[cfg(test)]

@@ -1,0 +1,408 @@
+//! Sparse strategy storage for the large-N engine.
+//!
+//! The dense [`StrategyMatrix`] stores `|N|·|C|` counts; at `10⁶` users ×
+//! `64` channels that is 256 MB of mostly zeros, because a user with
+//! budget `k_i` occupies at most `k_i` distinct channels (each occupied
+//! channel carries ≥ 1 of its radios). [`SparseStrategies`] stores each
+//! user's row as at most `k_i` `(channel, count)` pairs in one flat CSR
+//! (compressed-sparse-row) arena:
+//!
+//! * per-row slot capacity is fixed at construction (the user's radio
+//!   budget), so replacing a row is an in-place `O(k)` write — no
+//!   reallocation, no pointer chasing, no per-row `Vec` headers;
+//! * total memory is `Θ(Σ_i k_i)`, independent of `|C|` — the ~`|C|/k`
+//!   reduction the ROADMAP's "Large-N memory" item called for;
+//! * [`ChannelLoads`] is built by [`ChannelLoads::of_sparse`] /
+//!   [`SparseStrategies::loads`] in one pass over the occupied entries
+//!   (`O(Σ_i k_i)`), never materializing a dense matrix.
+//!
+//! Dense bridges ([`From`] impls both ways) exist for tests, display and
+//! the small-instance experiment paths; the large-N pipeline
+//! ([`crate::br_fast`], the `t9_scale` bin) works on the sparse form
+//! end-to-end. The `fast_path_equiv` differential suite pins
+//! sparse-vs-dense loads and round-trips across all game variants.
+
+use crate::br_dp::ChannelGame;
+use crate::loads::ChannelLoads;
+use crate::strategy::{StrategyMatrix, StrategyVector};
+use crate::types::{ChannelId, UserId};
+
+/// One occupied cell of a sparse row: `(channel index, radio count)` with
+/// `count ≥ 1`.
+pub type SparseEntry = (u32, u32);
+
+/// All users' strategies in compressed-sparse-row form: row `i` holds at
+/// most `cap_i` `(channel, count)` entries sorted by channel.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct SparseStrategies {
+    n_channels: usize,
+    /// Slot-arena boundaries: row `u` owns `entries[starts[u]..starts[u+1]]`.
+    starts: Vec<u32>,
+    /// Occupied entry count per row (`lens[u] ≤ starts[u+1] − starts[u]`).
+    lens: Vec<u32>,
+    /// The slot arena; only the first `lens[u]` slots of each row are live.
+    entries: Vec<SparseEntry>,
+}
+
+impl SparseStrategies {
+    /// Empty rows with per-user slot capacities `budgets` (a row can later
+    /// hold any strategy of at most `budgets[u]` radios).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `budgets` is empty or `n_channels == 0`.
+    pub fn with_budgets(budgets: &[u32], n_channels: usize) -> Self {
+        assert!(!budgets.is_empty(), "need at least one user");
+        assert!(n_channels > 0, "need at least one channel");
+        let mut starts = Vec::with_capacity(budgets.len() + 1);
+        let mut acc: u32 = 0;
+        starts.push(0);
+        for &k in budgets {
+            acc = acc.checked_add(k).expect("slot arena fits in u32");
+            starts.push(acc);
+        }
+        SparseStrategies {
+            n_channels,
+            starts,
+            lens: vec![0; budgets.len()],
+            entries: vec![(0, 0); acc as usize],
+        }
+    }
+
+    /// Sparse form of a dense matrix, with row capacities taken from the
+    /// game's budgets (so rows can later be replaced by any legal
+    /// strategy, e.g. when dynamics deploy radios an initial matrix left
+    /// idle). Rows that currently exceed the budget keep their own size as
+    /// capacity.
+    pub fn from_matrix<G: ChannelGame + ?Sized>(game: &G, m: &StrategyMatrix) -> Self {
+        let budgets: Vec<u32> = UserId::all(m.n_users())
+            .map(|u| game.radios_of(u).max(m.user_total(u)))
+            .collect();
+        let mut s = SparseStrategies::with_budgets(&budgets, m.n_channels());
+        for u in UserId::all(m.n_users()) {
+            let row: Vec<SparseEntry> = m
+                .row(u)
+                .iter()
+                .enumerate()
+                .filter_map(|(c, &k)| (k > 0).then_some((c as u32, k)))
+                .collect();
+            s.set_row(u, &row);
+        }
+        s
+    }
+
+    /// A uniformly random full deployment: each of the `k` radios of every
+    /// user lands on an independent uniform channel (the sparse analogue
+    /// of [`crate::dynamics::random_start`], built without ever allocating
+    /// a dense matrix).
+    pub fn random_uniform(n_users: usize, k: u32, n_channels: usize, seed: u64) -> Self {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut s = SparseStrategies::with_budgets(&vec![k; n_users], n_channels);
+        let mut scratch: Vec<SparseEntry> = Vec::with_capacity(k as usize);
+        for u in 0..n_users {
+            scratch.clear();
+            for _ in 0..k {
+                let c = rng.gen_range(0..n_channels) as u32;
+                match scratch.iter_mut().find(|(ch, _)| *ch == c) {
+                    Some((_, cnt)) => *cnt += 1,
+                    None => scratch.push((c, 1)),
+                }
+            }
+            scratch.sort_unstable_by_key(|&(c, _)| c);
+            s.set_row(UserId(u), &scratch);
+        }
+        s
+    }
+
+    /// Number of users (rows).
+    #[inline]
+    pub fn n_users(&self) -> usize {
+        self.lens.len()
+    }
+
+    /// Number of channels.
+    #[inline]
+    pub fn n_channels(&self) -> usize {
+        self.n_channels
+    }
+
+    /// Slot capacity of row `user` (the budget it was built with).
+    #[inline]
+    pub fn row_capacity(&self, user: UserId) -> u32 {
+        self.starts[user.0 + 1] - self.starts[user.0]
+    }
+
+    /// The live `(channel, count)` entries of `user`, sorted by channel.
+    #[inline]
+    pub fn row(&self, user: UserId) -> &[SparseEntry] {
+        let start = self.starts[user.0] as usize;
+        &self.entries[start..start + self.lens[user.0] as usize]
+    }
+
+    /// The paper's `k_{i,c}` (`O(log k)` binary search over the row).
+    pub fn get(&self, user: UserId, channel: ChannelId) -> u32 {
+        let row = self.row(user);
+        match row.binary_search_by_key(&(channel.0 as u32), |&(c, _)| c) {
+            Ok(i) => row[i].1,
+            Err(_) => 0,
+        }
+    }
+
+    /// Total radios of `user` in use (`k_i`).
+    pub fn user_total(&self, user: UserId) -> u32 {
+        self.row(user).iter().map(|&(_, k)| k).sum()
+    }
+
+    /// Replace row `user` with `row` in place (`O(k)`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row` is not strictly sorted by channel, contains a zero
+    /// count or an out-of-range channel, or exceeds the row's slot
+    /// capacity.
+    pub fn set_row(&mut self, user: UserId, row: &[SparseEntry]) {
+        assert!(
+            row.len() <= self.row_capacity(user) as usize,
+            "{user}: row has {} entries, capacity is {}",
+            row.len(),
+            self.row_capacity(user)
+        );
+        let mut prev: Option<u32> = None;
+        for &(c, k) in row {
+            assert!(k > 0, "{user}: zero count on channel index {c}");
+            assert!(
+                (c as usize) < self.n_channels,
+                "{user}: channel index {c} out of range (|C| = {})",
+                self.n_channels
+            );
+            assert!(
+                prev.is_none_or(|p| p < c),
+                "{user}: row entries must be strictly sorted by channel"
+            );
+            prev = Some(c);
+        }
+        let start = self.starts[user.0] as usize;
+        self.entries[start..start + row.len()].copy_from_slice(row);
+        self.lens[user.0] = row.len() as u32;
+    }
+
+    /// Channel-load vector in one pass over the occupied entries
+    /// (`O(Σ_i k_i)`) — the dense matrix is never materialized.
+    pub fn loads(&self) -> ChannelLoads {
+        let mut loads = vec![0u32; self.n_channels];
+        for (u, &len) in self.lens.iter().enumerate() {
+            let start = self.starts[u] as usize;
+            for &(c, k) in &self.entries[start..start + len as usize] {
+                loads[c as usize] += k;
+            }
+        }
+        ChannelLoads::from_vec(loads)
+    }
+
+    /// Row `user` as a dense [`StrategyVector`] (for witnesses/display).
+    pub fn user_strategy(&self, user: UserId) -> StrategyVector {
+        let mut counts = vec![0u32; self.n_channels];
+        for &(c, k) in self.row(user) {
+            counts[c as usize] = k;
+        }
+        StrategyVector::from_counts(counts)
+    }
+
+    /// Materialize the dense matrix (small instances / display only —
+    /// allocates `|N|·|C|`; the large-N pipeline never calls this).
+    pub fn to_dense(&self) -> StrategyMatrix {
+        let mut m = StrategyMatrix::zeros(self.n_users(), self.n_channels);
+        for u in UserId::all(self.n_users()) {
+            for &(c, k) in self.row(u) {
+                m.set(u, ChannelId(c as usize), k);
+            }
+        }
+        m
+    }
+
+    /// Actual heap footprint of this structure in bytes — what the
+    /// `t9_scale` bin reports against the `|N|·|C|·4` dense footprint, and
+    /// what the allocation-free acceptance assertion checks.
+    pub fn heap_bytes(&self) -> usize {
+        self.starts.capacity() * std::mem::size_of::<u32>()
+            + self.lens.capacity() * std::mem::size_of::<u32>()
+            + self.entries.capacity() * std::mem::size_of::<SparseEntry>()
+    }
+
+    /// Bytes a dense `|N|×|C|` [`StrategyMatrix`] of the same shape would
+    /// allocate for its count data.
+    pub fn dense_bytes(&self) -> usize {
+        self.n_users() * self.n_channels * std::mem::size_of::<u32>()
+    }
+
+    /// Feature-gated stale-cache assertion, the sparse counterpart of
+    /// [`ChannelLoads::paranoid_check`]: recompute-and-compare in
+    /// `O(Σ_i k_i)`, compiled in only under `paranoid-checks` +
+    /// `debug_assertions`.
+    #[inline]
+    pub fn paranoid_check(&self, loads: &ChannelLoads) {
+        #[cfg(feature = "paranoid-checks")]
+        debug_assert!(self.loads() == *loads, "stale load cache (sparse)");
+        #[cfg(not(feature = "paranoid-checks"))]
+        let _ = loads;
+    }
+}
+
+impl From<&StrategyMatrix> for SparseStrategies {
+    /// Plain bridge with row capacities equal to each row's current radio
+    /// count; use [`SparseStrategies::from_matrix`] when rows must later
+    /// grow up to a game budget.
+    fn from(m: &StrategyMatrix) -> Self {
+        // Zero-capacity rows (fully idle users) are legal: the arena just
+        // gives them an empty slot range (`starts[u] == starts[u+1]`).
+        let budgets: Vec<u32> = UserId::all(m.n_users()).map(|u| m.user_total(u)).collect();
+        let mut s = SparseStrategies::with_budgets(&budgets, m.n_channels());
+        for u in UserId::all(m.n_users()) {
+            let row: Vec<SparseEntry> = m
+                .row(u)
+                .iter()
+                .enumerate()
+                .filter_map(|(c, &k)| (k > 0).then_some((c as u32, k)))
+                .collect();
+            s.set_row(u, &row);
+        }
+        s
+    }
+}
+
+impl From<&SparseStrategies> for StrategyMatrix {
+    fn from(s: &SparseStrategies) -> Self {
+        s.to_dense()
+    }
+}
+
+/// Sorted-unique union of the channels touched by two sparse rows — the
+/// repair set an engine must refresh after a row replacement.
+pub fn touched_channels(old: &[SparseEntry], new: &[SparseEntry]) -> Vec<ChannelId> {
+    let mut out: Vec<u32> = old.iter().chain(new).map(|&(c, _)| c).collect();
+    out.sort_unstable();
+    out.dedup();
+    out.into_iter().map(|c| ChannelId(c as usize)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::GameConfig;
+    use crate::game::ChannelAllocationGame;
+
+    fn figure2() -> StrategyMatrix {
+        StrategyMatrix::from_rows(&[
+            vec![1, 1, 1, 1, 0],
+            vec![1, 0, 1, 0, 1],
+            vec![1, 2, 0, 1, 0],
+            vec![1, 0, 0, 1, 0],
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn dense_round_trip_preserves_matrix() {
+        let m = figure2();
+        let s = SparseStrategies::from(&m);
+        assert_eq!(s.n_users(), 4);
+        assert_eq!(s.n_channels(), 5);
+        assert_eq!(StrategyMatrix::from(&s), m);
+        // Row accessors agree with the dense ones.
+        for u in UserId::all(4) {
+            assert_eq!(s.user_total(u), m.user_total(u));
+            assert_eq!(s.user_strategy(u), m.user_strategy(u));
+            for c in ChannelId::all(5) {
+                assert_eq!(s.get(u, c), m.get(u, c));
+            }
+        }
+    }
+
+    #[test]
+    fn sparse_loads_match_dense_loads() {
+        let m = figure2();
+        let s = SparseStrategies::from(&m);
+        assert_eq!(s.loads(), ChannelLoads::of(&m));
+        assert_eq!(ChannelLoads::of_sparse(&s), ChannelLoads::of(&m));
+    }
+
+    #[test]
+    fn from_matrix_uses_game_budgets_as_capacity() {
+        let g = ChannelAllocationGame::with_constant_rate(GameConfig::new(4, 4, 5).unwrap(), 1.0);
+        let m = figure2();
+        let s = SparseStrategies::from_matrix(&g, &m);
+        // u4 deploys 2 of its 4 radios; the row must still be able to grow.
+        assert_eq!(s.user_total(UserId(3)), 2);
+        assert_eq!(s.row_capacity(UserId(3)), 4);
+        let mut s2 = s.clone();
+        s2.set_row(UserId(3), &[(0, 1), (2, 2), (4, 1)]);
+        assert_eq!(s2.user_total(UserId(3)), 4);
+    }
+
+    #[test]
+    fn set_row_updates_in_place() {
+        let m = figure2();
+        let mut s = SparseStrategies::from(&m);
+        s.set_row(UserId(1), &[(2, 3)]);
+        assert_eq!(s.row(UserId(1)), &[(2, 3)]);
+        assert_eq!(s.get(UserId(1), ChannelId(2)), 3);
+        assert_eq!(s.get(UserId(1), ChannelId(0)), 0);
+        // Other rows untouched.
+        assert_eq!(s.row(UserId(0)), SparseStrategies::from(&m).row(UserId(0)));
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity")]
+    fn set_row_rejects_overflowing_row() {
+        let mut s = SparseStrategies::with_budgets(&[2], 4);
+        s.set_row(UserId(0), &[(0, 1), (1, 1), (2, 1)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "sorted")]
+    fn set_row_rejects_unsorted_row() {
+        let mut s = SparseStrategies::with_budgets(&[3], 4);
+        s.set_row(UserId(0), &[(2, 1), (1, 1)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero count")]
+    fn set_row_rejects_zero_count() {
+        let mut s = SparseStrategies::with_budgets(&[3], 4);
+        s.set_row(UserId(0), &[(1, 0)]);
+    }
+
+    #[test]
+    fn random_uniform_is_deterministic_and_full() {
+        let a = SparseStrategies::random_uniform(50, 3, 8, 11);
+        let b = SparseStrategies::random_uniform(50, 3, 8, 11);
+        assert_eq!(a, b);
+        assert_ne!(a, SparseStrategies::random_uniform(50, 3, 8, 12));
+        for u in UserId::all(50) {
+            assert_eq!(a.user_total(u), 3);
+        }
+        assert_eq!(a.loads().total(), 150);
+    }
+
+    #[test]
+    fn heap_bytes_scales_with_radios_not_channels() {
+        // Same users and radios over 64× more channels: the sparse
+        // footprint must not grow with |C|, the dense one does.
+        let narrow = SparseStrategies::random_uniform(1000, 2, 4, 1);
+        let wide = SparseStrategies::random_uniform(1000, 2, 256, 1);
+        assert_eq!(narrow.heap_bytes(), wide.heap_bytes());
+        assert!(wide.heap_bytes() * 4 < wide.dense_bytes());
+    }
+
+    #[test]
+    fn touched_channels_is_sorted_union() {
+        let old = [(1u32, 2u32), (4, 1)];
+        let new = [(1u32, 1u32), (2, 1), (4, 1)];
+        assert_eq!(
+            touched_channels(&old, &new),
+            vec![ChannelId(1), ChannelId(2), ChannelId(4)]
+        );
+    }
+}

@@ -177,6 +177,15 @@ impl StrategyMatrix {
         self.set(user, c, kc + 1);
     }
 
+    /// Row `i` as a borrowed count slice (no allocation; the sparse
+    /// bridge and hot read paths use this instead of
+    /// [`user_strategy`](Self::user_strategy)'s clone).
+    #[inline]
+    pub fn row(&self, user: UserId) -> &[u32] {
+        let start = user.0 * self.n_channels;
+        &self.data[start..start + self.n_channels]
+    }
+
     /// Row `i` as a [`StrategyVector`] (the paper's `s_i`).
     pub fn user_strategy(&self, user: UserId) -> StrategyVector {
         let start = user.0 * self.n_channels;

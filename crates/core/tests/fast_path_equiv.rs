@@ -1,0 +1,376 @@
+//! Differential harness for the large-N fast paths: on randomized
+//! instances of all three game variants, the heap best response, the
+//! incremental (two-column-repair) DP and the full DP must agree with
+//! each other and with exhaustive enumeration — in utility exactly (to
+//! rounding), in argmax up to exact ties — and the sparse-path
+//! [`ChannelLoads`] must equal the dense-path one. A maintenance
+//! property additionally drives random move sequences through the
+//! incremental repair logic and pins every intermediate state against
+//! freshly-built engines, so the `O(log |C|)` repairs can never drift
+//! from the oracle.
+//!
+//! Runs under the default case count per property; the nightly deep-fuzz
+//! CI job raises `PROPTEST_CASES` ~10x.
+
+use mrca_core::br_dp::{self, ChannelGame};
+use mrca_core::br_fast::{self, BrEngine};
+use mrca_core::enumerate::user_strategy_space;
+use mrca_core::heterogeneous::{HeteroConfig, HeteroGame};
+use mrca_core::multi_rate::MultiRateGame;
+use mrca_core::rate_model::{
+    ConstantRate, ExponentialDecayRate, LinearDecayRate, RateModel, ScaledRate, StepRate,
+};
+use mrca_core::sparse::SparseStrategies;
+use mrca_core::{ChannelId, ChannelLoads, GameConfig, StrategyMatrix, UserId};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+/// The cross-engine invariant harness. `naive_utility` is the concrete
+/// game's independent column-scanning utility, used both as the replay
+/// oracle and for the exhaustive enumeration.
+fn check_fast_paths<G: ChannelGame>(
+    game: &G,
+    naive_utility: &dyn Fn(&StrategyMatrix, UserId) -> f64,
+    m: &StrategyMatrix,
+) -> Result<(), TestCaseError> {
+    let loads = ChannelLoads::of(m);
+    let sp = SparseStrategies::from_matrix(game, m);
+
+    // Sparse-path loads == dense-path loads, and the bridge round-trips.
+    prop_assert_eq!(&ChannelLoads::of_sparse(&sp), &loads, "sparse loads");
+    prop_assert_eq!(&sp.to_dense(), m, "sparse round trip");
+
+    let mut engine = BrEngine::new(game, &loads);
+    let heap_expected = game.payoff_is_separable_monotone() && !game.may_idle_radios();
+    prop_assert_eq!(engine.is_heap(), heap_expected, "engine routing");
+    let dp_cache = br_fast::DpCache::new(game, &loads);
+
+    for u in UserId::all(game.n_users()) {
+        // Oracle: the full DP.
+        let (full_br, full_v) = br_dp::best_response_cached(game, m, &loads, u);
+        // Sparse Eq.-3 reader == dense cached reader, bit-for-bit.
+        prop_assert_eq!(
+            br_fast::utility_sparse(game, &sp, &loads, u).to_bits(),
+            br_dp::utility_cached(game, m, &loads, u).to_bits(),
+            "sparse utility, user {}",
+            u
+        );
+
+        // Incremental DP == full DP, bit-for-bit (same recurrence, same
+        // payoff calls by construction).
+        let (inc_br, inc_v) = dp_cache.best_response(game, sp.row(u), &loads, u);
+        prop_assert_eq!(
+            inc_v.to_bits(),
+            full_v.to_bits(),
+            "DpCache value, user {}",
+            u
+        );
+        let inc_dense: Vec<u32> = {
+            let mut counts = vec![0u32; game.n_channels()];
+            for &(c, k) in &inc_br {
+                counts[c as usize] = k;
+            }
+            counts
+        };
+        prop_assert_eq!(
+            &inc_dense[..],
+            full_br.counts(),
+            "DpCache argmax, user {}",
+            u
+        );
+
+        // Engine best response (heap where eligible): utility equal to
+        // rounding, argmax achieving exactly its claimed value.
+        let (eng_br, eng_v) = engine.best_response(game, sp.row(u), &loads, u);
+        let scale = full_v.abs().max(1.0);
+        prop_assert!(
+            (eng_v - full_v).abs() <= 1e-12 * scale,
+            "engine value {} vs full DP {} (user {})",
+            eng_v,
+            full_v,
+            u
+        );
+        let mut replayed = m.clone();
+        let mut counts = vec![0u32; game.n_channels()];
+        let mut deployed = 0u32;
+        for &(c, k) in &eng_br {
+            counts[c as usize] = k;
+            deployed += k;
+        }
+        if !game.may_idle_radios() {
+            prop_assert_eq!(deployed, game.radios_of(u), "engine must deploy all radios");
+        }
+        replayed.set_user_strategy(u, &mrca_core::StrategyVector::from_counts(counts));
+        let achieved = naive_utility(&replayed, u);
+        prop_assert!(
+            (achieved - eng_v).abs() <= 1e-12 * scale,
+            "engine argmax achieves {} but claims {} (user {})",
+            achieved,
+            eng_v,
+            u
+        );
+
+        // Full DP == exhaustive enumeration of the user's whole space.
+        let mut best = f64::NEG_INFINITY;
+        for cand in user_strategy_space(game.n_channels(), game.radios_of(u)) {
+            let mut alt = m.clone();
+            alt.set_user_strategy(u, &cand);
+            best = best.max(naive_utility(&alt, u));
+        }
+        prop_assert!(
+            (full_v - best).abs() <= 1e-9 * best.abs().max(1.0),
+            "user {}: DP {} vs enumeration {}",
+            u,
+            full_v,
+            best
+        );
+    }
+    Ok(())
+}
+
+/// The incremental-maintenance invariant: drive a random sequence of
+/// row replacements through the `O(log |C|)` / two-column repairs and
+/// pin every intermediate state against freshly-built engines.
+fn check_incremental_maintenance<G: ChannelGame>(
+    game: &G,
+    m: &StrategyMatrix,
+    steps: usize,
+) -> Result<(), TestCaseError> {
+    let mut sp = SparseStrategies::from_matrix(game, m);
+    let mut loads = ChannelLoads::of_sparse(&sp);
+    let mut engine = BrEngine::new(game, &loads);
+    let mut dp_cache = br_fast::DpCache::new(game, &loads);
+    let n = game.n_users();
+    for step in 0..steps {
+        let u = UserId(step % n);
+        // Move the user to its best response, repairing incrementally.
+        let (br, _) = engine.best_response(game, sp.row(u), &loads, u);
+        let old = sp.row(u).to_vec();
+        loads.replace_sparse_row(&old, &br);
+        let touched = mrca_core::sparse::touched_channels(&old, &br);
+        sp.set_row(u, &br);
+        engine.repair(game, &loads, &touched);
+        dp_cache.repair(game, &loads, &touched);
+
+        // Repaired loads == from-scratch loads.
+        prop_assert_eq!(
+            &ChannelLoads::of_sparse(&sp),
+            &loads,
+            "loads after step {}",
+            step
+        );
+
+        // Repaired engines == freshly-built engines for every user.
+        let mut fresh_engine = BrEngine::new(game, &loads);
+        let fresh_dp = br_fast::DpCache::new(game, &loads);
+        for v in UserId::all(n) {
+            let (rb, rv) = engine.best_response(game, sp.row(v), &loads, v);
+            let (fb, fv) = fresh_engine.best_response(game, sp.row(v), &loads, v);
+            prop_assert_eq!(
+                rv.to_bits(),
+                fv.to_bits(),
+                "engine value, step {} user {}",
+                step,
+                v
+            );
+            prop_assert_eq!(&rb, &fb, "engine argmax, step {} user {}", step, v);
+            let (ib, iv) = dp_cache.best_response(game, sp.row(v), &loads, v);
+            let (jb, jv) = fresh_dp.best_response(game, sp.row(v), &loads, v);
+            prop_assert_eq!(
+                iv.to_bits(),
+                jv.to_bits(),
+                "DpCache value, step {} user {}",
+                step,
+                v
+            );
+            prop_assert_eq!(&ib, &jb, "DpCache argmax, step {} user {}", step, v);
+        }
+    }
+    Ok(())
+}
+
+/// Small configurations, biased toward the conflict regime.
+fn config_strategy() -> impl Strategy<Value = GameConfig> {
+    (1usize..=4, 1u32..=3, 1usize..=4).prop_filter_map("k <= |C|", |(n, k, c)| {
+        GameConfig::new(n, k, c.max(k as usize)).ok()
+    })
+}
+
+/// Concave-sharing models (heap-eligible): constants and scaled
+/// constants.
+fn concave_rate_strategy() -> impl Strategy<Value = Arc<dyn RateModel>> {
+    (0usize..3, 0.25f64..8.0).prop_map(|(kind, x)| match kind {
+        0 => Arc::new(ConstantRate::new(1.0)) as Arc<dyn RateModel>,
+        1 => Arc::new(ConstantRate::new(x)),
+        _ => Arc::new(ScaledRate::new(ConstantRate::new(2.0), x)),
+    })
+}
+
+/// Non-concave models (DP-fallback): decaying families.
+fn decaying_rate_strategy() -> impl Strategy<Value = Arc<dyn RateModel>> {
+    (0usize..3, proptest::collection::vec(0.01f64..1.0, 16)).prop_map(|(kind, drops)| match kind {
+        0 => Arc::new(LinearDecayRate::new(10.0, 0.7, 0.5)) as Arc<dyn RateModel>,
+        1 => Arc::new(ExponentialDecayRate::new(8.0, 0.8)),
+        _ => {
+            let mut v = Vec::with_capacity(16);
+            let mut r = 50.0f64;
+            for d in drops {
+                v.push(r);
+                r = (r - d).max(0.5);
+            }
+            Arc::new(StepRate::new("prop", v))
+        }
+    })
+}
+
+/// Either family with equal weight, so every property exercises both
+/// engine routes.
+fn rate_strategy() -> impl Strategy<Value = Arc<dyn RateModel>> {
+    (
+        proptest::bool::ANY,
+        concave_rate_strategy(),
+        decaying_rate_strategy(),
+    )
+        .prop_map(|(concave, c, d)| if concave { c } else { d })
+}
+
+/// A matrix where user `i` deploys up to `budgets[i]` radios on random
+/// channels (under-deployment exercises row growth and the Lemma-1 side).
+fn matrix_for_budgets(
+    budgets: Vec<u32>,
+    n_channels: usize,
+) -> impl Strategy<Value = StrategyMatrix> {
+    let n = budgets.len();
+    let max_k = budgets.iter().copied().max().unwrap_or(1) as usize;
+    proptest::collection::vec(
+        (
+            0usize..=max_k,
+            proptest::collection::vec(0usize..n_channels, max_k),
+        ),
+        n,
+    )
+    .prop_map(move |users| {
+        let mut m = StrategyMatrix::zeros(n, n_channels);
+        for (u, (deployed, places)) in users.iter().enumerate() {
+            let cap = budgets[u] as usize;
+            for ch in places.iter().take((*deployed).min(cap)) {
+                let cur = m.get(UserId(u), ChannelId(*ch));
+                m.set(UserId(u), ChannelId(*ch), cur + 1);
+            }
+        }
+        m
+    })
+}
+
+fn homogeneous_instance(
+) -> impl Strategy<Value = (mrca_core::ChannelAllocationGame, StrategyMatrix)> {
+    (config_strategy(), rate_strategy()).prop_flat_map(|(cfg, rate)| {
+        let game = mrca_core::ChannelAllocationGame::new(cfg, rate);
+        matrix_for_budgets(vec![cfg.radios_per_user(); cfg.n_users()], cfg.n_channels())
+            .prop_map(move |m| (game.clone(), m))
+    })
+}
+
+fn hetero_instance() -> impl Strategy<Value = (HeteroGame, StrategyMatrix)> {
+    (1usize..=4, 1usize..=4, rate_strategy())
+        .prop_flat_map(|(n, c, rate)| {
+            (
+                proptest::collection::vec(1u32..=c as u32, n),
+                Just(c),
+                Just(rate),
+            )
+        })
+        .prop_flat_map(|(budgets, c, rate)| {
+            let game = HeteroGame::new(HeteroConfig::new(budgets.clone(), c).unwrap(), rate);
+            matrix_for_budgets(budgets, c).prop_map(move |m| (game.clone(), m))
+        })
+}
+
+fn multi_rate_instance() -> impl Strategy<Value = (MultiRateGame, StrategyMatrix)> {
+    (
+        config_strategy(),
+        proptest::collection::vec(rate_strategy(), 4),
+        // Half the instances force an all-concave channel set so the
+        // multi-rate heap route is exercised, not just hit by luck.
+        proptest::bool::ANY,
+        proptest::collection::vec(concave_rate_strategy(), 4),
+    )
+        .prop_flat_map(|(cfg, rates, all_concave, concave_rates)| {
+            let pool: Vec<Arc<dyn RateModel>> = if all_concave {
+                concave_rates
+                    .into_iter()
+                    .map(|r| r as Arc<dyn RateModel>)
+                    .collect()
+            } else {
+                rates
+            };
+            let per_channel: Vec<Arc<dyn RateModel>> = (0..cfg.n_channels())
+                .map(|c| Arc::clone(&pool[c % pool.len()]))
+                .collect();
+            let game = MultiRateGame::new(cfg, per_channel).unwrap();
+            matrix_for_budgets(vec![cfg.radios_per_user(); cfg.n_users()], cfg.n_channels())
+                .prop_map(move |m| (game.clone(), m))
+        })
+}
+
+proptest! {
+    /// Homogeneous game: heap == incremental DP == full DP == enumeration.
+    #[test]
+    fn homogeneous_fast_paths_agree(instance in homogeneous_instance()) {
+        let (game, m) = instance;
+        check_fast_paths(&game, &|s, u| game.utility(s, u), &m)?;
+    }
+
+    /// Heterogeneous budgets: all fast paths agree.
+    #[test]
+    fn hetero_fast_paths_agree(instance in hetero_instance()) {
+        let (game, m) = instance;
+        check_fast_paths(&game, &|s, u| game.utility(s, u), &m)?;
+    }
+
+    /// Per-channel rates: all fast paths agree (heap route included when
+    /// every channel is concave-sharing).
+    #[test]
+    fn multi_rate_fast_paths_agree(instance in multi_rate_instance()) {
+        let (game, m) = instance;
+        check_fast_paths(&game, &|s, u| game.utility(s, u), &m)?;
+    }
+
+    /// Incremental repairs never drift from freshly-built engines, on
+    /// either engine route.
+    #[test]
+    fn incremental_repairs_match_fresh_engines(instance in homogeneous_instance()) {
+        let (game, m) = instance;
+        check_incremental_maintenance(&game, &m, 6)?;
+    }
+
+    /// Same maintenance pin for heterogeneous budgets.
+    #[test]
+    fn hetero_incremental_repairs_match_fresh_engines(instance in hetero_instance()) {
+        let (game, m) = instance;
+        check_incremental_maintenance(&game, &m, 6)?;
+    }
+
+    /// On the DP-fallback route the sparse dynamics are bit-identical to
+    /// the dense dynamics — trace, rounds and final state (the engines
+    /// share one recurrence and one payoff sequence by construction).
+    #[test]
+    fn dp_route_dynamics_are_bit_identical(instance in (
+        config_strategy(),
+        decaying_rate_strategy(),
+    )) {
+        let (cfg, rate) = instance;
+        let game = mrca_core::ChannelAllocationGame::new(cfg, rate);
+        prop_assert!(!game.payoff_is_separable_monotone());
+        let start = mrca_core::dynamics::random_start(&game, 7);
+        let (dense, dconv, drounds, dtrace) =
+            br_dp::best_response_dynamics_traced(&game, start.clone(), 100);
+        let sp = SparseStrategies::from_matrix(&game, &start);
+        let (sparse, sconv, srounds, strace) =
+            br_fast::best_response_dynamics_sparse_traced(&game, sp, 100);
+        prop_assert_eq!(dconv, sconv);
+        prop_assert_eq!(drounds, srounds);
+        prop_assert_eq!(&dtrace, &strace);
+        prop_assert_eq!(&sparse.to_dense(), &dense);
+    }
+}

@@ -16,6 +16,7 @@ fn main() {
         "t6_distributed",
         "t7_extensions",
         "t8_suite",
+        "t9_scale",
     ];
     let exe_dir = std::env::current_exe()
         .expect("current exe path")

@@ -13,6 +13,10 @@
 //! | `t3_algorithm` | Algorithm 1 invariants across sweeps |
 //! | `t4_convergence` | Best-response convergence scaling |
 //! | `t5_bianchi` | Bianchi model vs slot-level simulation |
+//! | `t6_distributed` | distributed-protocol activation sweep |
+//! | `t7_extensions` | heterogeneous / multi-rate / energy extensions |
+//! | `t8_suite` | `ScenarioSuite` grid sweep + extended axes (T8b) |
+//! | `t9_scale` | large-N sparse+heap sweep, 10⁵–10⁶ users, streamed CSV |
 //! | `all` | run everything |
 //!
 //! Each binary prints an ASCII table/plot and writes a CSV to `results/`
@@ -33,6 +37,7 @@ pub use suite::{
 };
 
 use std::fs;
+use std::io;
 use std::path::PathBuf;
 
 /// Resolve the shared `results/` directory (workspace root), creating it
@@ -55,9 +60,95 @@ pub fn write_result(name: &str, contents: &str) -> PathBuf {
     path
 }
 
+/// A row-at-a-time CSV writer for sweeps whose result sets should not be
+/// held in memory: each [`row`](StreamingCsv::row) is quoted exactly like
+/// [`table::Table::to_csv`], written through a buffer and flushed, so a
+/// partially-completed (or interrupted) large-N sweep still leaves a
+/// valid, readable prefix on disk. The `t9_scale` bin streams its
+/// 10⁵–10⁶-user grid through this instead of a [`suite::SuiteReport`].
+#[derive(Debug)]
+pub struct StreamingCsv {
+    w: io::BufWriter<fs::File>,
+    n_cols: usize,
+    path: PathBuf,
+}
+
+impl StreamingCsv {
+    /// Create (truncate) `results/<name>` and write the header row.
+    pub fn create(name: &str, headers: &[&str]) -> Self {
+        let path = results_dir().join(name);
+        let file =
+            fs::File::create(&path).unwrap_or_else(|e| panic!("creating {}: {e}", path.display()));
+        let mut s = StreamingCsv {
+            w: io::BufWriter::new(file),
+            n_cols: headers.len(),
+            path,
+        };
+        s.write_line(headers.iter().map(|h| h.to_string()));
+        s
+    }
+
+    /// Append one row (must match the header width) and flush it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the column count differs from the header or the write
+    /// fails.
+    pub fn row(&mut self, cells: &[String]) {
+        assert_eq!(cells.len(), self.n_cols, "row width != header width");
+        self.write_line(cells.iter().cloned());
+    }
+
+    /// The file being written.
+    pub fn path(&self) -> &PathBuf {
+        &self.path
+    }
+
+    fn write_line(&mut self, cells: impl Iterator<Item = String>) {
+        use io::Write as _;
+        let quoted: Vec<String> = cells
+            .map(|c| {
+                if c.contains(',') || c.contains('"') {
+                    format!("\"{}\"", c.replace('"', "\"\""))
+                } else {
+                    c
+                }
+            })
+            .collect();
+        writeln!(self.w, "{}", quoted.join(","))
+            .and_then(|_| self.w.flush())
+            .unwrap_or_else(|e| panic!("writing {}: {e}", self.path.display()));
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn streaming_csv_matches_table_quoting_and_streams_rows() {
+        let mut s = StreamingCsv::create("_selftest_stream.csv", &["instance", "x"]);
+        // Flushed after every row: the prefix is already on disk.
+        s.row(&["N=2,k=2".into(), "1".into()]);
+        let prefix = std::fs::read_to_string(s.path()).unwrap();
+        assert_eq!(prefix, "instance,x\n\"N=2,k=2\",1\n");
+        s.row(&["plain".into(), "2.5".into()]);
+        let full = std::fs::read_to_string(s.path()).unwrap();
+        assert_eq!(full, "instance,x\n\"N=2,k=2\",1\nplain,2.5\n");
+        let _ = std::fs::remove_file(s.path().clone());
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn streaming_csv_rejects_ragged_rows() {
+        let mut s = StreamingCsv::create("_selftest_ragged.csv", &["a", "b"]);
+        let p = s.path().clone();
+        let out = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            s.row(&["only-one".into()]);
+        }));
+        let _ = std::fs::remove_file(p);
+        std::panic::resume_unwind(out.unwrap_err());
+    }
 
     #[test]
     fn results_dir_exists_after_call() {

@@ -28,12 +28,14 @@
 
 use crate::table::Table;
 use mrca_core::algorithm::{algorithm1, Ordering, TieBreak};
-use mrca_core::br_dp::{self, ChannelGame};
+use mrca_core::br_dp::ChannelGame;
+use mrca_core::br_fast;
 use mrca_core::dynamics::{random_start, BestResponseDriver, Schedule};
 use mrca_core::nash::{theorem1, theorem1_cached};
 use mrca_core::rate_model::{
     ConstantRate, ExponentialDecayRate, LinearDecayRate, RateModel, ScaledRate,
 };
+use mrca_core::sparse::SparseStrategies;
 use mrca_core::{
     ChannelAllocationGame, ChannelId, ChannelLoads, GameConfig, StrategyMatrix, UserId,
 };
@@ -594,8 +596,11 @@ impl ScenarioSuite {
 }
 
 /// The standard per-cell pipeline: Algorithm 1 (checked both ways), then
-/// best-response dynamics from a seeded random start — all through the
-/// incremental cached-loads evaluation core.
+/// best-response dynamics from a seeded random start — the dynamics and
+/// the final Nash verdict run on the sparse large-N engine
+/// ([`BestResponseDriver::run_sparse`]: heap for separable-monotone
+/// rates, incremental DP otherwise), so the suite exercises exactly the
+/// code path `t9_scale` scales up.
 fn evaluate_cell(cell: &ScenarioCell, max_rounds: usize) -> CellOutcome {
     let game = cell.game();
     // Decorrelate the three RNG consumers: seeding ordering, start matrix
@@ -609,15 +614,20 @@ fn evaluate_cell(cell: &ScenarioCell, max_rounds: usize) -> CellOutcome {
     let out = BestResponseDriver::new(Schedule::RandomPermutation {
         seed: derive_seed(cell.seed, 2),
     })
-    .run(&game, start, max_rounds);
+    .run_sparse(
+        &game,
+        SparseStrategies::from_matrix(&game, &start),
+        max_rounds,
+    );
+    let end_loads = ChannelLoads::of_sparse(&out.strategies);
     CellOutcome {
         algo1_nash: game.nash_check(&algo1).is_nash(),
         algo1_theorem1: theorem1(&game, &algo1).is_nash(),
         algo1_delta: algo1.max_delta(),
         br_converged: out.converged,
         br_rounds: out.rounds,
-        br_nash: game.nash_check(&out.matrix).is_nash(),
-        br_welfare: game.total_utility(&out.matrix),
+        br_nash: br_fast::nash_check_sparse_cached(&game, &out.strategies, &end_loads).is_nash(),
+        br_welfare: game.total_utility_cached(&end_loads),
         start_welfare,
         cell: cell.clone(),
     }
@@ -754,6 +764,12 @@ impl ChannelGame for AxisGame {
         }
         let total = others_load + slots;
         slots as f64 / total as f64 * self.rates[channel.0].rate(total)
+    }
+
+    fn payoff_is_separable_monotone(&self) -> bool {
+        // Heap-eligible only when every channel's model declares concave
+        // sharing (constant / scaled-constant rates).
+        self.rates.iter().all(|r| r.concave_sharing())
     }
 }
 
@@ -1013,22 +1029,28 @@ pub fn random_budget_start(budgets: &[u32], n_channels: usize, seed: u64) -> Str
     s
 }
 
-/// The extended per-cell pipeline: seeded random start, generic
-/// incremental best-response dynamics, exact Nash check and Theorem-1
+/// The extended per-cell pipeline: seeded random start, sparse-engine
+/// best-response dynamics ([`br_fast`]: heap or incremental DP per the
+/// cell's rate declaration), exact sparse Nash check and Theorem-1
 /// certification — all through the [`ChannelGame`] engine.
 fn evaluate_extended_cell(cell: &ExtendedCell, max_rounds: usize) -> ExtendedOutcome {
     let game = cell.game();
     let start = random_budget_start(game.budgets(), cell.n_channels, derive_seed(cell.seed, 1));
-    let (end, converged, rounds) = br_dp::best_response_dynamics(&game, start, max_rounds);
-    let loads = ChannelLoads::of(&end);
-    let check = br_dp::nash_check_cached(&game, &end, &loads);
-    let thm1_nash = theorem1_cached(&game, &end, &loads).is_nash();
+    let sparse_start = SparseStrategies::from_matrix(&game, &start);
+    let (end, converged, rounds) =
+        br_fast::best_response_dynamics_sparse(&game, sparse_start, max_rounds);
+    let loads = ChannelLoads::of_sparse(&end);
+    let check = br_fast::nash_check_sparse_cached(&game, &end, &loads);
+    // Theorem 1 reads per-user rows structurally; extended cells are
+    // small, so the dense view is cheap here (t9's scale path never
+    // certifies Theorem 1).
+    let thm1_nash = theorem1_cached(&game, &end.to_dense(), &loads).is_nash();
     ExtendedOutcome {
         converged,
         rounds,
         nash: check.is_nash(),
         max_gain: check.max_gain(),
-        delta: end.max_delta(),
+        delta: loads.max_delta(),
         welfare: game.total_utility(&loads),
         thm1_nash,
         cell: cell.clone(),
@@ -1081,6 +1103,7 @@ where
 #[cfg(test)]
 mod tests {
     use super::*;
+    use mrca_core::br_dp;
 
     fn small_grid() -> ScenarioGrid {
         ScenarioGrid {
