@@ -8,13 +8,134 @@
 //! saturation throughput (the paper's "practical CSMA/CA"), the
 //! optimal-window CSMA curve and reservation TDMA — and every cell's
 //! equilibrium/balance/welfare claims are checked exactly.
+//!
+//! ```text
+//! t8_suite [--shard i/m]
+//! ```
+//!
+//! Without `--shard` the full sweep runs in-process and writes the
+//! canonical `t8_suite.{csv,json}` / `t8_extended.{csv,json}`. With
+//! `--shard i/m` only shard `i`'s cells run (ownership by canonical cell
+//! id, stable across processes), streamed resumably to
+//! `t8_suite.shard<i>of<m>.csv` / `t8_extended.shard<i>of<m>.csv`;
+//! recombine the `m` files with `all merge` — the merged output is
+//! byte-identical to the single-process run (CI's `shard-smoke` diffs
+//! it).
 
 use mrca_experiments::{
     write_result, BudgetSpec, ChannelScaleSpec, ExtendedScenarioGrid, ExtendedScenarioSuite,
-    OrderingSpec, RateSpec, ScenarioGrid, ScenarioSuite,
+    OrderingSpec, RateSpec, ScenarioGrid, ScenarioSuite, ShardSpec, SuiteReport,
 };
 
+fn parse_shard() -> Option<ShardSpec> {
+    let mut it = std::env::args().skip(1);
+    let mut shard = None;
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--shard" => {
+                let v = it.next().unwrap_or_else(|| panic!("--shard needs i/m"));
+                shard = Some(ShardSpec::parse(&v).unwrap_or_else(|e| panic!("--shard {v:?}: {e}")));
+            }
+            other => panic!("unknown flag {other} (see the module docs)"),
+        }
+    }
+    shard
+}
+
+/// The T8 reproduction targets, checked from report rows so they hold
+/// identically for freshly-evaluated and resume-recovered cells. `base`
+/// is the index of the `instance` column (1 in shard files, after
+/// `cell_index`).
+fn assert_standard_rows(report: &SuiteReport, base: usize) {
+    let mut bianchi_cells = 0usize;
+    for row in &report.rows {
+        let (ordering, algo1_nash) = (&row[base + 2], &row[base + 4]);
+        let (algo1_delta, br_converged, br_nash) = (&row[base + 6], &row[base + 7], &row[base + 9]);
+        assert!(
+            br_converged == "true" && br_nash == "true",
+            "dynamics must reach a NE: {row:?}"
+        );
+        assert!(
+            algo1_delta.parse::<u32>().expect("delta parses") <= 1,
+            "Algorithm 1 must load-balance: {row:?}"
+        );
+        if ordering == "prefer-unused" {
+            assert!(
+                algo1_nash == "true",
+                "prefer-unused Algorithm 1 must land on a NE: {row:?}"
+            );
+        }
+        if row[base + 1] == "bianchi-dcf" {
+            bianchi_cells += 1;
+        }
+    }
+    // Each shard of the 450-cell grid holds many Bianchi cells with
+    // overwhelming probability; keep the check on the full sweep only so
+    // a hypothetical Bianchi-free shard cannot spuriously fail.
+    if base == 0 {
+        assert!(
+            bianchi_cells > 0,
+            "the sweep must exercise the Bianchi DCF rate model"
+        );
+    }
+    println!(
+        "OK: {} cells checked ({} under Bianchi DCF); all dynamics converged to NE,\n\
+         all Algorithm-1 outputs balanced, prefer-unused always a NE.",
+        report.rows.len(),
+        bianchi_cells
+    );
+}
+
+/// The T8b targets from report rows (`base` as above).
+fn assert_extended_rows(report: &SuiteReport, base: usize) {
+    let mut hetero_cells = 0usize;
+    let mut scaled_cells = 0usize;
+    let mut thm1_divergence = 0usize;
+    for row in &report.rows {
+        let (budget, scales) = (&row[base + 2], &row[base + 3]);
+        let (converged, nash) = (&row[base + 5], &row[base + 7]);
+        let (delta, thm1_nash) = (&row[base + 9], &row[base + 11]);
+        assert!(
+            converged == "true" && nash == "true",
+            "extended dynamics must reach a NE: {row:?}"
+        );
+        let uniform_budget = budget == "uniform";
+        let uniform_scale = scales == "uniform";
+        if !uniform_budget {
+            hetero_cells += 1;
+        }
+        if !uniform_scale {
+            scaled_cells += 1;
+            if thm1_nash != "true" {
+                // Water-filling equilibria fail the count-balance
+                // structural conditions — the divergence T8b exists to
+                // measure.
+                thm1_divergence += 1;
+            }
+        }
+        if uniform_budget && uniform_scale {
+            assert!(
+                delta.parse::<u32>().expect("delta parses") <= 1,
+                "uniform cells reduce to the paper's game: {row:?}"
+            );
+        }
+    }
+    if base == 0 {
+        assert!(hetero_cells > 0 && scaled_cells > 0);
+    }
+    println!(
+        "OK: {} extended cells ({} heterogeneous budgets, {} scaled channel sets);\n\
+         every cell converged to an exact NE; Theorem-1 structural verdict diverged\n\
+         on {} scaled cells (water-filling, as predicted).",
+        report.rows.len(),
+        hetero_cells,
+        scaled_cells,
+        thm1_divergence
+    );
+}
+
 fn main() {
+    let shard = parse_shard();
     println!("== T8: ScenarioSuite parallel sweep (analytic + 802.11 rate models) ==\n");
     let grid = ScenarioGrid {
         n_users: vec![2, 4, 7, 10, 16],
@@ -35,46 +156,22 @@ fn main() {
         orderings: vec![OrderingSpec::PreferUnused, OrderingSpec::Seeded],
     };
     let suite = ScenarioSuite::new("t8_suite", &grid, 2026).with_max_rounds(600);
-    println!("grid: {} cells over 6 rate models", suite.cells.len());
-    let (outcomes, report) = suite.run();
-
-    write_result("t8_suite.csv", &report.to_csv());
-    write_result("t8_suite.json", &report.to_json());
-
-    // Reproduction targets across the whole grid.
-    let mut bianchi_cells = 0usize;
-    for o in &outcomes {
-        assert!(
-            o.br_converged && o.br_nash,
-            "dynamics must reach a NE: {:?}",
-            o.cell
+    if let Some(spec) = shard {
+        println!(
+            "grid: {} cells over 6 rate models — running shard {spec}",
+            suite.cells.len()
         );
-        assert!(
-            o.algo1_delta <= 1,
-            "Algorithm 1 must load-balance: {:?}",
-            o.cell
-        );
-        if o.cell.ordering == OrderingSpec::PreferUnused {
-            assert!(
-                o.algo1_nash,
-                "prefer-unused Algorithm 1 must land on a NE: {:?}",
-                o.cell
-            );
-        }
-        if o.cell.rate == RateSpec::Bianchi {
-            bianchi_cells += 1;
-        }
+        let report = suite.run_sharded(&spec);
+        println!("  [streamed] {}", spec.file_name("t8_suite"));
+        assert_standard_rows(&report, 1);
+    } else {
+        println!("grid: {} cells over 6 rate models", suite.cells.len());
+        let (_, report) = suite.run();
+        write_result("t8_suite.csv", &report.to_csv());
+        write_result("t8_suite.json", &report.to_json());
+        // Reproduction targets across the whole grid.
+        assert_standard_rows(&report, 0);
     }
-    assert!(
-        bianchi_cells > 0,
-        "the sweep must exercise the Bianchi DCF rate model"
-    );
-    println!(
-        "OK: {} cells evaluated ({} under Bianchi DCF); all dynamics converged to NE,\n\
-         all Algorithm-1 outputs balanced, prefer-unused always a NE.",
-        outcomes.len(),
-        bianchi_cells
-    );
 
     // Extended axes: per-user radio budgets × per-channel rate vectors,
     // evaluated through the generic ChannelGame engine (one DP for every
@@ -97,51 +194,35 @@ fn main() {
         ],
     };
     let esuite = ExtendedScenarioSuite::new("t8_extended", &ext, 2026).with_max_rounds(800);
-    println!("extended grid: {} cells", esuite.cells.len());
-    let (eoutcomes, ereport) = esuite.run();
-
-    write_result("t8_extended.csv", &ereport.to_csv());
-    write_result("t8_extended.json", &ereport.to_json());
-
-    let mut hetero_cells = 0usize;
-    let mut scaled_cells = 0usize;
-    let mut thm1_divergence = 0usize;
-    for o in &eoutcomes {
-        assert!(
-            o.converged && o.nash,
-            "extended dynamics must reach a NE: {:?}",
-            o.cell
+    if let Some(spec) = shard {
+        println!(
+            "extended grid: {} cells — running shard {spec}",
+            esuite.cells.len()
         );
-        let uniform_budget = o.cell.budget == BudgetSpec::Uniform;
-        let uniform_scale = o.cell.scale == ChannelScaleSpec::Uniform;
-        if !uniform_budget {
-            hetero_cells += 1;
-        }
-        if !uniform_scale {
-            scaled_cells += 1;
-            if !o.thm1_nash {
-                // Water-filling equilibria fail the count-balance
-                // structural conditions — the divergence T8b exists to
-                // measure.
-                thm1_divergence += 1;
-            }
-        }
-        if uniform_budget && uniform_scale {
-            assert!(
-                o.delta <= 1,
-                "uniform cells reduce to the paper's game: {:?}",
-                o.cell
-            );
-        }
+        let ereport = esuite.run_sharded(&spec);
+        println!("  [streamed] {}", spec.file_name("t8_extended"));
+        assert_extended_rows(&ereport, 1);
+        // Spell out every shard file with its results/ path so the hint
+        // works verbatim from the repo root once all shards have run.
+        let shard_list = |base: &str| {
+            (0..spec.count)
+                .map(|i| format!("results/{}", ShardSpec::new(i, spec.count).file_name(base)))
+                .collect::<Vec<_>>()
+                .join(" ")
+        };
+        println!(
+            "\nshard {spec} done; once all {} shards have run, merge with:\n  \
+             all merge results/t8_suite.csv {}\n  \
+             all merge results/t8_extended.csv {}",
+            spec.count,
+            shard_list("t8_suite"),
+            shard_list("t8_extended")
+        );
+    } else {
+        println!("extended grid: {} cells", esuite.cells.len());
+        let (_, ereport) = esuite.run();
+        write_result("t8_extended.csv", &ereport.to_csv());
+        write_result("t8_extended.json", &ereport.to_json());
+        assert_extended_rows(&ereport, 0);
     }
-    assert!(hetero_cells > 0 && scaled_cells > 0);
-    println!(
-        "OK: {} extended cells ({} heterogeneous budgets, {} scaled channel sets);\n\
-         every cell converged to an exact NE; Theorem-1 structural verdict diverged\n\
-         on {} scaled cells (water-filling, as predicted).",
-        eoutcomes.len(),
-        hetero_cells,
-        scaled_cells,
-        thm1_divergence
-    );
 }

@@ -14,18 +14,27 @@
 //!
 //! ```text
 //! t9_scale [--users N] [--channels C] [--radios K] [--seed S]
-//!          [--rounds R] [--smoke]
+//!          [--rounds R] [--smoke] [--shard i/m]
 //! ```
 //!
 //! `--smoke` runs the single `--users` cell (default 10⁵) under a small
 //! round budget — the CI wall-clock-gated job; without it the bin sweeps
 //! 10⁵ → 10⁶ users and reports the sparse/dense memory ratio at each
-//! size.
+//! size. `--shard i/m` runs only shard `i`'s cells (ownership by
+//! canonical cell id, like `t8_suite`), streamed **resumably** to
+//! `t9_scale.s<seed>r<rounds>.shard<i>of<m>.csv` with a leading
+//! `cell_index` column — the stem encodes the run configuration, since
+//! `--seed`/`--rounds` are invisible in the rows and resuming under
+//! different flags must never mix results. Kill and rerun the same
+//! shard and finished cells are skipped, the final file byte-identical;
+//! recombine shards with `all merge`.
 
 use mrca_core::br_fast::{self, BrEngine};
 use mrca_core::sparse::SparseStrategies;
 use mrca_core::{ChannelAllocationGame, ChannelLoads, GameConfig};
-use mrca_experiments::StreamingCsv;
+use mrca_experiments::shard::{run_sharded_streaming, Parallelism};
+use mrca_experiments::suite::join_label;
+use mrca_experiments::{ShardSpec, StreamingCsv};
 use std::time::Instant;
 
 struct Args {
@@ -35,6 +44,7 @@ struct Args {
     seed: u64,
     rounds: usize,
     smoke: bool,
+    shard: Option<ShardSpec>,
 }
 
 fn parse_args() -> Args {
@@ -45,6 +55,7 @@ fn parse_args() -> Args {
         seed: 2026,
         rounds: 60,
         smoke: false,
+        shard: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -61,10 +72,27 @@ fn parse_args() -> Args {
             "--seed" => args.seed = grab("--seed"),
             "--rounds" => args.rounds = grab("--rounds") as usize,
             "--smoke" => args.smoke = true,
+            "--shard" => {
+                let v = it.next().unwrap_or_else(|| panic!("--shard needs i/m"));
+                args.shard =
+                    Some(ShardSpec::parse(&v).unwrap_or_else(|e| panic!("--shard {v:?}: {e}")));
+            }
             other => panic!("unknown flag {other} (see the module docs)"),
         }
     }
     args
+}
+
+/// Canonical id of one scale cell — the label shard ownership hashes
+/// (content-derived like the suite's `cell_label`, so the partition is
+/// stable if the size list grows).
+fn scale_cell_id(n_users: usize, radios: u32, n_channels: usize) -> String {
+    join_label(&[
+        "t9_scale".to_string(),
+        n_users.to_string(),
+        radios.to_string(),
+        n_channels.to_string(),
+    ])
 }
 
 /// One scale cell, entirely on the sparse path. Returns the CSV row.
@@ -143,28 +171,26 @@ fn run_cell(
     ]
 }
 
+const HEADERS: [&str; 14] = [
+    "n_users",
+    "radios",
+    "n_channels",
+    "engine",
+    "converged",
+    "rounds",
+    "build_ms",
+    "dynamics_ms",
+    "nash_check_ms",
+    "sparse_bytes",
+    "dense_bytes",
+    "mem_ratio",
+    "max_delta",
+    "nash",
+];
+
 fn main() {
     let args = parse_args();
     println!("== T9: large-N sparse+heap scale sweep ==\n");
-    let mut csv = StreamingCsv::create(
-        "t9_scale.csv",
-        &[
-            "n_users",
-            "radios",
-            "n_channels",
-            "engine",
-            "converged",
-            "rounds",
-            "build_ms",
-            "dynamics_ms",
-            "nash_check_ms",
-            "sparse_bytes",
-            "dense_bytes",
-            "mem_ratio",
-            "max_delta",
-            "nash",
-        ],
-    );
     #[allow(unused_mut)]
     let mut sizes: Vec<usize> = if args.smoke {
         vec![args.users]
@@ -181,6 +207,52 @@ fn main() {
         sizes = sizes.into_iter().map(|n| n.min(2_000)).collect();
         sizes.dedup();
     }
+
+    if let Some(spec) = args.shard {
+        // Sharded + resumable through the same engine as the suites
+        // (sequentially: scale cells are huge, and concurrent 10⁶-user
+        // games would distort the memory and timing columns). The file
+        // stem encodes --seed/--rounds — they are invisible in the rows,
+        // so differently-configured runs must land in different files —
+        // while the dimension columns of recovered rows are validated by
+        // the engine's static-prefix check.
+        let base = format!("t9_scale.s{}r{}", args.seed, args.rounds);
+        let headers: Vec<String> = HEADERS.iter().map(|s| s.to_string()).collect();
+        println!(
+            "shard {spec} of the {} scale cells -> {}",
+            sizes.len(),
+            spec.file_name(&base)
+        );
+        let report = run_sharded_streaming(
+            &base,
+            &headers,
+            &sizes,
+            &spec,
+            Parallelism::Sequential,
+            |&n| scale_cell_id(n, args.radios, args.channels),
+            |&n| {
+                vec![
+                    n.to_string(),
+                    args.radios.to_string(),
+                    args.channels.to_string(),
+                ]
+            },
+            |&n| run_cell(n, args.radios, args.channels, args.seed, args.rounds),
+        );
+        println!(
+            "\nOK: shard {spec} ({} cells) converged to exact, balanced equilibria on the sparse path.",
+            report.rows.len()
+        );
+        println!(
+            "  [streamed] {}",
+            mrca_experiments::results_dir()
+                .join(spec.file_name(&base))
+                .display()
+        );
+        return;
+    }
+
+    let mut csv = StreamingCsv::create("t9_scale.csv", &HEADERS);
     for n in sizes {
         let row = run_cell(n, args.radios, args.channels, args.seed, args.rounds);
         csv.row(&row); // streamed: each finished cell is on disk immediately

@@ -27,9 +27,14 @@
 #![warn(missing_debug_implementations)]
 
 pub mod ascii_plot;
+pub mod merge;
+pub mod progress;
+pub mod shard;
 pub mod suite;
 pub mod table;
 
+pub use progress::ProgressMeter;
+pub use shard::ShardSpec;
 pub use suite::{
     AxisGame, BudgetSpec, CellOutcome, ChannelScaleSpec, ExtendedCell, ExtendedOutcome,
     ExtendedScenarioGrid, ExtendedScenarioSuite, OrderingSpec, RateSpec, ScenarioCell,
@@ -88,6 +93,82 @@ impl StreamingCsv {
         s
     }
 
+    /// Reopen `results/<name>` for appending, recovering the rows an
+    /// interrupted sweep already finished — the resume half of the
+    /// streaming contract:
+    ///
+    /// * no file (or one without a single complete record) → behaves
+    ///   exactly like [`create`](StreamingCsv::create), returning no
+    ///   completed rows;
+    /// * otherwise the longest valid prefix is parsed
+    ///   ([`merge::parse_csv_prefix`]: complete, newline-terminated
+    ///   records with balanced quotes and the header's column count), the
+    ///   file is truncated to that prefix (dropping a torn trailing
+    ///   record from a mid-write kill), and the completed data rows are
+    ///   returned so the caller can skip their cells instead of
+    ///   recomputing them.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the existing header row differs from `headers`: the file
+    /// belongs to a different schema, and silently truncating it would
+    /// destroy data. Delete the file (or pick another name) to restart.
+    pub fn resume(name: &str, headers: &[&str]) -> (Self, Vec<Vec<String>>) {
+        let path = results_dir().join(name);
+        let text = match fs::read_to_string(&path) {
+            Ok(t) => t,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => {
+                return (Self::create(name, headers), Vec::new());
+            }
+            Err(e) => panic!("reading {}: {e}", path.display()),
+        };
+        let (mut records, ends) = merge::parse_csv_prefix(&text);
+        if records.is_empty() {
+            // An empty or torn-mid-header file: nothing recoverable.
+            return (Self::create(name, headers), Vec::new());
+        }
+        assert!(
+            records[0]
+                .iter()
+                .map(String::as_str)
+                .eq(headers.iter().copied()),
+            "resuming {}: header {:?} does not match the expected {:?}; \
+             delete the file to restart the sweep under the new schema",
+            path.display(),
+            records[0],
+            headers,
+        );
+        // Keep data rows up to the first width mismatch (a row that parsed
+        // as a complete record but with the wrong arity is corrupt, and so
+        // is everything after it).
+        let mut keep = 1;
+        while keep < records.len() && records[keep].len() == headers.len() {
+            keep += 1;
+        }
+        let valid_bytes = ends[keep - 1] as u64;
+        let f = fs::OpenOptions::new()
+            .write(true)
+            .open(&path)
+            .unwrap_or_else(|e| panic!("reopening {}: {e}", path.display()));
+        f.set_len(valid_bytes)
+            .unwrap_or_else(|e| panic!("truncating {}: {e}", path.display()));
+        drop(f);
+        let file = fs::OpenOptions::new()
+            .append(true)
+            .open(&path)
+            .unwrap_or_else(|e| panic!("appending to {}: {e}", path.display()));
+        records.truncate(keep);
+        let completed: Vec<Vec<String>> = records.drain(1..).collect();
+        (
+            StreamingCsv {
+                w: io::BufWriter::new(file),
+                n_cols: headers.len(),
+                path,
+            },
+            completed,
+        )
+    }
+
     /// Append one row (must match the header width) and flush it.
     ///
     /// # Panics
@@ -106,15 +187,7 @@ impl StreamingCsv {
 
     fn write_line(&mut self, cells: impl Iterator<Item = String>) {
         use io::Write as _;
-        let quoted: Vec<String> = cells
-            .map(|c| {
-                if c.contains(',') || c.contains('"') {
-                    format!("\"{}\"", c.replace('"', "\"\""))
-                } else {
-                    c
-                }
-            })
-            .collect();
+        let quoted: Vec<String> = cells.map(|c| table::csv_quote(&c)).collect();
         writeln!(self.w, "{}", quoted.join(","))
             .and_then(|_| self.w.flush())
             .unwrap_or_else(|e| panic!("writing {}: {e}", self.path.display()));
@@ -136,6 +209,72 @@ mod tests {
         let full = std::fs::read_to_string(s.path()).unwrap();
         assert_eq!(full, "instance,x\n\"N=2,k=2\",1\nplain,2.5\n");
         let _ = std::fs::remove_file(s.path().clone());
+    }
+
+    #[test]
+    fn streaming_csv_quotes_newlines() {
+        // Regression: a cell with an embedded newline must not split the
+        // on-disk row (it used to be written bare, corrupting the prefix).
+        let mut s = StreamingCsv::create("_selftest_stream_nl.csv", &["instance", "x"]);
+        s.row(&["two\nlines".into(), "cr\rcell".into()]);
+        let on_disk = std::fs::read_to_string(s.path()).unwrap();
+        assert_eq!(on_disk, "instance,x\n\"two\nlines\",\"cr\rcell\"\n");
+        // And it parses back as exactly one data record.
+        let rows = merge::parse_csv(&on_disk).unwrap();
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[1], vec!["two\nlines".to_string(), "cr\rcell".into()]);
+        let _ = std::fs::remove_file(s.path().clone());
+    }
+
+    #[test]
+    fn streaming_csv_resume_recovers_prefix_and_drops_torn_tail() {
+        let name = "_selftest_resume.csv";
+        let mut s = StreamingCsv::create(name, &["a", "b"]);
+        s.row(&["1".into(), "x,y".into()]);
+        s.row(&["2".into(), "multi\nline".into()]);
+        let full = std::fs::read_to_string(s.path()).unwrap();
+        let path = s.path().clone();
+        drop(s);
+        // Simulate a mid-write kill: cut inside the second data row (the
+        // quoted multi-line cell), leaving an unbalanced quote.
+        std::fs::write(&path, &full.as_bytes()[..full.len() - 4]).unwrap();
+        let (mut s, completed) = StreamingCsv::resume(name, &["a", "b"]);
+        assert_eq!(completed, vec![vec!["1".to_string(), "x,y".into()]]);
+        // The torn record was truncated away; re-append it and the file
+        // must be byte-identical to the uninterrupted run.
+        s.row(&["2".into(), "multi\nline".into()]);
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), full);
+        // Resuming a finished file appends nothing and returns every row.
+        drop(s);
+        let (s, completed) = StreamingCsv::resume(name, &["a", "b"]);
+        assert_eq!(completed.len(), 2);
+        drop(s);
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), full);
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn streaming_csv_resume_of_missing_file_creates_it() {
+        let name = "_selftest_resume_fresh.csv";
+        let path = results_dir().join(name);
+        let _ = std::fs::remove_file(&path);
+        let (s, completed) = StreamingCsv::resume(name, &["a"]);
+        assert!(completed.is_empty());
+        assert_eq!(std::fs::read_to_string(s.path()).unwrap(), "a\n");
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match the expected")]
+    fn streaming_csv_resume_rejects_header_mismatch() {
+        let name = "_selftest_resume_schema.csv";
+        let path = {
+            let s = StreamingCsv::create(name, &["old", "schema"]);
+            s.path().clone()
+        };
+        let out = std::panic::catch_unwind(|| StreamingCsv::resume(name, &["new", "schema"]));
+        let _ = std::fs::remove_file(path);
+        std::panic::resume_unwind(out.unwrap_err());
     }
 
     #[test]

@@ -1,0 +1,298 @@
+//! Deterministic recombination of shard CSVs into the canonical report.
+//!
+//! A sharded sweep writes one CSV per shard, each row prefixed with the
+//! cell's canonical index (`cell_index`, its position in grid order).
+//! Because every cell derives its seed — and therefore its entire row —
+//! from its own contents, the union of the `m` shard files contains
+//! exactly the rows a single-process run would have produced.
+//! [`merge_files`] checks that invariant (one header, unique indices, no
+//! gaps), sorts by `cell_index`, strips the index column and returns the
+//! canonical-order [`SuiteReport`] — whose CSV/JSON renderings are
+//! byte-identical to the single-process run's (pinned by the
+//! shard-invariance tests and the CI `shard-smoke` diff).
+//!
+//! The module also owns the crate's one CSV parser — the exact inverse of
+//! [`crate::table::csv_quote`] — which the resumable
+//! [`crate::StreamingCsv`] uses to recover the completed prefix of an
+//! interrupted sweep.
+
+use crate::suite::SuiteReport;
+use std::path::Path;
+
+/// Parse the longest valid CSV prefix of `text`: complete records only
+/// (every field's quotes balanced, record terminated by a newline).
+/// Returns the records plus, for each, the byte offset just past its
+/// terminating newline — so a resuming writer can truncate a torn tail
+/// back to the last complete record. Quoting follows
+/// [`crate::table::csv_quote`]: `"`-wrapped fields with `""` escapes may
+/// contain commas, quotes and line breaks; unquoted fields run to the
+/// next `,` or line break.
+pub fn parse_csv_prefix(text: &str) -> (Vec<Vec<String>>, Vec<usize>) {
+    let b = text.as_bytes();
+    let n = b.len();
+    let mut records = Vec::new();
+    let mut ends = Vec::new();
+    let mut i = 0usize;
+    'records: while i < n {
+        let mut record: Vec<String> = Vec::new();
+        loop {
+            // One field.
+            let field = if b.get(i) == Some(&b'"') {
+                i += 1;
+                let mut out = String::new();
+                let mut seg = i; // start of the current unescaped span
+                loop {
+                    match b.get(i) {
+                        // Unterminated quote: the record is torn.
+                        None => break 'records,
+                        Some(&b'"') => {
+                            out.push_str(&text[seg..i]);
+                            if b.get(i + 1) == Some(&b'"') {
+                                out.push('"');
+                                i += 2;
+                                seg = i;
+                            } else {
+                                i += 1;
+                                break;
+                            }
+                        }
+                        Some(_) => i += 1,
+                    }
+                }
+                out
+            } else {
+                let start = i;
+                while i < n && b[i] != b',' && b[i] != b'\n' && b[i] != b'\r' {
+                    i += 1;
+                }
+                text[start..i].to_string()
+            };
+            record.push(field);
+            match b.get(i) {
+                Some(&b',') => i += 1, // next field
+                Some(&b'\n') => {
+                    i += 1;
+                    records.push(record);
+                    ends.push(i);
+                    break;
+                }
+                Some(&b'\r') if b.get(i + 1) == Some(&b'\n') => {
+                    i += 2;
+                    records.push(record);
+                    ends.push(i);
+                    break;
+                }
+                // No terminating newline (torn write), a bare CR outside
+                // quotes, or garbage after a closing quote: the valid
+                // prefix ends at the previous record.
+                None | Some(_) => break 'records,
+            }
+        }
+    }
+    (records, ends)
+}
+
+/// Strict whole-document CSV parse: like [`parse_csv_prefix`] but an
+/// incomplete or malformed tail is an error instead of being dropped.
+pub fn parse_csv(text: &str) -> Result<Vec<Vec<String>>, String> {
+    let (records, ends) = parse_csv_prefix(text);
+    let parsed = ends.last().copied().unwrap_or(0);
+    if parsed != text.len() {
+        return Err(format!(
+            "trailing bytes at offset {parsed} are not a complete CSV record \
+             (torn write or malformed quoting): {:?}…",
+            &text[parsed..text.len().min(parsed + 40)]
+        ));
+    }
+    Ok(records)
+}
+
+/// The leading column sharded sweeps prepend to every row: the cell's
+/// canonical (grid-order) index, which makes shard files self-describing
+/// for [`merge_files`] and resume.
+pub const CELL_INDEX_COLUMN: &str = "cell_index";
+
+/// Merge shard CSVs (each with a leading [`CELL_INDEX_COLUMN`]) into the
+/// canonical-order report with the index column stripped. Errors —
+/// rather than silently producing a wrong table — on: unreadable or
+/// malformed files, missing/misplaced `cell_index` columns, shards with
+/// disagreeing headers, duplicate cell indices (overlapping shard sets)
+/// and gaps in the index range (an incomplete shard set).
+///
+/// A missing *suffix* (every shard truncated past the same global index)
+/// is the one omission this cannot detect from the files alone — the
+/// shard runners guard it by finishing their whole plan before exiting
+/// zero, and the CI `shard-smoke` job diffs the merge against the
+/// single-process golden.
+pub fn merge_files<P: AsRef<Path>>(paths: &[P], name: &str) -> Result<SuiteReport, String> {
+    if paths.is_empty() {
+        return Err("merge needs at least one shard file".into());
+    }
+    let mut headers: Option<Vec<String>> = None;
+    let mut indexed: Vec<(usize, Vec<String>)> = Vec::new();
+    for p in paths {
+        let path = p.as_ref();
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| format!("reading {}: {e}", path.display()))?;
+        let records = parse_csv(&text).map_err(|e| format!("{}: {e}", path.display()))?;
+        let Some((header, rows)) = records.split_first() else {
+            return Err(format!("{}: empty file (no header)", path.display()));
+        };
+        if header.first().map(String::as_str) != Some(CELL_INDEX_COLUMN) {
+            return Err(format!(
+                "{}: first column is {:?}, expected {CELL_INDEX_COLUMN:?} — \
+                 not a shard file (canonical CSVs cannot be re-merged)",
+                path.display(),
+                header.first()
+            ));
+        }
+        match &headers {
+            None => headers = Some(header.clone()),
+            Some(h) if h == header => {}
+            Some(h) => {
+                return Err(format!(
+                    "{}: header {header:?} disagrees with the first shard's {h:?}",
+                    path.display()
+                ));
+            }
+        }
+        for row in rows {
+            if row.len() != header.len() {
+                return Err(format!(
+                    "{}: row width {} != header width {}",
+                    path.display(),
+                    row.len(),
+                    header.len()
+                ));
+            }
+            let idx: usize = row[0]
+                .parse()
+                .map_err(|e| format!("{}: bad cell_index {:?}: {e}", path.display(), row[0]))?;
+            indexed.push((idx, row[1..].to_vec()));
+        }
+    }
+    indexed.sort_by_key(|&(i, _)| i);
+    for window in indexed.windows(2) {
+        if window[0].0 == window[1].0 {
+            return Err(format!(
+                "duplicate cell_index {} — overlapping shard files?",
+                window[0].0
+            ));
+        }
+    }
+    if let Some(&(last, _)) = indexed.last() {
+        if last + 1 != indexed.len() || indexed[0].0 != 0 {
+            let present: std::collections::BTreeSet<usize> =
+                indexed.iter().map(|&(i, _)| i).collect();
+            let missing: Vec<usize> = (0..=last).filter(|i| !present.contains(i)).collect();
+            return Err(format!(
+                "incomplete shard set: {} cell indices missing in 0..={last} \
+                 (first few: {:?})",
+                missing.len(),
+                &missing[..missing.len().min(8)]
+            ));
+        }
+    }
+    let headers = headers.expect("at least one shard parsed");
+    Ok(SuiteReport {
+        headers: headers[1..].to_vec(),
+        rows: indexed.into_iter().map(|(_, row)| row).collect(),
+        name: name.to_string(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::table::csv_quote;
+
+    fn render(rows: &[Vec<&str>]) -> String {
+        rows.iter()
+            .map(|r| r.iter().map(|c| csv_quote(c)).collect::<Vec<_>>().join(",") + "\n")
+            .collect()
+    }
+
+    #[test]
+    fn parse_is_the_inverse_of_quote() {
+        let rows = vec![
+            vec!["instance", "x"],
+            vec!["N=2,k=2", "1"],
+            vec!["multi\nline", "q\"uote"],
+            vec!["cr\rcell", "tail,"],
+            vec!["", "empty-first"],
+        ];
+        let text = render(&rows);
+        let parsed = parse_csv(&text).unwrap();
+        assert_eq!(
+            parsed,
+            rows.iter()
+                .map(|r| r.iter().map(|c| c.to_string()).collect::<Vec<_>>())
+                .collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn prefix_parser_stops_at_torn_records() {
+        let full = "a,b\n\"x,y\",1\n\"torn";
+        let (records, ends) = parse_csv_prefix(full);
+        assert_eq!(records.len(), 2);
+        assert_eq!(*ends.last().unwrap(), "a,b\n\"x,y\",1\n".len());
+        // Missing trailing newline → last record incomplete.
+        let (records, _) = parse_csv_prefix("a,b\n1,2\n3,4");
+        assert_eq!(records.len(), 2);
+        // Garbage after a closing quote ends the valid prefix.
+        let (records, _) = parse_csv_prefix("a\n\"x\"y\n");
+        assert_eq!(records.len(), 1);
+        // CRLF terminators are accepted; a bare CR outside quotes is not.
+        let (records, _) = parse_csv_prefix("a,b\r\n1,2\r\n");
+        assert_eq!(records.len(), 2);
+        let (records, _) = parse_csv_prefix("a,b\n1\r2,3\n");
+        assert_eq!(records.len(), 1);
+        assert!(parse_csv("a\n\"torn").is_err());
+        assert!(parse_csv("a\n1\n").is_ok());
+    }
+
+    fn write_tmp(name: &str, contents: &str) -> std::path::PathBuf {
+        let p = crate::results_dir().join(name);
+        std::fs::write(&p, contents).unwrap();
+        p
+    }
+
+    #[test]
+    fn merge_recombines_sorts_and_strips() {
+        let a = write_tmp(
+            "_selftest_merge_a.csv",
+            "cell_index,instance,x\n0,\"N=2,k=1\",7\n2,c2,9\n",
+        );
+        let b = write_tmp("_selftest_merge_b.csv", "cell_index,instance,x\n1,c1,8\n");
+        let merged = merge_files(&[&a, &b], "merged").unwrap();
+        assert_eq!(merged.headers, vec!["instance", "x"]);
+        assert_eq!(merged.to_csv(), "instance,x\n\"N=2,k=1\",7\nc1,8\nc2,9\n");
+        let _ = std::fs::remove_file(a);
+        let _ = std::fs::remove_file(b);
+    }
+
+    #[test]
+    fn merge_rejects_duplicates_gaps_and_schema_drift() {
+        let a = write_tmp("_selftest_merge_dup_a.csv", "cell_index,x\n0,1\n1,2\n");
+        let dup = write_tmp("_selftest_merge_dup_b.csv", "cell_index,x\n1,2\n");
+        let err = merge_files(&[&a, &dup], "m").unwrap_err();
+        assert!(err.contains("duplicate cell_index 1"), "{err}");
+
+        let gap = write_tmp("_selftest_merge_gap.csv", "cell_index,x\n3,9\n");
+        let err = merge_files(&[&a, &gap], "m").unwrap_err();
+        assert!(err.contains("incomplete shard set"), "{err}");
+
+        let drift = write_tmp("_selftest_merge_drift.csv", "cell_index,y\n2,9\n");
+        let err = merge_files(&[&a, &drift], "m").unwrap_err();
+        assert!(err.contains("disagrees"), "{err}");
+
+        let plain = write_tmp("_selftest_merge_plain.csv", "instance,x\nc0,1\n");
+        let err = merge_files(&[&plain], "m").unwrap_err();
+        assert!(err.contains("not a shard file"), "{err}");
+
+        for p in [a, dup, gap, drift, plain] {
+            let _ = std::fs::remove_file(p);
+        }
+    }
+}

@@ -1,0 +1,157 @@
+//! Suite-level progress and ETA reporting for long sweeps.
+//!
+//! A [`ProgressMeter`] counts finished cells (thread-safe: the sharded
+//! runner's workers finish cells concurrently), accounts per-cell wall
+//! time, and periodically emits
+//!
+//! ```text
+//! [progress] t8_suite.shard0of2.csv: cell 137/400, ETA 42s
+//! ```
+//!
+//! to stderr — stdout stays reserved for the experiment tables, and the
+//! streamed CSVs never see these lines. The ETA extrapolates from the
+//! *observed* completion throughput of this process (cells measured here
+//! divided by elapsed wall time, which transparently accounts for
+//! parallelism), so cells skipped on resume count toward `done/total`
+//! but never distort the estimate.
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// Format one progress line (pure, for tests; the ISSUE-specified shape).
+pub fn progress_line(label: &str, done: usize, total: usize, eta_secs: u64) -> String {
+    format!("[progress] {label}: cell {done}/{total}, ETA {eta_secs}s")
+}
+
+/// Extrapolated seconds remaining given `measured` cells finished in
+/// `elapsed` wall time with `remaining` cells to go (0 when nothing has
+/// been measured yet).
+pub fn eta_secs(elapsed: Duration, measured: usize, remaining: usize) -> u64 {
+    if measured == 0 {
+        return 0;
+    }
+    (elapsed.as_secs_f64() / measured as f64 * remaining as f64).round() as u64
+}
+
+/// Thread-safe progress/ETA reporter for a fixed-size sweep.
+#[derive(Debug)]
+pub struct ProgressMeter {
+    label: String,
+    total: usize,
+    /// Finished cells, including those recovered from a resumed prefix.
+    done: AtomicUsize,
+    /// Cells actually evaluated by this process (the ETA basis).
+    measured: AtomicUsize,
+    /// Aggregate per-cell evaluation time in nanoseconds (across all
+    /// workers, so it can exceed wall time under parallelism).
+    busy_nanos: AtomicU64,
+    started: Instant,
+    last_print: Mutex<Instant>,
+    interval: Duration,
+}
+
+impl ProgressMeter {
+    /// Start a meter over `total` cells, `already_done` of which were
+    /// recovered from an interrupted run (announced once if non-zero).
+    pub fn new(label: impl Into<String>, total: usize, already_done: usize) -> Self {
+        let label = label.into();
+        if already_done > 0 {
+            eprintln!(
+                "[progress] {label}: resuming — {already_done}/{total} cells already on disk"
+            );
+        }
+        let now = Instant::now();
+        ProgressMeter {
+            label,
+            total,
+            done: AtomicUsize::new(already_done),
+            measured: AtomicUsize::new(0),
+            busy_nanos: AtomicU64::new(0),
+            started: now,
+            // First line after ~1 s, then at most one per second: visible
+            // on real sweeps, near-silent in fast tests.
+            last_print: Mutex::new(now),
+            interval: Duration::from_secs(1),
+        }
+    }
+
+    /// Record one finished cell that took `cell_wall` to evaluate,
+    /// emitting a throttled progress line.
+    pub fn cell_done(&self, cell_wall: Duration) {
+        let done = self.done.fetch_add(1, Ordering::Relaxed) + 1;
+        let measured = self.measured.fetch_add(1, Ordering::Relaxed) + 1;
+        self.busy_nanos
+            .fetch_add(cell_wall.as_nanos() as u64, Ordering::Relaxed);
+        let now = Instant::now();
+        let mut last = self.last_print.lock().expect("no panics hold this lock");
+        if done < self.total && now.duration_since(*last) < self.interval {
+            return;
+        }
+        *last = now;
+        drop(last);
+        let eta = eta_secs(self.started.elapsed(), measured, self.total - done);
+        eprintln!("{}", progress_line(&self.label, done, self.total, eta));
+    }
+
+    /// Cells finished so far (recovered + measured).
+    pub fn done(&self) -> usize {
+        self.done.load(Ordering::Relaxed)
+    }
+
+    /// One-line wall-time summary (total wall, aggregate per-cell busy
+    /// time, mean per measured cell).
+    pub fn summary(&self) -> String {
+        let wall = self.started.elapsed();
+        let measured = self.measured.load(Ordering::Relaxed);
+        let busy = Duration::from_nanos(self.busy_nanos.load(Ordering::Relaxed));
+        let mean_ms = if measured == 0 {
+            0.0
+        } else {
+            busy.as_secs_f64() * 1e3 / measured as f64
+        };
+        format!(
+            "{}: {}/{} cells in {:.1}s wall ({} evaluated here, {:.1}s cell-time, {mean_ms:.1} ms/cell mean)",
+            self.label,
+            self.done(),
+            self.total,
+            wall.as_secs_f64(),
+            measured,
+            busy.as_secs_f64(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn line_format_matches_the_spec() {
+        assert_eq!(
+            progress_line("t8_suite.shard0of2.csv", 137, 400, 42),
+            "[progress] t8_suite.shard0of2.csv: cell 137/400, ETA 42s"
+        );
+    }
+
+    #[test]
+    fn eta_extrapolates_from_measured_throughput() {
+        // 10 cells in 5 s → 0.5 s/cell → 20 remaining = 10 s.
+        assert_eq!(eta_secs(Duration::from_secs(5), 10, 20), 10);
+        assert_eq!(eta_secs(Duration::from_secs(5), 0, 20), 0);
+        assert_eq!(eta_secs(Duration::from_secs(5), 10, 0), 0);
+    }
+
+    #[test]
+    fn meter_counts_resumed_and_measured_cells() {
+        let m = ProgressMeter::new("test", 5, 2);
+        assert_eq!(m.done(), 2);
+        m.cell_done(Duration::from_millis(4));
+        m.cell_done(Duration::from_millis(6));
+        assert_eq!(m.done(), 4);
+        let s = m.summary();
+        assert!(s.contains("4/5 cells"), "{s}");
+        assert!(s.contains("2 evaluated here"), "{s}");
+        assert!(s.contains("5.0 ms/cell"), "{s}");
+    }
+}

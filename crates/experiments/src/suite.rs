@@ -133,10 +133,16 @@ impl RateSpec {
             }
             RateSpec::Aloha { p } => Arc::new(FixedAlohaRate::new(1e6, p, max_k)),
             RateSpec::Constant { bps } => Arc::new(ConstantRate::new(bps)),
+            // The table is exactly `max(max_k, 1)` entries — `r1` then
+            // `rest` repeated — like every other table-driven spec. The
+            // old `max_k.max(2) - 1` repeat count produced a 2-entry
+            // table at `max_k == 1`, i.e. a rate defined past the cell's
+            // maximum load instead of the documented length-`max_k`
+            // table (`max_k` is already clamped to ≥ 1 above).
             RateSpec::Cliff { r1, rest } => Arc::new(mrca_core::rate_model::StepRate::new(
                 format!("cliff({r1};{rest})"),
                 std::iter::once(r1)
-                    .chain(std::iter::repeat_n(rest, max_k.max(2) as usize - 1))
+                    .chain(std::iter::repeat_n(rest, max_k as usize - 1))
                     .collect(),
             )),
         }
@@ -213,6 +219,19 @@ impl ScenarioCell {
     pub fn instance(&self) -> String {
         format!("N={},k={},C={}", self.n_users, self.radios, self.n_channels)
     }
+
+    /// Canonical cell id ([`cell_label`]): the content-derived label the
+    /// seed hashes and the shard planner partitions on, so shard
+    /// membership is as stable under grid growth as the seed itself.
+    pub fn canonical_id(&self) -> String {
+        cell_label(
+            self.n_users,
+            self.radios,
+            self.n_channels,
+            &self.rate,
+            self.ordering,
+        )
+    }
 }
 
 /// Declarative `(n, k, |C|, rate, ordering)` grid.
@@ -261,6 +280,44 @@ impl ScenarioGrid {
     }
 }
 
+/// FNV-1a over a label — the one label-hash primitive behind
+/// [`cell_seed`], [`extended_cell_seed`] and shard ownership
+/// ([`crate::shard::ShardSpec::owns`]). Extracted because the copy-pasted
+/// inline versions had started to drift.
+pub fn fnv1a(label: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in label.as_bytes() {
+        h ^= *b as u64;
+        h = h.wrapping_mul(0x0100_0000_01b3);
+    }
+    h
+}
+
+/// Join label components with `|`, escaping `\` and `|` inside each
+/// component (`\\` and `\|`) first. The naive `|`-join aliased: with axis
+/// names containing `|`, `["a|b", "c"]` and `["a", "b|c"]` produced the
+/// same label and therefore the same cell seed. None of the built-in axis
+/// names contain `|` or `\`, so every existing seed is unchanged.
+pub fn join_label<S: AsRef<str>>(parts: &[S]) -> String {
+    parts
+        .iter()
+        .map(|p| p.as_ref().replace('\\', "\\\\").replace('|', "\\|"))
+        .collect::<Vec<_>>()
+        .join("|")
+}
+
+/// Canonical id of a `(n, k, |C|, rate, ordering)` cell — the label both
+/// [`cell_seed`] hashes and the shard planner partitions on.
+pub fn cell_label(n: usize, k: u32, c: usize, rate: &RateSpec, ordering: OrderingSpec) -> String {
+    join_label(&[
+        n.to_string(),
+        k.to_string(),
+        c.to_string(),
+        rate.name(),
+        ordering.name().to_string(),
+    ])
+}
+
 /// Per-cell seed derived from the suite seed and the cell's *contents*
 /// (never its grid position): growing, shrinking or reordering axes
 /// leaves every surviving cell's seed unchanged. Listing the exact same
@@ -276,13 +333,7 @@ pub fn cell_seed(
 ) -> u64 {
     // FNV-1a over the cell's canonical label, then the same SplitMix64
     // finalizer as `derive_seed`.
-    let label = format!("{n}|{k}|{c}|{}|{}", rate.name(), ordering.name());
-    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-    for b in label.as_bytes() {
-        h ^= *b as u64;
-        h = h.wrapping_mul(0x0100_0000_01b3);
-    }
-    derive_seed(suite_seed, h)
+    derive_seed(suite_seed, fnv1a(&cell_label(n, k, c, rate, ordering)))
 }
 
 /// SplitMix64-finalized seed mixer: decorrelated, stable, and independent
@@ -529,12 +580,9 @@ impl ScenarioSuite {
         self
     }
 
-    /// Run the standard pipeline over every cell, in parallel, and return
-    /// the outcomes in grid order.
-    pub fn run(&self) -> (Vec<CellOutcome>, SuiteReport) {
-        let max_rounds = self.max_rounds;
-        let outcomes = parallel_map(&self.cells, |cell| evaluate_cell(cell, max_rounds));
-        let headers: Vec<String> = [
+    /// Column layout of the standard pipeline's report.
+    pub fn standard_headers() -> Vec<String> {
+        [
             "instance",
             "rate",
             "ordering",
@@ -550,32 +598,74 @@ impl ScenarioSuite {
         ]
         .iter()
         .map(|s| s.to_string())
-        .collect();
-        let rows = outcomes
-            .iter()
-            .map(|o| {
-                vec![
-                    o.cell.instance(),
-                    o.cell.rate.name(),
-                    o.cell.ordering.name().to_string(),
-                    o.cell.seed.to_string(),
-                    o.algo1_nash.to_string(),
-                    o.algo1_theorem1.to_string(),
-                    o.algo1_delta.to_string(),
-                    o.br_converged.to_string(),
-                    o.br_rounds.to_string(),
-                    o.br_nash.to_string(),
-                    format!("{:.6e}", o.br_welfare),
-                    format!("{:.6e}", o.start_welfare),
-                ]
-            })
-            .collect();
+        .collect()
+    }
+
+    /// Render one outcome as a report row (the single formatting path
+    /// shared by [`run`](ScenarioSuite::run) and the sharded runner, so a
+    /// merged multi-shard sweep is byte-identical to a single-process
+    /// one).
+    pub fn outcome_row(o: &CellOutcome) -> Vec<String> {
+        vec![
+            o.cell.instance(),
+            o.cell.rate.name(),
+            o.cell.ordering.name().to_string(),
+            o.cell.seed.to_string(),
+            o.algo1_nash.to_string(),
+            o.algo1_theorem1.to_string(),
+            o.algo1_delta.to_string(),
+            o.br_converged.to_string(),
+            o.br_rounds.to_string(),
+            o.br_nash.to_string(),
+            format!("{:.6e}", o.br_welfare),
+            format!("{:.6e}", o.start_welfare),
+        ]
+    }
+
+    /// Run the standard pipeline over every cell, in parallel, and return
+    /// the outcomes in grid order.
+    pub fn run(&self) -> (Vec<CellOutcome>, SuiteReport) {
+        let max_rounds = self.max_rounds;
+        let outcomes = parallel_map(&self.cells, |cell| evaluate_cell(cell, max_rounds));
+        let rows = outcomes.iter().map(Self::outcome_row).collect();
         let report = SuiteReport {
-            headers,
+            headers: Self::standard_headers(),
             rows,
             name: self.name.clone(),
         };
         (outcomes, report)
+    }
+
+    /// Run only this shard's cells (ownership by canonical cell id, so
+    /// the partition is independent of grid order), streaming each
+    /// finished row — prefixed with its canonical `cell_index` — to
+    /// `results/<name>.shard<i>of<m>.csv`, resuming any valid prefix an
+    /// interrupted run left behind and reporting progress/ETA. The
+    /// returned report carries the shard's rows (recovered + computed) in
+    /// canonical order; [`crate::merge::merge_files`] recombines the `m`
+    /// shard files into the canonical single-process report.
+    pub fn run_sharded(&self, shard: &crate::shard::ShardSpec) -> SuiteReport {
+        let max_rounds = self.max_rounds;
+        crate::shard::run_sharded_streaming(
+            &self.name,
+            &Self::standard_headers(),
+            &self.cells,
+            shard,
+            crate::shard::Parallelism::FullCores,
+            |c| c.canonical_id(),
+            // The row columns that are pure functions of the cell —
+            // including the content-derived seed, so resuming over a
+            // file from a different suite seed fails loudly.
+            |c| {
+                vec![
+                    c.instance(),
+                    c.rate.name(),
+                    c.ordering.name().to_string(),
+                    c.seed.to_string(),
+                ]
+            },
+            |c| Self::outcome_row(&evaluate_cell(c, max_rounds)),
+        )
     }
 
     /// Run a custom evaluator over every cell in parallel. `headers`
@@ -826,6 +916,19 @@ impl ExtendedCell {
     pub fn instance(&self) -> String {
         format!("N={},k={},C={}", self.n_users, self.radios, self.n_channels)
     }
+
+    /// Canonical cell id ([`extended_cell_label`]) — see
+    /// [`ScenarioCell::canonical_id`].
+    pub fn canonical_id(&self) -> String {
+        extended_cell_label(
+            self.n_users,
+            self.radios,
+            self.n_channels,
+            &self.rate,
+            &self.budget,
+            &self.scale,
+        )
+    }
 }
 
 /// Declarative grid over `(n, k, |C|, rate) × budgets × channel scales`.
@@ -886,6 +989,26 @@ impl ExtendedScenarioGrid {
     }
 }
 
+/// Canonical id of an extended cell (the [`cell_label`] scheme with the
+/// two extra axes folded in).
+pub fn extended_cell_label(
+    n: usize,
+    k: u32,
+    c: usize,
+    rate: &RateSpec,
+    budget: &BudgetSpec,
+    scale: &ChannelScaleSpec,
+) -> String {
+    join_label(&[
+        n.to_string(),
+        k.to_string(),
+        c.to_string(),
+        rate.name(),
+        budget.name(),
+        scale.name(),
+    ])
+}
+
 /// Content-derived seed for an extended cell (the [`cell_seed`] scheme
 /// with the two new axes folded into the label).
 pub fn extended_cell_seed(
@@ -897,18 +1020,10 @@ pub fn extended_cell_seed(
     budget: &BudgetSpec,
     scale: &ChannelScaleSpec,
 ) -> u64 {
-    let label = format!(
-        "{n}|{k}|{c}|{}|{}|{}",
-        rate.name(),
-        budget.name(),
-        scale.name()
-    );
-    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-    for b in label.as_bytes() {
-        h ^= *b as u64;
-        h = h.wrapping_mul(0x0100_0000_01b3);
-    }
-    derive_seed(suite_seed, h)
+    derive_seed(
+        suite_seed,
+        fnv1a(&extended_cell_label(n, k, c, rate, budget, scale)),
+    )
 }
 
 /// Outcome of the extended per-cell pipeline.
@@ -963,12 +1078,9 @@ impl ExtendedScenarioSuite {
         self
     }
 
-    /// Run the extended pipeline over every cell, in parallel, and return
-    /// the outcomes in grid order.
-    pub fn run(&self) -> (Vec<ExtendedOutcome>, SuiteReport) {
-        let max_rounds = self.max_rounds;
-        let outcomes = parallel_map(&self.cells, |cell| evaluate_extended_cell(cell, max_rounds));
-        let headers: Vec<String> = [
+    /// Column layout of the extended pipeline's report.
+    pub fn extended_headers() -> Vec<String> {
+        [
             "instance",
             "rate",
             "budget",
@@ -984,32 +1096,65 @@ impl ExtendedScenarioSuite {
         ]
         .iter()
         .map(|s| s.to_string())
-        .collect();
-        let rows = outcomes
-            .iter()
-            .map(|o| {
-                vec![
-                    o.cell.instance(),
-                    o.cell.rate.name(),
-                    o.cell.budget.name(),
-                    o.cell.scale.name(),
-                    o.cell.seed.to_string(),
-                    o.converged.to_string(),
-                    o.rounds.to_string(),
-                    o.nash.to_string(),
-                    format!("{:.6e}", o.max_gain),
-                    o.delta.to_string(),
-                    format!("{:.6e}", o.welfare),
-                    o.thm1_nash.to_string(),
-                ]
-            })
-            .collect();
+        .collect()
+    }
+
+    /// Render one extended outcome as a report row (shared by
+    /// [`run`](ExtendedScenarioSuite::run) and the sharded runner).
+    pub fn outcome_row(o: &ExtendedOutcome) -> Vec<String> {
+        vec![
+            o.cell.instance(),
+            o.cell.rate.name(),
+            o.cell.budget.name(),
+            o.cell.scale.name(),
+            o.cell.seed.to_string(),
+            o.converged.to_string(),
+            o.rounds.to_string(),
+            o.nash.to_string(),
+            format!("{:.6e}", o.max_gain),
+            o.delta.to_string(),
+            format!("{:.6e}", o.welfare),
+            o.thm1_nash.to_string(),
+        ]
+    }
+
+    /// Run the extended pipeline over every cell, in parallel, and return
+    /// the outcomes in grid order.
+    pub fn run(&self) -> (Vec<ExtendedOutcome>, SuiteReport) {
+        let max_rounds = self.max_rounds;
+        let outcomes = parallel_map(&self.cells, |cell| evaluate_extended_cell(cell, max_rounds));
+        let rows = outcomes.iter().map(Self::outcome_row).collect();
         let report = SuiteReport {
-            headers,
+            headers: Self::extended_headers(),
             rows,
             name: self.name.clone(),
         };
         (outcomes, report)
+    }
+
+    /// Sharded/resumable/streamed variant of
+    /// [`run`](ExtendedScenarioSuite::run) — see
+    /// [`ScenarioSuite::run_sharded`].
+    pub fn run_sharded(&self, shard: &crate::shard::ShardSpec) -> SuiteReport {
+        let max_rounds = self.max_rounds;
+        crate::shard::run_sharded_streaming(
+            &self.name,
+            &Self::extended_headers(),
+            &self.cells,
+            shard,
+            crate::shard::Parallelism::FullCores,
+            |c| c.canonical_id(),
+            |c| {
+                vec![
+                    c.instance(),
+                    c.rate.name(),
+                    c.budget.name(),
+                    c.scale.name(),
+                    c.seed.to_string(),
+                ]
+            },
+            |c| Self::outcome_row(&evaluate_extended_cell(c, max_rounds)),
+        )
     }
 }
 
@@ -1098,6 +1243,68 @@ where
     indexed.sort_by_key(|&(i, _)| i);
     debug_assert_eq!(indexed.len(), items.len());
     indexed.into_iter().map(|(_, r)| r).collect()
+}
+
+/// [`parallel_map`] with in-order streaming: `sink(i, result)` is called
+/// on the caller's thread, in input order, as soon as every result up to
+/// `i` is available — so a consumer that appends to a file always sees a
+/// canonical-order prefix, while the evaluations themselves still run on
+/// all cores. This is the delivery guarantee the resumable sharded
+/// sweeps rely on: an interrupted run's file is a plan-order prefix by
+/// construction.
+pub fn parallel_map_streamed<T, R, F, S>(items: &[T], f: F, mut sink: S)
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+    S: FnMut(usize, R),
+{
+    if items.is_empty() {
+        return;
+    }
+    let n_threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(items.len());
+    if n_threads <= 1 {
+        for (i, item) in items.iter().enumerate() {
+            sink(i, f(item));
+        }
+        return;
+    }
+    let next = AtomicUsize::new(0);
+    let (tx, rx) = std::sync::mpsc::channel::<(usize, R)>();
+    std::thread::scope(|scope| {
+        for _ in 0..n_threads {
+            let tx = tx.clone();
+            let next = &next;
+            let f = &f;
+            scope.spawn(move || loop {
+                let i = next.fetch_add(1, AtomicOrdering::Relaxed);
+                if i >= items.len() {
+                    break;
+                }
+                // The receiver outlives the workers (it drains exactly
+                // items.len() messages), so send only fails if it
+                // panicked — in which case this worker may die too.
+                if tx.send((i, f(&items[i]))).is_err() {
+                    break;
+                }
+            });
+        }
+        drop(tx);
+        let mut pending: std::collections::BTreeMap<usize, R> = std::collections::BTreeMap::new();
+        let mut want = 0usize;
+        for _ in 0..items.len() {
+            let (i, r) = rx.recv().expect("a sweep worker panicked");
+            pending.insert(i, r);
+            while let Some(r) = pending.remove(&want) {
+                sink(want, r);
+                want += 1;
+            }
+        }
+        debug_assert!(pending.is_empty() && want == items.len());
+    });
 }
 
 #[cfg(test)]
@@ -1343,5 +1550,69 @@ mod tests {
         assert_eq!(out, items.iter().map(|x| x * 2).collect::<Vec<_>>());
         let empty: Vec<usize> = Vec::new();
         assert!(parallel_map(&empty, |&x: &usize| x).is_empty());
+    }
+
+    #[test]
+    fn parallel_map_streamed_sinks_in_input_order() {
+        let items: Vec<usize> = (0..257).collect();
+        let mut seen = Vec::new();
+        parallel_map_streamed(&items, |&x| x * 3, |i, r| seen.push((i, r)));
+        assert_eq!(
+            seen,
+            items.iter().map(|&x| (x, x * 3)).collect::<Vec<_>>(),
+            "sink must observe results in input order"
+        );
+        let mut none = 0;
+        parallel_map_streamed(&Vec::<usize>::new(), |&x| x, |_, _| none += 1);
+        assert_eq!(none, 0);
+    }
+
+    #[test]
+    fn join_label_escapes_the_separator() {
+        // Regression: the naive `|`-join aliased these two component
+        // lists to the same label "a|b|c" — two distinct cells whose
+        // names contain `|` would have collided to one seed.
+        let a = join_label(&["a|b", "c"]);
+        let b = join_label(&["a", "b|c"]);
+        assert_ne!(a, b, "{a:?} vs {b:?}");
+        assert_ne!(fnv1a(&a), fnv1a(&b));
+        // Backslashes are escaped too, so escaping itself cannot alias.
+        assert_ne!(join_label(&["a\\", "b"]), join_label(&["a", "\\b"]));
+        assert_ne!(join_label(&["a\\|b"]), join_label(&["a|b"]));
+        // Pipe-free components (every built-in axis name) are joined
+        // verbatim: existing content-derived seeds are unchanged.
+        assert_eq!(
+            join_label(&["2", "constant", "natural"]),
+            "2|constant|natural"
+        );
+        assert_eq!(
+            cell_label(2, 1, 3, &RateSpec::ConstantUnit, OrderingSpec::Natural),
+            "2|1|3|constant|natural"
+        );
+    }
+
+    #[test]
+    fn cliff_table_has_exactly_max_k_entries() {
+        // Regression: `max_k.max(2) - 1` repeats yielded a 2-entry table
+        // at max_k == 1. The table must hold exactly max(max_k, 1)
+        // entries — r1 then rest — and clamp beyond its length like
+        // every other table-driven spec.
+        let spec = RateSpec::Cliff {
+            r1: 10.0,
+            rest: 2.0,
+        };
+        for max_k in [1u32, 2, 4] {
+            let model = spec.build(max_k);
+            assert_eq!(model.rate(0), 0.0);
+            assert_eq!(model.rate(1), 10.0, "max_k={max_k}");
+            for k in 2..=max_k {
+                assert_eq!(model.rate(k), 2.0, "max_k={max_k}, k={k}");
+            }
+            // Beyond the table the last entry clamps: for max_k == 1
+            // that last entry must be r1 (a 1-entry table), not a
+            // phantom `rest` defined past the cell's maximum load.
+            let expect_clamp = if max_k == 1 { 10.0 } else { 2.0 };
+            assert_eq!(model.rate(max_k + 1), expect_clamp, "max_k={max_k}");
+        }
     }
 }

@@ -1,5 +1,22 @@
 //! Minimal aligned-table and CSV builders for experiment output.
 
+/// Quote one CSV cell: cells containing a comma, a double quote or a
+/// line break (`\n`/`\r`) are wrapped in quotes with `"` doubled —
+/// anything less (the old comma-only rule) lets a cell with an embedded
+/// newline silently split one on-disk row into two, which corrupts both
+/// the streamed prefix of an interrupted sweep and resume parsing. This
+/// is the single quoting rule for every CSV the crate writes
+/// ([`Table::to_csv`], `StreamingCsv`), so streamed and in-memory output
+/// stay byte-identical; [`crate::merge::parse_csv`] is its exact
+/// inverse.
+pub fn csv_quote(cell: &str) -> String {
+    if cell.contains(',') || cell.contains('"') || cell.contains('\n') || cell.contains('\r') {
+        format!("\"{}\"", cell.replace('"', "\"\""))
+    } else {
+        cell.to_string()
+    }
+}
+
 /// Column-aligned text table with a CSV twin.
 #[derive(Debug, Clone)]
 pub struct Table {
@@ -74,27 +91,26 @@ impl Table {
         out
     }
 
-    /// Render as CSV (naive quoting: cells containing commas are quoted).
+    /// Render as CSV ([`csv_quote`] per cell: commas, quotes and line
+    /// breaks are quoted).
     pub fn to_csv(&self) -> String {
-        let quote = |c: &str| {
-            if c.contains(',') || c.contains('"') {
-                format!("\"{}\"", c.replace('"', "\"\""))
-            } else {
-                c.to_string()
-            }
-        };
         let mut out = String::new();
         out.push_str(
             &self
                 .headers
                 .iter()
-                .map(|h| quote(h))
+                .map(|h| csv_quote(h))
                 .collect::<Vec<_>>()
                 .join(","),
         );
         out.push('\n');
         for row in &self.rows {
-            out.push_str(&row.iter().map(|c| quote(c)).collect::<Vec<_>>().join(","));
+            out.push_str(
+                &row.iter()
+                    .map(|c| csv_quote(c))
+                    .collect::<Vec<_>>()
+                    .join(","),
+            );
             out.push('\n');
         }
         out
@@ -134,6 +150,22 @@ mod tests {
         let mut t = Table::new(&["a"]);
         t.row(&cells!["x,y"]);
         assert_eq!(t.to_csv(), "a\n\"x,y\"\n");
+    }
+
+    #[test]
+    fn csv_quotes_newlines_and_carriage_returns() {
+        // The bug this pins: a cell with an embedded newline used to be
+        // written bare, splitting one logical row into two on-disk lines.
+        let mut t = Table::new(&["a", "b"]);
+        t.row(&cells!["x\ny", "plain"]);
+        t.row(&cells!["cr\rcell", "q\"n\nmix"]);
+        assert_eq!(
+            t.to_csv(),
+            "a,b\n\"x\ny\",plain\n\"cr\rcell\",\"q\"\"n\nmix\"\n"
+        );
+        assert_eq!(csv_quote("x\ny"), "\"x\ny\"");
+        assert_eq!(csv_quote("x\ry"), "\"x\ry\"");
+        assert_eq!(csv_quote("plain"), "plain");
     }
 
     #[test]

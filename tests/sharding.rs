@@ -1,0 +1,217 @@
+//! End-to-end contracts of the sweep scale-out layer (ISSUE 4):
+//!
+//! * **shard invariance** — for `m ∈ {2, 4}`, running every shard
+//!   independently and merging the files reproduces the single-process
+//!   run *byte-identically* (CSV and JSON), across randomized suite
+//!   seeds (proptest);
+//! * **resume round-trip** — killing a sweep mid-prefix (simulated by
+//!   truncating the shard file at arbitrary byte offsets, including
+//!   inside a quoted cell and inside the header) and rerunning yields a
+//!   final file byte-identical to an uninterrupted run's.
+//!
+//! Both lean on the same design invariant: every cell derives its seed —
+//! and hence its whole row — from its own canonical label, so rows are
+//! independent of which process computes them and in what order.
+
+use mrca_experiments::{
+    merge, results_dir, BudgetSpec, ChannelScaleSpec, ExtendedScenarioGrid, ExtendedScenarioSuite,
+    OrderingSpec, RateSpec, ScenarioGrid, ScenarioSuite, ShardSpec,
+};
+use proptest::prelude::*;
+use std::path::PathBuf;
+
+/// Per-PR default case count, overridable by the deep-fuzz CI job
+/// (`PROPTEST_CASES`).
+fn cases_from_env(default: u32) -> u32 {
+    std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// A small but non-trivial suite: 2 instances × 2 rates × 2 orderings =
+/// 16 cells max, including the quoted-comma `instance` column and the
+/// Cliff boundary rate. `name` must be unique per test to keep the
+/// shared `results/` dir race-free.
+fn small_suite(name: &str, suite_seed: u64) -> ScenarioSuite {
+    let grid = ScenarioGrid {
+        n_users: vec![2, 4],
+        radios: vec![1, 2],
+        n_channels: vec![3],
+        rates: vec![
+            RateSpec::ConstantUnit,
+            RateSpec::Cliff {
+                r1: 10.0,
+                rest: 2.0,
+            },
+        ],
+        orderings: vec![OrderingSpec::PreferUnused, OrderingSpec::Seeded],
+    };
+    ScenarioSuite::new(name, &grid, suite_seed).with_max_rounds(200)
+}
+
+fn shard_paths(name: &str, m: u32) -> Vec<PathBuf> {
+    (0..m)
+        .map(|i| results_dir().join(ShardSpec::new(i, m).file_name(name)))
+        .collect()
+}
+
+fn cleanup(paths: &[PathBuf]) {
+    for p in paths {
+        let _ = std::fs::remove_file(p);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(cases_from_env(6)))]
+
+    /// Union of `m ∈ {2, 4}` shards, merged, is byte-identical (CSV and
+    /// JSON) to the single-process run — across random suite seeds.
+    #[test]
+    fn merged_shards_reproduce_the_single_process_bytes(suite_seed in 0u64..10_000) {
+        let name = format!("_shardinv_{suite_seed}");
+        let suite = small_suite(&name, suite_seed);
+        let (_, golden) = suite.run();
+        for m in [2u32, 4] {
+            let paths = shard_paths(&name, m);
+            cleanup(&paths); // stale files from a failed earlier case
+            let mut owned_total = 0usize;
+            // Run shards in reverse order: completion order must not
+            // matter.
+            for i in (0..m).rev() {
+                let report = suite.run_sharded(&ShardSpec::new(i, m));
+                owned_total += report.rows.len();
+            }
+            prop_assert_eq!(owned_total, suite.cells.len(), "partition must be total");
+            let merged = merge::merge_files(&paths, &name).unwrap();
+            prop_assert_eq!(merged.to_csv(), golden.to_csv(), "CSV must merge byte-identically (m={})", m);
+            prop_assert_eq!(merged.to_json(), golden.to_json(), "JSON must merge byte-identically (m={})", m);
+            cleanup(&paths);
+        }
+    }
+}
+
+/// Interrupt a shard at arbitrary byte offsets and resume: the final
+/// file must be byte-identical to the uninterrupted run's, and finished
+/// cells must not be recomputed (their rows survive the kill verbatim).
+#[test]
+fn resumed_interrupted_shard_reproduces_uninterrupted_bytes() {
+    let name = "_resume_roundtrip";
+    let suite = small_suite(name, 77);
+    let spec = ShardSpec::full(); // every cell, one resumable file
+    let path = results_dir().join(spec.file_name(name));
+    let _ = std::fs::remove_file(&path);
+    let uninterrupted = suite.run_sharded(&spec);
+    let full_bytes = std::fs::read(&path).unwrap();
+    assert!(full_bytes.len() > 100, "sweep must produce real output");
+
+    // Cut points: inside the header, just after the header, mid-row,
+    // inside the quoted `instance` cell of a later row, and one byte
+    // short of the end.
+    let header_end = full_bytes.iter().position(|&b| b == b'\n').unwrap() + 1;
+    let quote_in_tail = full_bytes
+        .iter()
+        .rposition(|&b| b == b'"')
+        .expect("instance cells are quoted");
+    let cuts = [
+        header_end / 2,
+        header_end,
+        header_end + 7,
+        full_bytes.len() / 2,
+        quote_in_tail, // leaves an unbalanced quote mid-cell
+        full_bytes.len() - 1,
+    ];
+    for cut in cuts {
+        std::fs::write(&path, &full_bytes[..cut]).unwrap();
+        let resumed = suite.run_sharded(&spec);
+        let resumed_bytes = std::fs::read(&path).unwrap();
+        assert_eq!(
+            resumed_bytes, full_bytes,
+            "resume after a cut at byte {cut} must reproduce the file byte-identically"
+        );
+        assert_eq!(
+            resumed.to_csv(),
+            uninterrupted.to_csv(),
+            "resumed report after a cut at byte {cut} must match"
+        );
+    }
+    let _ = std::fs::remove_file(&path);
+}
+
+/// A sharded file also resumes (not just the full 0/1 spec), and the
+/// merge of a resumed shard with its untouched sibling still reproduces
+/// the golden bytes.
+#[test]
+fn resumed_shard_still_merges_byte_identically() {
+    let name = "_resume_merge";
+    let suite = small_suite(name, 123);
+    let (_, golden) = suite.run();
+    let paths = shard_paths(name, 2);
+    cleanup(&paths);
+    let r0 = suite.run_sharded(&ShardSpec::new(0, 2));
+    let _r1 = suite.run_sharded(&ShardSpec::new(1, 2));
+    // Interrupt shard 0 two-thirds through and resume it.
+    let full0 = std::fs::read(&paths[0]).unwrap();
+    std::fs::write(&paths[0], &full0[..full0.len() * 2 / 3]).unwrap();
+    let r0_resumed = suite.run_sharded(&ShardSpec::new(0, 2));
+    assert_eq!(std::fs::read(&paths[0]).unwrap(), full0);
+    assert_eq!(r0_resumed.to_csv(), r0.to_csv());
+    let merged = merge::merge_files(&paths, name).unwrap();
+    assert_eq!(merged.to_csv(), golden.to_csv());
+    assert_eq!(merged.to_json(), golden.to_json());
+    cleanup(&paths);
+}
+
+/// Resuming over a file written under a *different suite seed* must
+/// panic, not silently mix rows: the cells, plan and cell_index
+/// sequence are all seed-independent, so only the static-prefix check
+/// (which includes the content-derived seed column) can tell the two
+/// sweeps apart.
+#[test]
+fn resume_rejects_a_file_from_a_different_suite_seed() {
+    let name = "_resume_wrong_seed";
+    let spec = ShardSpec::full();
+    let path = results_dir().join(spec.file_name(name));
+    let _ = std::fs::remove_file(&path);
+    small_suite(name, 1).run_sharded(&spec);
+    let out = std::panic::catch_unwind(|| small_suite(name, 2).run_sharded(&spec));
+    let msg = *out
+        .expect_err("resuming under a different suite seed must panic")
+        .downcast::<String>()
+        .expect("panic payload is a String");
+    assert!(
+        msg.contains("different suite seed"),
+        "panic must name the cause: {msg}"
+    );
+    let _ = std::fs::remove_file(&path);
+}
+
+/// The extended (budget × scale) suite shares the sharding layer: quick
+/// single-seed invariance check so both `run_sharded` entry points stay
+/// pinned.
+#[test]
+fn extended_suite_shards_merge_byte_identically() {
+    let grid = ExtendedScenarioGrid {
+        n_users: vec![3, 5],
+        radios: vec![2],
+        n_channels: vec![3],
+        rates: vec![RateSpec::ConstantUnit],
+        budgets: vec![BudgetSpec::Uniform, BudgetSpec::Cycle(vec![1, 2])],
+        scales: vec![
+            ChannelScaleSpec::Uniform,
+            ChannelScaleSpec::Cycle(vec![2.0, 1.0]),
+        ],
+    };
+    let name = "_shardinv_ext";
+    let suite = ExtendedScenarioSuite::new(name, &grid, 2026).with_max_rounds(300);
+    let (_, golden) = suite.run();
+    let paths = shard_paths(name, 2);
+    cleanup(&paths);
+    for i in 0..2 {
+        suite.run_sharded(&ShardSpec::new(i, 2));
+    }
+    let merged = merge::merge_files(&paths, name).unwrap();
+    assert_eq!(merged.to_csv(), golden.to_csv());
+    assert_eq!(merged.to_json(), golden.to_json());
+    cleanup(&paths);
+}
