@@ -1,0 +1,246 @@
+//! Bench: the event-driven dynamics tentpole — active-set worklist
+//! convergence versus the reference full sweep on a **near-equilibrium**
+//! 10⁵-user instance.
+//!
+//! The workload is equilibrium maintenance, the regime the active set was
+//! built for: a converged 10⁵-user allocation is perturbed (a handful of
+//! users retune all their radios onto channel 0) and the dynamics must
+//! recover the equilibrium. The sweep pays `rounds × |N|` engine queries
+//! regardless of how few users the perturbation could have tempted; the
+//! worklist pays only for the occupants of the touched channels plus the
+//! threshold-heap wake-ups.
+//!
+//! The perturbed users are picked off **max-load** channels (and off
+//! channel 0), so vacating them never drops a channel below the
+//! equilibrium floor: the recovery's only honest re-activations are the
+//! touched channels' occupants, and the `m* + tol/k` park margin keeps
+//! every exactly-indifferent user asleep — the active set's designed
+//! sweet spot, and precisely the case the sweep cannot exploit.
+//!
+//! The run asserts (not just reports) a ≥ 5× wall-time advantage of the
+//! active-set recovery, mirroring the `br_heap_vs_dp` gate, and records
+//! the measurement as the first trajectory point of
+//! `results/BENCH_dynamics.json` — the dynamics series next to
+//! `BENCH_scale.json`. Before any timing, one controlled recovery is
+//! cross-checked move-for-move against the sweep from the identical
+//! perturbed state, so the bench cannot pass on a wrong fast path.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use mrca_bench::constant_game;
+use mrca_core::br_fast::{sweep_dynamics_traced, ActiveSetDynamics};
+use mrca_core::sparse::{ChannelOccupants, SparseStrategies};
+use mrca_core::{ChannelId, ChannelLoads, UserId};
+use std::time::Instant;
+
+const N_USERS: usize = 100_000;
+const RADIOS: u32 = 2;
+const N_CHANNELS: usize = 512;
+const SEED: u64 = 13;
+/// Users the perturbation retunes onto channel 0 each recovery cycle.
+const N_PERTURBED: usize = 4;
+const MAX_ROUNDS: usize = 200;
+
+fn timed<F: FnMut() -> f64>(mut f: F) -> f64 {
+    // Warm up, then time enough iterations for a stable mean.
+    black_box(f());
+    let start = Instant::now();
+    let mut iters = 0u32;
+    let mut acc = 0.0;
+    while start.elapsed().as_millis() < 400 {
+        acc += f();
+        iters += 1;
+    }
+    black_box(acc);
+    start.elapsed().as_secs_f64() / iters as f64
+}
+
+/// Pick users with one radio per channel, all on max-load channels other
+/// than channel 0: retuning them onto channel 0 and letting them return
+/// only ever moves loads between the equilibrium's two levels, never
+/// below the floor (a stacked row would punch a 2-deep hole on vacating,
+/// genuinely tempting every ceiling-load user), so the recovery is a
+/// pure occupant-wake workload.
+fn pick_perturbed(s: &SparseStrategies) -> Vec<UserId> {
+    let loads = ChannelLoads::of_sparse(s);
+    let occ = ChannelOccupants::of(s);
+    let max = *loads.as_slice().iter().max().expect("channels");
+    let mut out = Vec::new();
+    // Channel-disjoint picks: two picks sharing a channel would vacate it
+    // twice, dropping it two below the ceiling — the same hole a stacked
+    // row would punch. (Recovery landings are sequential lowest-index
+    // fills, so the picks stay disjoint across cycles by themselves.)
+    let mut used = vec![false; s.n_channels()];
+    // Candidates come off the ceiling channels' occupant lists (the
+    // channel→users reverse index), not a full user scan.
+    for c in 1..s.n_channels() {
+        if loads.load(ChannelId(c)) != max || used[c] {
+            continue;
+        }
+        for &u in occ.occupants(ChannelId(c)) {
+            let row = s.row(UserId(u as usize));
+            if row.len() == RADIOS as usize
+                && row.iter().all(|&(ch, t)| {
+                    t == 1
+                        && ch != 0
+                        && !used[ch as usize]
+                        && loads.load(ChannelId(ch as usize)) == max
+                })
+            {
+                for &(ch, _) in row {
+                    used[ch as usize] = true;
+                }
+                out.push(UserId(u as usize));
+                if out.len() == N_PERTURBED {
+                    return out;
+                }
+                break; // one pick per seed channel keeps picks spread out
+            }
+        }
+    }
+    panic!("not enough spread max-load users to perturb");
+}
+
+/// Stack the perturbed users' radios on channel 0 through the worklist
+/// engine (wakes exactly the users the change could tempt).
+fn perturb_active(
+    game: &mrca_core::ChannelAllocationGame,
+    d: &mut ActiveSetDynamics,
+    users: &[UserId],
+) {
+    for &u in users {
+        d.apply_row(game, u, &[(0, RADIOS)]);
+    }
+}
+
+/// The same perturbation applied to a bare state (for the sweep arm).
+fn perturb_state(s: &mut SparseStrategies, users: &[UserId]) {
+    for &u in users {
+        s.set_row(u, &[(0, RADIOS)]);
+    }
+}
+
+fn bench_dynamics_active_vs_sweep(c: &mut Criterion) {
+    let game = constant_game(N_USERS, RADIOS, N_CHANNELS);
+    let start = SparseStrategies::random_uniform(N_USERS, RADIOS, N_CHANNELS, SEED);
+
+    // Converge once; everything below is equilibrium maintenance.
+    let mut active = ActiveSetDynamics::new(&game, start);
+    assert!(active.is_heap(), "constant rates must route to the heap");
+    let (converged, _) = active.run(&game, MAX_ROUNDS, None);
+    assert!(converged, "setup must converge");
+    let perturbed_users = pick_perturbed(active.state());
+
+    // Correctness first: one controlled recovery, cross-checked against
+    // the sweep from the identical perturbed state.
+    {
+        let mut probe = active.clone();
+        perturb_active(&game, &mut probe, &perturbed_users);
+        let perturbed = probe.state().clone();
+        let (swept, sconv, srounds, strace) = sweep_dynamics_traced(&game, perturbed, MAX_ROUNDS);
+        let mut atrace = Vec::new();
+        let (aconv, arounds) = probe.run(&game, MAX_ROUNDS, Some(&mut atrace));
+        assert!(aconv && sconv, "both recoveries must converge");
+        assert_eq!(arounds, srounds, "round counts must agree");
+        assert_eq!(atrace, strace, "move traces must be bit-identical");
+        assert_eq!(probe.state(), &swept, "final states must be identical");
+    }
+
+    // The two arms walk identical state trajectories (deterministic,
+    // trace-pinned dynamics from the same start), so the measured work
+    // per recovery cycle is the same *logical* work.
+    let mut g = c.benchmark_group("dynamics_active_vs_sweep/recovery_n1e5_k2_c512");
+    g.bench_function("active_set_worklist", |b| {
+        b.iter(|| {
+            perturb_active(&game, &mut active, &perturbed_users);
+            let (conv, rounds) = active.run(&game, MAX_ROUNDS, None);
+            assert!(conv);
+            black_box(rounds)
+        })
+    });
+    let mut sweep_state = Some({
+        let mut d = ActiveSetDynamics::new(
+            &game,
+            SparseStrategies::random_uniform(N_USERS, RADIOS, N_CHANNELS, SEED),
+        );
+        let (conv, _) = d.run(&game, MAX_ROUNDS, None);
+        assert!(conv);
+        d.into_state()
+    });
+    g.bench_function("full_sweep", |b| {
+        b.iter(|| {
+            let mut s = sweep_state.take().expect("state round-trips");
+            perturb_state(&mut s, &perturbed_users);
+            let (end, conv, rounds, _) = sweep_dynamics_traced(&game, s, MAX_ROUNDS);
+            assert!(conv);
+            sweep_state = Some(end);
+            black_box(rounds)
+        })
+    });
+    g.finish();
+
+    // Pin the speedup: the whole point of the worklist.
+    let before = active.counters();
+    let mut active_cycles = 0u64;
+    let t_active = timed(|| {
+        perturb_active(&game, &mut active, &perturbed_users);
+        let (conv, rounds) = active.run(&game, MAX_ROUNDS, None);
+        assert!(conv);
+        active_cycles += 1;
+        rounds as f64
+    });
+    let after = active.counters();
+    let mut sweep_rounds_last = 0usize;
+    let t_sweep = timed(|| {
+        let mut s = sweep_state.take().expect("state round-trips");
+        perturb_state(&mut s, &perturbed_users);
+        let (end, conv, rounds, _) = sweep_dynamics_traced(&game, s, MAX_ROUNDS);
+        assert!(conv);
+        sweep_rounds_last = rounds;
+        sweep_state = Some(end);
+        rounds as f64
+    });
+    let speedup = t_sweep / t_active;
+    let checks_per_cycle = (after.checks - before.checks) as f64 / active_cycles.max(1) as f64;
+    let sweep_checks_per_cycle = (sweep_rounds_last * N_USERS) as f64;
+    println!(
+        "active-set vs sweep recovery at ({N_USERS},{RADIOS},{N_CHANNELS}), {N_PERTURBED} \
+         perturbed users: {speedup:.1}x ({:.2} ms vs {:.2} ms per recovery; \
+         {checks_per_cycle:.0} vs {sweep_checks_per_cycle:.0} engine checks)",
+        t_active * 1e3,
+        t_sweep * 1e3,
+    );
+    assert!(
+        speedup >= 5.0,
+        "active-set recovery must be ≥5x faster than the sweep (got {speedup:.2}x)"
+    );
+
+    // First BENCH_dynamics.json trajectory point (hand-rolled JSON: the
+    // offline build has no serde_json). Future PRs append further points.
+    let json = format!(
+        "[\n  {{\"bench\": \"dynamics_active_vs_sweep\", \"n_users\": {N_USERS}, \
+         \"radios\": {RADIOS}, \"n_channels\": {N_CHANNELS}, \"perturbed_users\": {N_PERTURBED}, \
+         \"active_ms_per_recovery\": {:.3}, \"sweep_ms_per_recovery\": {:.3}, \
+         \"speedup\": {:.2}, \"active_checks_per_recovery\": {:.0}, \
+         \"sweep_checks_per_recovery\": {:.0}}}\n]\n",
+        t_active * 1e3,
+        t_sweep * 1e3,
+        speedup,
+        checks_per_cycle,
+        sweep_checks_per_cycle,
+    );
+    let dir = concat!(env!("CARGO_MANIFEST_DIR"), "/../../results");
+    let path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../results/BENCH_dynamics.json"
+    );
+    std::fs::create_dir_all(dir).expect("creating results/");
+    std::fs::write(path, json).expect("writing BENCH_dynamics.json");
+    println!("  [written] {path}");
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_dynamics_active_vs_sweep
+}
+criterion_main!(benches);

@@ -91,6 +91,24 @@ pub trait ChannelGame {
     }
 }
 
+/// The best-response **slack** of a user that did *not* move: with
+/// current utility `before` and best-response value `best`
+/// (`best ≤ before + UTILITY_TOLERANCE`, else the user would have moved),
+/// the slack is how much the best attainable deviation value must still
+/// *rise* — with `before` fixed — before a move clears the improvement
+/// tolerance. This is the quantity the active-set dynamics of
+/// [`crate::br_fast`] record at every no-op check, on both engine routes
+/// (the lazy heap and the incremental DP report the same `best` up to the
+/// pinned tie-breaking): a parked user provably cannot move until the
+/// cumulative payoff-column improvements since its check reach its slack.
+///
+/// Clamped at zero so floating-point noise in `best ≈ before + tol` never
+/// produces a negative threshold.
+#[inline]
+pub fn park_slack(before: f64, best: f64) -> f64 {
+    (before + UTILITY_TOLERANCE - best).max(0.0)
+}
+
 /// Total radios `Σ_i k_i` of a game.
 pub fn total_radios<G: ChannelGame + ?Sized>(game: &G) -> u64 {
     UserId::all(game.n_users())

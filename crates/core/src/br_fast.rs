@@ -29,6 +29,37 @@
 //! `|N|×|C|` matrix is ever materialized, which is what lets the
 //! `t9_scale` experiment sweep 10⁵–10⁶ users.
 //!
+//! # Active-set dynamics (event-driven convergence)
+//!
+//! With the per-query cost near-optimal, the remaining multiplier in a
+//! convergence run was the *sweep*: every round visited all `|N|` users,
+//! paying a utility read plus an engine query per non-mover, even when
+//! provably nothing near them changed. [`ActiveSetDynamics`] replaces the
+//! sweep with an exact dirty-user worklist. After a move it re-activates
+//! only
+//!
+//! * the parked **occupants** of the touched channels (their current
+//!   utility changed — found via the parked-occupant shelf, the
+//!   worklist's removal-free specialization of the
+//!   [`ChannelOccupants`](crate::sparse::ChannelOccupants) channel→users
+//!   reverse index, kept alongside the CSR arena), and
+//! * parked users whose recorded best-response **slack**
+//!   ([`crate::br_dp::park_slack`]) could have been overcome by the
+//!   cumulative payoff-column improvements since their last check —
+//!   tracked by per-channel first-entry-payoff horizons (or, on the
+//!   generic route, a cumulative improvement clock) feeding one
+//!   threshold heap, so re-activation is a heap pop, not a scan.
+//!
+//! Every skipped check is *provably* a no-op (see the safety argument on
+//! [`ActiveSetDynamics`]), and the worklist is processed in epoch order by
+//! ascending user id (or the round's permutation rank), so the move
+//! sequence is **bit-identical** to the reference full sweep
+//! ([`sweep_dynamics_traced`]) — the `convergence_trace` goldens pass
+//! unchanged on this route, and `fast_path_equiv` pins active-set ≡ sweep
+//! on randomized instances of all three game variants. Convergence cost
+//! becomes output-sensitive: proportional to moves and wake-ups, not
+//! `rounds × |N|`.
+//!
 //! # Tie-breaking (pinned)
 //!
 //! Both engines break exact ties toward the **lowest channel index**
@@ -40,12 +71,13 @@
 //! three game variants, and the convergence-trace golden suite pins
 //! identical dynamics traces between the dense and sparse engines.
 
-use crate::br_dp::{self, ChannelGame};
+use crate::br_dp::{self, park_slack, ChannelGame};
 use crate::game::{NashCheck, UTILITY_TOLERANCE};
 use crate::loads::ChannelLoads;
-use crate::sparse::{touched_channels, SparseEntry, SparseStrategies};
+use crate::sparse::{touched_channels_into, SparseEntry, SparseStrategies};
 use crate::strategy::StrategyVector;
 use crate::types::{ChannelId, UserId};
+use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
 /// A heap entry keyed by a marginal payoff; ordered by key, with exact
@@ -530,18 +562,630 @@ fn row_to_vector(row: &[SparseEntry], n_channels: usize) -> StrategyVector {
     StrategyVector::from_counts(counts)
 }
 
-/// Round-robin best-response dynamics on the sparse representation, with
-/// loads and engine repaired incrementally after every move. Semantics
-/// (activation order, improvement tolerance) mirror
+/// Per-run work counters of the active-set dynamics: what was actually
+/// paid versus what a full sweep would have paid.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DynCounters {
+    /// Engine best-response queries (plus the paired utility read) that
+    /// were actually performed.
+    pub checks: u64,
+    /// Strategy switches applied.
+    pub moves: u64,
+    /// Worklist insertions, including the initial all-active epoch.
+    pub activations: u64,
+    /// Checks the equivalent full sweep would have performed that the
+    /// worklist proved unnecessary (`rounds · |N| − checks` for the round
+    /// drivers; counted per skipped probe for the protocol).
+    pub skipped_checks: u64,
+    /// Re-activations delivered through the parked-occupant shelf (the
+    /// per-channel reverse index — see
+    /// [`ChannelOccupants`](crate::sparse::ChannelOccupants) for the
+    /// general form): one count per live entry drained off a
+    /// load-changed channel.
+    pub occupant_wakeups: u64,
+    /// Re-activations popped off the temptation threshold heap.
+    pub temptation_wakeups: u64,
+}
+
+/// A parked user in the temptation threshold heap: wake when the global
+/// clock reaches `threshold = clock_at_park + slack`. Min-heap ordering;
+/// `stamp` invalidates entries from earlier parks of the same user.
+#[derive(Debug, Clone, Copy)]
+struct ParkEntry {
+    threshold: f64,
+    user: u32,
+    stamp: u32,
+}
+
+impl PartialEq for ParkEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.threshold.total_cmp(&other.threshold).is_eq() && self.user == other.user
+    }
+}
+impl Eq for ParkEntry {}
+impl PartialOrd for ParkEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for ParkEntry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Max-heap turned min-heap: the *smallest* threshold pops first.
+        other
+            .threshold
+            .total_cmp(&self.threshold)
+            .then_with(|| other.user.cmp(&self.user))
+    }
+}
+
+/// Exact event-driven best-response dynamics: a dirty-user worklist that
+/// only ever checks users a move could have tempted, while reproducing
+/// the full sweep's move sequence **bit for bit**.
+///
+/// # State discipline
+///
+/// Every user is in exactly one of two states:
+///
+/// * **scheduled** — in the in-flight round's worklist (`in_cur`) or the
+///   next epoch's (`in_pending`); it will be checked.
+/// * **parked** — its last check found no improving deviation, and its
+///   slack ([`park_slack`]) was recorded against the temptation clock.
+///   (A mover is parked too: immediately after its move it sits exactly
+///   at its best response, so its slack is the improvement tolerance.)
+///
+/// # Why skipped checks are provably no-ops
+///
+/// A parked user `u`'s move condition `best − current > tol` can only
+/// become true if the environment changes. Two exhaustive cases:
+///
+/// * `current` (or a *corrected* own-channel payoff column) changes only
+///   when the load of a channel `u` occupies changes — then `u` is a
+///   parked occupant of a touched channel and is woken through the
+///   **parked-occupant shelf**, the worklist's specialization of the
+///   [`ChannelOccupants`](crate::sparse::ChannelOccupants) channel→users reverse index: at park time a
+///   user files one `(user, stamp)` entry under each of its ≤ `k`
+///   channels, and a touch *drains* the channel's shelf, waking the
+///   entries whose stamp is still live. Scheduled occupants need no
+///   wake, so the drain delivers exactly the wake set a full occupant
+///   walk would — but maintenance is `O(k)` per park (append-only, lazy
+///   invalidation) instead of `O(occupancy)` per move, which is what
+///   keeps cold starts at `|N|/|C| ≫ 1` from drowning in walks.
+/// * `best` rises only through *shared* columns of channels `u` does not
+///   occupy. Re-activation for this case is a pop off one threshold
+///   min-heap, with the threshold depending on the engine route:
+///
+///   **Separable-monotone route** (the lazy heap's regime — concave
+///   per-channel marginals, all radios deployed). A best response here is
+///   the greedy top-`k` of the marginal multiset, so an improvement must
+///   route at least one *entering marginal* of a changed channel into the
+///   top `k`, and by concavity entering marginals are bounded by the
+///   channel's **first-entry payoff** `φ_c = f(c, k_c, 1)`. Each such
+///   entry displaces a marginal of the parked best response, all of which
+///   are `≥ m*` (its weakest marginal), so with slack
+///   `g = current + tol − best` the user cannot move unless some channel
+///   *changed since its park* now has `k·(φ_c − m*) > g`. The parked user
+///   is therefore filed at threshold `m* + g/k`, and every load change
+///   pops the parked prefix under the changed channel's current `φ_c`.
+///   At an exact equilibrium the front-line entry payoff equals the
+///   weakest kept marginal bit-for-bit and `g = tol`, so the `tol/k`
+///   margin keeps indifferent users parked — a move that merely restores
+///   balance wakes nobody beyond the occupants, which is what makes
+///   equilibrium maintenance `O(occupants)` instead of `O(|N|)`.
+///
+///   **Generic (DP) route.** No concavity is assumed, so the engine falls
+///   back to a union bound in payoff-delta space: a single column change
+///   shifts any allocation's value by at most
+///   `D_c = max_t (f_new(c,t) − f_old(c,t))⁺`; the global clock
+///   accumulates `T = Σ D_c` over all moves and channels, and a
+///   user parked with slack `g` at clock `T₀` is filed at `T₀ + g` —
+///   correct for arbitrary payoffs, but conservative near equilibria
+///   (where `g ≈ tol`, any improvement anywhere wakes the world; the
+///   route is exact, just less output-sensitive).
+///
+/// Both routes pop with a small relative epsilon so floating-point
+/// rounding can only cause extra (harmless) wake-ups, never a missed
+/// one. Conservative (superset) wake-ups are harmless: a woken no-op
+/// user is checked and re-parked exactly as the sweep would have checked
+/// it, so the trace cannot differ. Ordering preserves the sweep
+/// semantics: the worklist pops by ascending epoch rank, and a wake
+/// caused by a move at rank `r` lands in the current epoch when the
+/// woken rank is `> r` (the sweep would still reach it this round) and
+/// in the next epoch otherwise.
+///
+/// The engine is persistent: after [`run`](Self::run) converges, callers
+/// may [`apply_row`](Self::apply_row) external perturbations and run
+/// again, paying only for the users the perturbation could have tempted —
+/// the equilibrium-maintenance workload the `dynamics_active_vs_sweep`
+/// bench measures.
+#[derive(Debug, Clone)]
+pub struct ActiveSetDynamics {
+    s: SparseStrategies,
+    loads: ChannelLoads,
+    engine: BrEngine,
+    /// Whether the separable-monotone (first-entry-payoff) wake rule
+    /// applies — always equal to the engine routing predicate.
+    concave: bool,
+    /// Parked flag per user; the slack lives in the heap entry.
+    parked: Vec<bool>,
+    /// Park generation per user (stale heap and shelf entries are
+    /// skipped).
+    stamp: Vec<u32>,
+    /// The parked-occupant shelf: per channel, `(user, stamp)` entries
+    /// filed at park time for each of the user's occupied channels.
+    /// Append-only with lazy stamp invalidation; a touch drains it.
+    shelf: Vec<Vec<(u32, u32)>>,
+    /// DP route: global temptation clock `T` — the cumulative sum of
+    /// per-channel column improvements across all moves (monotone).
+    clock: f64,
+    /// Threshold min-heap over parked users (first-entry-payoff or clock
+    /// keyed, per the route).
+    tempt: BinaryHeap<ParkEntry>,
+    /// In-flight round worklist, popped by ascending `(rank, user)`.
+    cur: BinaryHeap<Reverse<(u32, u32)>>,
+    in_cur: Vec<bool>,
+    /// Next-epoch worklist (unordered; ranked at round start).
+    pending: Vec<u32>,
+    in_pending: Vec<bool>,
+    /// Largest radio budget (depth of the `D_c` column maxima).
+    k_max: u32,
+    counters: DynCounters,
+    scratch_old: Vec<SparseEntry>,
+    scratch_touched: Vec<ChannelId>,
+    scratch_old_loads: Vec<u32>,
+}
+
+impl ActiveSetDynamics {
+    /// Build the worklist engine over `s`: loads, [`BrEngine`] and the
+    /// occupant index are constructed, and **every** user starts
+    /// scheduled (the first round is a full epoch, exactly like the
+    /// sweep's first round).
+    pub fn new<G: ChannelGame + ?Sized>(game: &G, s: SparseStrategies) -> Self {
+        let n = s.n_users();
+        let loads = ChannelLoads::of_sparse(&s);
+        let engine = BrEngine::new(game, &loads);
+        let k_max = UserId::all(n).map(|u| game.radios_of(u)).max().unwrap_or(0);
+        let n_channels = s.n_channels();
+        let concave = engine.is_heap();
+        ActiveSetDynamics {
+            s,
+            loads,
+            engine,
+            concave,
+            parked: vec![false; n],
+            stamp: vec![0; n],
+            shelf: vec![Vec::new(); n_channels],
+            clock: 0.0,
+            tempt: BinaryHeap::new(),
+            cur: BinaryHeap::new(),
+            in_cur: vec![false; n],
+            pending: (0..n as u32).collect(),
+            in_pending: vec![true; n],
+            k_max,
+            counters: DynCounters {
+                activations: n as u64,
+                ..DynCounters::default()
+            },
+            scratch_old: Vec::new(),
+            scratch_touched: Vec::new(),
+            scratch_old_loads: Vec::new(),
+        }
+    }
+
+    /// The current strategy state.
+    pub fn state(&self) -> &SparseStrategies {
+        &self.s
+    }
+
+    /// Consume the engine, returning the strategy state.
+    pub fn into_state(self) -> SparseStrategies {
+        self.s
+    }
+
+    /// The maintained load cache.
+    pub fn loads(&self) -> &ChannelLoads {
+        &self.loads
+    }
+
+    /// Whether the underlying best-response engine is the lazy heap.
+    pub fn is_heap(&self) -> bool {
+        self.engine.is_heap()
+    }
+
+    /// Work counters accumulated so far.
+    pub fn counters(&self) -> DynCounters {
+        self.counters
+    }
+
+    /// Whether `user` is parked (provably unable to move until woken).
+    pub fn is_settled(&self, user: UserId) -> bool {
+        self.parked[user.0]
+    }
+
+    /// Record one check the caller proved unnecessary (the protocol's
+    /// settled-skip accounting).
+    pub(crate) fn note_skipped_check(&mut self) {
+        self.counters.skipped_checks += 1;
+    }
+
+    /// Run round-robin rounds until a fixed point or `max_rounds`;
+    /// returns `(converged, rounds)` with the sweep's exact round
+    /// accounting (the converging round is the final, move-free one).
+    pub fn run<G: ChannelGame + ?Sized>(
+        &mut self,
+        game: &G,
+        max_rounds: usize,
+        mut trace: Option<&mut Vec<(UserId, StrategyVector)>>,
+    ) -> (bool, usize) {
+        for round in 1..=max_rounds {
+            if !self.round(game, None, trace.as_deref_mut()) {
+                return (true, round);
+            }
+        }
+        (false, max_rounds)
+    }
+
+    /// Process one epoch of the worklist in rank order and return whether
+    /// any user moved. `perm` maps user → rank for this round (`None` =
+    /// ascending user id, the round-robin schedule); the rank function
+    /// must match what a sweep with the same schedule would use, or the
+    /// trace guarantee is void.
+    pub fn round<G: ChannelGame + ?Sized>(
+        &mut self,
+        game: &G,
+        perm: Option<&[u32]>,
+        mut trace: Option<&mut Vec<(UserId, StrategyVector)>>,
+    ) -> bool {
+        let n = self.s.n_users();
+        debug_assert!(perm.is_none_or(|p| p.len() == n), "rank table shape");
+        debug_assert!(self.cur.is_empty(), "previous round fully drained");
+        // Promote the pending epoch into the ranked worklist.
+        for i in 0..self.pending.len() {
+            let v = self.pending[i];
+            if !self.in_pending[v as usize] {
+                continue; // lazily unscheduled (e.g. parked by a probe)
+            }
+            self.in_pending[v as usize] = false;
+            self.in_cur[v as usize] = true;
+            let rank = perm.map_or(v, |p| p[v as usize]);
+            self.cur.push(Reverse((rank, v)));
+        }
+        self.pending.clear();
+
+        let mut moved = false;
+        let mut checks = 0u64;
+        while let Some(Reverse((rank_u, u))) = self.cur.pop() {
+            self.in_cur[u as usize] = false;
+            let user = UserId(u as usize);
+            checks += 1;
+            let before = utility_sparse(game, &self.s, &self.loads, user);
+            let (br, after) = self
+                .engine
+                .best_response(game, self.s.row(user), &self.loads, user);
+            if after > before + UTILITY_TOLERANCE {
+                self.apply_row_inner(game, user, &br, Some((rank_u, perm)));
+                // The mover now sits exactly at its best response, so its
+                // slack is the bare improvement tolerance.
+                self.park_user(game, u, &br, UTILITY_TOLERANCE);
+                if let Some(t) = trace.as_deref_mut() {
+                    t.push((user, row_to_vector(&br, self.s.n_channels())));
+                }
+                self.counters.moves += 1;
+                moved = true;
+            } else {
+                self.park_user(game, u, &br, park_slack(before, after));
+            }
+        }
+        self.counters.checks += checks;
+        self.counters.skipped_checks += n as u64 - checks;
+        moved
+    }
+
+    /// Best response of `user` against the *current* state without
+    /// applying it: returns `Some(row)` when the user can improve, else
+    /// parks the user and returns `None`. This is the protocol's probe —
+    /// state (loads, engine) is untouched either way.
+    pub fn probe<G: ChannelGame + ?Sized>(
+        &mut self,
+        game: &G,
+        user: UserId,
+    ) -> Option<Vec<SparseEntry>> {
+        debug_assert!(!self.in_cur[user.0], "probe outside a running round");
+        self.counters.checks += 1;
+        let before = utility_sparse(game, &self.s, &self.loads, user);
+        let (br, after) = self
+            .engine
+            .best_response(game, self.s.row(user), &self.loads, user);
+        if after > before + UTILITY_TOLERANCE {
+            Some(br)
+        } else {
+            // Unschedule (lazily) and park with the recorded slack.
+            self.in_pending[user.0] = false;
+            self.park_user(game, user.0 as u32, &br, park_slack(before, after));
+            None
+        }
+    }
+
+    /// Apply an external row change (a protocol retune, a perturbation)
+    /// through the full wake machinery, and schedule the changed user
+    /// itself for re-checking — unlike an internal move, the new row need
+    /// not be a best response against the current loads.
+    pub fn apply_row<G: ChannelGame + ?Sized>(
+        &mut self,
+        game: &G,
+        user: UserId,
+        new_row: &[SparseEntry],
+    ) {
+        self.apply_row_inner(game, user, new_row, None);
+        self.wake(user.0 as u32, None);
+    }
+
+    /// Replace `user`'s row, maintaining loads, occupant index and
+    /// engine, then wake every user the change could have tempted.
+    /// `route`: `Some((rank, perm))` while a round is in flight (wakes
+    /// ranked above `rank` join the current epoch), `None` otherwise
+    /// (all wakes go to the pending epoch).
+    fn apply_row_inner<G: ChannelGame + ?Sized>(
+        &mut self,
+        game: &G,
+        user: UserId,
+        new_row: &[SparseEntry],
+        route: Option<(u32, Option<&[u32]>)>,
+    ) {
+        let mut old = std::mem::take(&mut self.scratch_old);
+        old.clear();
+        old.extend_from_slice(self.s.row(user));
+        let mut touched = std::mem::take(&mut self.scratch_touched);
+        touched_channels_into(&old, new_row, &mut touched);
+        let mut old_loads = std::mem::take(&mut self.scratch_old_loads);
+        old_loads.clear();
+        old_loads.extend(touched.iter().map(|&c| self.loads.load(c)));
+
+        self.loads.replace_sparse_row(&old, new_row);
+        self.s.set_row(user, new_row);
+        self.engine.repair(game, &self.loads, &touched);
+
+        let mut horizon = f64::NEG_INFINITY;
+        let clock_before = self.clock;
+        for (i, &c) in touched.iter().enumerate() {
+            let new_l = self.loads.load(c);
+            if new_l == old_loads[i] {
+                continue; // kept channel with an unchanged count
+            }
+            // (i) Parked occupants: their current utility (or a
+            // corrected own column) changed — drain the channel's shelf
+            // and wake every still-live entry. (A parked user's row
+            // cannot have changed since it filed the entry, so a live
+            // stamp implies it still occupies the channel.)
+            let mut entries = std::mem::take(&mut self.shelf[c.0]);
+            for &(v, st) in &entries {
+                if self.parked[v as usize] && self.stamp[v as usize] == st {
+                    self.counters.occupant_wakeups += 1;
+                    self.wake(v, route);
+                }
+            }
+            entries.clear();
+            // Hand the allocation back so re-parks reuse it.
+            self.shelf[c.0] = entries;
+            // (ii) Everyone else, per route: a changed channel can tempt
+            // a non-occupant only up to its *current* first-entry payoff
+            // (concave route), or up to the clock's cumulative column
+            // improvement (generic route).
+            if self.concave {
+                let phi = game.channel_payoff(c, new_l, 1);
+                if phi > horizon {
+                    horizon = phi;
+                }
+            } else {
+                self.advance_clock(game, c, old_loads[i], new_l);
+            }
+        }
+        // Pops run only when something actually improved — a no-op
+        // apply (all counts kept) must not touch the heap at all (an
+        // unguarded `NEG_INFINITY + ∞·ε` horizon would be NaN and drain
+        // it). The epsilons are relative and sit well under the `tol/k`
+        // park margin, so rounding can only add harmless wakes, and
+        // exact-equilibrium indifference (φ == m* bit-for-bit) never
+        // pops.
+        if self.concave {
+            if horizon > f64::NEG_INFINITY {
+                self.pop_tempted(horizon + 1e-12 * (1.0 + horizon.abs()), route);
+            }
+        } else if self.clock > clock_before {
+            self.pop_tempted(self.clock + 1e-12 * (1.0 + self.clock.abs()), route);
+        }
+
+        self.scratch_old = old;
+        self.scratch_touched = touched;
+        self.scratch_old_loads = old_loads;
+    }
+
+    /// Advance channel `c`'s temptation clock by
+    /// `D_c = max_{1 ≤ t ≤ k_max} (f(c, new, t) − f(c, old, t))⁺` (the
+    /// generic-route union bound).
+    fn advance_clock<G: ChannelGame + ?Sized>(
+        &mut self,
+        game: &G,
+        c: ChannelId,
+        old_load: u32,
+        new_load: u32,
+    ) {
+        let mut d = 0.0f64;
+        for t in 1..=self.k_max {
+            let diff = game.channel_payoff(c, new_load, t) - game.channel_payoff(c, old_load, t);
+            if diff > d {
+                d = diff;
+            }
+        }
+        if d > 0.0 {
+            self.clock += d;
+        }
+    }
+
+    /// Pop every parked user whose threshold lies at or under `horizon`
+    /// (the routes bake a small relative epsilon into it, so rounding can
+    /// only cause extra — harmless — wakes, never a missed one).
+    fn pop_tempted(&mut self, horizon: f64, route: Option<(u32, Option<&[u32]>)>) {
+        while let Some(&top) = self.tempt.peek() {
+            if top.threshold > horizon {
+                break;
+            }
+            self.tempt.pop();
+            if self.parked[top.user as usize] && self.stamp[top.user as usize] == top.stamp {
+                self.counters.temptation_wakeups += 1;
+                self.wake(top.user, route);
+            }
+        }
+    }
+
+    /// Transition `v` to scheduled (idempotent), routing into the current
+    /// epoch when its rank is still ahead of the in-flight position.
+    fn wake(&mut self, v: u32, route: Option<(u32, Option<&[u32]>)>) {
+        let vi = v as usize;
+        self.parked[vi] = false;
+        if self.in_cur[vi] || self.in_pending[vi] {
+            return;
+        }
+        self.counters.activations += 1;
+        if let Some((rank_u, perm)) = route {
+            let rank_v = perm.map_or(v, |p| p[vi]);
+            if rank_v > rank_u {
+                self.in_cur[vi] = true;
+                self.cur.push(Reverse((rank_v, v)));
+                return;
+            }
+        }
+        self.in_pending[vi] = true;
+        self.pending.push(v);
+        // Compact when lazily-unscheduled entries pile up (the protocol
+        // wakes into `pending` but drains it through probes, never
+        // through `round`, so without this the vector would only grow).
+        if self.pending.len() > 2 * self.parked.len() + 64 {
+            let mut live = Vec::with_capacity(self.parked.len());
+            for i in 0..self.pending.len() {
+                let w = self.pending[i];
+                if self.in_pending[w as usize] {
+                    // Clearing the marker drops later duplicates of the
+                    // same user in one pass; restore it below.
+                    self.in_pending[w as usize] = false;
+                    live.push(w);
+                }
+            }
+            for &w in &live {
+                self.in_pending[w as usize] = true;
+            }
+            self.pending = live;
+        }
+    }
+
+    /// Park `u` with the given slack: file it in the threshold heap
+    /// under a fresh stamp. `br` is the best-response row the check just
+    /// computed (equal to the live row for a freshly-applied mover) —
+    /// on the concave route its weakest marginal `m*` anchors the
+    /// watermark threshold `m* + slack/k`; on the generic route the
+    /// threshold is `clock + slack`.
+    fn park_user<G: ChannelGame + ?Sized>(
+        &mut self,
+        game: &G,
+        u: u32,
+        br: &[SparseEntry],
+        slack: f64,
+    ) {
+        let ui = u as usize;
+        debug_assert!(
+            !self.in_cur[ui] && !self.in_pending[ui],
+            "park a scheduled user"
+        );
+        let threshold = if self.concave {
+            let user = UserId(ui);
+            let row = self.s.row(user);
+            let mut m_star = f64::INFINITY;
+            for &(c, t) in br {
+                let cid = ChannelId(c as usize);
+                let own = match row.binary_search_by_key(&c, |&(cc, _)| cc) {
+                    Ok(i) => row[i].1,
+                    Err(_) => 0,
+                };
+                let others = self.loads.load(cid) - own;
+                let below = if t == 1 {
+                    0.0
+                } else {
+                    game.channel_payoff(cid, others, t - 1)
+                };
+                let m = game.channel_payoff(cid, others, t) - below;
+                if m < m_star {
+                    m_star = m;
+                }
+            }
+            if !m_star.is_finite() {
+                m_star = 0.0; // empty best response: any entry tempts
+            }
+            let k = game.radios_of(user).max(1) as f64;
+            m_star + slack / k
+        } else {
+            self.clock + slack
+        };
+        self.parked[ui] = true;
+        self.stamp[ui] = self.stamp[ui].wrapping_add(1);
+        let stamp = self.stamp[ui];
+        // File the user on its channels' shelves: a later touch of any
+        // of them drains the shelf and wakes it. O(k) per park.
+        for i in 0..self.s.row(UserId(ui)).len() {
+            let c = self.s.row(UserId(ui))[i].0 as usize;
+            let list = &mut self.shelf[c];
+            list.push((u, stamp));
+            // Compact when stale entries pile up (valid entries are
+            // bounded by the channel's parked occupancy).
+            if list.len() > 2 * self.loads.load(ChannelId(c)) as usize + 64 {
+                let parked = &self.parked;
+                let stamps = &self.stamp;
+                list.retain(|&(v, st)| parked[v as usize] && stamps[v as usize] == st);
+            }
+        }
+        self.tempt.push(ParkEntry {
+            threshold,
+            user: u,
+            stamp,
+        });
+        // Garbage-collect stale entries so the heap stays O(|N|).
+        if self.tempt.len() > 4 * self.parked.len() + 64 {
+            let stamps = &self.stamp;
+            let parked = &self.parked;
+            let live: Vec<ParkEntry> = self
+                .tempt
+                .drain()
+                .filter(|e| parked[e.user as usize] && stamps[e.user as usize] == e.stamp)
+                .collect();
+            self.tempt = BinaryHeap::from(live);
+        }
+    }
+}
+
+/// Round-robin best-response dynamics on the sparse representation —
+/// since PR 5 the **active-set route** ([`ActiveSetDynamics`]): loads and
+/// engine are repaired incrementally after every move and only users a
+/// move could have tempted are re-checked. Semantics (activation order,
+/// improvement tolerance, round accounting) mirror
 /// [`br_dp::best_response_dynamics`] exactly; the convergence-trace
-/// golden suite pins the two to identical move sequences.
+/// golden suite pins the move sequences identical, and the
+/// `fast_path_equiv` suite pins this route against the reference
+/// [`sweep_dynamics_traced`].
 pub fn best_response_dynamics_sparse<G: ChannelGame + ?Sized>(
     game: &G,
     s: SparseStrategies,
     max_rounds: usize,
 ) -> (SparseStrategies, bool, usize) {
-    let (s, converged, rounds, _moves) = dynamics_inner(game, s, max_rounds, None);
+    let (s, converged, rounds, _) = dynamics_inner(game, s, max_rounds, None);
     (s, converged, rounds)
+}
+
+/// [`best_response_dynamics_sparse`] with the run's [`DynCounters`]
+/// returned — what `t9_scale` and `t4_convergence` surface per row.
+pub fn best_response_dynamics_sparse_counted<G: ChannelGame + ?Sized>(
+    game: &G,
+    s: SparseStrategies,
+    max_rounds: usize,
+) -> (SparseStrategies, bool, usize, DynCounters) {
+    dynamics_inner(game, s, max_rounds, None)
 }
 
 /// [`best_response_dynamics_sparse`] with the applied moves recorded as
@@ -552,44 +1196,62 @@ pub fn best_response_dynamics_sparse_traced<G: ChannelGame + ?Sized>(
     max_rounds: usize,
 ) -> (SparseStrategies, bool, usize, Vec<(UserId, StrategyVector)>) {
     let mut trace = Vec::new();
-    let (s, converged, rounds, _moves) = dynamics_inner(game, s, max_rounds, Some(&mut trace));
+    let (s, converged, rounds, _) = dynamics_inner(game, s, max_rounds, Some(&mut trace));
     (s, converged, rounds, trace)
 }
 
-/// Shared dynamics loop; returns `(state, converged, rounds, moves)`.
+/// Shared dynamics entry; returns `(state, converged, rounds, counters)`.
 fn dynamics_inner<G: ChannelGame + ?Sized>(
+    game: &G,
+    s: SparseStrategies,
+    max_rounds: usize,
+    trace: Option<&mut Vec<(UserId, StrategyVector)>>,
+) -> (SparseStrategies, bool, usize, DynCounters) {
+    let mut d = ActiveSetDynamics::new(game, s);
+    let (converged, rounds) = d.run(game, max_rounds, trace);
+    let counters = d.counters();
+    (d.into_state(), converged, rounds, counters)
+}
+
+/// The reference full-sweep dynamics loop the active set replaced: every
+/// round visits all `|N|` users in ascending id order, `O(R·|N|)` engine
+/// queries regardless of how many users can actually move. Kept as the
+/// differential oracle ([`ActiveSetDynamics`] must reproduce its trace
+/// bit for bit — pinned by `fast_path_equiv`) and as the baseline arm of
+/// the `dynamics_active_vs_sweep` bench. The per-move row snapshot goes
+/// through a reused scratch buffer — no allocation inside the loop.
+pub fn sweep_dynamics_traced<G: ChannelGame + ?Sized>(
     game: &G,
     mut s: SparseStrategies,
     max_rounds: usize,
-    mut trace: Option<&mut Vec<(UserId, StrategyVector)>>,
-) -> (SparseStrategies, bool, usize, usize) {
+) -> (SparseStrategies, bool, usize, Vec<(UserId, StrategyVector)>) {
     let n = game.n_users();
     let mut loads = ChannelLoads::of_sparse(&s);
     let mut engine = BrEngine::new(game, &loads);
-    let mut moves = 0usize;
+    let mut trace = Vec::new();
+    let mut old: Vec<SparseEntry> = Vec::new();
+    let mut touched: Vec<ChannelId> = Vec::new();
     for round in 1..=max_rounds {
         let mut moved = false;
         for u in UserId::all(n) {
             let before = utility_sparse(game, &s, &loads, u);
             let (br, after) = engine.best_response(game, s.row(u), &loads, u);
             if after > before + UTILITY_TOLERANCE {
-                let old = s.row(u).to_vec();
+                old.clear();
+                old.extend_from_slice(s.row(u));
                 loads.replace_sparse_row(&old, &br);
-                let touched = touched_channels(&old, &br);
+                touched_channels_into(&old, &br, &mut touched);
                 s.set_row(u, &br);
                 engine.repair(game, &loads, &touched);
-                if let Some(t) = trace.as_deref_mut() {
-                    t.push((u, row_to_vector(&br, game.n_channels())));
-                }
-                moves += 1;
+                trace.push((u, row_to_vector(&br, game.n_channels())));
                 moved = true;
             }
         }
         if !moved {
-            return (s, true, round, moves);
+            return (s, true, round, trace);
         }
     }
-    (s, false, max_rounds, moves)
+    (s, false, max_rounds, trace)
 }
 
 /// Exact Nash check on the sparse representation (Definition 1): one
@@ -754,6 +1416,111 @@ mod tests {
             let (_, dv) = br_dp::best_response_cached(&g, &dense, &loads, u);
             assert_eq!(hv.to_bits(), dv.to_bits(), "user {u}");
         }
+    }
+
+    #[test]
+    fn active_set_reproduces_sweep_trace_on_both_routes() {
+        use crate::rate_model::LinearDecayRate;
+        use std::sync::Arc;
+        let games: Vec<ChannelAllocationGame> = vec![
+            unit_game(8, 3, 5),
+            ChannelAllocationGame::new(
+                GameConfig::new(8, 3, 5).unwrap(),
+                Arc::new(LinearDecayRate::new(10.0, 0.7, 0.5)),
+            ),
+        ];
+        for g in &games {
+            for seed in 0..4 {
+                let start = crate::dynamics::random_start(g, seed);
+                let sp = SparseStrategies::from_matrix(g, &start);
+                let (swept, sc, sr, st) = sweep_dynamics_traced(g, sp.clone(), 200);
+                let (active, ac, ar, at) = best_response_dynamics_sparse_traced(g, sp, 200);
+                assert_eq!(ac, sc, "seed {seed}");
+                assert_eq!(ar, sr, "seed {seed}");
+                assert_eq!(at, st, "seed {seed}");
+                assert_eq!(active, swept, "seed {seed}");
+            }
+        }
+    }
+
+    #[test]
+    fn active_set_skips_provable_noops_and_balances_the_books() {
+        let g = unit_game(30, 2, 4);
+        let start = crate::dynamics::random_start(&g, 11);
+        let sp = SparseStrategies::from_matrix(&g, &start);
+        let (_, converged, rounds, c) = best_response_dynamics_sparse_counted(&g, sp, 200);
+        assert!(converged);
+        let sweep_checks = rounds as u64 * 30;
+        assert_eq!(c.checks + c.skipped_checks, sweep_checks, "accounting");
+        assert!(c.checks <= sweep_checks);
+        assert!(
+            rounds < 3 || c.skipped_checks > 0,
+            "a multi-round run must skip something: {c:?}"
+        );
+        assert!(c.activations >= 30, "the first epoch activates everyone");
+    }
+
+    #[test]
+    fn persistent_engine_starves_then_recovers_from_perturbations() {
+        let g = unit_game(12, 2, 4);
+        let start = crate::dynamics::random_start(&g, 5);
+        let mut d = ActiveSetDynamics::new(&g, SparseStrategies::from_matrix(&g, &start));
+        let (conv, _) = d.run(&g, 200, None);
+        assert!(conv);
+        assert!(is_nash_sparse(&g, d.state()));
+
+        // Drained worklist: one empty round, zero checks.
+        let before = d.counters();
+        let (conv, rounds) = d.run(&g, 200, None);
+        assert!(conv);
+        assert_eq!(rounds, 1);
+        assert_eq!(d.counters().checks, before.checks);
+
+        // Perturb one user onto a single channel; the event-driven
+        // recovery must match a sweep from the same state bit for bit.
+        d.apply_row(&g, UserId(0), &[(0, 2)]);
+        let perturbed = d.state().clone();
+        let checks_at_perturb = d.counters().checks;
+        let (swept, sconv, _, strace) = sweep_dynamics_traced(&g, perturbed, 200);
+        let mut trace = Vec::new();
+        let (aconv, _) = d.run(&g, 200, Some(&mut trace));
+        assert_eq!(aconv, sconv);
+        assert_eq!(trace, strace);
+        assert_eq!(d.state(), &swept);
+        // The recovery only touched users the perturbation could tempt.
+        assert!(
+            d.counters().checks - checks_at_perturb < 12 * 3,
+            "recovery should not re-check the world: {:?}",
+            d.counters()
+        );
+    }
+
+    #[test]
+    fn noop_apply_row_wakes_only_the_touched_user() {
+        // A perturbation equal to the current row changes no load: the
+        // temptation horizon must stay empty (a NaN horizon here once
+        // drained the whole heap) and only the applied user re-checks.
+        let g = unit_game(30, 2, 4);
+        let start = crate::dynamics::random_start(&g, 3);
+        let mut d = ActiveSetDynamics::new(&g, SparseStrategies::from_matrix(&g, &start));
+        let (conv, _) = d.run(&g, 200, None);
+        assert!(conv);
+        let row = d.state().row(UserId(0)).to_vec();
+        let before = d.counters();
+        d.apply_row(&g, UserId(0), &row);
+        assert_eq!(
+            d.counters().temptation_wakeups,
+            before.temptation_wakeups,
+            "no load changed, nobody can be tempted"
+        );
+        let (conv, rounds) = d.run(&g, 200, None);
+        assert!(conv);
+        assert_eq!(rounds, 1);
+        assert_eq!(
+            d.counters().checks,
+            before.checks + 1,
+            "only the applied user is re-checked"
+        );
     }
 
     #[test]

@@ -21,12 +21,11 @@
 //! stays put, so every equilibrium of the game is absorbing.
 
 use crate::br_dp::ChannelGame;
-use crate::br_fast::{self, BrEngine};
+use crate::br_fast::{ActiveSetDynamics, DynCounters};
 use crate::game::{ChannelAllocationGame, UTILITY_TOLERANCE};
-use crate::loads::ChannelLoads;
 use crate::sparse::{SparseEntry, SparseStrategies};
 use crate::strategy::StrategyMatrix;
-use crate::types::{ChannelId, UserId};
+use crate::types::UserId;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
@@ -148,14 +147,21 @@ pub struct SparseProtocolOutcome {
     pub retunes: usize,
     /// Rounds in which ≥ 2 devices moved simultaneously.
     pub simultaneous_rounds: usize,
+    /// Active-set work counters: best responses actually computed versus
+    /// probes the worklist proved unnecessary.
+    pub counters: DynCounters,
 }
 
 /// [`run_protocol`] on the sparse large-N path, generic over every
 /// [`ChannelGame`]: the same sensing-snapshot semantics (all movers of a
-/// round best-respond to the round-boundary loads), but best responses go
-/// through the [`BrEngine`] and the state never leaves
-/// [`SparseStrategies`] + [`ChannelLoads`]. The per-round termination
-/// test is the exact engine-based Nash check with early exit.
+/// round best-respond to the round-boundary loads), but the state lives
+/// in an [`ActiveSetDynamics`] worklist engine. A settled device — one
+/// whose last probe found no improving response and whose recorded slack
+/// no later move could have overcome — skips its best-response
+/// computation entirely (its activation coin is still flipped, so the
+/// random stream and every observable outcome match the pre-active-set
+/// implementation bit for bit), and the per-round termination test probes
+/// only unsettled devices instead of scanning all `|N|`.
 ///
 /// # Panics
 ///
@@ -172,71 +178,68 @@ pub fn run_protocol_sparse<G: ChannelGame + ?Sized>(
     );
     let n = game.n_users();
     let mut rng = StdRng::seed_from_u64(cfg.seed);
-    let mut s = start;
-    let mut loads = ChannelLoads::of_sparse(&s);
-    let mut engine = BrEngine::new(game, &loads);
+    let mut d = ActiveSetDynamics::new(game, start);
     let mut retunes = 0usize;
     let mut simultaneous_rounds = 0usize;
 
     for round in 1..=cfg.max_rounds {
-        // Sensing snapshot: loads and engine stay fixed while the round's
-        // movers are computed, exactly like the dense protocol's
-        // round-boundary load vector.
+        // Sensing snapshot: probes do not mutate loads or engine, so all
+        // of a round's movers best-respond to the round-boundary state,
+        // exactly like the dense protocol's snapshot load vector.
         let mut movers: Vec<(UserId, Vec<SparseEntry>)> = Vec::new();
         for u in UserId::all(n) {
             if !rng.gen_bool(cfg.activation_prob) {
                 continue;
             }
-            let before = br_fast::utility_sparse(game, &s, &loads, u);
-            let (br, after) = engine.best_response(game, s.row(u), &loads, u);
-            if after > before + UTILITY_TOLERANCE {
+            if d.is_settled(u) {
+                d.note_skipped_check();
+                continue;
+            }
+            if let Some(br) = d.probe(game, u) {
                 movers.push((u, br));
             }
         }
         if movers.len() >= 2 {
             simultaneous_rounds += 1;
         }
-        let mut touched: Vec<ChannelId> = Vec::new();
+        // Apply the retunes through the wake machinery. A mover's new row
+        // was a best response to the *snapshot*, not necessarily to the
+        // post-application loads, so `apply_row` leaves it scheduled.
         for (u, br) in &movers {
-            let old = s.row(*u).to_vec();
-            loads.replace_sparse_row(&old, br);
-            touched.extend(
-                old.iter()
-                    .chain(br.iter())
-                    .map(|&(c, _)| ChannelId(c as usize)),
-            );
-            s.set_row(*u, br);
+            d.apply_row(game, *u, br);
             retunes += 1;
         }
-        touched.sort_unstable();
-        touched.dedup();
-        engine.repair(game, &loads, &touched);
-        // Termination test against the *current* state, with early exit.
+        // Termination test against the *current* state, with early exit:
+        // settled devices provably cannot improve, so only unsettled ones
+        // are probed (each no-op probe settles its device for later
+        // rounds).
         let mut is_ne = true;
         for u in UserId::all(n) {
-            let before = br_fast::utility_sparse(game, &s, &loads, u);
-            let (_, after) = engine.best_response(game, s.row(u), &loads, u);
-            if after > before + UTILITY_TOLERANCE {
+            if !d.is_settled(u) && d.probe(game, u).is_some() {
                 is_ne = false;
                 break;
             }
         }
         if is_ne {
+            let counters = d.counters();
             return SparseProtocolOutcome {
-                strategies: s,
+                strategies: d.into_state(),
                 converged: true,
                 rounds: round,
                 retunes,
                 simultaneous_rounds,
+                counters,
             };
         }
     }
+    let counters = d.counters();
     SparseProtocolOutcome {
         converged: false,
         rounds: cfg.max_rounds,
         retunes,
         simultaneous_rounds,
-        strategies: s,
+        strategies: d.into_state(),
+        counters,
     }
 }
 

@@ -20,10 +20,10 @@
 //! Experiment T4 measures rounds-to-convergence across instance sizes.
 
 use crate::br_dp::ChannelGame;
-use crate::br_fast::{self, BrEngine};
+use crate::br_fast::{self, ActiveSetDynamics, DynCounters};
 use crate::game::{ChannelAllocationGame, UTILITY_TOLERANCE};
 use crate::loads::ChannelLoads;
-use crate::sparse::{touched_channels, SparseStrategies};
+use crate::sparse::SparseStrategies;
 use crate::strategy::StrategyMatrix;
 use crate::types::{ChannelId, UserId};
 use rand::rngs::StdRng;
@@ -144,14 +144,19 @@ pub struct SparseOutcome {
     /// via the per-channel identity — see
     /// [`br_fast::welfare_from_loads`]).
     pub welfare_trajectory: Vec<f64>,
+    /// Active-set work counters (checks performed, checks the worklist
+    /// proved unnecessary, wake-ups, moves).
+    pub counters: DynCounters,
 }
 
 impl BestResponseDriver {
     /// [`run`](Self::run) on the sparse large-N path: same schedules,
     /// same improvement tolerance, same per-round welfare samples, but
-    /// every best response goes through the [`BrEngine`] (lazy heap or
+    /// every best response goes through the [`ActiveSetDynamics`]
+    /// worklist over the [`crate::br_fast::BrEngine`] (lazy heap or
     /// incremental DP) and the state never leaves
-    /// [`SparseStrategies`] + [`ChannelLoads`]. Works for any
+    /// [`SparseStrategies`] + [`ChannelLoads`] — rounds cost engine
+    /// queries only for users a move could have tempted. Works for any
     /// [`ChannelGame`]; the convergence-trace golden suite pins it to
     /// [`run`](Self::run) move-for-move on the paper's game.
     pub fn run_sparse<G: ChannelGame + ?Sized>(
@@ -161,51 +166,47 @@ impl BestResponseDriver {
         max_rounds: usize,
     ) -> SparseOutcome {
         let n = game.n_users();
-        let mut s = start;
         let mut order: Vec<usize> = (0..n).collect();
         let mut rng = match self.schedule {
             Schedule::RandomPermutation { seed } => Some(StdRng::seed_from_u64(seed)),
             Schedule::RoundRobin => None,
         };
-        let mut loads = ChannelLoads::of_sparse(&s);
-        let mut engine = BrEngine::new(game, &loads);
-        let mut welfare = vec![br_fast::welfare_from_loads(game, &loads)];
-        let mut moves = 0usize;
+        let mut d = ActiveSetDynamics::new(game, start);
+        let mut welfare = vec![br_fast::welfare_from_loads(game, d.loads())];
+        // rank[u] = position of u in this round's activation order.
+        let mut rank: Vec<u32> = Vec::new();
         let mut rounds = 0usize;
         let mut converged = false;
 
         while rounds < max_rounds {
-            if let Some(r) = rng.as_mut() {
-                order.shuffle(r);
-            }
-            let mut moved = false;
-            for &u in &order {
-                let user = UserId(u);
-                let before = br_fast::utility_sparse(game, &s, &loads, user);
-                let (br, after) = engine.best_response(game, s.row(user), &loads, user);
-                if after > before + UTILITY_TOLERANCE {
-                    let old = s.row(user).to_vec();
-                    loads.replace_sparse_row(&old, &br);
-                    let touched = touched_channels(&old, &br);
-                    s.set_row(user, &br);
-                    engine.repair(game, &loads, &touched);
-                    moves += 1;
-                    moved = true;
+            let perm = match rng.as_mut() {
+                Some(r) => {
+                    order.shuffle(r);
+                    rank.clear();
+                    rank.resize(n, 0);
+                    for (i, &u) in order.iter().enumerate() {
+                        rank[u] = i as u32;
+                    }
+                    Some(rank.as_slice())
                 }
-            }
+                None => None,
+            };
+            let moved = d.round(game, perm, None);
             rounds += 1;
-            welfare.push(br_fast::welfare_from_loads(game, &loads));
+            welfare.push(br_fast::welfare_from_loads(game, d.loads()));
             if !moved {
                 converged = true;
                 break;
             }
         }
+        let counters = d.counters();
         SparseOutcome {
-            strategies: s,
+            strategies: d.into_state(),
             converged,
             rounds,
-            moves,
+            moves: counters.moves as usize,
             welfare_trajectory: welfare,
+            counters,
         }
     }
 }

@@ -212,9 +212,11 @@ impl HeteroGame {
     }
 
     /// The paper's Eq. 7 for the heterogeneous game: benefit of moving
-    /// one of `user`'s radios from `b` to `c` (`O(|N|)` column scans; see
-    /// [`benefit_of_move_cached`](Self::benefit_of_move_cached) for the
-    /// `O(1)` path).
+    /// one of `user`'s radios from `b` to `c`. This uncached entry point
+    /// recomputes the two loads from the matrix and survives only as a
+    /// convenience for one-off queries — every loop in the workspace runs
+    /// [`benefit_of_move_cached`](Self::benefit_of_move_cached), which is
+    /// `O(1)` against a maintained [`ChannelLoads`].
     ///
     /// # Panics
     ///
@@ -344,14 +346,22 @@ impl HeteroGame {
         s
     }
 
-    /// Best-response dynamics until fixed point or `max_rounds` (the
-    /// generic incremental loop of [`br_dp::best_response_dynamics`]).
+    /// Best-response dynamics until fixed point or `max_rounds`, routed
+    /// through the shared active-set engine of [`crate::br_fast`] (the
+    /// same worklist loop every sparse driver uses — the former private
+    /// dense loop is gone): the matrix is bridged to
+    /// [`crate::sparse::SparseStrategies`], converged on the heap or
+    /// incremental-DP route per the rate model's declaration, and bridged
+    /// back.
     pub fn best_response_dynamics(
         &self,
         s: StrategyMatrix,
         max_rounds: usize,
     ) -> (StrategyMatrix, bool, usize) {
-        br_dp::best_response_dynamics(self, s, max_rounds)
+        let sp = crate::sparse::SparseStrategies::from_matrix(self, &s);
+        let (end, converged, rounds) =
+            crate::br_fast::best_response_dynamics_sparse(self, sp, max_rounds);
+        (end.to_dense(), converged, rounds)
     }
 }
 

@@ -102,7 +102,8 @@ pub mod prelude {
     pub use crate::analysis::{jain_fairness, load_balance_delta, AllocationStats};
     pub use crate::br_dp::ChannelGame;
     pub use crate::br_fast::{
-        best_response_dynamics_sparse, is_nash_sparse, nash_check_sparse, BrEngine,
+        best_response_dynamics_sparse, best_response_dynamics_sparse_counted, is_nash_sparse,
+        nash_check_sparse, ActiveSetDynamics, BrEngine, DynCounters,
     };
     pub use crate::config::GameConfig;
     pub use crate::display::render_allocation;
@@ -114,6 +115,7 @@ pub mod prelude {
     pub use crate::nash::{theorem1, theorem1_cached, NashCheck, Theorem1Verdict};
     pub use crate::pareto::{is_pareto_optimal_ne, is_system_optimal, optimal_total_rate};
     pub use crate::rate_model::{ConstantRate, RateFunction, RateModel};
+    pub use crate::sparse::ChannelOccupants;
     pub use crate::sparse::SparseStrategies;
     pub use crate::strategy::{StrategyMatrix, StrategyVector};
     pub use crate::types::{ChannelId, UserId};

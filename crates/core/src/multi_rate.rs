@@ -126,7 +126,11 @@ impl MultiRateGame {
     }
 
     /// Eq. 7 with per-channel rates: benefit of moving one of `user`'s
-    /// radios from `b` to `c` (`O(|N|)` column scans).
+    /// radios from `b` to `c`. This uncached entry point recomputes the
+    /// two loads from the matrix and survives only as a convenience for
+    /// one-off queries — every loop in the workspace runs
+    /// [`benefit_of_move_cached`](Self::benefit_of_move_cached), which is
+    /// `O(1)` against a maintained [`ChannelLoads`].
     ///
     /// # Panics
     ///
@@ -182,11 +186,14 @@ impl MultiRateGame {
         br_dp::max_gain_cached(self, s, loads)
     }
 
-    /// Best-response dynamics to a fixed point (loads maintained
-    /// incrementally across moves by [`br_dp::best_response_dynamics`]).
+    /// Best-response dynamics to a fixed point, routed through the shared
+    /// active-set engine of [`crate::br_fast`] (loads, engine and the
+    /// dirty-user worklist all maintained incrementally across moves).
     pub fn converge(&self, s: StrategyMatrix, max_rounds: usize) -> (StrategyMatrix, bool) {
-        let (end, converged, _) = br_dp::best_response_dynamics(self, s, max_rounds);
-        (end, converged)
+        let sp = crate::sparse::SparseStrategies::from_matrix(self, &s);
+        let (end, converged, _) =
+            crate::br_fast::best_response_dynamics_sparse(self, sp, max_rounds);
+        (end.to_dense(), converged)
     }
 
     /// Exact welfare optimum over load vectors (per-channel DP).

@@ -281,10 +281,129 @@ impl From<&SparseStrategies> for StrategyMatrix {
 /// Sorted-unique union of the channels touched by two sparse rows — the
 /// repair set an engine must refresh after a row replacement.
 pub fn touched_channels(old: &[SparseEntry], new: &[SparseEntry]) -> Vec<ChannelId> {
-    let mut out: Vec<u32> = old.iter().chain(new).map(|&(c, _)| c).collect();
+    let mut out = Vec::new();
+    touched_channels_into(old, new, &mut out);
+    out
+}
+
+/// [`touched_channels`] into a caller-owned buffer (cleared first), so hot
+/// loops can compute the repair set without a per-move allocation.
+pub fn touched_channels_into(old: &[SparseEntry], new: &[SparseEntry], out: &mut Vec<ChannelId>) {
+    out.clear();
+    out.extend(old.iter().chain(new).map(|&(c, _)| ChannelId(c as usize)));
     out.sort_unstable();
     out.dedup();
-    out.into_iter().map(|c| ChannelId(c as usize)).collect()
+}
+
+/// Per-channel → occupying-users reverse index, maintained alongside the
+/// CSR arena of [`SparseStrategies`]: `occupants(c)` lists every user with
+/// at least one radio on `c`, in no particular order.
+///
+/// This is the index the active-set dynamics of [`crate::br_fast`] use to
+/// re-activate exactly the users whose *current utility* a move can have
+/// changed — the occupants of the touched channels — without scanning all
+/// `|N|` rows. Memory is `Θ(Σ_i k_i)` (one `u32` per occupied entry, the
+/// same asymptotic footprint as the CSR arena itself).
+///
+/// Maintenance is [`replace_row`](ChannelOccupants::replace_row): removal
+/// uses a swap-remove after a linear scan of the channel's list. The scan
+/// is asymptotically free in the dynamics' accounting because every caller
+/// that touches a channel also *walks* that channel's occupant list to
+/// re-activate it — the scan only doubles a walk that already happens.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChannelOccupants {
+    lists: Vec<Vec<u32>>,
+}
+
+impl ChannelOccupants {
+    /// Build the reverse index of `s` in one pass over the occupied
+    /// entries (`O(Σ_i k_i)`).
+    pub fn of(s: &SparseStrategies) -> Self {
+        let mut lists = vec![Vec::new(); s.n_channels()];
+        for u in 0..s.n_users() {
+            for &(c, _) in s.row(UserId(u)) {
+                lists[c as usize].push(u as u32);
+            }
+        }
+        ChannelOccupants { lists }
+    }
+
+    /// Users with at least one radio on `c` (unsorted).
+    #[inline]
+    pub fn occupants(&self, c: ChannelId) -> &[u32] {
+        &self.lists[c.0]
+    }
+
+    /// Record `user` replacing its row `old → new` (both strictly sorted
+    /// by channel, as [`SparseStrategies::set_row`] enforces): membership
+    /// changes only on channels the user entered or left; count changes on
+    /// kept channels do not move it between lists.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `old` lists a channel the index does not record the user
+    /// on (i.e. `old` was not the user's actual current row).
+    pub fn replace_row(&mut self, user: UserId, old: &[SparseEntry], new: &[SparseEntry]) {
+        let uid = user.0 as u32;
+        // Sorted-merge walk over the two rows.
+        let (mut i, mut j) = (0, 0);
+        while i < old.len() || j < new.len() {
+            match (old.get(i), new.get(j)) {
+                (Some(&(co, _)), Some(&(cn, _))) if co == cn => {
+                    i += 1;
+                    j += 1;
+                }
+                (Some(&(co, _)), Some(&(cn, _))) if co < cn => {
+                    self.remove(co, uid, user);
+                    i += 1;
+                }
+                (Some(_), Some(&(cn, _))) => {
+                    self.lists[cn as usize].push(uid);
+                    j += 1;
+                }
+                (Some(&(co, _)), None) => {
+                    self.remove(co, uid, user);
+                    i += 1;
+                }
+                (None, Some(&(cn, _))) => {
+                    self.lists[cn as usize].push(uid);
+                    j += 1;
+                }
+                (None, None) => unreachable!("loop condition"),
+            }
+        }
+    }
+
+    fn remove(&mut self, c: u32, uid: u32, user: UserId) {
+        let list = &mut self.lists[c as usize];
+        let pos = list
+            .iter()
+            .position(|&v| v == uid)
+            .unwrap_or_else(|| panic!("{user} not indexed on channel {c}"));
+        list.swap_remove(pos);
+    }
+
+    /// Feature-gated consistency assertion against the strategy set it
+    /// mirrors (sorted-compare per channel), the reverse-index counterpart
+    /// of [`SparseStrategies::paranoid_check`].
+    #[inline]
+    pub fn paranoid_check(&self, s: &SparseStrategies) {
+        #[cfg(feature = "paranoid-checks")]
+        debug_assert!(
+            {
+                let fresh = ChannelOccupants::of(s);
+                let mut a = self.lists.clone();
+                let mut b = fresh.lists;
+                for l in a.iter_mut().chain(b.iter_mut()) {
+                    l.sort_unstable();
+                }
+                a == b
+            },
+            "stale channel-occupant index"
+        );
+        #[cfg(not(feature = "paranoid-checks"))]
+        let _ = s;
+    }
 }
 
 #[cfg(test)]
@@ -404,5 +523,49 @@ mod tests {
             touched_channels(&old, &new),
             vec![ChannelId(1), ChannelId(2), ChannelId(4)]
         );
+        // The buffer variant agrees and reuses its allocation.
+        let mut buf = vec![ChannelId(9)];
+        touched_channels_into(&old, &new, &mut buf);
+        assert_eq!(buf, touched_channels(&old, &new));
+    }
+
+    #[test]
+    fn occupant_index_tracks_row_replacements() {
+        let m = figure2();
+        let mut s = SparseStrategies::from(&m);
+        let mut occ = ChannelOccupants::of(&s);
+        occ.paranoid_check(&s);
+        let sorted = |v: &[u32]| {
+            let mut v = v.to_vec();
+            v.sort_unstable();
+            v
+        };
+        assert_eq!(sorted(occ.occupants(ChannelId(0))), vec![0, 1, 2, 3]);
+        assert_eq!(sorted(occ.occupants(ChannelId(4))), vec![1]);
+
+        // u1: leaves {0, 4}, keeps 2 (count change only), enters 3.
+        let old = s.row(UserId(1)).to_vec();
+        let new = [(2u32, 2u32), (3, 1)];
+        s.set_row(UserId(1), &new);
+        occ.replace_row(UserId(1), &old, &new);
+        occ.paranoid_check(&s);
+        assert_eq!(sorted(occ.occupants(ChannelId(0))), vec![0, 2, 3]);
+        assert_eq!(sorted(occ.occupants(ChannelId(4))), Vec::<u32>::new());
+        assert_eq!(sorted(occ.occupants(ChannelId(3))), vec![0, 1, 2, 3]);
+
+        // Emptying a row removes it everywhere.
+        let old = s.row(UserId(1)).to_vec();
+        s.set_row(UserId(1), &[]);
+        occ.replace_row(UserId(1), &old, &[]);
+        occ.paranoid_check(&s);
+        assert!(!occ.occupants(ChannelId(2)).contains(&1));
+    }
+
+    #[test]
+    #[should_panic(expected = "not indexed")]
+    fn occupant_index_rejects_stale_old_row() {
+        let s = SparseStrategies::with_budgets(&[2], 4);
+        let mut occ = ChannelOccupants::of(&s);
+        occ.replace_row(UserId(0), &[(1, 1)], &[]);
     }
 }

@@ -313,12 +313,141 @@ fn multi_rate_instance() -> impl Strategy<Value = (MultiRateGame, StrategyMatrix
         })
 }
 
+/// The active-set worklist must reproduce the reference full sweep
+/// **bit for bit**: identical move traces, identical final states,
+/// identical round counts, on every game variant and both engine routes.
+/// Additionally pins the counters' books: the worklist never performs
+/// more checks than the sweep, and `checks + skipped == rounds · |N|`.
+fn check_active_set_equals_sweep<G: ChannelGame>(
+    game: &G,
+    m: &StrategyMatrix,
+) -> Result<(), TestCaseError> {
+    let sp = SparseStrategies::from_matrix(game, m);
+    let (swept, sconv, srounds, strace) = br_fast::sweep_dynamics_traced(game, sp.clone(), 60);
+    let (active, aconv, arounds, atrace) =
+        br_fast::best_response_dynamics_sparse_traced(game, sp.clone(), 60);
+    prop_assert_eq!(aconv, sconv, "converged");
+    prop_assert_eq!(arounds, srounds, "rounds");
+    prop_assert_eq!(&atrace, &strace, "move trace");
+    prop_assert_eq!(&active.to_dense(), &swept.to_dense(), "final state");
+
+    let (_, _, _, counters) = br_fast::best_response_dynamics_sparse_counted(game, sp, 60);
+    let n = game.n_users() as u64;
+    prop_assert_eq!(counters.moves as usize, strace.len(), "move count");
+    prop_assert!(counters.checks <= arounds as u64 * n, "no extra checks");
+    prop_assert_eq!(
+        counters.checks + counters.skipped_checks,
+        arounds as u64 * n,
+        "check accounting"
+    );
+    Ok(())
+}
+
+/// Worklist starvation and re-activation thresholds on a *persistent*
+/// engine: converge, re-run on the drained worklist (zero checks), then
+/// perturb rows externally and pin the event-driven recovery against a
+/// fresh sweep from the same perturbed state.
+fn check_perturb_recovery<G: ChannelGame>(
+    game: &G,
+    m: &StrategyMatrix,
+    perturbed_users: usize,
+) -> Result<(), TestCaseError> {
+    let sp = SparseStrategies::from_matrix(game, m);
+    let mut d = br_fast::ActiveSetDynamics::new(game, sp);
+    let (conv, _) = d.run(game, 60, None);
+    if !conv {
+        return Ok(()); // pathological non-convergence: nothing to pin
+    }
+    // Worklist starvation: a drained engine converges in one empty round
+    // without a single engine query.
+    let before = d.counters();
+    let (conv2, rounds2) = d.run(game, 60, None);
+    prop_assert!(conv2);
+    prop_assert_eq!(rounds2, 1, "drained worklist converges immediately");
+    prop_assert_eq!(
+        d.counters().checks,
+        before.checks,
+        "no checks on a drained worklist"
+    );
+    prop_assert_eq!(
+        d.counters().moves,
+        before.moves,
+        "no moves on a drained worklist"
+    );
+
+    // Re-activation thresholds: stack each perturbed user's radios on its
+    // first legal channel (a maximal disturbance of the parked slacks),
+    // then the active-set recovery must equal a full sweep bit for bit.
+    let n = game.n_users();
+    for i in 0..perturbed_users.min(n) {
+        let u = UserId((i * n.div_euclid(perturbed_users.min(n)).max(1)) % n);
+        let k = game.radios_of(u);
+        d.apply_row(game, u, &[(0, k)]);
+    }
+    let perturbed = d.state().clone();
+    let (swept, sconv, _, strace) = br_fast::sweep_dynamics_traced(game, perturbed, 60);
+    let mut trace = Vec::new();
+    let (aconv, _) = d.run(game, 60, Some(&mut trace));
+    prop_assert_eq!(aconv, sconv, "perturbed convergence");
+    prop_assert_eq!(&trace, &strace, "perturbed move trace");
+    prop_assert_eq!(
+        &d.state().to_dense(),
+        &swept.to_dense(),
+        "perturbed final state"
+    );
+    Ok(())
+}
+
 proptest! {
     /// Homogeneous game: heap == incremental DP == full DP == enumeration.
     #[test]
     fn homogeneous_fast_paths_agree(instance in homogeneous_instance()) {
         let (game, m) = instance;
         check_fast_paths(&game, &|s, u| game.utility(s, u), &m)?;
+    }
+
+    /// Homogeneous game: active-set dynamics == full-sweep dynamics
+    /// (both engine routes via the mixed rate strategy).
+    #[test]
+    fn homogeneous_active_set_equals_sweep(instance in homogeneous_instance()) {
+        let (game, m) = instance;
+        check_active_set_equals_sweep(&game, &m)?;
+    }
+
+    /// Heterogeneous budgets: active-set == sweep.
+    #[test]
+    fn hetero_active_set_equals_sweep(instance in hetero_instance()) {
+        let (game, m) = instance;
+        check_active_set_equals_sweep(&game, &m)?;
+    }
+
+    /// Per-channel rates: active-set == sweep.
+    #[test]
+    fn multi_rate_active_set_equals_sweep(instance in multi_rate_instance()) {
+        let (game, m) = instance;
+        check_active_set_equals_sweep(&game, &m)?;
+    }
+
+    /// Worklist starvation + threshold re-activation after external
+    /// perturbations, homogeneous instances.
+    #[test]
+    fn homogeneous_perturb_recovery_matches_sweep(instance in homogeneous_instance()) {
+        let (game, m) = instance;
+        check_perturb_recovery(&game, &m, 2)?;
+    }
+
+    /// Same perturbation pin for heterogeneous budgets.
+    #[test]
+    fn hetero_perturb_recovery_matches_sweep(instance in hetero_instance()) {
+        let (game, m) = instance;
+        check_perturb_recovery(&game, &m, 2)?;
+    }
+
+    /// Same perturbation pin for per-channel rates.
+    #[test]
+    fn multi_rate_perturb_recovery_matches_sweep(instance in multi_rate_instance()) {
+        let (game, m) = instance;
+        check_perturb_recovery(&game, &m, 2)?;
     }
 
     /// Heterogeneous budgets: all fast paths agree.

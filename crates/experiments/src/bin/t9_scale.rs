@@ -130,9 +130,28 @@ fn run_cell(
     let build_ms = build.elapsed().as_secs_f64() * 1e3;
 
     let t = Instant::now();
-    let (end, converged, used_rounds) =
-        br_fast::best_response_dynamics_sparse(&game, start, rounds);
+    let (end, converged, used_rounds, counters) =
+        br_fast::best_response_dynamics_sparse_counted(&game, start, rounds);
     let dyn_ms = t.elapsed().as_secs_f64() * 1e3;
+
+    // Active-set acceptance assertions: the dynamics must route through
+    // the worklist (checks + skips account for every sweep slot), the
+    // first epoch checks everyone, and any non-trivial convergence must
+    // actually *skip* work — if the worklist ever degenerates into a
+    // disguised sweep, the run fails loudly.
+    assert_eq!(
+        counters.checks + counters.skipped_checks,
+        used_rounds as u64 * n_users as u64,
+        "active-set bookkeeping must cover the sweep-equivalent checks"
+    );
+    assert!(
+        counters.checks >= n_users as u64,
+        "first epoch checks all users"
+    );
+    assert!(
+        used_rounds < 3 || counters.skipped_checks > 0,
+        "a ≥3-round convergence must skip provably-idle users"
+    );
 
     let t = Instant::now();
     let check = br_fast::nash_check_sparse(&game, &end);
@@ -148,9 +167,13 @@ fn run_cell(
     println!(
         "N={n_users:>8} k={radios} C={n_channels}: converged in {used_rounds:>2} rounds \
          ({dyn_ms:>9.1} ms dynamics, {nash_ms:>8.1} ms NE check); \
-         memory {:.1} MB sparse vs {:.1} MB dense ({mem_ratio:.1}x)",
+         memory {:.1} MB sparse vs {:.1} MB dense ({mem_ratio:.1}x); \
+         active-set {} checks / {} skipped / {} moves",
         sparse_bytes as f64 / 1e6,
         dense_bytes as f64 / 1e6,
+        counters.checks,
+        counters.skipped_checks,
+        counters.moves,
     );
 
     vec![
@@ -158,8 +181,13 @@ fn run_cell(
         radios.to_string(),
         n_channels.to_string(),
         "heap".into(),
+        "active-set".into(),
         converged.to_string(),
         used_rounds.to_string(),
+        counters.activations.to_string(),
+        counters.checks.to_string(),
+        counters.skipped_checks.to_string(),
+        counters.moves.to_string(),
         format!("{build_ms:.3}"),
         format!("{dyn_ms:.3}"),
         format!("{nash_ms:.3}"),
@@ -171,13 +199,18 @@ fn run_cell(
     ]
 }
 
-const HEADERS: [&str; 14] = [
+const HEADERS: [&str; 19] = [
     "n_users",
     "radios",
     "n_channels",
     "engine",
+    "dynamics",
     "converged",
     "rounds",
+    "activations",
+    "br_checks",
+    "skipped_checks",
+    "moves",
     "build_ms",
     "dynamics_ms",
     "nash_check_ms",

@@ -688,9 +688,9 @@ impl ScenarioSuite {
 /// The standard per-cell pipeline: Algorithm 1 (checked both ways), then
 /// best-response dynamics from a seeded random start — the dynamics and
 /// the final Nash verdict run on the sparse large-N engine
-/// ([`BestResponseDriver::run_sparse`]: heap for separable-monotone
-/// rates, incremental DP otherwise), so the suite exercises exactly the
-/// code path `t9_scale` scales up.
+/// ([`BestResponseDriver::run_sparse`]: the active-set worklist over the
+/// heap for separable-monotone rates, the incremental DP otherwise), so
+/// the suite exercises exactly the code path `t9_scale` scales up.
 fn evaluate_cell(cell: &ScenarioCell, max_rounds: usize) -> CellOutcome {
     let game = cell.game();
     // Decorrelate the three RNG consumers: seeding ordering, start matrix
@@ -1175,9 +1175,10 @@ pub fn random_budget_start(budgets: &[u32], n_channels: usize, seed: u64) -> Str
 }
 
 /// The extended per-cell pipeline: seeded random start, sparse-engine
-/// best-response dynamics ([`br_fast`]: heap or incremental DP per the
-/// cell's rate declaration), exact sparse Nash check and Theorem-1
-/// certification — all through the [`ChannelGame`] engine.
+/// best-response dynamics ([`br_fast`]: the active-set worklist over the
+/// heap or incremental DP per the cell's rate declaration), exact sparse
+/// Nash check and Theorem-1 certification — all through the
+/// [`ChannelGame`] engine.
 fn evaluate_extended_cell(cell: &ExtendedCell, max_rounds: usize) -> ExtendedOutcome {
     let game = cell.game();
     let start = random_budget_start(game.budgets(), cell.n_channels, derive_seed(cell.seed, 1));
