@@ -245,13 +245,46 @@ pub(crate) fn solve_knapsack<F: Fn(usize, usize) -> f64>(
     may_idle: bool,
     f: F,
 ) -> (Vec<u32>, f64) {
+    let mut scratch = KnapsackScratch::default();
+    let mut counts = Vec::new();
+    let value = solve_knapsack_scratch(n_ch, k, may_idle, f, &mut scratch, &mut counts);
+    (counts, value)
+}
+
+/// Reusable buffers of the knapsack DP — the per-thread scratch the
+/// parallel Phase A hands each worker so the hot loop stays
+/// allocation-free. The `choice` table is flattened to `c·(k+1)+r`.
+#[derive(Debug, Default, Clone)]
+pub(crate) struct KnapsackScratch {
+    dp: Vec<f64>,
+    next: Vec<f64>,
+    choice: Vec<usize>,
+}
+
+/// [`solve_knapsack`] writing the allocation into `counts` and running
+/// entirely on caller-owned buffers. Bit-identical to the allocating
+/// wrapper — it *is* the implementation.
+pub(crate) fn solve_knapsack_scratch<F: Fn(usize, usize) -> f64>(
+    n_ch: usize,
+    k: usize,
+    may_idle: bool,
+    f: F,
+    scratch: &mut KnapsackScratch,
+    counts: &mut Vec<u32>,
+) -> f64 {
     let neg = f64::NEG_INFINITY;
-    let mut dp = vec![neg; k + 1];
+    let dp = &mut scratch.dp;
+    dp.clear();
+    dp.resize(k + 1, neg);
     dp[0] = 0.0;
-    let mut choice = vec![vec![0usize; k + 1]; n_ch];
-    #[allow(clippy::needless_range_loop)] // the DP reads as index algebra
+    let choice = &mut scratch.choice;
+    choice.clear();
+    choice.resize(n_ch * (k + 1), 0);
     for c in 0..n_ch {
-        let mut next = vec![neg; k + 1];
+        let next = &mut scratch.next;
+        next.clear();
+        next.resize(k + 1, neg);
+        let row = &mut choice[c * (k + 1)..(c + 1) * (k + 1)];
         for r in 0..=k {
             for t in 0..=r {
                 if dp[r - t] == neg {
@@ -260,11 +293,11 @@ pub(crate) fn solve_knapsack<F: Fn(usize, usize) -> f64>(
                 let v = dp[r - t] + f(c, t);
                 if v > next[r] {
                     next[r] = v;
-                    choice[c][r] = t;
+                    row[r] = t;
                 }
             }
         }
-        dp = next;
+        std::mem::swap(dp, next);
     }
 
     // Pick the budget to trace back from.
@@ -283,15 +316,16 @@ pub(crate) fn solve_knapsack<F: Fn(usize, usize) -> f64>(
     };
 
     // Reconstruct the allocation.
-    let mut counts = vec![0u32; n_ch];
+    counts.clear();
+    counts.resize(n_ch, 0);
     let mut r = best_r;
     for c in (0..n_ch).rev() {
-        let t = choice[c][r];
+        let t = choice[c * (k + 1) + r];
         counts[c] = t as u32;
         r -= t;
     }
     debug_assert_eq!(r, 0, "all chosen radios must be placed");
-    (counts, dp[best_r])
+    dp[best_r]
 }
 
 /// The paper's Eq. 7 generalized: benefit Δ for `user` moving one radio

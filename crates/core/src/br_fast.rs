@@ -359,6 +359,164 @@ impl HeapEngine {
     }
 }
 
+/// The flat per-channel first-entry payoff table of the branch-free
+/// marginal kernel: `first[c] = channel_payoff(c, k_c, 1)` against a
+/// load snapshot — exactly the key a fresh [`HeapEngine`] global entry
+/// would carry, laid out as one contiguous `f64` row instead of a heap.
+///
+/// Built (or [`rebuild`](Self::rebuild)-reused) once per parallel round
+/// from the Phase-A snapshot and then shared read-only by every worker:
+/// each best response starts from a straight `memcpy` of this row and
+/// scans it linearly, so the per-query cost is data-parallel arithmetic
+/// over a flat array rather than the heap's pointer-chasing pops — the
+/// trade the `dynamics_par_vs_seq` bench measures.
+#[derive(Debug, Default, Clone)]
+pub struct MarginalTable {
+    first: Vec<f64>,
+}
+
+impl MarginalTable {
+    /// Build the table against `loads` (`O(|C|)` payoff calls).
+    pub fn build<G: ChannelGame + ?Sized>(game: &G, loads: &ChannelLoads) -> Self {
+        let mut t = MarginalTable::default();
+        t.rebuild(game, loads);
+        t
+    }
+
+    /// Refill against new loads, reusing the allocation.
+    pub fn rebuild<G: ChannelGame + ?Sized>(&mut self, game: &G, loads: &ChannelLoads) {
+        self.first.clear();
+        self.first.extend((0..loads.n_channels()).map(|c| {
+            let cid = ChannelId(c);
+            game.channel_payoff(cid, loads.load(cid), 1)
+        }));
+    }
+
+    /// The flat `first[c]` row.
+    pub fn first(&self) -> &[f64] {
+        &self.first
+    }
+}
+
+/// One selected channel of an in-flight kernel query: the running count
+/// and the memoized payoff at that count, so the next marginal costs one
+/// payoff call (the same memoization [`HeapEngine`]'s `LocalEntry` does).
+#[derive(Debug, Clone, Copy)]
+struct KernelSel {
+    chan: u32,
+    others: u32,
+    taken: u32,
+    /// `channel_payoff(chan, others, taken)` — memoized.
+    f_taken: f64,
+}
+
+/// Per-worker scratch of the branch-free kernel: the live marginal row
+/// (a copy of the shared [`MarginalTable`] with own-channel corrections)
+/// plus the ≤ `k` selected-channel states.
+#[derive(Debug, Default, Clone)]
+pub struct KernelScratch {
+    cur: Vec<f64>,
+    sel: Vec<KernelSel>,
+}
+
+/// Branch-free best response for **separable-monotone** payoffs over the
+/// flat marginal table: copy the shared `first[c]` row, correct the ≤ `k`
+/// own channels, then `k` times take the argmax of the row by a straight
+/// linear scan (strict `>`, so exact ties resolve to the lowest channel
+/// index — the workspace-wide rule) and lower the winner's slot to its
+/// next marginal. No heap, no per-entry branching beyond the scan's
+/// compare-and-select, and the only allocations are one-time scratch
+/// growth.
+///
+/// Returns the achieved value (the ascending-channel payoff sum, the
+/// exact association every engine uses) and **appends** the sorted sparse
+/// row to `out`. The selection sequence — and therefore the allocation
+/// *and* the value, bit for bit — matches [`HeapEngine::best_response`]
+/// against the same loads: both take the `k` largest elements of the
+/// identical marginal multiset with the identical tie rule. The
+/// `par_equiv` suite pins this differentially.
+///
+/// # Panics
+///
+/// Debug-asserts the game declares a separable-monotone payoff with all
+/// radios deployed (the greedy argument's precondition, as for
+/// [`HeapEngine`]).
+pub fn kernel_best_response_into<G: ChannelGame + ?Sized>(
+    game: &G,
+    row: &[SparseEntry],
+    loads: &ChannelLoads,
+    k: u32,
+    table: &MarginalTable,
+    scratch: &mut KernelScratch,
+    out: &mut Vec<SparseEntry>,
+) -> f64 {
+    debug_assert!(
+        game.payoff_is_separable_monotone() && !game.may_idle_radios(),
+        "the marginal kernel requires a separable-monotone payoff with all radios deployed"
+    );
+    debug_assert_eq!(table.first.len(), loads.n_channels(), "stale table");
+    scratch.cur.clear();
+    scratch.cur.extend_from_slice(&table.first);
+    scratch.sel.clear();
+    // Own-channel correction: the shared row was computed against the
+    // full load; this user's first marginal excludes its own radios.
+    for &(c, own) in row {
+        let cid = ChannelId(c as usize);
+        let others = loads.load(cid) - own;
+        scratch.cur[c as usize] = game.channel_payoff(cid, others, 1);
+    }
+    for _ in 0..k {
+        // Argmax by linear scan; strict `>` keeps the first (lowest)
+        // channel on exact ties, matching MarginalKey's ordering.
+        let mut best = f64::NEG_INFINITY;
+        let mut arg = usize::MAX;
+        for (c, &m) in scratch.cur.iter().enumerate() {
+            if m > best {
+                best = m;
+                arg = c;
+            }
+        }
+        if arg == usize::MAX {
+            break; // |C| = 0: nothing to place
+        }
+        let cid = ChannelId(arg);
+        let sel = match scratch.sel.iter_mut().find(|s| s.chan == arg as u32) {
+            Some(s) => s,
+            None => {
+                let others = match row.binary_search_by_key(&(arg as u32), |&(c, _)| c) {
+                    Ok(i) => loads.load(cid) - row[i].1,
+                    Err(_) => loads.load(cid),
+                };
+                scratch.sel.push(KernelSel {
+                    chan: arg as u32,
+                    others,
+                    taken: 0,
+                    f_taken: 0.0,
+                });
+                scratch.sel.last_mut().expect("just pushed")
+            }
+        };
+        sel.taken += 1;
+        let f_up = game.channel_payoff(cid, sel.others, sel.taken);
+        let marginal_next = game.channel_payoff(cid, sel.others, sel.taken + 1) - f_up;
+        debug_assert!(
+            marginal_next <= (f_up - sel.f_taken) + 1e-9 * best.abs().max(1.0),
+            "payoff declared separable-monotone but marginal rose on {cid}"
+        );
+        sel.f_taken = f_up;
+        scratch.cur[arg] = marginal_next;
+    }
+    // Emit ascending by channel and recompute the value in the same
+    // order — the exact floating-point association all engines share.
+    scratch.sel.sort_unstable_by_key(|s| s.chan);
+    let mut value = 0.0;
+    for s in &scratch.sel {
+        value += game.channel_payoff(ChannelId(s.chan as usize), s.others, s.taken);
+        out.push((s.chan, s.taken));
+    }
+    value
+}
+
 /// The incremental DP: shared per-channel payoff columns repaired two at
 /// a time, feeding the single knapsack recurrence of [`crate::br_dp`].
 /// Exact for *every* [`ChannelGame`] (no concavity assumption) and
@@ -431,38 +589,76 @@ impl DpCache {
         loads: &ChannelLoads,
         user: UserId,
     ) -> (Vec<SparseEntry>, f64) {
+        let mut scratch = DpScratch::default();
+        let mut out = Vec::new();
+        let value = self.best_response_with(game, row, loads, user, &mut scratch, &mut out);
+        (out, value)
+    }
+
+    /// [`best_response`](Self::best_response) on caller-owned buffers:
+    /// the corrected own-channel columns, the knapsack tables and the
+    /// traceback all live in `scratch`, and the sparse result is
+    /// *appended* to `out`. This is the form the parallel Phase A runs —
+    /// the cache itself is only read (`&self`), so scoped workers share
+    /// one [`DpCache`] and each brings its own [`DpScratch`], keeping
+    /// the per-user hot loop allocation-free.
+    pub(crate) fn best_response_with<G: ChannelGame + ?Sized>(
+        &self,
+        game: &G,
+        row: &[SparseEntry],
+        loads: &ChannelLoads,
+        user: UserId,
+        scratch: &mut DpScratch,
+        out: &mut Vec<SparseEntry>,
+    ) -> f64 {
         let k = game.radios_of(user) as usize;
         debug_assert!(k < self.stride, "budget exceeds cached column depth");
         // Corrected columns for the user's own channels, sorted by channel
-        // (the row is sorted).
-        let own_cols: Vec<(u32, Vec<f64>)> = row
-            .iter()
-            .map(|&(c, own)| {
-                let cid = ChannelId(c as usize);
-                let others = loads.load(cid) - own;
-                let mut col = vec![0.0; k + 1];
-                for (t, slot) in col.iter_mut().enumerate().skip(1) {
-                    *slot = game.channel_payoff(cid, others, t as u32);
-                }
-                (c, col)
-            })
-            .collect();
-        let (counts, value) = br_dp::solve_knapsack(
+        // (the row is sorted); flattened at stride k+1.
+        scratch.own_chans.clear();
+        scratch.own_cols.clear();
+        scratch.own_cols.resize(row.len() * (k + 1), 0.0);
+        for (i, &(c, own)) in row.iter().enumerate() {
+            let cid = ChannelId(c as usize);
+            let others = loads.load(cid) - own;
+            scratch.own_chans.push(c);
+            for t in 1..=k {
+                scratch.own_cols[i * (k + 1) + t] = game.channel_payoff(cid, others, t as u32);
+            }
+        }
+        let own_chans = &scratch.own_chans;
+        let own_cols = &scratch.own_cols;
+        let value = br_dp::solve_knapsack_scratch(
             self.n_channels,
             k,
             game.may_idle_radios(),
-            |c, t| match own_cols.binary_search_by_key(&(c as u32), |&(ch, _)| ch) {
-                Ok(i) => own_cols[i].1[t],
+            |c, t| match own_chans.binary_search(&(c as u32)) {
+                Ok(i) => own_cols[i * (k + 1) + t],
                 Err(_) => self.f[c * self.stride + t],
             },
+            &mut scratch.knap,
+            &mut scratch.counts,
         );
-        let sparse: Vec<SparseEntry> = counts
-            .iter()
-            .enumerate()
-            .filter_map(|(c, &t)| (t > 0).then_some((c as u32, t)))
-            .collect();
-        (sparse, value)
+        out.extend(
+            scratch
+                .counts
+                .iter()
+                .enumerate()
+                .filter_map(|(c, &t)| (t > 0).then_some((c as u32, t))),
+        );
+        value
     }
+}
+
+/// Per-thread scratch buffers of [`DpCache::best_response_with`]: the
+/// corrected own-channel columns plus the knapsack DP tables. One per
+/// Phase-A worker; reused across every user the worker processes.
+#[derive(Debug, Default, Clone)]
+pub(crate) struct DpScratch {
+    own_chans: Vec<u32>,
+    own_cols: Vec<f64>,
+    knap: br_dp::KnapsackScratch,
+    counts: Vec<u32>,
 }
 
 /// Engine dispatch: the heap when the game declares a separable-monotone
@@ -585,6 +781,18 @@ pub struct DynCounters {
     pub occupant_wakeups: u64,
     /// Re-activations popped off the temptation threshold heap.
     pub temptation_wakeups: u64,
+    /// Moves committed by the two-phase parallel rounds
+    /// ([`crate::br_par`]) — a subset of `moves`; zero on the sequential
+    /// route.
+    pub committed: u64,
+    /// Parallel-round candidates whose snapshot-computed improvement a
+    /// conflicting commit absorbed: the driver's live best-response
+    /// recomputation found no remaining gain, so they were parked under
+    /// the live slack. (Each conflicting candidate costs one extra live
+    /// engine query on the driver thread; `checks` books one query per
+    /// worklist slot, so the tier-2 requeries ride on `committed` +
+    /// `deferred` instead of double-counting into `checks`.)
+    pub deferred: u64,
 }
 
 /// A parked user in the temptation threshold heap: wake when the global
@@ -943,7 +1151,27 @@ impl ActiveSetDynamics {
         self.loads.replace_sparse_row(&old, new_row);
         self.s.set_row(user, new_row);
         self.engine.repair(game, &self.loads, &touched);
+        self.wake_touched(game, &touched, &old_loads, route);
 
+        self.scratch_old = old;
+        self.scratch_touched = touched;
+        self.scratch_old_loads = old_loads;
+    }
+
+    /// Wake every user a load change on `touched` could have tempted:
+    /// drain the parked-occupant shelves and pop the temptation heap
+    /// under the round's horizon (concave route) or the advanced clock
+    /// (generic route). `old_loads[i]` is channel `touched[i]`'s load
+    /// *before* the change — the loads themselves must already be
+    /// current. Shared by the per-move path ([`apply_row_inner`]) and the
+    /// parallel bulk-commit path, so both wake exactly the same set.
+    fn wake_touched<G: ChannelGame + ?Sized>(
+        &mut self,
+        game: &G,
+        touched: &[ChannelId],
+        old_loads: &[u32],
+        route: Option<(u32, Option<&[u32]>)>,
+    ) {
         let mut horizon = f64::NEG_INFINITY;
         let clock_before = self.clock;
         for (i, &c) in touched.iter().enumerate() {
@@ -993,10 +1221,6 @@ impl ActiveSetDynamics {
         } else if self.clock > clock_before {
             self.pop_tempted(self.clock + 1e-12 * (1.0 + self.clock.abs()), route);
         }
-
-        self.scratch_old = old;
-        self.scratch_touched = touched;
-        self.scratch_old_loads = old_loads;
     }
 
     /// Advance channel `c`'s temptation clock by
@@ -1091,39 +1315,26 @@ impl ActiveSetDynamics {
         slack: f64,
     ) {
         let ui = u as usize;
+        let threshold = if self.concave {
+            let user = UserId(ui);
+            concave_park_threshold(game, user, self.s.row(user), br, &self.loads, slack)
+        } else {
+            self.clock + slack
+        };
+        self.file_parked(u, threshold);
+    }
+
+    /// File `u` in the park machinery under a fully-computed
+    /// `threshold`: fresh stamp, occupant shelves, temptation heap (with
+    /// the usual stale-entry compaction). Split from [`Self::park_user`]
+    /// so the parallel driver can file parks whose certificates Phase A
+    /// already computed against the round snapshot.
+    fn file_parked(&mut self, u: u32, threshold: f64) {
+        let ui = u as usize;
         debug_assert!(
             !self.in_cur[ui] && !self.in_pending[ui],
             "park a scheduled user"
         );
-        let threshold = if self.concave {
-            let user = UserId(ui);
-            let row = self.s.row(user);
-            let mut m_star = f64::INFINITY;
-            for &(c, t) in br {
-                let cid = ChannelId(c as usize);
-                let own = match row.binary_search_by_key(&c, |&(cc, _)| cc) {
-                    Ok(i) => row[i].1,
-                    Err(_) => 0,
-                };
-                let others = self.loads.load(cid) - own;
-                let below = if t == 1 {
-                    0.0
-                } else {
-                    game.channel_payoff(cid, others, t - 1)
-                };
-                let m = game.channel_payoff(cid, others, t) - below;
-                if m < m_star {
-                    m_star = m;
-                }
-            }
-            if !m_star.is_finite() {
-                m_star = 0.0; // empty best response: any entry tempts
-            }
-            let k = game.radios_of(user).max(1) as f64;
-            m_star + slack / k
-        } else {
-            self.clock + slack
-        };
         self.parked[ui] = true;
         self.stamp[ui] = self.stamp[ui].wrapping_add(1);
         let stamp = self.stamp[ui];
@@ -1158,6 +1369,183 @@ impl ActiveSetDynamics {
             self.tempt = BinaryHeap::from(live);
         }
     }
+
+    // ---- two-phase parallel round hooks (crate::br_par) -------------
+    //
+    // The parallel driver cannot reach the private worklist fields, and
+    // the commit path must reuse the exact wake machinery above, so the
+    // round protocol is expressed through these crate-level hooks. The
+    // single-writer discipline the fields assume (one mutator per round:
+    // `DynCounters` is a plain struct, the shelf and `pending` are
+    // unsynchronized Vecs) is preserved by construction — Phase A only
+    // ever *reads* the snapshot through [`par_view`](Self::par_view), and
+    // every hook that mutates runs on the driver thread, between
+    // parallel sections.
+
+    /// Shared read-only view for Phase A: `(strategies, loads, engine)`
+    /// borrowed simultaneously so scoped workers can compute best
+    /// responses against the round snapshot.
+    pub(crate) fn par_view(&self) -> (&SparseStrategies, &ChannelLoads, &BrEngine) {
+        (&self.s, &self.loads, &self.engine)
+    }
+
+    /// Drain the pending epoch into `batch`, sorted by ascending user id
+    /// (the canonical Phase-B order) with lazily-unscheduled duplicates
+    /// dropped. Every drained user is unscheduled; the caller must park
+    /// or re-schedule each one before the round ends.
+    pub(crate) fn par_take_batch(&mut self, batch: &mut Vec<u32>) {
+        debug_assert!(self.cur.is_empty(), "no sequential round in flight");
+        batch.clear();
+        for i in 0..self.pending.len() {
+            let v = self.pending[i];
+            if self.in_pending[v as usize] {
+                self.in_pending[v as usize] = false;
+                batch.push(v);
+            }
+        }
+        self.pending.clear();
+        batch.sort_unstable();
+    }
+
+    /// Park a drained batch member that cannot improve ([`park_user`]
+    /// made reachable for the parallel driver).
+    pub(crate) fn par_park<G: ChannelGame + ?Sized>(
+        &mut self,
+        game: &G,
+        u: u32,
+        br: &[SparseEntry],
+        slack: f64,
+    ) {
+        self.park_user(game, u, br, slack);
+    }
+
+    /// Pass-1 park with a certificate Phase A precomputed against the
+    /// round snapshot (valid because pass 1 runs before any commit
+    /// mutates the loads): on the concave route `cert` is the complete
+    /// threshold (`m* + slack/k`, via [`concave_park_threshold`]); on
+    /// the generic route it is the raw slack, anchored to the driver's
+    /// temptation clock here. Keeps the serial commit phase free of
+    /// per-user payoff evaluations.
+    pub(crate) fn par_park_precomputed(&mut self, u: u32, cert: f64) {
+        let threshold = if self.concave {
+            cert
+        } else {
+            self.clock + cert
+        };
+        self.file_parked(u, threshold);
+    }
+
+    /// Re-schedule a drained batch member into the next epoch without a
+    /// park certificate (committed movers, and conflicting candidates
+    /// the round's live-query budget cut off before probing — see the
+    /// module docs of [`crate::br_par`]).
+    pub(crate) fn par_schedule(&mut self, u: u32) {
+        self.wake(u, None);
+    }
+
+    /// Commit one conflicting candidate's row after live revalidation —
+    /// the full per-move path: loads, CSR row, engine repair, wakes, and
+    /// the mover re-scheduled.
+    pub(crate) fn par_commit_one<G: ChannelGame + ?Sized>(
+        &mut self,
+        game: &G,
+        u: u32,
+        new_row: &[SparseEntry],
+    ) {
+        self.apply_row_inner(game, UserId(u as usize), new_row, None);
+        self.counters.moves += 1;
+        self.counters.committed += 1;
+        self.wake(u, None);
+    }
+
+    /// Recompute a conflicting candidate's best response against the
+    /// **live** loads (tier 2 of the parallel round): returns
+    /// `(current_utility, best_value)` and fills `out` with the argmax
+    /// row. Runs on the driver thread — the engine is `&mut` here, so
+    /// the heap route's lazy repairs work exactly as in the sequential
+    /// dynamics, and the result is a pure function of the live state
+    /// (hence of the committed prefix, hence thread-count-invariant).
+    pub(crate) fn par_live_best_response<G: ChannelGame + ?Sized>(
+        &mut self,
+        game: &G,
+        u: u32,
+        out: &mut Vec<SparseEntry>,
+    ) -> (f64, f64) {
+        let user = UserId(u as usize);
+        let before = utility_sparse(game, &self.s, &self.loads, user);
+        let (br, after) = self
+            .engine
+            .best_response(game, self.s.row(user), &self.loads, user);
+        out.clear();
+        out.extend_from_slice(&br);
+        (before, after)
+    }
+
+    /// Commit a batch of **channel-disjoint** moves in one pass: the load
+    /// deltas of all rows are folded and applied as a single sorted,
+    /// cache-blocked sweep ([`ChannelLoads::apply_sparse_deltas`]), then
+    /// each commit's CSR row swap, engine repair and wake drain run in
+    /// the given (ascending-id) order. Because the touched channel sets
+    /// are pairwise disjoint — debug-asserted under `paranoid-checks` —
+    /// the committed rows are still *exact* best responses at commit
+    /// time, and the wake sequence is identical to applying the moves
+    /// one at a time.
+    pub(crate) fn par_commit_batch<G: ChannelGame + ?Sized>(
+        &mut self,
+        game: &G,
+        commits: &[(u32, &[SparseEntry])],
+    ) {
+        if commits.is_empty() {
+            return;
+        }
+        // Capture per-commit old rows, touched sets and pre-batch loads
+        // (the wake rules need the load each channel had before the
+        // batch), and fold every row swap into one delta list.
+        let mut touched_sets: Vec<Vec<ChannelId>> = Vec::with_capacity(commits.len());
+        let mut old_load_sets: Vec<Vec<u32>> = Vec::with_capacity(commits.len());
+        let mut deltas: Vec<(u32, i64)> = Vec::new();
+        for &(u, new_row) in commits {
+            let old = self.s.row(UserId(u as usize));
+            let mut touched = Vec::new();
+            touched_channels_into(old, new_row, &mut touched);
+            let olds: Vec<u32> = touched.iter().map(|&c| self.loads.load(c)).collect();
+            for &(c, k) in old {
+                deltas.push((c, -i64::from(k)));
+            }
+            for &(c, k) in new_row {
+                deltas.push((c, i64::from(k)));
+            }
+            touched_sets.push(touched);
+            old_load_sets.push(olds);
+        }
+        #[cfg(feature = "paranoid-checks")]
+        {
+            // The disjointness contract the batch's exactness rests on:
+            // no two commits may touch the same channel.
+            let mut all: Vec<ChannelId> = touched_sets.iter().flatten().copied().collect();
+            all.sort_unstable();
+            debug_assert!(
+                all.windows(2).all(|w| w[0] != w[1]),
+                "Phase-B batch commits must touch pairwise-disjoint channels"
+            );
+        }
+        deltas.sort_unstable_by_key(|d| d.0);
+        self.loads.apply_sparse_deltas(&deltas);
+        for (i, &(u, new_row)) in commits.iter().enumerate() {
+            self.s.set_row(UserId(u as usize), new_row);
+            self.engine.repair(game, &self.loads, &touched_sets[i]);
+            self.wake_touched(game, &touched_sets[i], &old_load_sets[i], None);
+            self.counters.moves += 1;
+            self.counters.committed += 1;
+            self.wake(u, None);
+        }
+    }
+
+    /// Mutable counter access for the parallel driver (round accounting
+    /// and deferral counts live there).
+    pub(crate) fn counters_mut(&mut self) -> &mut DynCounters {
+        &mut self.counters
+    }
 }
 
 /// Round-robin best-response dynamics on the sparse representation —
@@ -1176,6 +1564,46 @@ pub fn best_response_dynamics_sparse<G: ChannelGame + ?Sized>(
 ) -> (SparseStrategies, bool, usize) {
     let (s, converged, rounds, _) = dynamics_inner(game, s, max_rounds, None);
     (s, converged, rounds)
+}
+
+/// The concave-route park threshold: the weakest marginal `m*` of the
+/// best response `br` (each entry's gain over its next-lower tuning,
+/// computed against `loads` with the user's own radios on `row`
+/// excluded) plus the per-radio slack margin `slack / k`. A pure
+/// function of snapshot data — [`ActiveSetDynamics`] computes it at park
+/// time, and the parallel driver's Phase A workers precompute it for
+/// pass-1 parks, whose loads the commit phase has not yet touched.
+pub(crate) fn concave_park_threshold<G: ChannelGame + ?Sized>(
+    game: &G,
+    user: UserId,
+    row: &[SparseEntry],
+    br: &[SparseEntry],
+    loads: &ChannelLoads,
+    slack: f64,
+) -> f64 {
+    let mut m_star = f64::INFINITY;
+    for &(c, t) in br {
+        let cid = ChannelId(c as usize);
+        let own = match row.binary_search_by_key(&c, |&(cc, _)| cc) {
+            Ok(i) => row[i].1,
+            Err(_) => 0,
+        };
+        let others = loads.load(cid) - own;
+        let below = if t == 1 {
+            0.0
+        } else {
+            game.channel_payoff(cid, others, t - 1)
+        };
+        let m = game.channel_payoff(cid, others, t) - below;
+        if m < m_star {
+            m_star = m;
+        }
+    }
+    if !m_star.is_finite() {
+        m_star = 0.0; // empty best response: any entry tempts
+    }
+    let k = game.radios_of(user).max(1) as f64;
+    m_star + slack / k
 }
 
 /// [`best_response_dynamics_sparse`] with the run's [`DynCounters`]

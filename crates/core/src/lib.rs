@@ -25,6 +25,10 @@
 //!   responses with sparse dynamics and Nash checks ([`br_fast`]),
 //!   pinned to the oracle DP by the `fast_path_equiv` and
 //!   `convergence_trace` differential suites;
+//! * deterministic two-phase parallel dynamics — snapshot/commit rounds
+//!   over scoped worker threads ([`par`]) whose result is independent of
+//!   the thread count, pinned to the sequential dynamics by the
+//!   `par_equiv` suite: [`br_par`];
 //! * the benefit-of-change Δ (Eq. 7):
 //!   [`game::ChannelAllocationGame::benefit_of_move`];
 //! * Lemmas 1–4, Proposition 1, and both directions of Theorem 1 as
@@ -67,6 +71,7 @@ pub mod algorithm;
 pub mod analysis;
 pub mod br_dp;
 pub mod br_fast;
+pub mod br_par;
 pub mod config;
 pub mod display;
 pub mod distributed;
@@ -78,6 +83,7 @@ pub mod heterogeneous;
 pub mod loads;
 pub mod multi_rate;
 pub mod nash;
+pub mod par;
 pub mod pareto;
 pub mod rate_model;
 pub mod sparse;
@@ -87,6 +93,7 @@ pub mod utility_models;
 
 pub use br_dp::ChannelGame;
 pub use br_fast::BrEngine;
+pub use br_par::ParallelDynamics;
 pub use config::GameConfig;
 pub use error::Error;
 pub use game::ChannelAllocationGame;
@@ -104,6 +111,9 @@ pub mod prelude {
     pub use crate::br_fast::{
         best_response_dynamics_sparse, best_response_dynamics_sparse_counted, is_nash_sparse,
         nash_check_sparse, ActiveSetDynamics, BrEngine, DynCounters,
+    };
+    pub use crate::br_par::{
+        best_response_dynamics_parallel, best_response_dynamics_parallel_counted, ParallelDynamics,
     };
     pub use crate::config::GameConfig;
     pub use crate::display::render_allocation;

@@ -1,0 +1,361 @@
+//! Differential harness for the deterministic two-phase parallel
+//! dynamics ([`mrca_core::br_par`]): on randomized instances of all
+//! three game variants, the parallel rounds must
+//!
+//! * produce **bit-identical** final states and counters at every thread
+//!   count (the determinism contract — thread count only changes wall
+//!   time, never the committed move sequence),
+//! * land on a state the sequential checker certifies
+//!   (`is_nash_sparse == true`), and agree with the sequential
+//!   active-set dynamics on the fixed-point **loads** (the paper's
+//!   Theorem 1 object; the exact user→channel assignment may legally
+//!   differ between schedules),
+//! * keep the counter books: `moves == committed` (every parallel move
+//!   goes through a phase-B commit) and
+//!   `checks + skipped_checks == rounds · |N|`.
+//!
+//! A separate property pins the branch-free marginal kernel against
+//! [`HeapEngine`] bit for bit — same argmax, same value association —
+//! and a deterministic starvation case forces every candidate onto one
+//! channel so the tier-2 defer path must carry the round.
+//!
+//! Runs under the default case count per property; the nightly deep-fuzz
+//! CI job raises `PROPTEST_CASES` ~10x.
+
+use mrca_core::br_dp::ChannelGame;
+use mrca_core::br_fast::{self, BrEngine, KernelScratch, MarginalTable};
+use mrca_core::br_par::best_response_dynamics_parallel_counted;
+use mrca_core::heterogeneous::{HeteroConfig, HeteroGame};
+use mrca_core::multi_rate::MultiRateGame;
+use mrca_core::rate_model::{ConstantRate, LinearDecayRate, RateModel, ScaledRate};
+use mrca_core::sparse::SparseStrategies;
+use mrca_core::{ChannelId, ChannelLoads, GameConfig, StrategyMatrix, UserId};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+/// Thread counts every property sweeps; 1 exercises the inline fallback
+/// of `scoped_chunks`, 2 and 4 real worker threads (oversubscribed on a
+/// small host, which is fine — determinism must hold regardless).
+const THREADS: [usize; 3] = [1, 2, 4];
+
+const MAX_ROUNDS: usize = 200;
+
+fn sorted_loads(s: &SparseStrategies) -> Vec<u32> {
+    let loads = ChannelLoads::of_sparse(s);
+    let mut v: Vec<u32> = (0..loads.n_channels())
+        .map(|c| loads.load(ChannelId(c)))
+        .collect();
+    v.sort_unstable();
+    v
+}
+
+/// The core parallel-vs-sequential pin. `loads_must_match` additionally
+/// requires the sorted fixed-point load vectors to coincide — valid for
+/// the constant-rate and unit-budget families where every Nash
+/// equilibrium is load-balanced, skipped for decaying rates where
+/// distinct schedules may legitimately park in differently-shaped
+/// (all Nash) valleys.
+fn check_parallel_matches_sequential<G: ChannelGame + Sync>(
+    game: &G,
+    m: &StrategyMatrix,
+    loads_must_match: bool,
+) -> Result<(), TestCaseError> {
+    let sp = SparseStrategies::from_matrix(game, m);
+    let (seq, sconv, _, _) =
+        br_fast::best_response_dynamics_sparse_counted(game, sp.clone(), MAX_ROUNDS);
+    if !sconv {
+        return Ok(()); // pathological non-convergence: nothing to pin
+    }
+
+    let mut reference: Option<(SparseStrategies, usize, br_fast::DynCounters)> = None;
+    for &t in &THREADS {
+        let (st, conv, rounds, cnt) =
+            best_response_dynamics_parallel_counted(game, sp.clone(), MAX_ROUNDS, t);
+        prop_assert!(conv, "parallel dynamics converge (threads {})", t);
+        prop_assert_eq!(
+            cnt.moves,
+            cnt.committed,
+            "moves == committed, threads {}",
+            t
+        );
+        prop_assert_eq!(
+            cnt.checks + cnt.skipped_checks,
+            rounds as u64 * game.n_users() as u64,
+            "check accounting, threads {}",
+            t
+        );
+        prop_assert!(
+            br_fast::is_nash_sparse(game, &st),
+            "parallel fixed point is Nash (threads {})",
+            t
+        );
+        match &reference {
+            None => reference = Some((st, rounds, cnt)),
+            Some((rst, rrounds, rcnt)) => {
+                // The determinism contract: bit-identical everything.
+                prop_assert_eq!(&st, rst, "state differs at threads {}", t);
+                prop_assert_eq!(rounds, *rrounds, "rounds differ at threads {}", t);
+                prop_assert_eq!(&cnt, rcnt, "counters differ at threads {}", t);
+            }
+        }
+    }
+
+    let (par, _, _) = reference.expect("THREADS is non-empty");
+    prop_assert!(
+        br_fast::is_nash_sparse(game, &seq),
+        "sequential fixed point is Nash"
+    );
+    if loads_must_match {
+        prop_assert_eq!(
+            sorted_loads(&par),
+            sorted_loads(&seq),
+            "fixed-point load shape"
+        );
+    }
+    Ok(())
+}
+
+/// The branch-free kernel vs the lazy heap, bit for bit: same marginal
+/// multiset, same tie rule, same ascending-channel value association —
+/// so identical allocation and identical value on every query.
+fn check_kernel_matches_heap<G: ChannelGame>(
+    game: &G,
+    m: &StrategyMatrix,
+) -> Result<(), TestCaseError> {
+    if !game.payoff_is_separable_monotone() || game.may_idle_radios() {
+        return Ok(()); // DP route: the kernel's precondition fails
+    }
+    let sp = SparseStrategies::from_matrix(game, m);
+    let loads = ChannelLoads::of_sparse(&sp);
+    let mut engine = BrEngine::new(game, &loads);
+    prop_assert!(engine.is_heap(), "engine routing");
+    let table = MarginalTable::build(game, &loads);
+    let mut scratch = KernelScratch::default();
+    for u in UserId::all(game.n_users()) {
+        let row = sp.row(u);
+        let (hb, hv) = engine.best_response(game, row, &loads, u);
+        let mut kb = Vec::new();
+        let kv = br_fast::kernel_best_response_into(
+            game,
+            row,
+            &loads,
+            game.radios_of(u),
+            &table,
+            &mut scratch,
+            &mut kb,
+        );
+        prop_assert_eq!(&kb, &hb, "kernel argmax, user {}", u);
+        prop_assert_eq!(kv.to_bits(), hv.to_bits(), "kernel value, user {}", u);
+    }
+    Ok(())
+}
+
+/// Small configurations, biased toward the conflict regime (many users
+/// per channel, so phase-B candidates regularly collide).
+fn config_strategy() -> impl Strategy<Value = GameConfig> {
+    (2usize..=6, 1u32..=3, 1usize..=4).prop_filter_map("k <= |C|", |(n, k, c)| {
+        GameConfig::new(n, k, c.max(k as usize)).ok()
+    })
+}
+
+/// Concave-sharing models (heap/kernel route).
+fn concave_rate_strategy() -> impl Strategy<Value = Arc<dyn RateModel>> {
+    (0usize..3, 0.25f64..8.0).prop_map(|(kind, x)| match kind {
+        0 => Arc::new(ConstantRate::new(1.0)) as Arc<dyn RateModel>,
+        1 => Arc::new(ConstantRate::new(x)),
+        _ => Arc::new(ScaledRate::new(ConstantRate::new(2.0), x)),
+    })
+}
+
+/// A matrix where user `i` deploys up to `budgets[i]` radios on random
+/// channels (under-deployment exercises the growth side of the kernel's
+/// own-channel correction).
+fn matrix_for_budgets(
+    budgets: Vec<u32>,
+    n_channels: usize,
+) -> impl Strategy<Value = StrategyMatrix> {
+    let n = budgets.len();
+    let max_k = budgets.iter().copied().max().unwrap_or(1) as usize;
+    proptest::collection::vec(
+        (
+            0usize..=max_k,
+            proptest::collection::vec(0usize..n_channels, max_k),
+        ),
+        n,
+    )
+    .prop_map(move |users| {
+        let mut m = StrategyMatrix::zeros(n, n_channels);
+        for (u, (deployed, places)) in users.iter().enumerate() {
+            let cap = budgets[u] as usize;
+            for ch in places.iter().take((*deployed).min(cap)) {
+                let cur = m.get(UserId(u), ChannelId(*ch));
+                m.set(UserId(u), ChannelId(*ch), cur + 1);
+            }
+        }
+        m
+    })
+}
+
+fn constant_instance() -> impl Strategy<Value = (mrca_core::ChannelAllocationGame, StrategyMatrix)>
+{
+    (config_strategy(), concave_rate_strategy()).prop_flat_map(|(cfg, rate)| {
+        let game = mrca_core::ChannelAllocationGame::new(cfg, rate);
+        matrix_for_budgets(vec![cfg.radios_per_user(); cfg.n_users()], cfg.n_channels())
+            .prop_map(move |m| (game.clone(), m))
+    })
+}
+
+fn decaying_instance() -> impl Strategy<Value = (mrca_core::ChannelAllocationGame, StrategyMatrix)>
+{
+    (config_strategy(), 0.1f64..0.9).prop_flat_map(|(cfg, slope)| {
+        let rate: Arc<dyn RateModel> = Arc::new(LinearDecayRate::new(10.0, slope, 0.5));
+        let game = mrca_core::ChannelAllocationGame::new(cfg, rate);
+        matrix_for_budgets(vec![cfg.radios_per_user(); cfg.n_users()], cfg.n_channels())
+            .prop_map(move |m| (game.clone(), m))
+    })
+}
+
+fn hetero_instance() -> impl Strategy<Value = (HeteroGame, StrategyMatrix)> {
+    (2usize..=6, 1usize..=4, concave_rate_strategy())
+        .prop_flat_map(|(n, c, rate)| {
+            (
+                proptest::collection::vec(1u32..=c as u32, n),
+                Just(c),
+                Just(rate),
+            )
+        })
+        .prop_flat_map(|(budgets, c, rate)| {
+            let game = HeteroGame::new(HeteroConfig::new(budgets.clone(), c).unwrap(), rate);
+            matrix_for_budgets(budgets, c).prop_map(move |m| (game.clone(), m))
+        })
+}
+
+/// Per-channel rates mixing constants and linear decay, so half the
+/// instances route through the DP and half through the kernel.
+fn multi_rate_instance() -> impl Strategy<Value = (MultiRateGame, StrategyMatrix)> {
+    (
+        config_strategy(),
+        proptest::bool::ANY,
+        proptest::collection::vec(concave_rate_strategy(), 4),
+    )
+        .prop_flat_map(|(cfg, all_concave, concave_rates)| {
+            let pool: Vec<Arc<dyn RateModel>> = if all_concave {
+                concave_rates
+                    .into_iter()
+                    .map(|r| r as Arc<dyn RateModel>)
+                    .collect()
+            } else {
+                vec![
+                    Arc::new(ConstantRate::new(2.0)) as Arc<dyn RateModel>,
+                    Arc::new(LinearDecayRate::new(10.0, 0.7, 0.5)),
+                ]
+            };
+            let per_channel: Vec<Arc<dyn RateModel>> = (0..cfg.n_channels())
+                .map(|c| Arc::clone(&pool[c % pool.len()]))
+                .collect();
+            let game = MultiRateGame::new(cfg, per_channel).unwrap();
+            matrix_for_budgets(vec![cfg.radios_per_user(); cfg.n_users()], cfg.n_channels())
+                .prop_map(move |m| (game.clone(), m))
+        })
+}
+
+proptest! {
+    /// Constant-rate game (kernel route): thread-count invariance, Nash
+    /// fixed point, load-shape agreement with the sequential oracle.
+    #[test]
+    fn constant_rate_parallel_matches_sequential(instance in constant_instance()) {
+        let (game, m) = instance;
+        check_parallel_matches_sequential(&game, &m, true)?;
+    }
+
+    /// Linear-decay game (DP route): thread-count invariance and a Nash
+    /// fixed point; load shapes may legally differ between schedules.
+    #[test]
+    fn decaying_rate_parallel_matches_sequential(instance in decaying_instance()) {
+        let (game, m) = instance;
+        check_parallel_matches_sequential(&game, &m, false)?;
+    }
+
+    /// Heterogeneous budgets (kernel route, per-user `k`).
+    #[test]
+    fn hetero_parallel_matches_sequential(instance in hetero_instance()) {
+        let (game, m) = instance;
+        check_parallel_matches_sequential(&game, &m, false)?;
+    }
+
+    /// Per-channel rates: both engine routes under one roof.
+    #[test]
+    fn multi_rate_parallel_matches_sequential(instance in multi_rate_instance()) {
+        let (game, m) = instance;
+        check_parallel_matches_sequential(&game, &m, false)?;
+    }
+
+    /// The branch-free kernel is bit-identical to the lazy heap on every
+    /// query of every heap-eligible instance.
+    #[test]
+    fn kernel_is_bit_identical_to_heap(instance in constant_instance()) {
+        let (game, m) = instance;
+        check_kernel_matches_heap(&game, &m)?;
+    }
+
+    /// Same kernel pin under heterogeneous budgets (per-user `k` hits
+    /// differently-sized selections against one shared table).
+    #[test]
+    fn kernel_matches_heap_hetero(instance in hetero_instance()) {
+        let (game, m) = instance;
+        check_kernel_matches_heap(&game, &m)?;
+    }
+}
+
+/// The deferred-move starvation case: every user starts stacked on
+/// channel 0 of two, so in round one *every* phase-A candidate wants the
+/// same empty channel — the maximal conflict. Tier 1 commits exactly the
+/// first candidate in id order; the rest revalidate against the live
+/// loads and either commit as still-improving better responses or defer.
+/// Progress is guaranteed (≥ 1 commit per non-empty round), the run
+/// converges, and the books must show both routes taken.
+#[test]
+fn all_candidates_on_one_channel_still_make_progress() {
+    let game = mrca_core::ChannelAllocationGame::with_constant_rate(
+        GameConfig::new(6, 1, 2).unwrap(),
+        1.0,
+    );
+    // All six users on channel 0, channel 1 empty.
+    let mut m = StrategyMatrix::zeros(6, 2);
+    for u in 0..6 {
+        m.set(UserId(u), ChannelId(0), 1);
+    }
+    let sp = SparseStrategies::from_matrix(&game, &m);
+
+    let mut reference = None;
+    for t in THREADS {
+        let (st, conv, rounds, cnt) =
+            best_response_dynamics_parallel_counted(&game, sp.clone(), MAX_ROUNDS, t);
+        assert!(conv, "threads {t}: must converge");
+        assert!(
+            br_fast::is_nash_sparse(&game, &st),
+            "threads {t}: fixed point must be Nash"
+        );
+        // A 6-on-0 start balances to 3/3: three users cross over.
+        assert_eq!(sorted_loads(&st), vec![3, 3], "threads {t}: balanced loads");
+        assert_eq!(cnt.moves, 3, "threads {t}: exactly three crossings");
+        assert_eq!(cnt.moves, cnt.committed, "threads {t}: all moves committed");
+        assert!(
+            cnt.deferred > 0,
+            "threads {t}: the conflict regime must exercise the defer path"
+        );
+        assert_eq!(
+            cnt.checks + cnt.skipped_checks,
+            rounds as u64 * 6,
+            "threads {t}: check accounting"
+        );
+        match &reference {
+            None => reference = Some((st, rounds, cnt)),
+            Some((rst, rrounds, rcnt)) => {
+                assert_eq!(&st, rst, "threads {t}: state must be thread-invariant");
+                assert_eq!(rounds, *rrounds, "threads {t}: rounds must match");
+                assert_eq!(&cnt, rcnt, "threads {t}: counters must match");
+            }
+        }
+    }
+}

@@ -32,6 +32,7 @@ use mrca_core::br_dp::ChannelGame;
 use mrca_core::br_fast;
 use mrca_core::dynamics::{random_start, BestResponseDriver, Schedule};
 use mrca_core::nash::{theorem1, theorem1_cached};
+use mrca_core::par;
 use mrca_core::rate_model::{
     ConstantRate, ExponentialDecayRate, LinearDecayRate, RateModel, ScaledRate,
 };
@@ -42,9 +43,7 @@ use mrca_core::{
 use mrca_mac::{FixedAlohaRate, OptimalCsmaRate, PhyParams, PracticalDcfRate, TdmaRate};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use std::sync::atomic::{AtomicUsize, Ordering as AtomicOrdering};
 use std::sync::Arc;
-use std::sync::Mutex;
 
 /// Rate-model axis of a scenario grid: a constructible *description* of a
 /// [`RateModel`], so cells stay `Send + Sync + Clone` and each worker can
@@ -1203,44 +1202,29 @@ fn evaluate_extended_cell(cell: &ExtendedCell, max_rounds: usize) -> ExtendedOut
     }
 }
 
-/// Map `f` over `items` on all cores (work-stealing index loop over
-/// scoped threads), returning results in input order. The offline build
-/// has no rayon; this covers the embarrassingly-parallel sweep shape the
-/// suite needs.
+/// Map `f` over `items` on all cores, returning results in input order.
+/// The offline build has no rayon; this is a thin wrapper over the
+/// workspace's one threading idiom, [`mrca_core::par::scoped_chunks`]:
+/// each worker accumulates `(index, result)` pairs, and the joined
+/// per-worker vectors are merged and re-sorted by index.
 pub fn parallel_map<T, R, F>(items: &[T], f: F) -> Vec<R>
 where
     T: Sync,
     R: Send,
     F: Fn(&T) -> R + Sync,
 {
-    if items.is_empty() {
-        return Vec::new();
-    }
-    let n_threads = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1)
-        .min(items.len());
-    if n_threads <= 1 {
-        return items.iter().map(&f).collect();
-    }
-    let next = AtomicUsize::new(0);
-    let collected: Mutex<Vec<(usize, R)>> = Mutex::new(Vec::with_capacity(items.len()));
-    std::thread::scope(|scope| {
-        for _ in 0..n_threads {
-            scope.spawn(|| loop {
-                let i = next.fetch_add(1, AtomicOrdering::Relaxed);
-                if i >= items.len() {
-                    break;
-                }
-                let r = f(&items[i]);
-                collected
-                    .lock()
-                    .expect("no panics hold this lock")
-                    .push((i, r));
-            });
-        }
-    });
-    let mut indexed = collected.into_inner().expect("workers joined");
+    let states = par::scoped_chunks(
+        items.len(),
+        par::available_threads(),
+        1,
+        |_| Vec::new(),
+        |out: &mut Vec<(usize, R)>, range| {
+            for i in range {
+                out.push((i, f(&items[i])));
+            }
+        },
+    );
+    let mut indexed: Vec<(usize, R)> = states.into_iter().flatten().collect();
     indexed.sort_by_key(|&(i, _)| i);
     debug_assert_eq!(indexed.len(), items.len());
     indexed.into_iter().map(|(_, r)| r).collect()
@@ -1263,33 +1247,35 @@ where
     if items.is_empty() {
         return;
     }
-    let n_threads = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1)
-        .min(items.len());
+    let n_threads = par::available_threads().min(items.len());
     if n_threads <= 1 {
         for (i, item) in items.iter().enumerate() {
             sink(i, f(item));
         }
         return;
     }
-    let next = AtomicUsize::new(0);
+    // The sink must run concurrently with the workers on the caller's
+    // thread, so this drives the scope by hand — but the claiming
+    // primitive is the shared [`par::ChunkQueue`], the same one
+    // `scoped_chunks` (and through it the parallel dynamics) use.
+    let queue = par::ChunkQueue::new(items.len(), 1);
     let (tx, rx) = std::sync::mpsc::channel::<(usize, R)>();
     std::thread::scope(|scope| {
         for _ in 0..n_threads {
             let tx = tx.clone();
-            let next = &next;
+            let queue = &queue;
             let f = &f;
-            scope.spawn(move || loop {
-                let i = next.fetch_add(1, AtomicOrdering::Relaxed);
-                if i >= items.len() {
-                    break;
-                }
-                // The receiver outlives the workers (it drains exactly
-                // items.len() messages), so send only fails if it
-                // panicked — in which case this worker may die too.
-                if tx.send((i, f(&items[i]))).is_err() {
-                    break;
+            scope.spawn(move || {
+                while let Some(range) = queue.claim() {
+                    for i in range {
+                        // The receiver outlives the workers (it drains
+                        // exactly items.len() messages), so send only
+                        // fails if it panicked — in which case this
+                        // worker may die too.
+                        if tx.send((i, f(&items[i]))).is_err() {
+                            return;
+                        }
+                    }
                 }
             });
         }
