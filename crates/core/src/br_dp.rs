@@ -35,7 +35,7 @@
 //! generic harness for every implementor and pins (a) cached ≡ naive,
 //! (b) DP ≡ exhaustive enumeration, and (c) `is_nash ⇔ max_gain ≤ ε`.
 
-use crate::game::{NashCheck, UTILITY_TOLERANCE};
+use crate::game::{improvement_eps, improves, NashCheck};
 use crate::loads::ChannelLoads;
 use crate::strategy::{StrategyMatrix, StrategyVector};
 use crate::types::{ChannelId, UserId};
@@ -93,20 +93,22 @@ pub trait ChannelGame {
 
 /// The best-response **slack** of a user that did *not* move: with
 /// current utility `before` and best-response value `best`
-/// (`best ≤ before + UTILITY_TOLERANCE`, else the user would have moved),
-/// the slack is how much the best attainable deviation value must still
-/// *rise* — with `before` fixed — before a move clears the improvement
-/// tolerance. This is the quantity the active-set dynamics of
-/// [`crate::br_fast`] record at every no-op check, on both engine routes
-/// (the lazy heap and the incremental DP report the same `best` up to the
-/// pinned tie-breaking): a parked user provably cannot move until the
-/// cumulative payoff-column improvements since its check reach its slack.
+/// (`!improves(before, best)`, else the user would have moved), the
+/// slack is how much the best attainable deviation value must still
+/// *rise* — with `before` fixed — before a move clears the
+/// (scale-relative, [`improvement_eps`]) improvement tolerance. This is
+/// the quantity the active-set dynamics of [`crate::br_fast`] record at
+/// every no-op check, on both engine routes (the lazy heap and the
+/// incremental DP report the same `best` up to the pinned
+/// tie-breaking): a parked user provably cannot move until the
+/// cumulative payoff-column improvements since its check reach its
+/// slack.
 ///
-/// Clamped at zero so floating-point noise in `best ≈ before + tol` never
+/// Clamped at zero so floating-point noise in `best ≈ before + ε` never
 /// produces a negative threshold.
 #[inline]
 pub fn park_slack(before: f64, best: f64) -> f64 {
-    (before + UTILITY_TOLERANCE - best).max(0.0)
+    (before + improvement_eps(before, best) - best).max(0.0)
 }
 
 /// Total radios `Σ_i k_i` of a game.
@@ -465,7 +467,7 @@ pub fn nash_check_cached<G: ChannelGame + ?Sized>(
         let current = utility_cached(game, s, loads, user);
         let (best, best_u) = best_response_cached(game, s, loads, user);
         let gain = (best_u - current).max(0.0);
-        if gain > UTILITY_TOLERANCE && witness.is_none() {
+        if improves(current, best_u) && witness.is_none() {
             witness = Some((user, best));
         }
         gains.push(gain);
@@ -522,7 +524,7 @@ pub fn best_response_dynamics_traced<G: ChannelGame + ?Sized>(
         for u in UserId::all(n) {
             let before = utility_cached(game, &s, &loads, u);
             let (br, after) = best_response_cached(game, &s, &loads, u);
-            if after > before + UTILITY_TOLERANCE {
+            if improves(before, after) {
                 loads.replace_row(&s.user_strategy(u), &br);
                 s.set_user_strategy(u, &br);
                 trace.push((u, br));

@@ -48,7 +48,10 @@
 //!   cumulative payoff-column improvements since their last check —
 //!   tracked by per-channel first-entry-payoff horizons (or, on the
 //!   generic route, a cumulative improvement clock) feeding one
-//!   threshold heap, so re-activation is a heap pop, not a scan.
+//!   **lazy temptation index** (a min segment tree over park
+//!   thresholds), so re-activation is an `O(log |N|)` rank-order query
+//!   against the horizon *currently* in force, not an eager pop of
+//!   everyone a transient spike once tempted.
 //!
 //! Every skipped check is *provably* a no-op (see the safety argument on
 //! [`ActiveSetDynamics`]), and the worklist is processed in epoch order by
@@ -72,7 +75,8 @@
 //! identical dynamics traces between the dense and sparse engines.
 
 use crate::br_dp::{self, park_slack, ChannelGame};
-use crate::game::{NashCheck, UTILITY_TOLERANCE};
+use crate::error::Error;
+use crate::game::{improvement_eps, improves, NashCheck};
 use crate::loads::ChannelLoads;
 use crate::sparse::{touched_channels_into, SparseEntry, SparseStrategies};
 use crate::strategy::StrategyVector;
@@ -776,10 +780,19 @@ pub struct DynCounters {
     /// Re-activations delivered through the parked-occupant shelf (the
     /// per-channel reverse index — see
     /// [`ChannelOccupants`](crate::sparse::ChannelOccupants) for the
-    /// general form): one count per live entry drained off a
-    /// load-changed channel.
+    /// general form): one count per live entry a load-changed channel
+    /// woke.
     pub occupant_wakeups: u64,
-    /// Re-activations popped off the temptation threshold heap.
+    /// Deliveries resolved by the O(k) certificate re-validation instead
+    /// of a full engine query: the woken user's own-channel loads were
+    /// back at their park-time values and its threshold still cleared
+    /// the horizon, so the park certificate was provably intact and the
+    /// user was re-parked in place. Booked under `skipped_checks`, not
+    /// `checks` — the sweep would have paid a full check here and found
+    /// nothing.
+    pub revalidated: u64,
+    /// Re-activations delivered through the temptation index (lazy
+    /// rank-order discovery or an eager drain, per the calling path).
     pub temptation_wakeups: u64,
     /// Moves committed by the two-phase parallel rounds
     /// ([`crate::br_par`]) — a subset of `moves`; zero on the sequential
@@ -795,34 +808,95 @@ pub struct DynCounters {
     pub deferred: u64,
 }
 
-/// A parked user in the temptation threshold heap: wake when the global
-/// clock reaches `threshold = clock_at_park + slack`. Min-heap ordering;
-/// `stamp` invalidates entries from earlier parks of the same user.
-#[derive(Debug, Clone, Copy)]
-struct ParkEntry {
-    threshold: f64,
-    user: u32,
-    stamp: u32,
+/// The lazy temptation index: a min segment tree over per-user park
+/// thresholds, keyed by user id. Replaces the old threshold min-heap —
+/// the heap could only answer "who has the globally smallest threshold",
+/// which forces *eager* wakes (every user under a transient horizon gets
+/// scheduled the moment the horizon spikes, even when it subsides before
+/// their rank comes up — the thundering-herd pathology rate shifts and
+/// departures trigger at scale). The tree answers the question the
+/// round's rank-order scan actually asks — "who is the first user at or
+/// after rank `r` whose threshold the *current* horizon exceeds" — in
+/// O(log n), so a user is only ever woken at the moment its check would
+/// actually run, against the horizon in force at that moment.
+///
+/// `+∞` means "not parked / never tempted" (the padding leaves past the
+/// population are `+∞` too, so they never match a query). One slot per
+/// user, overwritten in place — no stamps, no stale entries, no GC.
+#[derive(Debug, Clone)]
+struct TemptIndex {
+    /// Live leaf count (== the population size).
+    len: usize,
+    /// Leaf capacity: the next power of two ≥ `len`.
+    base: usize,
+    /// `tree[1]` is the root min; `tree[base + u]` is user `u`'s
+    /// threshold.
+    tree: Vec<f64>,
 }
 
-impl PartialEq for ParkEntry {
-    fn eq(&self, other: &Self) -> bool {
-        self.threshold.total_cmp(&other.threshold).is_eq() && self.user == other.user
+impl TemptIndex {
+    fn new(n: usize) -> Self {
+        let base = n.next_power_of_two().max(1);
+        TemptIndex {
+            len: n,
+            base,
+            tree: vec![f64::INFINITY; 2 * base],
+        }
     }
-}
-impl Eq for ParkEntry {}
-impl PartialOrd for ParkEntry {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
+
+    /// Set user `u`'s threshold and repair the path to the root.
+    fn set(&mut self, u: usize, t: f64) {
+        let mut i = self.base + u;
+        self.tree[i] = t;
+        while i > 1 {
+            i /= 2;
+            self.tree[i] = self.tree[2 * i].min(self.tree[2 * i + 1]);
+        }
     }
-}
-impl Ord for ParkEntry {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        // Max-heap turned min-heap: the *smallest* threshold pops first.
-        other
-            .threshold
-            .total_cmp(&self.threshold)
-            .then_with(|| other.user.cmp(&self.user))
+
+    /// Append one user (threshold `+∞`), doubling the leaf array when
+    /// full — the amortized-O(1) churn arrival path.
+    fn push(&mut self) {
+        if self.len == self.base {
+            let base = (2 * self.base).max(1);
+            let mut tree = vec![f64::INFINITY; 2 * base];
+            tree[base..base + self.len].copy_from_slice(&self.tree[self.base..2 * self.base]);
+            for i in (1..base).rev() {
+                tree[i] = tree[2 * i].min(tree[2 * i + 1]);
+            }
+            self.base = base;
+            self.tree = tree;
+        }
+        self.len += 1;
+        // The fresh leaf is already +∞; nothing to repair.
+    }
+
+    /// The first user id `≥ from` with threshold `≤ h`, if any: climb
+    /// from the leaf checking right-sibling subtree minima, then descend
+    /// left-first into the first qualifying subtree. O(log n). A NaN
+    /// horizon (the degenerate no-channel case) matches nothing.
+    fn first_below(&self, from: usize, h: f64) -> Option<usize> {
+        if from >= self.len {
+            return None;
+        }
+        let mut i = self.base + from;
+        if self.tree[i] <= h {
+            return Some(from);
+        }
+        while i > 1 {
+            if i.is_multiple_of(2) && self.tree[i + 1] <= h {
+                i += 1;
+                while i < self.base {
+                    i *= 2;
+                    if self.tree[i] > h {
+                        i += 1;
+                    }
+                }
+                return Some(i - self.base);
+            }
+            i /= 2;
+        }
+        None
     }
 }
 
@@ -839,28 +913,41 @@ impl Ord for ParkEntry {
 /// * **parked** — its last check found no improving deviation, and its
 ///   slack ([`park_slack`]) was recorded against the temptation clock.
 ///   (A mover is parked too: immediately after its move it sits exactly
-///   at its best response, so its slack is the improvement tolerance.)
+///   at its best response, so its slack is the improvement epsilon at
+///   its new value.)
 ///
 /// # Why skipped checks are provably no-ops
 ///
-/// A parked user `u`'s move condition `best − current > tol` can only
-/// become true if the environment changes. Two exhaustive cases:
+/// A parked user `u`'s move condition `best − current > ε` (the
+/// scale-relative [`improvement_eps`]) can only become true if the
+/// environment changes. Two exhaustive cases:
 ///
 /// * `current` (or a *corrected* own-channel payoff column) changes only
 ///   when the load of a channel `u` occupies changes — then `u` is a
 ///   parked occupant of a touched channel and is woken through the
 ///   **parked-occupant shelf**, the worklist's specialization of the
 ///   [`ChannelOccupants`](crate::sparse::ChannelOccupants) channel→users reverse index: at park time a
-///   user files one `(user, stamp)` entry under each of its ≤ `k`
-///   channels, and a touch *drains* the channel's shelf, waking the
-///   entries whose stamp is still live. Scheduled occupants need no
-///   wake, so the drain delivers exactly the wake set a full occupant
+///   user files one `(user, stamp, park_load)` entry under each of its
+///   ≤ `k` channels, and a touch wakes the live entries whose recorded
+///   load differs from the new one (equal load means the channel is in
+///   exactly the state the certificate was computed against, so the
+///   entry provably cannot move and stays put). Scheduled occupants
+///   need no wake, so the shelf delivers the wake set a full occupant
 ///   walk would — but maintenance is `O(k)` per park (append-only, lazy
 ///   invalidation) instead of `O(occupancy)` per move, which is what
-///   keeps cold starts at `|N|/|C| ≫ 1` from drowning in walks.
+///   keeps cold starts at `|N|/|C| ≫ 1` from drowning in walks. A woken
+///   occupant, in turn, is not condemned to a full re-check: wakes are
+///   often *transient* (the next taker in rank order restores the load
+///   before the woken rank comes up), so delivery re-validates the
+///   stored certificate in O(k) ([`ActiveSetDynamics::cert_intact`])
+///   and re-parks without an engine query when it is provably intact —
+///   the equilibrium-trickle oscillation (`±1` around a heavy
+///   channel's settled load) costs O(1) per parked occupant per move
+///   instead of a best-response evaluation each.
 /// * `best` rises only through *shared* columns of channels `u` does not
-///   occupy. Re-activation for this case is a pop off one threshold
-///   min-heap, with the threshold depending on the engine route:
+///   occupy. Re-activation for this case is a query against the **lazy
+///   temptation index** ([`TemptIndex`]), with the per-user threshold
+///   depending on the engine route:
 ///
 ///   **Separable-monotone route** (the lazy heap's regime — concave
 ///   per-channel marginals, all radios deployed). A best response here is
@@ -870,12 +957,24 @@ impl Ord for ParkEntry {
 ///   channel's **first-entry payoff** `φ_c = f(c, k_c, 1)`. Each such
 ///   entry displaces a marginal of the parked best response, all of which
 ///   are `≥ m*` (its weakest marginal), so with slack
-///   `g = current + tol − best` the user cannot move unless some channel
+///   `g = current + ε − best` the user cannot move unless some channel
 ///   *changed since its park* now has `k·(φ_c − m*) > g`. The parked user
-///   is therefore filed at threshold `m* + g/k`, and every load change
-///   pops the parked prefix under the changed channel's current `φ_c`.
+///   is therefore filed at threshold `m* + g/k`, tested against the
+///   global horizon `max_c φ_c` over the *current* loads. The crucial
+///   property making the test **lazy-safe** is that the certificate is
+///   *history-free*: a parked user's own channels cannot have changed
+///   (any own-channel load change wakes it through the shelf), so `m*`,
+///   its utility and `g` are still live, and at any later moment it can
+///   move iff some channel's current `φ_c` exceeds its threshold — the
+///   identical-rank round scan therefore delivers a tempted user exactly
+///   when its check would run, and a horizon spike that subsided before
+///   that rank (a vacated channel the next taker in rank order refills)
+///   provably wakes nobody. The eager heap popped every user under the
+///   spike — `O(|N|)` futile re-checks per move during a rebalancing
+///   trickle, the thundering herd that made large-population departures
+///   and rate shifts quadratic.
 ///   At an exact equilibrium the front-line entry payoff equals the
-///   weakest kept marginal bit-for-bit and `g = tol`, so the `tol/k`
+///   weakest kept marginal bit-for-bit and `g = ε`, so the `ε/k`
 ///   margin keeps indifferent users parked — a move that merely restores
 ///   balance wakes nobody beyond the occupants, which is what makes
 ///   equilibrium maintenance `O(occupants)` instead of `O(|N|)`.
@@ -887,14 +986,14 @@ impl Ord for ParkEntry {
 ///   accumulates `T = Σ D_c` over all moves and channels, and a
 ///   user parked with slack `g` at clock `T₀` is filed at `T₀ + g` —
 ///   correct for arbitrary payoffs, but conservative near equilibria
-///   (where `g ≈ tol`, any improvement anywhere wakes the world; the
+///   (where `g ≈ ε`, any improvement anywhere wakes the world; the
 ///   route is exact, just less output-sensitive).
 ///
-/// Both routes pop with a small relative epsilon so floating-point
-/// rounding can only cause extra (harmless) wake-ups, never a missed
-/// one. Conservative (superset) wake-ups are harmless: a woken no-op
-/// user is checked and re-parked exactly as the sweep would have checked
-/// it, so the trace cannot differ. Ordering preserves the sweep
+/// Both routes test thresholds with a small relative epsilon so
+/// floating-point rounding can only cause extra (harmless) wake-ups,
+/// never a missed one. Conservative (superset) wake-ups are harmless: a
+/// woken no-op user is checked and re-parked exactly as the sweep would
+/// have checked it, so the trace cannot differ. Ordering preserves the sweep
 /// semantics: the worklist pops by ascending epoch rank, and a wake
 /// caused by a move at rank `r` lands in the current epoch when the
 /// woken rank is `> r` (the sweep would still reach it this round) and
@@ -913,21 +1012,42 @@ pub struct ActiveSetDynamics {
     /// Whether the separable-monotone (first-entry-payoff) wake rule
     /// applies — always equal to the engine routing predicate.
     concave: bool,
-    /// Parked flag per user; the slack lives in the heap entry.
+    /// Parked flag per user; the threshold lives in the temptation
+    /// index.
     parked: Vec<bool>,
-    /// Park generation per user (stale heap and shelf entries are
-    /// skipped).
+    /// Park generation per user (stale shelf entries are skipped).
     stamp: Vec<u32>,
-    /// The parked-occupant shelf: per channel, `(user, stamp)` entries
-    /// filed at park time for each of the user's occupied channels.
-    /// Append-only with lazy stamp invalidation; a touch drains it.
-    shelf: Vec<Vec<(u32, u32)>>,
+    /// The parked-occupant shelf: per channel, `(user, stamp,
+    /// park_load)` entries filed at park time for each of the user's
+    /// occupied channels, where `park_load` is the channel's load at the
+    /// moment of the park. Append-only with lazy stamp invalidation. A
+    /// touch wakes the live entries whose recorded load differs from
+    /// the new one (an entry at the identical load sits in exactly its
+    /// park-time state and provably cannot move); woken entries *stay
+    /// filed* so a delivery re-validation ([`Self::cert_intact`]) can
+    /// re-park the user under the same stamp without re-filing.
+    shelf: Vec<Vec<(u32, u32, u32)>>,
     /// DP route: global temptation clock `T` — the cumulative sum of
     /// per-channel column improvements across all moves (monotone).
     clock: f64,
-    /// Threshold min-heap over parked users (first-entry-payoff or clock
-    /// keyed, per the route).
-    tempt: BinaryHeap<ParkEntry>,
+    /// Concave route: per-channel first-entry payoff `φ_c = f(c, load_c,
+    /// 1)` at the *current* loads (empty on the generic route),
+    /// maintained at every load or rate mutation.
+    phi: Vec<f64>,
+    /// Cached `max_c φ_c` — the global temptation horizon the lazy scan
+    /// and the eager drain test park thresholds against.
+    phi_max: f64,
+    /// Lazy temptation index over parked users (first-entry-payoff or
+    /// clock keyed, per the route).
+    tempt: TemptIndex,
+    /// Whether every parked threshold at or under the current horizon
+    /// has been verified futile against the **current** state — set by
+    /// a moveless round, cleared by any load or price mutation. Gates
+    /// the temptation scan/drain: a converged engine whose state nobody
+    /// touches answers `run` in O(1) with zero checks, even when
+    /// eps-indifferent users park within the pop margin of the horizon
+    /// (their certificates were just checked; nothing changed).
+    quiet: bool,
     /// In-flight round worklist, popped by ascending `(rank, user)`.
     cur: BinaryHeap<Reverse<(u32, u32)>>,
     in_cur: Vec<bool>,
@@ -937,6 +1057,22 @@ pub struct ActiveSetDynamics {
     /// Largest radio budget (depth of the `D_c` column maxima).
     k_max: u32,
     counters: DynCounters,
+    /// Park-time own-channel loads, `k_max`-strided per user in row
+    /// order (`park_loads[u·k_max + i]` pairs with `s.row(u)[i]`): the
+    /// state the user's certificate was computed against, read by the
+    /// O(k) delivery re-validation ([`Self::cert_intact`]).
+    park_loads: Vec<u32>,
+    /// The threshold each user was last parked at (`+∞` before the
+    /// first park). Survives the wake (the temptation-index slot is
+    /// reset to `+∞` on wake) so a delivered user's certificate can be
+    /// re-validated and re-filed without recomputing `m*`.
+    last_thr: Vec<f64>,
+    /// Set when something other than an own-channel *load* change broke
+    /// the user's park certificate — its own row was replaced, or an
+    /// occupied channel was repriced — and cleared on every full park.
+    /// While set, delivery re-validation is disabled and the next
+    /// delivery pays the full check.
+    cert_stale: Vec<bool>,
     scratch_old: Vec<SparseEntry>,
     scratch_touched: Vec<ChannelId>,
     scratch_old_loads: Vec<u32>,
@@ -954,6 +1090,14 @@ impl ActiveSetDynamics {
         let k_max = UserId::all(n).map(|u| game.radios_of(u)).max().unwrap_or(0);
         let n_channels = s.n_channels();
         let concave = engine.is_heap();
+        let phi: Vec<f64> = if concave {
+            (0..n_channels)
+                .map(|c| game.channel_payoff(ChannelId(c), loads.load(ChannelId(c)), 1))
+                .collect()
+        } else {
+            Vec::new()
+        };
+        let phi_max = phi.iter().fold(f64::NEG_INFINITY, |a, &b| a.max(b));
         ActiveSetDynamics {
             s,
             loads,
@@ -963,7 +1107,10 @@ impl ActiveSetDynamics {
             stamp: vec![0; n],
             shelf: vec![Vec::new(); n_channels],
             clock: 0.0,
-            tempt: BinaryHeap::new(),
+            phi,
+            phi_max,
+            tempt: TemptIndex::new(n),
+            quiet: false,
             cur: BinaryHeap::new(),
             in_cur: vec![false; n],
             pending: (0..n as u32).collect(),
@@ -973,6 +1120,9 @@ impl ActiveSetDynamics {
                 activations: n as u64,
                 ..DynCounters::default()
             },
+            park_loads: vec![0; n * k_max as usize],
+            last_thr: vec![f64::INFINITY; n],
+            cert_stale: vec![true; n],
             scratch_old: Vec::new(),
             scratch_touched: Vec::new(),
             scratch_old_loads: Vec::new(),
@@ -1046,6 +1196,13 @@ impl ActiveSetDynamics {
         let n = self.s.n_users();
         debug_assert!(perm.is_none_or(|p| p.len() == n), "rank table shape");
         debug_assert!(self.cur.is_empty(), "previous round fully drained");
+        // Under a custom rank permutation the lazy in-order temptation
+        // scan does not apply (scan order is user id, not rank): drain
+        // every currently-tempted user into this round's worklist up
+        // front instead.
+        if perm.is_some() {
+            self.drain_tempted(None);
+        }
         // Promote the pending epoch into the ranked worklist.
         for i in 0..self.pending.len() {
             let v = self.pending[i];
@@ -1061,31 +1218,118 @@ impl ActiveSetDynamics {
 
         let mut moved = false;
         let mut checks = 0u64;
-        while let Some(Reverse((rank_u, u))) = self.cur.pop() {
-            self.in_cur[u as usize] = false;
+        // Identity-rank rounds interleave two ascending streams: the
+        // scheduled worklist (`cur`) and a **lazy temptation scan** over
+        // the park-threshold index. The scan asks, at the moment the
+        // round reaches rank `r`, "who is the first still-parked user at
+        // or after `r` that the horizon *now in force* tempts" — so a
+        // transient horizon spike that subsides after the move that
+        // caused it (a vacated channel the next taker refills) wakes
+        // only the users checked while it was live, not every parked
+        // user under it. Move traces are unchanged: a parked user can
+        // move at its rank iff some changed channel's φ exceeds its
+        // threshold *at that moment* (the park certificate is
+        // history-free — see the module docs), which is exactly the scan
+        // condition; the users the eager heap woke beyond that set were
+        // guaranteed futile re-checks.
+        let lazy = perm.is_none();
+        let mut scan_from: usize = 0;
+        let mut h = self.pop_horizon();
+        loop {
+            let tempted = if lazy && !self.quiet {
+                self.tempt.first_below(scan_from, h)
+            } else {
+                None
+            };
+            let take_tempted = match (self.cur.peek(), tempted) {
+                (Some(&Reverse((rank, _))), Some(t)) => (t as u32) < rank,
+                (None, Some(_)) => true,
+                (Some(_), None) => false,
+                (None, None) => break,
+            };
+            let (rank_u, u) = if take_tempted {
+                let t = tempted.unwrap();
+                self.tempt.set(t, f64::INFINITY);
+                self.parked[t] = false;
+                self.counters.temptation_wakeups += 1;
+                self.counters.activations += 1;
+                (t as u32, t as u32)
+            } else {
+                let Reverse((rank, u)) = self.cur.pop().expect("peeked entry");
+                self.in_cur[u as usize] = false;
+                (rank, u)
+            };
+            if lazy {
+                // Sweep order never revisits a rank: advancing the scan
+                // past *every* processed position (not just delivered
+                // temptations — the merge already proved nothing is
+                // tempted below this rank under the current horizon)
+                // keeps a mover that re-parks under a spiked horizon
+                // from being re-checked in its own round, exactly as a
+                // wake at rank ≤ r would route to the next epoch.
+                scan_from = rank_u as usize + 1;
+            }
+            // A scheduled user whose park certificate survived the wake
+            // that scheduled it (a transient excursion the next taker
+            // undid before this rank came up) is re-parked for O(k)
+            // instead of paying an engine query — the sweep's check here
+            // would provably find nothing, so the trace is unchanged and
+            // the delivery books as a skipped check. Tree deliveries
+            // can't qualify (their threshold is at or under the horizon,
+            // failing condition (c)), so only worklist pops are tested.
+            if !take_tempted && self.cert_intact(game, u as usize) {
+                self.repark_unchanged(u as usize);
+                continue;
+            }
             let user = UserId(u as usize);
             checks += 1;
             let before = utility_sparse(game, &self.s, &self.loads, user);
             let (br, after) = self
                 .engine
                 .best_response(game, self.s.row(user), &self.loads, user);
-            if after > before + UTILITY_TOLERANCE {
+            if improves(before, after) {
                 self.apply_row_inner(game, user, &br, Some((rank_u, perm)));
                 // The mover now sits exactly at its best response, so its
-                // slack is the bare improvement tolerance.
-                self.park_user(game, u, &br, UTILITY_TOLERANCE);
+                // slack is the bare improvement epsilon at its new value.
+                self.park_user(game, u, &br, improvement_eps(after, after));
                 if let Some(t) = trace.as_deref_mut() {
                     t.push((user, row_to_vector(&br, self.s.n_channels())));
                 }
                 self.counters.moves += 1;
                 moved = true;
+                // The move shifted loads, so the scan horizon may have
+                // moved (in either direction).
+                h = self.pop_horizon();
             } else {
                 self.park_user(game, u, &br, park_slack(before, after));
             }
         }
+        debug_assert!(checks <= n as u64, "one check per user per round");
         self.counters.checks += checks;
         self.counters.skipped_checks += n as u64 - checks;
+        if !moved {
+            // Every scheduled or tempted user just verified its
+            // certificate against a state this round did not change:
+            // until the next mutation, the scan has nothing to deliver.
+            self.quiet = true;
+        }
         moved
+    }
+
+    /// The horizon park thresholds are tested against: the largest
+    /// current first-entry payoff `max_c φ_c` (concave route) or the
+    /// temptation clock (generic route), plus the purely-relative pop
+    /// margin (see [`drain_tempted`](Self::drain_tempted) for why the
+    /// margin has no absolute floor). With no channels at all `φ_max`
+    /// is `−∞` and the expression is NaN — which every threshold
+    /// comparison rejects, correctly: nothing can tempt anyone.
+    fn pop_horizon(&self) -> f64 {
+        let h = if self.concave {
+            self.phi_max
+        } else {
+            self.clock
+        };
+        h + 1e-12 * h.abs()
     }
 
     /// Best response of `user` against the *current* state without
@@ -1103,7 +1347,7 @@ impl ActiveSetDynamics {
         let (br, after) = self
             .engine
             .best_response(game, self.s.row(user), &self.loads, user);
-        if after > before + UTILITY_TOLERANCE {
+        if improves(before, after) {
             Some(br)
         } else {
             // Unschedule (lazily) and park with the recorded slack.
@@ -1125,6 +1369,148 @@ impl ActiveSetDynamics {
     ) {
         self.apply_row_inner(game, user, new_row, None);
         self.wake(user.0 as u32, None);
+        // External callers (the distributed protocol above all) observe
+        // settledness through `is_settled`, i.e. the `parked` flags — so
+        // an external change must wake every tempted user *eagerly*; the
+        // lazy in-round scan only covers callers that drive `run`.
+        self.drain_tempted(None);
+    }
+
+    /// Grow the population **in place**: for every user the game knows
+    /// beyond the engine's current count, append an empty CSR row
+    /// (amortized-doubling arena append, typed [`Error`] on slot-arena
+    /// overflow), extend the per-user worklist books, and schedule the
+    /// arrival — one dirty worklist entry per new user, the churn
+    /// service's arrival path. No other repair is needed: an empty row
+    /// changes no load, so existing certificates stay valid. On the
+    /// generic route a budget above the cached DP column depth rebuilds
+    /// the cache. Call between rounds (like
+    /// [`apply_row`](Self::apply_row)); the game must already report the
+    /// grown population.
+    pub fn grow_users<G: ChannelGame + ?Sized>(&mut self, game: &G) -> Result<(), Error> {
+        let old_n = self.s.n_users();
+        let new_n = game.n_users();
+        debug_assert!(new_n >= old_n, "population only grows in place");
+        for u in old_n..new_n {
+            let k = game.radios_of(UserId(u));
+            self.s.push_row(k)?;
+            self.parked.push(false);
+            self.stamp.push(0);
+            self.in_cur.push(false);
+            self.in_pending.push(false);
+            self.tempt.push();
+            self.last_thr.push(f64::INFINITY);
+            self.cert_stale.push(true);
+            if k > self.k_max {
+                self.k_max = k;
+                // The park-load snapshots are `k_max`-strided; a deeper
+                // stride invalidates every recorded offset. Rare (the
+                // first arrival with a record budget), so re-stride by
+                // wholesale invalidation.
+                self.cert_stale.iter_mut().for_each(|s| *s = true);
+                if !self.concave {
+                    // The DP cache's column depth is `k_max + 1`; a
+                    // deeper budget needs a rebuild.
+                    self.engine = BrEngine::new(game, &self.loads);
+                }
+            }
+            self.wake(u as u32, None);
+        }
+        self.park_loads.resize(new_n * self.k_max as usize, 0);
+        Ok(())
+    }
+
+    /// Retire `user` from the population: clear its row through the full
+    /// wake machinery (shelf occupants of its channels are woken
+    /// eagerly; the vacated channels raise the temptation horizon, and
+    /// the next [`run`](Self::run)'s lazy scan delivers whoever it still
+    /// tempts when their rank comes up — at scale a departure transiently
+    /// tempts half the population, so an eager wake here would herd),
+    /// then park it under an **infinite** threshold so no future horizon
+    /// ever re-checks it. The row's arena slots stay allocated (a tombstone —
+    /// population indices are stable); the caller is expected to have
+    /// zeroed the user's budget in the game, so a from-scratch solve of
+    /// the same population parks it as a no-op as well. Call between
+    /// rounds.
+    pub fn retire_user<G: ChannelGame + ?Sized>(&mut self, game: &G, user: UserId) {
+        debug_assert!(!self.in_cur[user.0], "retire outside a running round");
+        self.apply_row_inner(game, user, &[], None);
+        // The drain above may have woken the retiree itself (it was an
+        // occupant of its own channels when parked): lazily unschedule,
+        // then file the terminal park — an empty row files no shelf
+        // entries, and `∞` never matches a horizon query.
+        self.in_pending[user.0] = false;
+        self.file_parked(user.0 as u32, f64::INFINITY);
+    }
+
+    /// Re-price channel `c` after the game's payoff for it changed *in
+    /// place* (a churn rate-shift event): repair the engine column, wake
+    /// the channel's parked occupants (their utilities changed, in
+    /// either direction), and raise the temptation horizon — the
+    /// channel's new first-entry payoff enters `φ` (concave route) or
+    /// the clock advances by `max_t (f_new(t) − f_old(t))⁺` (generic
+    /// route), where `old_payoff(t)` must return the channel's payoff at
+    /// the *current* load for `t` own radios under the pre-change rates.
+    /// Tempted non-occupants are **not** scheduled here: the next
+    /// [`run`](Self::run)'s lazy scan discovers them in rank order under
+    /// the horizon in force when their rank comes up, so a price spike
+    /// the first few takers absorb never wakes the long tail of parked
+    /// users it transiently tempted. (This is the churn service's
+    /// contract — drive re-convergence through `run`; callers that
+    /// observe settledness directly must use
+    /// [`apply_row`](Self::apply_row), which drains eagerly.)
+    ///
+    /// Soundness mirrors the load-change wake rule: a payoff drop cannot
+    /// raise any non-occupant's best response (and parked certificates
+    /// survive drops on their recorded best-response channels — the
+    /// exchange argument in the module docs uses the park-time marginals
+    /// regardless of later drops), while a rise is covered by the φ/clock
+    /// horizon exactly like a vacated channel. Call between rounds.
+    pub fn reprice_channel<G: ChannelGame + ?Sized>(
+        &mut self,
+        game: &G,
+        c: ChannelId,
+        old_payoff: &dyn Fn(u32) -> f64,
+    ) {
+        self.quiet = false;
+        self.engine.repair(game, &self.loads, &[c]);
+        // Drain the shelf unconditionally — the load-keyed filter in
+        // wake_occupants would skip the channel because its *load* is
+        // unchanged, but the payoffs under that load are not, and a
+        // price change breaks occupant certificates in both directions.
+        let mut entries = std::mem::take(&mut self.shelf[c.0]);
+        for &(v, st, _) in &entries {
+            if self.stamp[v as usize] == st {
+                // A price change breaks the certificate in a way no
+                // load comparison can see: the recorded snapshot must
+                // not pass delivery re-validation. (Entries are cleared
+                // below, so a re-validated re-park — which relies on
+                // its shelf entries still being filed — must be
+                // impossible for these users.)
+                self.cert_stale[v as usize] = true;
+                if self.parked[v as usize] {
+                    self.counters.occupant_wakeups += 1;
+                    self.wake(v, None);
+                }
+            }
+        }
+        entries.clear();
+        self.shelf[c.0] = entries;
+        if self.concave {
+            self.refresh_phi(game, &[c]);
+        } else {
+            let load = self.loads.load(c);
+            let mut d = 0.0f64;
+            for t in 1..=self.k_max {
+                let diff = game.channel_payoff(c, load, t) - old_payoff(t);
+                if diff > d {
+                    d = diff;
+                }
+            }
+            if d > 0.0 {
+                self.clock += d;
+            }
+        }
     }
 
     /// Replace `user`'s row, maintaining loads, occupant index and
@@ -1148,78 +1534,106 @@ impl ActiveSetDynamics {
         old_loads.clear();
         old_loads.extend(touched.iter().map(|&c| self.loads.load(c)));
 
+        self.quiet = false;
+        // The subject's row is about to change: its recorded park
+        // snapshot (if any) no longer describes its own channels, so the
+        // delivery re-validation must not trust it.
+        self.cert_stale[user.0] = true;
         self.loads.replace_sparse_row(&old, new_row);
         self.s.set_row(user, new_row);
         self.engine.repair(game, &self.loads, &touched);
-        self.wake_touched(game, &touched, &old_loads, route);
+        self.refresh_phi(game, &touched);
+        self.wake_occupants(game, &touched, &old_loads, route);
 
         self.scratch_old = old;
         self.scratch_touched = touched;
         self.scratch_old_loads = old_loads;
     }
 
-    /// Wake every user a load change on `touched` could have tempted:
-    /// drain the parked-occupant shelves and pop the temptation heap
-    /// under the round's horizon (concave route) or the advanced clock
-    /// (generic route). `old_loads[i]` is channel `touched[i]`'s load
-    /// *before* the change — the loads themselves must already be
-    /// current. Shared by the per-move path ([`apply_row_inner`]) and the
-    /// parallel bulk-commit path, so both wake exactly the same set.
-    fn wake_touched<G: ChannelGame + ?Sized>(
+    /// Refresh the cached first-entry payoffs (and their max) for the
+    /// touched channels — concave route only; call after the loads and
+    /// the engine are current. When a touched channel held the old max
+    /// and dropped, the max is recomputed over all channels: O(C), paid
+    /// only on the (rare) moves that lower the global horizon.
+    fn refresh_phi<G: ChannelGame + ?Sized>(&mut self, game: &G, touched: &[ChannelId]) {
+        if !self.concave {
+            return;
+        }
+        let mut dropped_max = false;
+        for &c in touched {
+            let new = game.channel_payoff(c, self.loads.load(c), 1);
+            let old = self.phi[c.0];
+            self.phi[c.0] = new;
+            if new >= self.phi_max {
+                self.phi_max = new;
+            } else if old == self.phi_max {
+                dropped_max = true;
+            }
+        }
+        if dropped_max {
+            self.phi_max = self.phi.iter().fold(f64::NEG_INFINITY, |a, &b| a.max(b));
+        }
+    }
+
+    /// The shelf-filter half of the wake machinery: wake the parked
+    /// occupants of every touched channel whose certificates the new
+    /// state invalidates, and (generic route) advance the temptation
+    /// clock. `old_loads[i]` is channel `touched[i]`'s load *before* the
+    /// change — the loads themselves must already be current. Shared by
+    /// the per-move path ([`apply_row_inner`]) and the parallel
+    /// bulk-commit path, so both wake exactly the same occupant set;
+    /// non-occupant temptation is covered by the `φ`/clock horizon,
+    /// tested lazily (the round scan, [`drain_tempted`]).
+    ///
+    /// A live entry `(v, stamp, park_load)` is woken iff the channel's
+    /// load differs from `park_load` — when they are equal the channel
+    /// sits in **exactly** the state `v`'s certificate was computed
+    /// against (a parked user's own radios on it cannot have moved), so
+    /// the certificate's own-channel premise is intact verbatim and the
+    /// `φ`/clock horizon covers everything else. When they differ the
+    /// wake is mandatory in general: a heavier channel degrades `v`'s
+    /// current utility and the own kept marginals its `m*` is anchored
+    /// on; a lighter one raises the channel's own-entry marginals,
+    /// which the `φ` horizon (a *fresh-entrant* bound) does not cover.
+    ///
+    /// Woken entries **stay filed**: the wake may prove transient (the
+    /// next taker in rank order restores the load before `v`'s rank
+    /// comes up), in which case the O(k) delivery re-validation
+    /// ([`Self::cert_intact`]) re-parks `v` under its existing stamp
+    /// and the entry resumes meaning. Entries are dropped only when
+    /// their stamp goes stale (a full re-park re-files a fresh one).
+    fn wake_occupants<G: ChannelGame + ?Sized>(
         &mut self,
         game: &G,
         touched: &[ChannelId],
         old_loads: &[u32],
         route: Option<(u32, Option<&[u32]>)>,
     ) {
-        let mut horizon = f64::NEG_INFINITY;
-        let clock_before = self.clock;
         for (i, &c) in touched.iter().enumerate() {
             let new_l = self.loads.load(c);
             if new_l == old_loads[i] {
                 continue; // kept channel with an unchanged count
             }
-            // (i) Parked occupants: their current utility (or a
-            // corrected own column) changed — drain the channel's shelf
-            // and wake every still-live entry. (A parked user's row
-            // cannot have changed since it filed the entry, so a live
-            // stamp implies it still occupies the channel.)
+            // (i) Parked occupants. (A parked user's row cannot have
+            // changed since it filed the entry, so a live stamp implies
+            // it still occupies the channel.)
             let mut entries = std::mem::take(&mut self.shelf[c.0]);
-            for &(v, st) in &entries {
-                if self.parked[v as usize] && self.stamp[v as usize] == st {
+            entries.retain(|&(v, st, _)| self.stamp[v as usize] == st);
+            for &(v, _, park_load) in &entries {
+                if self.parked[v as usize] && new_l != park_load {
                     self.counters.occupant_wakeups += 1;
                     self.wake(v, route);
                 }
             }
-            entries.clear();
-            // Hand the allocation back so re-parks reuse it.
             self.shelf[c.0] = entries;
             // (ii) Everyone else, per route: a changed channel can tempt
             // a non-occupant only up to its *current* first-entry payoff
-            // (concave route), or up to the clock's cumulative column
+            // (concave route — `refresh_phi` has already folded it into
+            // the horizon), or up to the clock's cumulative column
             // improvement (generic route).
-            if self.concave {
-                let phi = game.channel_payoff(c, new_l, 1);
-                if phi > horizon {
-                    horizon = phi;
-                }
-            } else {
+            if !self.concave {
                 self.advance_clock(game, c, old_loads[i], new_l);
             }
-        }
-        // Pops run only when something actually improved — a no-op
-        // apply (all counts kept) must not touch the heap at all (an
-        // unguarded `NEG_INFINITY + ∞·ε` horizon would be NaN and drain
-        // it). The epsilons are relative and sit well under the `tol/k`
-        // park margin, so rounding can only add harmless wakes, and
-        // exact-equilibrium indifference (φ == m* bit-for-bit) never
-        // pops.
-        if self.concave {
-            if horizon > f64::NEG_INFINITY {
-                self.pop_tempted(horizon + 1e-12 * (1.0 + horizon.abs()), route);
-            }
-        } else if self.clock > clock_before {
-            self.pop_tempted(self.clock + 1e-12 * (1.0 + self.clock.abs()), route);
         }
     }
 
@@ -1245,18 +1659,32 @@ impl ActiveSetDynamics {
         }
     }
 
-    /// Pop every parked user whose threshold lies at or under `horizon`
-    /// (the routes bake a small relative epsilon into it, so rounding can
-    /// only cause extra — harmless — wakes, never a missed one).
-    fn pop_tempted(&mut self, horizon: f64, route: Option<(u32, Option<&[u32]>)>) {
-        while let Some(&top) = self.tempt.peek() {
-            if top.threshold > horizon {
-                break;
-            }
-            self.tempt.pop();
-            if self.parked[top.user as usize] && self.stamp[top.user as usize] == top.stamp {
+    /// Eagerly wake every parked user the **current** horizon tempts.
+    /// Used where the lazy in-round scan cannot run: external
+    /// perturbations ([`apply_row`](Self::apply_row) — the protocol
+    /// reads settledness off the `parked` flags, so deferring the wake
+    /// would hide a live temptation), custom-permutation rounds (scan
+    /// order is rank, the index is keyed by id), and the parallel
+    /// round's batch drain. The pop margin baked into
+    /// [`pop_horizon`](Self::pop_horizon) is *purely* relative — no
+    /// absolute floor — so at any payoff scale it sits ~1000× under the
+    /// `ε_u/k` park margin (the mover slack is `UTILITY_TOLERANCE·|u|`,
+    /// the pop margin `1e-12·|φ|` with `|u| ≥ m* ≈ φ` on the concave
+    /// route): rounding can only add harmless wakes, and
+    /// exact-equilibrium indifference (φ == m* bit-for-bit) never pops.
+    /// A `1 + |h|` floor would wake every near-indifferent parked user
+    /// per drain once utilities drop below ~1e-3 — at 10⁷ users that
+    /// turns O(occupants) equilibrium maintenance back into O(|N|).
+    fn drain_tempted(&mut self, route: Option<(u32, Option<&[u32]>)>) {
+        if self.quiet {
+            return; // every threshold under the horizon is verified futile
+        }
+        let h = self.pop_horizon();
+        while let Some(u) = self.tempt.first_below(0, h) {
+            self.tempt.set(u, f64::INFINITY);
+            if self.parked[u] {
                 self.counters.temptation_wakeups += 1;
-                self.wake(top.user, route);
+                self.wake(u as u32, route);
             }
         }
     }
@@ -1266,6 +1694,11 @@ impl ActiveSetDynamics {
     fn wake(&mut self, v: u32, route: Option<(u32, Option<&[u32]>)>) {
         let vi = v as usize;
         self.parked[vi] = false;
+        // Keep the temptation index in lock-step with the park flag: a
+        // finite tree slot must imply a parked user, or the lazy scan
+        // would re-deliver someone already scheduled (and double-check
+        // it within one round).
+        self.tempt.set(vi, f64::INFINITY);
         if self.in_cur[vi] || self.in_pending[vi] {
             return;
         }
@@ -1338,36 +1771,110 @@ impl ActiveSetDynamics {
         self.parked[ui] = true;
         self.stamp[ui] = self.stamp[ui].wrapping_add(1);
         let stamp = self.stamp[ui];
-        // File the user on its channels' shelves: a later touch of any
-        // of them drains the shelf and wakes it. O(k) per park.
+        // File the user on its channels' shelves with the load each
+        // certificate was computed against: a later touch of any of them
+        // wakes the entries the new load actually invalidates, and the
+        // recorded loads double as the delivery re-validation snapshot.
+        // O(k) per park.
         for i in 0..self.s.row(UserId(ui)).len() {
             let c = self.s.row(UserId(ui))[i].0 as usize;
+            let park_load = self.loads.load(ChannelId(c));
+            self.park_loads[ui * self.k_max as usize + i] = park_load;
             let list = &mut self.shelf[c];
-            list.push((u, stamp));
+            list.push((u, stamp, park_load));
             // Compact when stale entries pile up (valid entries are
             // bounded by the channel's parked occupancy).
-            if list.len() > 2 * self.loads.load(ChannelId(c)) as usize + 64 {
-                let parked = &self.parked;
+            if list.len() > 2 * park_load as usize + 64 {
                 let stamps = &self.stamp;
-                list.retain(|&(v, st)| parked[v as usize] && stamps[v as usize] == st);
+                list.retain(|&(v, st, _)| stamps[v as usize] == st);
             }
         }
-        self.tempt.push(ParkEntry {
-            threshold,
-            user: u,
-            stamp,
-        });
-        // Garbage-collect stale entries so the heap stays O(|N|).
-        if self.tempt.len() > 4 * self.parked.len() + 64 {
-            let stamps = &self.stamp;
-            let parked = &self.parked;
-            let live: Vec<ParkEntry> = self
-                .tempt
-                .drain()
-                .filter(|e| parked[e.user as usize] && stamps[e.user as usize] == e.stamp)
-                .collect();
-            self.tempt = BinaryHeap::from(live);
+        self.last_thr[ui] = threshold;
+        self.cert_stale[ui] = false;
+        self.tempt.set(ui, threshold);
+    }
+
+    /// O(k) delivery re-validation: is the park certificate `u` was last
+    /// filed under provably intact against the **current** state?
+    ///
+    /// True iff (a) nothing but own-channel loads could have broken it
+    /// (`cert_stale` is clear — the row is unchanged and no occupied
+    /// channel was repriced since the park), (b) every own channel sits
+    /// at or *below* its park-time load — at the identical load the
+    /// channel is bit-for-bit in its park state (an excursion that rose
+    /// and subsided leaves the same state as one that never happened);
+    /// below it, `current` and the own kept marginals only rose, which
+    /// strengthens the certificate, provided the one temptation a
+    /// lighter own channel adds is ruled out: *deepening into it*. That
+    /// entering marginal is exactly `μ = f(c, o, t+1) − f(c, o, t)`
+    /// (own count `t`, `o = load − t` others; deeper additions are
+    /// smaller by concavity), so `μ` under the threshold closes the
+    /// gap — concave route only, and only when the user has another
+    /// channel to pull a radio from. And (c) the threshold still clears
+    /// the horizon (`φ_max`/clock with the pop margin — the same test
+    /// the lazy scan applies, covering temptation through every
+    /// *other* channel). Under (a)–(c) the park-time displacement
+    /// inequality certifies "no improving deviation" at the current
+    /// state, so a full check would provably find nothing: the woken
+    /// user can be re-parked in place.
+    ///
+    /// This is what makes an equilibrium trickle cost O(1) per parked
+    /// occupant per move instead of a full engine query. A move in the
+    /// trickle's swap chain displaces one channel up and one down; the
+    /// up side is healed by the next taker in rank order (so deliveries
+    /// behind it see the park-time load again — case (b) equality), and
+    /// the down side parks its whole occupancy one step light until the
+    /// chain closes — case (b) `μ`-bound, which at an equilibrium sits
+    /// below `m*` because one step of load cannot lift a deeper
+    /// marginal above the kept ones.
+    fn cert_intact<G: ChannelGame + ?Sized>(&self, game: &G, u: usize) -> bool {
+        if self.cert_stale[u] || self.last_thr[u] <= self.pop_horizon() {
+            return false;
         }
+        let row = self.s.row(UserId(u));
+        let base = u * self.k_max as usize;
+        let thr = self.last_thr[u];
+        for (i, &(c, t)) in row.iter().enumerate() {
+            let l = self.loads.load(ChannelId(c as usize));
+            let park = self.park_loads[base + i];
+            if l == park {
+                continue;
+            }
+            if l > park || !self.concave {
+                // Heavier than the certificate's state (utility and the
+                // kept marginals degraded — only a full check can
+                // decide), or no marginal structure to reason with.
+                return false;
+            }
+            // Lighter than park: utility and the kept marginals on `c`
+            // only rose, which strengthens the certificate. The one
+            // temptation a lighter own channel adds is deepening into
+            // it — impossible without a spare radio on another channel.
+            if row.len() < 2 {
+                continue;
+            }
+            let o = l - t;
+            let mu = game.channel_payoff(ChannelId(c as usize), o, t + 1)
+                - game.channel_payoff(ChannelId(c as usize), o, t);
+            if mu + 1e-12 * mu.abs() >= thr {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Re-park a delivered user whose certificate [`Self::cert_intact`]
+    /// just proved intact: same stamp (its shelf entries are still
+    /// filed — woken entries are kept, see [`Self::wake_occupants`]),
+    /// same threshold, one temptation-index store. O(log n).
+    fn repark_unchanged(&mut self, u: usize) {
+        debug_assert!(
+            !self.in_cur[u] && !self.in_pending[u],
+            "re-park a scheduled user"
+        );
+        self.counters.revalidated += 1;
+        self.parked[u] = true;
+        self.tempt.set(u, self.last_thr[u]);
     }
 
     // ---- two-phase parallel round hooks (crate::br_par) -------------
@@ -1395,6 +1902,13 @@ impl ActiveSetDynamics {
     /// or re-schedule each one before the round ends.
     pub(crate) fn par_take_batch(&mut self, batch: &mut Vec<u32>) {
         debug_assert!(self.cur.is_empty(), "no sequential round in flight");
+        // Deliver the previous round's lazily-deferred temptations: the
+        // sequential round discovers them mid-scan, but the parallel
+        // round checks batch members concurrently, so everyone the
+        // *current* (post-commit, subsided) horizon still tempts joins
+        // this batch up front. Spikes that subsided within the previous
+        // round's commits wake nobody.
+        self.drain_tempted(None);
         batch.clear();
         for i in 0..self.pending.len() {
             let v = self.pending[i];
@@ -1436,26 +1950,30 @@ impl ActiveSetDynamics {
     }
 
     /// Re-schedule a drained batch member into the next epoch without a
-    /// park certificate (committed movers, and conflicting candidates
-    /// the round's live-query budget cut off before probing — see the
-    /// module docs of [`crate::br_par`]).
+    /// park certificate (conflicting candidates the round's live-query
+    /// budget cut off before probing — they carry no valid certificate,
+    /// see the module docs of [`crate::br_par`]).
     pub(crate) fn par_schedule(&mut self, u: u32) {
         self.wake(u, None);
     }
 
     /// Commit one conflicting candidate's row after live revalidation —
     /// the full per-move path: loads, CSR row, engine repair, wakes, and
-    /// the mover re-scheduled.
+    /// the mover parked at its live best response (`after` is the live
+    /// best-response value the caller just computed), exactly as the
+    /// sequential round parks its movers. Re-scheduling it instead would
+    /// burn a guaranteed no-op re-check next round.
     pub(crate) fn par_commit_one<G: ChannelGame + ?Sized>(
         &mut self,
         game: &G,
         u: u32,
         new_row: &[SparseEntry],
+        after: f64,
     ) {
         self.apply_row_inner(game, UserId(u as usize), new_row, None);
         self.counters.moves += 1;
         self.counters.committed += 1;
-        self.wake(u, None);
+        self.park_user(game, u, new_row, improvement_eps(after, after));
     }
 
     /// Recompute a conflicting candidate's best response against the
@@ -1484,27 +2002,44 @@ impl ActiveSetDynamics {
     /// Commit a batch of **channel-disjoint** moves in one pass: the load
     /// deltas of all rows are folded and applied as a single sorted,
     /// cache-blocked sweep ([`ChannelLoads::apply_sparse_deltas`]), then
-    /// each commit's CSR row swap, engine repair and wake drain run in
-    /// the given (ascending-id) order. Because the touched channel sets
-    /// are pairwise disjoint — debug-asserted under `paranoid-checks` —
-    /// the committed rows are still *exact* best responses at commit
-    /// time, and the wake sequence is identical to applying the moves
-    /// one at a time.
+    /// the CSR row swaps and engine repairs, then — in the given
+    /// (ascending-id) order — every commit's shelf drain, every mover's
+    /// park under its Phase-A certificate (`cert`, the third tuple
+    /// element), and finally one temptation pop under the batch's merged
+    /// horizon. Because the touched channel sets are pairwise disjoint —
+    /// debug-asserted under `paranoid-checks` — the committed rows are
+    /// still *exact* best responses at commit time and each mover's
+    /// precomputed certificate (snapshot loads, own move excluded) is
+    /// bit-identical to what [`park_user`](Self::park_user) would compute
+    /// live.
+    ///
+    /// The drains-then-parks-then-pop order is the soundness key for
+    /// parking movers instead of re-scheduling them: a mover is never
+    /// woken by its *own* commit's shelf drain (it is not parked yet
+    /// while drains run, exactly like the sequential per-move path), but
+    /// its filed certificate *is* checked against every commit's
+    /// temptation horizon — so a mover another commit's vacated channel
+    /// now tempts is woken precisely as the sequential dynamics would
+    /// wake it. On the generic route each mover anchors at the pre-batch
+    /// clock plus its **own** commit's advance: its own column changes
+    /// cannot tempt it (best responses optimize over others' loads), but
+    /// the other commits' advances must count against its slack.
     pub(crate) fn par_commit_batch<G: ChannelGame + ?Sized>(
         &mut self,
         game: &G,
-        commits: &[(u32, &[SparseEntry])],
+        commits: &[(u32, &[SparseEntry], f64)],
     ) {
         if commits.is_empty() {
             return;
         }
+        self.quiet = false;
         // Capture per-commit old rows, touched sets and pre-batch loads
         // (the wake rules need the load each channel had before the
         // batch), and fold every row swap into one delta list.
         let mut touched_sets: Vec<Vec<ChannelId>> = Vec::with_capacity(commits.len());
         let mut old_load_sets: Vec<Vec<u32>> = Vec::with_capacity(commits.len());
         let mut deltas: Vec<(u32, i64)> = Vec::new();
-        for &(u, new_row) in commits {
+        for &(u, new_row, _) in commits {
             let old = self.s.row(UserId(u as usize));
             let mut touched = Vec::new();
             touched_channels_into(old, new_row, &mut touched);
@@ -1531,13 +2066,37 @@ impl ActiveSetDynamics {
         }
         deltas.sort_unstable_by_key(|d| d.0);
         self.loads.apply_sparse_deltas(&deltas);
-        for (i, &(u, new_row)) in commits.iter().enumerate() {
+        // Row swaps + engine repairs: every touched channel already
+        // carries its final load, so repair order is irrelevant.
+        for (i, &(u, new_row, _)) in commits.iter().enumerate() {
             self.s.set_row(UserId(u as usize), new_row);
             self.engine.repair(game, &self.loads, &touched_sets[i]);
-            self.wake_touched(game, &touched_sets[i], &old_load_sets[i], None);
             self.counters.moves += 1;
             self.counters.committed += 1;
-            self.wake(u, None);
+            self.refresh_phi(game, &touched_sets[i]);
+        }
+        // Shelf drains in id order, recording each commit's own clock
+        // advance (generic route).
+        let clock_start = self.clock;
+        let mut own_clock_d: Vec<f64> = Vec::with_capacity(commits.len());
+        for i in 0..commits.len() {
+            let before = self.clock;
+            self.wake_occupants(game, &touched_sets[i], &old_load_sets[i], None);
+            own_clock_d.push(self.clock - before);
+        }
+        // File every mover's park (its row is already the new one, so
+        // the shelf entries land on its post-move channels). Tempted
+        // non-movers are *not* scheduled here — the next round's batch
+        // drain ([`par_take_batch`](Self::par_take_batch)) delivers
+        // whoever the settled post-batch horizon still tempts, checking
+        // every filed certificate exactly as the eager pop did.
+        for (i, &(u, _, cert)) in commits.iter().enumerate() {
+            let threshold = if self.concave {
+                cert
+            } else {
+                clock_start + own_clock_d[i] + cert
+            };
+            self.file_parked(u, threshold);
         }
     }
 
@@ -1545,6 +2104,16 @@ impl ActiveSetDynamics {
     /// and deferral counts live there).
     pub(crate) fn counters_mut(&mut self) -> &mut DynCounters {
         &mut self.counters
+    }
+
+    /// Mark the engine quiet after a commit-free parallel round: every
+    /// batch member (scheduled or drained off the temptation index) was
+    /// checked against a state the round did not change, so the next
+    /// batch drain has nothing to deliver until a mutation clears the
+    /// flag — the parallel mirror of the sequential round's moveless
+    /// exit.
+    pub(crate) fn par_mark_quiet(&mut self) {
+        self.quiet = true;
     }
 }
 
@@ -1664,7 +2233,7 @@ pub fn sweep_dynamics_traced<G: ChannelGame + ?Sized>(
         for u in UserId::all(n) {
             let before = utility_sparse(game, &s, &loads, u);
             let (br, after) = engine.best_response(game, s.row(u), &loads, u);
-            if after > before + UTILITY_TOLERANCE {
+            if improves(before, after) {
                 old.clear();
                 old.extend_from_slice(s.row(u));
                 loads.replace_sparse_row(&old, &br);
@@ -1704,7 +2273,7 @@ pub fn nash_check_sparse_cached<G: ChannelGame + ?Sized>(
         let current = utility_sparse(game, s, loads, user);
         let (br, best_u) = engine.best_response(game, s.row(user), loads, user);
         let gain = (best_u - current).max(0.0);
-        if gain > UTILITY_TOLERANCE && witness.is_none() {
+        if improves(current, best_u) && witness.is_none() {
             witness = Some((user, row_to_vector(&br, game.n_channels())));
         }
         gains.push(gain);

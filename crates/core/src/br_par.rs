@@ -29,11 +29,13 @@
 //! results in ascending user id. Non-candidates (no improving
 //! deviation against the snapshot) are parked first — the snapshot is
 //! still live, so their recorded slacks mean exactly what a sequential
-//! check would have recorded; their park certificates (the concave
-//! threshold, or the generic slack) were already computed by the Phase-A
-//! workers against that same snapshot, so filing each park is pure
-//! bookkeeping — no payoff evaluation survives into the serial phase. Candidates are then classified by a
-//! per-round touched-channel set:
+//! check would have recorded; every Phase-A worker precomputes a park
+//! certificate (the complete concave threshold, or the generic slack)
+//! against that same snapshot — for non-candidates from their live
+//! slack, for candidates the zero-slack mover certificate their commit
+//! will be parked under — so filing each park is pure bookkeeping: no
+//! payoff evaluation survives into the serial phase. Candidates are
+//! then classified by a per-round touched-channel set:
 //!
 //! * **Channel-disjoint candidates** — moves whose old ∪ new channels
 //!   avoid every channel already claimed this round — commute, so they
@@ -66,16 +68,28 @@
 //!   plus an `O(|C|)` tail, at the price of at most one extra parallel
 //!   sweep over the first round's conflict set.
 //!
-//! Committed movers (either tier) stay scheduled rather than parked:
-//! earlier commits in the same round may have opened a better deviation
-//! than the snapshot showed, so a mover's fresh best response is
-//! recomputed next round before it may park. Deferred candidates *are*
-//! parked — their live query just proved they cannot improve now, the
-//! strongest certificate the sequential dynamics ever record. Wakes
-//! ride the exact machinery of the sequential engine (occupant shelves,
-//! temptation heap), driven per commit in id order, and reactivate
-//! parked users — deferred or otherwise — whenever a later commit
-//! touches their channels.
+//! Committed movers (either tier) park under a zero-slack certificate
+//! instead of staying scheduled — the same rule the sequential round
+//! applies after a move. A fresh mover sits at its exact best response,
+//! so any later temptation must clear the full relative epsilon, which
+//! is precisely what the certificate encodes; re-scheduling it would
+//! buy one guaranteed-failing re-check per move (PR 6 measured this
+//! extra sweep capping parallel speedup near `T/2` on random starts).
+//! Tier-1 movers file the certificate their Phase-A worker computed
+//! against the snapshot — valid verbatim at commit time because the
+//! disjoint tier leaves every channel a mover touches at its snapshot
+//! load (on the generic route the commit batch re-anchors the
+//! certificate against each mover's own clock advance, since a user's
+//! own placement never tempts itself). Tier-2 movers park under their
+//! live recompute. In both tiers the park is filed *after* the commit's
+//! own shelf drains, so a mover is never woken by its own move, yet
+//! every temptation-horizon pop checks it. Deferred candidates are
+//! parked the same way — their live query just proved they cannot
+//! improve now, the strongest certificate the sequential dynamics ever
+//! record. Wakes ride the exact machinery of the sequential engine
+//! (occupant shelves, temptation heap), driven per commit in id order,
+//! and reactivate parked users — movers, deferred, or otherwise —
+//! whenever a later commit touches their channels.
 //!
 //! # Determinism contract
 //!
@@ -105,11 +119,12 @@ use crate::br_fast::{
     concave_park_threshold, kernel_best_response_into, utility_sparse, ActiveSetDynamics, BrEngine,
     DpScratch, DynCounters, KernelScratch, MarginalTable,
 };
-use crate::game::UTILITY_TOLERANCE;
+use crate::error::Error;
+use crate::game::{improvement_eps, improves};
 use crate::loads::ChannelLoads;
 use crate::par;
 use crate::sparse::{SparseEntry, SparseStrategies};
-use crate::types::UserId;
+use crate::types::{ChannelId, UserId};
 use std::time::{Duration, Instant};
 
 /// Per-worker best-response scratch, matched to the engine route.
@@ -125,10 +140,11 @@ enum RouteScratch {
 /// One claimed chunk's Phase-A output: per-user `(before, after, row
 /// length, park certificate)` metadata plus the concatenated
 /// best-response rows, keyed by the chunk's batch start index. The park
-/// certificate is only meaningful for non-candidates (no improving
-/// deviation): the complete concave threshold on the heap route, the
-/// raw slack on the generic route — precomputed here so pass-1 parking
-/// on the driver thread is pure bookkeeping.
+/// certificate is the complete concave threshold on the heap route and
+/// the raw slack on the generic route — for non-candidates from their
+/// live slack, for candidates the zero-slack mover certificate their
+/// disjoint-tier commit parks under — precomputed here so Phase-B
+/// parking on the driver thread is pure bookkeeping.
 #[derive(Debug)]
 struct ChunkOut {
     start: usize,
@@ -228,6 +244,40 @@ impl ParallelDynamics {
         self.phase_b
     }
 
+    /// Delegate of [`ActiveSetDynamics::apply_row`] — perturb one user's
+    /// row between rounds.
+    pub fn apply_row<G: ChannelGame + ?Sized>(
+        &mut self,
+        game: &G,
+        user: UserId,
+        new_row: &[SparseEntry],
+    ) {
+        self.inner.apply_row(game, user, new_row);
+    }
+
+    /// Delegate of [`ActiveSetDynamics::grow_users`] — in-place
+    /// population growth between rounds. The per-channel round books
+    /// (`touched_mark`) need no resize: only `N` grows.
+    pub fn grow_users<G: ChannelGame + ?Sized>(&mut self, game: &G) -> Result<(), Error> {
+        self.inner.grow_users(game)
+    }
+
+    /// Delegate of [`ActiveSetDynamics::retire_user`] — departure path.
+    pub fn retire_user<G: ChannelGame + ?Sized>(&mut self, game: &G, user: UserId) {
+        self.inner.retire_user(game, user);
+    }
+
+    /// Delegate of [`ActiveSetDynamics::reprice_channel`] — rate-shift
+    /// path.
+    pub fn reprice_channel<G: ChannelGame + ?Sized>(
+        &mut self,
+        game: &G,
+        c: ChannelId,
+        old_payoff: &dyn Fn(u32) -> f64,
+    ) {
+        self.inner.reprice_channel(game, c, old_payoff);
+    }
+
     /// Run rounds until a fixed point or `max_rounds`; returns
     /// `(converged, rounds)` with the sequential round accounting (the
     /// converging round is the final, commit-free one).
@@ -256,6 +306,7 @@ impl ParallelDynamics {
         }
         if batch.is_empty() {
             self.batch = batch;
+            self.inner.par_mark_quiet();
             return false;
         }
 
@@ -313,22 +364,30 @@ impl ParallelDynamics {
                                 .best_response_with(game, row, loads, user, ds, &mut out.rows),
                         };
                         let len = (out.rows.len() - rstart) as u32;
-                        let cert = if after > before + UTILITY_TOLERANCE {
-                            0.0 // candidate: certificate unused
+                        // Candidates get the zero-slack certificate a
+                        // sequential round would park them under right
+                        // after the move; against snapshot loads it is
+                        // bit-identical to the post-commit value for the
+                        // disjoint tier, because that tier leaves every
+                        // channel the mover touches at its snapshot load
+                        // (others' load on c is `load(c) − own old count`
+                        // either way).
+                        let slack = if improves(before, after) {
+                            improvement_eps(after, after)
                         } else {
-                            let slack = park_slack(before, after);
-                            if heap_route {
-                                concave_park_threshold(
-                                    game,
-                                    user,
-                                    row,
-                                    &out.rows[rstart..],
-                                    loads,
-                                    slack,
-                                )
-                            } else {
-                                slack
-                            }
+                            park_slack(before, after)
+                        };
+                        let cert = if heap_route {
+                            concave_park_threshold(
+                                game,
+                                user,
+                                row,
+                                &out.rows[rstart..],
+                                loads,
+                                slack,
+                            )
+                        } else {
+                            slack
                         };
                         out.metas.push((before, after, len, cert));
                     }
@@ -348,15 +407,15 @@ impl ParallelDynamics {
         // Pass 1 — park every non-candidate first: no load has changed
         // yet, so their slack certificates are computed against exactly
         // the state their best responses saw.
-        let mut candidates: Vec<(u32, &[SparseEntry])> = Vec::new();
+        let mut candidates: Vec<(u32, &[SparseEntry], f64)> = Vec::new();
         for ch in &chunks {
             let mut off = 0usize;
             for (j, &(before, after, len, cert)) in ch.metas.iter().enumerate() {
                 let u = batch[ch.start + j];
                 let row = &ch.rows[off..off + len as usize];
                 off += len as usize;
-                if after > before + UTILITY_TOLERANCE {
-                    candidates.push((u, row));
+                if improves(before, after) {
+                    candidates.push((u, row, cert));
                 } else {
                     self.inner.par_park_precomputed(u, cert);
                 }
@@ -364,18 +423,18 @@ impl ParallelDynamics {
         }
         // Pass 2 — classify candidates: disjoint tier commits in bulk,
         // conflicting tier revalidates against live loads.
-        let mut tier1: Vec<(u32, &[SparseEntry])> = Vec::new();
-        let mut tier2: Vec<(u32, &[SparseEntry])> = Vec::new();
+        let mut tier1: Vec<(u32, &[SparseEntry], f64)> = Vec::new();
+        let mut tier2: Vec<(u32, &[SparseEntry], f64)> = Vec::new();
         {
             let (s, _, _) = self.inner.par_view();
-            for &(u, br) in &candidates {
+            for &(u, br, cert) in &candidates {
                 let old = s.row(UserId(u as usize));
                 let conflict = old
                     .iter()
                     .chain(br.iter())
                     .any(|&(c, _)| self.touched_mark[c as usize]);
                 if conflict {
-                    tier2.push((u, br));
+                    tier2.push((u, br, cert));
                 } else {
                     for &(c, _) in old.iter().chain(br.iter()) {
                         if !self.touched_mark[c as usize] {
@@ -383,7 +442,7 @@ impl ParallelDynamics {
                             self.marked.push(c);
                         }
                     }
-                    tier1.push((u, br));
+                    tier1.push((u, br, cert));
                 }
             }
         }
@@ -416,11 +475,11 @@ impl ParallelDynamics {
         let mut live = Vec::new();
         let mut idx = 0usize;
         while idx < tier2.len() && consec_fail < cutoff {
-            let (u, _) = tier2[idx];
+            let (u, _, _) = tier2[idx];
             idx += 1;
             let (before, after) = self.inner.par_live_best_response(game, u, &mut live);
-            if after > before + UTILITY_TOLERANCE {
-                self.inner.par_commit_one(game, u, &live);
+            if improves(before, after) {
+                self.inner.par_commit_one(game, u, &live, after);
                 committed += 1;
                 consec_fail = 0;
             } else {
@@ -435,7 +494,7 @@ impl ParallelDynamics {
                 consec_fail += 1;
             }
         }
-        for &(u, _) in &tier2[idx..] {
+        for &(u, _, _) in &tier2[idx..] {
             self.inner.par_schedule(u);
             self.inner.counters_mut().deferred += 1;
         }
@@ -444,6 +503,9 @@ impl ParallelDynamics {
         }
         self.phase_b += t.elapsed();
         self.batch = batch;
+        if committed == 0 {
+            self.inner.par_mark_quiet();
+        }
         committed > 0
     }
 }

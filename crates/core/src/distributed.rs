@@ -22,7 +22,7 @@
 
 use crate::br_dp::ChannelGame;
 use crate::br_fast::{ActiveSetDynamics, DynCounters};
-use crate::game::{ChannelAllocationGame, UTILITY_TOLERANCE};
+use crate::game::{improves, ChannelAllocationGame};
 use crate::sparse::{SparseEntry, SparseStrategies};
 use crate::strategy::StrategyMatrix;
 use crate::types::UserId;
@@ -102,7 +102,7 @@ pub fn run_protocol(
             }
             let before = game.utility_cached(&s, &snapshot_loads, u);
             let (br, after) = game.best_response_cached(&s, &snapshot_loads, u);
-            if after > before + UTILITY_TOLERANCE {
+            if improves(before, after) {
                 movers.push((u, br));
             }
         }

@@ -21,7 +21,7 @@
 
 use crate::br_dp::ChannelGame;
 use crate::br_fast::{self, ActiveSetDynamics, DynCounters};
-use crate::game::{ChannelAllocationGame, UTILITY_TOLERANCE};
+use crate::game::{improves, ChannelAllocationGame};
 use crate::loads::ChannelLoads;
 use crate::sparse::SparseStrategies;
 use crate::strategy::StrategyMatrix;
@@ -103,7 +103,7 @@ impl BestResponseDriver {
                 let user = UserId(u);
                 let before = game.utility_cached(&s, &loads, user);
                 let (br, after) = game.best_response_cached(&s, &loads, user);
-                if after > before + UTILITY_TOLERANCE {
+                if improves(before, after) {
                     loads.replace_row(&s.user_strategy(user), &br);
                     s.set_user_strategy(user, &br);
                     moves += 1;
@@ -302,7 +302,7 @@ impl RadioDynamics {
                     }
                 }
                 if let Some((to, share)) = best {
-                    if share > current_share + UTILITY_TOLERANCE {
+                    if improves(current_share, share) {
                         match from {
                             None => {
                                 let cur = s.get(user, to);

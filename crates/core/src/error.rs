@@ -23,6 +23,17 @@ pub enum Error {
         /// Human-readable description of the violation.
         reason: String,
     },
+    /// The CSR slot arena of a [`crate::sparse::SparseStrategies`] would
+    /// exceed its `u32` index space (`Σ budgets > u32::MAX` slots). With
+    /// churn growing populations in place this is a runtime condition,
+    /// not a construction bug, so it surfaces as an `Err` instead of a
+    /// panic.
+    ArenaOverflow {
+        /// Slots already allocated before the failing request.
+        slots: u64,
+        /// Additional slot capacity the failing request asked for.
+        requested: u64,
+    },
 }
 
 impl fmt::Display for Error {
@@ -31,6 +42,12 @@ impl fmt::Display for Error {
             Error::InvalidConfig { reason } => write!(f, "invalid game configuration: {reason}"),
             Error::InvalidStrategy { reason } => write!(f, "invalid strategy matrix: {reason}"),
             Error::InvalidRateFunction { reason } => write!(f, "invalid rate function: {reason}"),
+            Error::ArenaOverflow { slots, requested } => write!(
+                f,
+                "slot arena overflow: {slots} slots + {requested} requested exceeds the u32 \
+                 index space ({} slots)",
+                u32::MAX
+            ),
         }
     }
 }
@@ -48,6 +65,10 @@ impl Error {
         Error::InvalidStrategy {
             reason: reason.into(),
         }
+    }
+
+    pub(crate) fn arena_overflow(slots: u64, requested: u64) -> Self {
+        Error::ArenaOverflow { slots, requested }
     }
 }
 

@@ -12,11 +12,39 @@ use crate::types::{ChannelId, UserId};
 use serde::{Deserialize, Serialize};
 use std::sync::Arc;
 
-/// Tolerance for "strictly improving" comparisons on utilities.
-///
-/// Utilities are sums of at most `k ≤ |C|` terms of magnitude `R(1)`, so
-/// the relative scale is well above this for any realistic rate model.
+/// Tolerance for "strictly improving" comparisons on utilities,
+/// **relative** to the utility magnitude — see [`improvement_eps`].
 pub const UTILITY_TOLERANCE: f64 = 1e-9;
+
+/// The epsilon under which a deviation does not count as improving:
+/// `ε = UTILITY_TOLERANCE · max(|before|, |best|)`.
+///
+/// The comparison must be *relative*: per-user utilities scale like
+/// `R/L` and rebalancing gains like `R/L²`, so at 10⁷ users on 64 unit
+/// channels a one-radio imbalance is worth ~1e-11 — far below any fixed
+/// absolute cutoff that is also loose enough for `R ≈ 1` games. With an
+/// absolute 1e-9 both dynamics routes silently stop short of the
+/// paper's Prop-1 balance at that scale (PR 6 worked around it by
+/// scaling `R` with `N`); a relative epsilon is scale-invariant, so the
+/// same game certifies balanced at any population or rate magnitude.
+/// Deliberately **no** absolute floor (`max(1, ·)` would reintroduce
+/// the stall for sub-unit utilities): when both utilities are exactly
+/// zero the epsilon is zero and `best > before` decides, which is the
+/// right call for empty rows.
+#[inline]
+pub fn improvement_eps(before: f64, best: f64) -> f64 {
+    UTILITY_TOLERANCE * before.abs().max(best.abs())
+}
+
+/// The strict-improvement predicate every gain/park decision routes
+/// through: `best` improves on `before` iff it clears
+/// [`improvement_eps`]. Centralized so the sequential dynamics, the
+/// parallel driver and the Nash checkers cannot disagree on what counts
+/// as a move.
+#[inline]
+pub fn improves(before: f64, best: f64) -> bool {
+    best > before + improvement_eps(before, best)
+}
 
 /// The multi-radio channel-allocation game of the paper: a configuration
 /// `(|N|, k, |C|)` plus a channel rate model `R(k_c)`.

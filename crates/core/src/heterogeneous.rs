@@ -274,9 +274,10 @@ impl HeteroGame {
         br_dp::nash_check_cached(self, s, loads)
     }
 
-    /// Exact Nash check by per-user best responses.
+    /// Exact Nash check by per-user best responses (scale-relative
+    /// epsilon, see [`crate::game::improves`]).
     pub fn is_nash(&self, s: &StrategyMatrix) -> bool {
-        self.max_gain(s) <= crate::game::UTILITY_TOLERANCE
+        self.nash_check(s).is_nash()
     }
 
     /// Largest unilateral improvement available to any user.

@@ -72,6 +72,7 @@ pub mod analysis;
 pub mod br_dp;
 pub mod br_fast;
 pub mod br_par;
+pub mod churn;
 pub mod config;
 pub mod display;
 pub mod distributed;
@@ -94,6 +95,7 @@ pub mod utility_models;
 pub use br_dp::ChannelGame;
 pub use br_fast::BrEngine;
 pub use br_par::ParallelDynamics;
+pub use churn::ChurnGame;
 pub use config::GameConfig;
 pub use error::Error;
 pub use game::ChannelAllocationGame;

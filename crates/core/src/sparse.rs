@@ -23,6 +23,7 @@
 //! sparse-vs-dense loads and round-trips across all game variants.
 
 use crate::br_dp::ChannelGame;
+use crate::error::Error;
 use crate::loads::ChannelLoads;
 use crate::strategy::{StrategyMatrix, StrategyVector};
 use crate::types::{ChannelId, UserId};
@@ -50,23 +51,61 @@ impl SparseStrategies {
     ///
     /// # Panics
     ///
-    /// Panics if `budgets` is empty or `n_channels == 0`.
+    /// Panics if `budgets` is empty, `n_channels == 0`, or the summed slot
+    /// capacity overflows the arena's `u32` index space — use
+    /// [`try_with_budgets`](Self::try_with_budgets) when overflow must be
+    /// handled instead of aborting.
     pub fn with_budgets(budgets: &[u32], n_channels: usize) -> Self {
+        Self::try_with_budgets(budgets, n_channels).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// [`with_budgets`](Self::with_budgets) with the arena-overflow case
+    /// surfaced as [`Error::ArenaOverflow`] instead of a panic. The check
+    /// runs *before* any allocation: a hostile or miscomputed budget sum
+    /// fails in `O(|N|)` without attempting a multi-gigabyte `Vec`.
+    ///
+    /// # Panics
+    ///
+    /// Still panics on the construction bugs (`budgets` empty,
+    /// `n_channels == 0`) — those are contract violations, not runtime
+    /// conditions.
+    pub fn try_with_budgets(budgets: &[u32], n_channels: usize) -> Result<Self, Error> {
         assert!(!budgets.is_empty(), "need at least one user");
         assert!(n_channels > 0, "need at least one channel");
         let mut starts = Vec::with_capacity(budgets.len() + 1);
         let mut acc: u32 = 0;
         starts.push(0);
         for &k in budgets {
-            acc = acc.checked_add(k).expect("slot arena fits in u32");
+            acc = acc
+                .checked_add(k)
+                .ok_or_else(|| Error::arena_overflow(acc as u64, k as u64))?;
             starts.push(acc);
         }
-        SparseStrategies {
+        Ok(SparseStrategies {
             n_channels,
             starts,
             lens: vec![0; budgets.len()],
             entries: vec![(0, 0); acc as usize],
-        }
+        })
+    }
+
+    /// Append one empty row with slot capacity `budget` — the churn
+    /// service's arrival path. The arena grows by amortized doubling
+    /// (`Vec::resize`), so a stream of arrivals costs `O(Σ budgets)`
+    /// total; crossing the `u32` slot boundary is an
+    /// [`Error::ArenaOverflow`], not a panic (in-place growth can reach
+    /// it at runtime). Returns the new user's id on success; on error the
+    /// structure is unchanged.
+    pub fn push_row(&mut self, budget: u32) -> Result<UserId, Error> {
+        let end = *self.starts.last().expect("starts always holds n+1 offsets");
+        let acc = end
+            .checked_add(budget)
+            .ok_or_else(|| Error::arena_overflow(end as u64, budget as u64))?;
+        let user = UserId(self.lens.len());
+        self.starts.push(acc);
+        self.lens.push(0);
+        self.entries.resize(acc as usize, (0, 0));
+        Ok(user)
     }
 
     /// Sparse form of a dense matrix, with row capacities taken from the
@@ -184,7 +223,17 @@ impl SparseStrategies {
             prev = Some(c);
         }
         let start = self.starts[user.0] as usize;
+        let old_len = self.lens[user.0] as usize;
         self.entries[start..start + row.len()].copy_from_slice(row);
+        // Zero any vacated tail slots so the derived `Eq`/`Hash` over the
+        // arena stay semantic: a churn-grown state must compare
+        // bit-identical to a from-scratch build of the same rows, with no
+        // dead-slot residue from earlier, longer strategies.
+        if old_len > row.len() {
+            for slot in &mut self.entries[start + row.len()..start + old_len] {
+                *slot = (0, 0);
+            }
+        }
         self.lens[user.0] = row.len() as u32;
     }
 
@@ -504,6 +553,49 @@ mod tests {
     fn set_row_rejects_zero_count() {
         let mut s = SparseStrategies::with_budgets(&[3], 4);
         s.set_row(UserId(0), &[(1, 0)]);
+    }
+
+    #[test]
+    fn push_row_appends_and_overflow_is_a_typed_error() {
+        let mut s = SparseStrategies::with_budgets(&[2, 3], 4);
+        let u = s.push_row(2).unwrap();
+        assert_eq!(u, UserId(2));
+        assert_eq!(s.n_users(), 3);
+        assert_eq!(s.row_capacity(u), 2);
+        assert!(s.row(u).is_empty());
+        s.set_row(u, &[(1, 2)]);
+        assert_eq!(s.user_total(u), 2);
+        // Crossing the u32 slot boundary is an error, and the structure
+        // is untouched by the failed append.
+        let before = s.clone();
+        let err = s.push_row(u32::MAX).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                Error::ArenaOverflow {
+                    slots: 7,
+                    requested
+                } if requested == u64::from(u32::MAX)
+            ),
+            "{err}"
+        );
+        assert_eq!(s, before);
+    }
+
+    #[test]
+    fn try_with_budgets_errors_before_allocating() {
+        let err = SparseStrategies::try_with_budgets(&[u32::MAX, 1], 2).unwrap_err();
+        assert!(err.to_string().contains("slot arena overflow"), "{err}");
+    }
+
+    #[test]
+    fn set_row_zeroes_vacated_slots_for_semantic_equality() {
+        let mut a = SparseStrategies::with_budgets(&[3], 4);
+        a.set_row(UserId(0), &[(0, 1), (1, 1), (2, 1)]);
+        a.set_row(UserId(0), &[(3, 3)]);
+        let mut b = SparseStrategies::with_budgets(&[3], 4);
+        b.set_row(UserId(0), &[(3, 3)]);
+        assert_eq!(a, b, "shrunken rows must leave no dead-slot residue");
     }
 
     #[test]

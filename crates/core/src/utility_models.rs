@@ -17,7 +17,7 @@
 //!   mechanically): the paper's analysis is robust to risk-averse users.
 
 use crate::br_dp::{self, ChannelGame};
-use crate::game::{ChannelAllocationGame, UTILITY_TOLERANCE};
+use crate::game::{improves, ChannelAllocationGame};
 use crate::strategy::{StrategyMatrix, StrategyVector};
 use crate::types::{ChannelId, UserId};
 use serde::{Deserialize, Serialize};
@@ -93,12 +93,14 @@ impl EnergyCostGame {
         EnergyNashCheck { gains, best_active }
     }
 
-    /// True when no user can improve.
+    /// True when no user can improve (by more than the scale-relative
+    /// [`improves`] epsilon).
     pub fn is_nash(&self, s: &StrategyMatrix) -> bool {
-        self.nash_check(s)
-            .gains
-            .iter()
-            .all(|&g| g <= UTILITY_TOLERANCE)
+        UserId::all(self.inner.config().n_users()).all(|u| {
+            let before = self.utility(s, u);
+            let (_, after) = self.best_response(s, u);
+            !improves(before, after)
+        })
     }
 
     /// Best-response dynamics to a fixed point.
@@ -115,7 +117,7 @@ impl EnergyCostGame {
             for u in UserId::all(n) {
                 let before = self.utility(&s, u);
                 let (br, after) = self.best_response(&s, u);
-                if after > before + UTILITY_TOLERANCE {
+                if improves(before, after) {
                     s.set_user_strategy(u, &br);
                     moved = true;
                 }

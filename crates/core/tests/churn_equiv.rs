@@ -1,0 +1,223 @@
+//! Churn differential suite: a standing equilibrium absorbing an
+//! arbitrary seeded event sequence (arrival, departure, budget change,
+//! rate shift) through the incremental engine APIs must be
+//! indistinguishable from a from-scratch solve of the same final
+//! population:
+//!
+//! * after **every** event the re-settled state is certified Nash by the
+//!   full `O(|N|)` scan — the detector for missed wakes (a stale parked
+//!   user the event should have reactivated);
+//! * the final CSR arena is **bit-identical** (`Eq` over starts/lens/
+//!   entries) to one rebuilt from scratch with the same capacities and
+//!   rows — pinning the dead-slot zeroing and append bookkeeping;
+//! * a fresh engine seeded with the churn-grown state converges in one
+//!   round with **zero moves** and leaves the state bit-identical — the
+//!   maintained equilibrium is a true fixed point of the from-scratch
+//!   dynamics, not an artifact of the incremental books;
+//! * the maintained load cache and occupant index agree with ones
+//!   recomputed from the final strategies.
+//!
+//! Every sequence runs through the sequential engine on both routes
+//! (heap and forced-DP) and the parallel engine, so the event paths of
+//! all three drivers are covered.
+
+use mrca_core::br_fast::{is_nash_sparse, ActiveSetDynamics};
+use mrca_core::churn::ChurnGame;
+use mrca_core::sparse::{ChannelOccupants, SparseStrategies};
+use mrca_core::{ChannelGame, ChannelId, ChannelLoads, ParallelDynamics, UserId};
+use proptest::prelude::*;
+
+const MAX_ROUNDS: usize = 500;
+
+/// One churn event, with raw selectors reduced against the live
+/// population at apply time (so shrinking stays meaningful).
+#[derive(Debug, Clone)]
+enum Event {
+    Arrive { budget: u32 },
+    Depart { pick: usize },
+    BudgetChange { pick: usize, budget: u32 },
+    RateShift { pick: usize, factor: f64 },
+}
+
+fn event_strategy() -> impl Strategy<Value = Event> {
+    (0usize..4, 0usize..1_000_000, 1u32..=3, 0usize..3).prop_map(|(kind, pick, budget, f)| {
+        match kind {
+            0 => Event::Arrive { budget },
+            1 => Event::Depart { pick },
+            2 => Event::BudgetChange { pick, budget },
+            _ => Event::RateShift {
+                pick,
+                factor: [0.4, 1.7, 3.0][f],
+            },
+        }
+    })
+}
+
+/// The two drivers under one face, so the same replay covers both.
+enum Engine {
+    Seq(ActiveSetDynamics),
+    Par(ParallelDynamics),
+}
+
+impl Engine {
+    fn state(&self) -> &SparseStrategies {
+        match self {
+            Engine::Seq(d) => d.state(),
+            Engine::Par(d) => d.state(),
+        }
+    }
+
+    fn loads(&self) -> &ChannelLoads {
+        match self {
+            Engine::Seq(d) => d.loads(),
+            Engine::Par(d) => d.loads(),
+        }
+    }
+
+    fn run(&mut self, game: &ChurnGame) -> bool {
+        match self {
+            Engine::Seq(d) => d.run(game, MAX_ROUNDS, None).0,
+            Engine::Par(d) => d.run(game, MAX_ROUNDS).0,
+        }
+    }
+
+    fn grow_users(&mut self, game: &ChurnGame) {
+        match self {
+            Engine::Seq(d) => d.grow_users(game).unwrap(),
+            Engine::Par(d) => d.grow_users(game).unwrap(),
+        }
+    }
+
+    fn retire_user(&mut self, game: &ChurnGame, user: UserId) {
+        match self {
+            Engine::Seq(d) => d.retire_user(game, user),
+            Engine::Par(d) => d.retire_user(game, user),
+        }
+    }
+
+    fn reprice_channel(&mut self, game: &ChurnGame, c: ChannelId, load: u32, old_rate: f64) {
+        let f = move |t: u32| ChurnGame::payoff_at_rate(load, t, old_rate);
+        match self {
+            Engine::Seq(d) => d.reprice_channel(game, c, &f),
+            Engine::Par(d) => d.reprice_channel(game, c, &f),
+        }
+    }
+}
+
+/// Replay `events` against a settled equilibrium through `engine`,
+/// asserting the invariants in the module docs.
+fn check_churn_replay(
+    mut game: ChurnGame,
+    start: SparseStrategies,
+    events: &[Event],
+    make: impl Fn(&ChurnGame, SparseStrategies) -> Engine,
+) -> Result<(), TestCaseError> {
+    let mut d = make(&game, start);
+    prop_assert!(d.run(&game), "initial convergence");
+    prop_assert!(is_nash_sparse(&game, d.state()));
+
+    for (i, ev) in events.iter().enumerate() {
+        match ev {
+            Event::Arrive { budget } => {
+                game.push_user(*budget);
+                d.grow_users(&game);
+            }
+            Event::Depart { pick } => {
+                let live: Vec<usize> = (0..game.n_users())
+                    .filter(|&u| game.is_live(UserId(u)))
+                    .collect();
+                if live.is_empty() {
+                    continue;
+                }
+                let u = UserId(live[pick % live.len()]);
+                game.retire(u);
+                d.retire_user(&game, u);
+            }
+            Event::BudgetChange { pick, budget } => {
+                // Re-provisioning = departure of the old identity plus an
+                // arrival with the new budget (row slot capacity is fixed
+                // per id, so budgets never change in place).
+                let live: Vec<usize> = (0..game.n_users())
+                    .filter(|&u| game.is_live(UserId(u)))
+                    .collect();
+                if live.is_empty() {
+                    continue;
+                }
+                let u = UserId(live[pick % live.len()]);
+                game.retire(u);
+                d.retire_user(&game, u);
+                game.push_user(*budget);
+                d.grow_users(&game);
+            }
+            Event::RateShift { pick, factor } => {
+                let c = ChannelId(pick % game.n_channels());
+                let load = d.loads().load(c);
+                let old = game.set_rate(c, game.rate(c) * factor);
+                d.reprice_channel(&game, c, load, old);
+            }
+        }
+        prop_assert!(d.run(&game), "re-convergence after event {i} ({ev:?})");
+        prop_assert!(
+            is_nash_sparse(&game, d.state()),
+            "event {i} ({ev:?}): settled state is not Nash — a wake was missed"
+        );
+    }
+
+    let grown = d.state();
+    let n = grown.n_users();
+
+    // Bit-identical arena rebuild: same capacities, same rows, `Eq`.
+    let caps: Vec<u32> = (0..n).map(|u| grown.row_capacity(UserId(u))).collect();
+    let mut rebuilt = SparseStrategies::try_with_budgets(&caps, grown.n_channels()).unwrap();
+    for u in 0..n {
+        rebuilt.set_row(UserId(u), grown.row(UserId(u)));
+    }
+    prop_assert!(rebuilt == *grown, "arena must rebuild bit-identical");
+
+    // Derived caches agree with recomputation.
+    prop_assert!(ChannelLoads::of_sparse(grown) == *d.loads(), "load cache");
+    prop_assert!(
+        ChannelOccupants::of(grown) == ChannelOccupants::of(&rebuilt),
+        "occupant index"
+    );
+
+    // A from-scratch engine on the final population, seeded with the
+    // maintained state, finds nothing to do: one commit-free round, zero
+    // moves, state untouched.
+    let mut fresh = ActiveSetDynamics::new(&game, rebuilt);
+    let (converged, rounds) = fresh.run(&game, 2, None);
+    prop_assert!(converged);
+    prop_assert_eq!(rounds, 1, "fixed point must certify in one sweep");
+    prop_assert_eq!(fresh.counters().moves, 0, "fixed point admits no move");
+    prop_assert!(fresh.state() == grown, "from-scratch run must not drift");
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn churn_replay_matches_from_scratch(
+        n in 4usize..12,
+        k in 1u32..=3,
+        c in 2usize..=5,
+        seed in 0u64..1_000,
+        events in prop::collection::vec(event_strategy(), 1..10),
+    ) {
+        let game = ChurnGame::uniform(n, k, c, 1.0);
+        let start = SparseStrategies::random_uniform(n, k, c, seed);
+
+        // Sequential engine, heap route.
+        check_churn_replay(game.clone(), start.clone(), &events, |g, s| {
+            Engine::Seq(ActiveSetDynamics::new(g, s))
+        })?;
+        // Sequential engine, forced generic (DP) route.
+        check_churn_replay(game.clone().force_generic_route(), start.clone(), &events, |g, s| {
+            Engine::Seq(ActiveSetDynamics::new(g, s))
+        })?;
+        // Parallel engine (heap route), 2 workers.
+        check_churn_replay(game, start, &events, |g, s| {
+            Engine::Par(ParallelDynamics::new(g, s, 2))
+        })?;
+    }
+}

@@ -128,15 +128,11 @@ fn run_cell(
     threads: usize,
 ) -> Vec<String> {
     let cfg = GameConfig::new(n_users, radios, n_channels).expect("valid scale dims");
-    // The channel rate scales with N so a unit load difference moves a
-    // user's payoff by ~rate/load² ≈ |C|²/(N·k²) — far above the absolute
-    // UTILITY_TOLERANCE at every cell size. At rate 1.0 a 10⁷-user cell
-    // has per-radio payoff gaps of ~1e-11 < 1e-9, and tolerance-gated
-    // dynamics (sequential and parallel alike) legitimately stop short of
-    // Proposition 1's unit balance. Scaling the constant rate multiplies
-    // every utility by the same positive factor, so the exact Nash set is
-    // unchanged; only the discretization becomes representable.
-    let game = ChannelAllocationGame::with_constant_rate(cfg, n_users as f64);
+    // Unit rate at every cell size: the improvement predicate is
+    // scale-relative, so the ~1e-11 per-radio payoff gaps of a 10⁷-user
+    // cell are resolved exactly like the ~1e-4 gaps of a 10⁴-user one
+    // (the rate-inflation workaround this bin once carried is gone).
+    let game = ChannelAllocationGame::with_constant_rate(cfg, 1.0);
 
     let build = Instant::now();
     let start = SparseStrategies::random_uniform(n_users, radios, n_channels, seed);

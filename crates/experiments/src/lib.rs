@@ -17,6 +17,7 @@
 //! | `t7_extensions` | heterogeneous / multi-rate / energy extensions |
 //! | `t8_suite` | `ScenarioSuite` grid sweep + extended axes (T8b) |
 //! | `t9_scale` | large-N sparse+heap sweep, 10⁵–10⁶ users, streamed CSV |
+//! | `t10_churn` | churn service: seeded event replay vs a standing equilibrium |
 //! | `all` | run everything |
 //!
 //! Each binary prints an ASCII table/plot and writes a CSV to `results/`
@@ -27,6 +28,7 @@
 #![warn(missing_debug_implementations)]
 
 pub mod ascii_plot;
+pub mod churn;
 pub mod merge;
 pub mod progress;
 pub mod shard;
