@@ -29,6 +29,11 @@
 //!   over scoped worker threads ([`par`]) whose result is independent of
 //!   the thread count, pinned to the sequential dynamics by the
 //!   `par_equiv` suite: [`br_par`];
+//! * the spatial interference engine — per-neighborhood load games on
+//!   sparse conflict graphs, with the clique recovering the paper's
+//!   single collision domain bit-identically, a measured Rosenthal-style
+//!   potential and an explicit best-response cycle detector: [`spatial`],
+//!   pinned by the `spatial_equiv` clique-reduction differential suite;
 //! * the benefit-of-change Δ (Eq. 7):
 //!   [`game::ChannelAllocationGame::benefit_of_move`];
 //! * Lemmas 1–4, Proposition 1, and both directions of Theorem 1 as
@@ -88,6 +93,7 @@ pub mod par;
 pub mod pareto;
 pub mod rate_model;
 pub mod sparse;
+pub mod spatial;
 pub mod strategy;
 pub mod types;
 pub mod utility_models;
@@ -102,6 +108,7 @@ pub use game::ChannelAllocationGame;
 pub use loads::ChannelLoads;
 pub use rate_model::{ConstantRate, RateModel};
 pub use sparse::SparseStrategies;
+pub use spatial::{ConflictGraph, SpatialDynamics, SpatialGame, SpatialParallelDynamics};
 pub use strategy::{StrategyMatrix, StrategyVector};
 pub use types::{ChannelId, UserId};
 
@@ -129,6 +136,10 @@ pub mod prelude {
     pub use crate::rate_model::{ConstantRate, RateFunction, RateModel};
     pub use crate::sparse::ChannelOccupants;
     pub use crate::sparse::SparseStrategies;
+    pub use crate::spatial::{
+        is_nash_spatial, nash_check_spatial, spatial_dynamics, ConflictGraph, SpatialDynamics,
+        SpatialGame, SpatialParallelDynamics,
+    };
     pub use crate::strategy::{StrategyMatrix, StrategyVector};
     pub use crate::types::{ChannelId, UserId};
 }

@@ -68,6 +68,17 @@ impl ChannelLoads {
         }
     }
 
+    /// Overwrite the cached vector from a raw per-channel slice, reusing
+    /// the allocation. This is how the spatial engine ([`crate::spatial`])
+    /// materializes a user's *neighborhood* load view in the exact shape
+    /// the shared best-response kernels consume — so the per-channel
+    /// arithmetic inside them is the same code (and the same floats) on
+    /// the global and the per-neighborhood path.
+    pub(crate) fn copy_from_slice(&mut self, loads: &[u32]) {
+        self.loads.clear();
+        self.loads.extend_from_slice(loads);
+    }
+
     /// Number of channels tracked.
     #[inline]
     pub fn n_channels(&self) -> usize {

@@ -221,3 +221,196 @@ proptest! {
         })?;
     }
 }
+
+// ---------------------------------------------------------------------------
+// Spatial variant: churn on a conflict graph
+// ---------------------------------------------------------------------------
+
+use mrca_core::spatial::{
+    is_nash_spatial, ConflictGraph, SpatialDynamics, SpatialGame, SpatialParallelDynamics,
+};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The two spatial drivers under one face, mirroring [`Engine`].
+enum SpatialEngine {
+    Seq(SpatialDynamics),
+    Par(SpatialParallelDynamics),
+}
+
+impl SpatialEngine {
+    fn state(&self) -> &SparseStrategies {
+        match self {
+            SpatialEngine::Seq(d) => d.state(),
+            SpatialEngine::Par(d) => d.state(),
+        }
+    }
+
+    fn run(&mut self, game: &SpatialGame<ChurnGame>) -> (bool, bool) {
+        match self {
+            SpatialEngine::Seq(d) => (d.run(game, MAX_ROUNDS, None).0, d.cycle_detected()),
+            SpatialEngine::Par(d) => (d.run(game, MAX_ROUNDS).0, d.cycle_detected()),
+        }
+    }
+
+    fn grow_users(&mut self, game: &SpatialGame<ChurnGame>) {
+        match self {
+            SpatialEngine::Seq(d) => d.grow_users(game).unwrap(),
+            SpatialEngine::Par(d) => d.grow_users(game).unwrap(),
+        }
+    }
+
+    fn retire_user(&mut self, game: &SpatialGame<ChurnGame>, user: UserId) {
+        match self {
+            SpatialEngine::Seq(d) => d.retire_user(game, user),
+            SpatialEngine::Par(d) => d.retire_user(game, user),
+        }
+    }
+
+    fn reprice_channel(&mut self, game: &SpatialGame<ChurnGame>, c: ChannelId) {
+        match self {
+            SpatialEngine::Seq(d) => d.reprice_channel(game, c),
+            SpatialEngine::Par(d) => d.reprice_channel(game, c),
+        }
+    }
+
+    fn index_agrees(&self, game: &SpatialGame<ChurnGame>) -> bool {
+        match self {
+            SpatialEngine::Seq(d) => d.neighborhood_loads().agrees_with(game.graph(), d.state()),
+            SpatialEngine::Par(d) => d.neighborhood_loads().agrees_with(game.graph(), d.state()),
+        }
+    }
+}
+
+/// An arrival joins the conflict graph with a seeded random subset of
+/// the existing vertices as neighbors (sorted, as `push_vertex` needs).
+fn arrival_neighbors(n_existing: usize, seed: u64) -> Vec<u32> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n_existing as u32)
+        .filter(|_| rng.gen_range(0.0..1.0) < 0.4)
+        .collect()
+}
+
+/// Replay `events` on a spatial game through `engine`: after every
+/// event the re-settled state is certified spatial-Nash, the
+/// neighborhood index never drifts from recomputation, and a fresh
+/// engine on the final population certifies the fixed point in one
+/// moveless round.
+fn check_spatial_churn_replay(
+    mut game: SpatialGame<ChurnGame>,
+    start: SparseStrategies,
+    events: &[Event],
+    seed: u64,
+    make: impl Fn(&SpatialGame<ChurnGame>, SparseStrategies) -> SpatialEngine,
+) -> Result<(), TestCaseError> {
+    let mut d = make(&game, start);
+    let (converged, cycle) = d.run(&game);
+    prop_assert!(converged || cycle, "initial: silent timeout");
+    if !converged {
+        return Ok(()); // an initial cycle ends the scenario explicitly
+    }
+    prop_assert!(is_nash_spatial(&game, d.state()));
+
+    for (i, ev) in events.iter().enumerate() {
+        match ev {
+            Event::Arrive { budget } => {
+                let n = game.n_users();
+                game.inner_mut().push_user(*budget);
+                let nbrs = arrival_neighbors(n, seed ^ (i as u64).wrapping_mul(0x9E37));
+                game.graph_mut().push_vertex(&nbrs);
+                d.grow_users(&game);
+            }
+            Event::Depart { pick } => {
+                let live: Vec<usize> = (0..game.n_users())
+                    .filter(|&u| game.inner().is_live(UserId(u)))
+                    .collect();
+                if live.is_empty() {
+                    continue;
+                }
+                let u = UserId(live[pick % live.len()]);
+                game.inner_mut().retire(u);
+                d.retire_user(&game, u);
+            }
+            Event::BudgetChange { pick, budget } => {
+                let live: Vec<usize> = (0..game.n_users())
+                    .filter(|&u| game.inner().is_live(UserId(u)))
+                    .collect();
+                if live.is_empty() {
+                    continue;
+                }
+                let u = UserId(live[pick % live.len()]);
+                game.inner_mut().retire(u);
+                d.retire_user(&game, u);
+                let n = game.n_users();
+                game.inner_mut().push_user(*budget);
+                let nbrs = arrival_neighbors(n, seed ^ (i as u64).wrapping_mul(0x9E37));
+                game.graph_mut().push_vertex(&nbrs);
+                d.grow_users(&game);
+            }
+            Event::RateShift { pick, factor } => {
+                let c = ChannelId(pick % game.n_channels());
+                let old = game.inner().rate(c);
+                game.inner_mut().set_rate(c, old * factor);
+                d.reprice_channel(&game, c);
+            }
+        }
+        let (converged, cycle) = d.run(&game);
+        prop_assert!(converged || cycle, "event {i} ({ev:?}): silent timeout");
+        if !converged {
+            return Ok(());
+        }
+        prop_assert!(
+            is_nash_spatial(&game, d.state()),
+            "event {i} ({ev:?}): settled state is not spatial-Nash — a wake was missed"
+        );
+        prop_assert!(
+            d.index_agrees(&game),
+            "event {i} ({ev:?}): neighborhood index drifted"
+        );
+    }
+
+    // A fresh engine on the final population finds nothing to do.
+    let grown = d.state().clone();
+    let mut fresh = SpatialDynamics::new(&game, grown.clone());
+    let (converged, rounds) = fresh.run(&game, 2, None);
+    prop_assert!(converged);
+    prop_assert_eq!(rounds, 1, "fixed point must certify in one sweep");
+    prop_assert_eq!(fresh.counters().moves, 0, "fixed point admits no move");
+    prop_assert!(fresh.state() == &grown, "from-scratch run must not drift");
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn spatial_churn_replay_matches_from_scratch(
+        n in 4usize..12,
+        k in 1u32..=3,
+        c in 2usize..=5,
+        seed in 0u64..1_000,
+        range in 0.8f64..4.0,
+        events in prop::collection::vec(event_strategy(), 1..8),
+    ) {
+        let (graph, _) = ConflictGraph::random_geometric(n, 5.0, range, seed);
+        let game = SpatialGame::new(ChurnGame::uniform(n, k, c, 1.0), graph);
+        let start = SparseStrategies::random_uniform(n, k, c, seed);
+
+        // Sequential engine, heap route.
+        check_spatial_churn_replay(game.clone(), start.clone(), &events, seed, |g, s| {
+            SpatialEngine::Seq(SpatialDynamics::new(g, s))
+        })?;
+        // Sequential engine, forced generic (DP) route.
+        let dp = SpatialGame::new(
+            game.inner().clone().force_generic_route(),
+            game.graph().clone(),
+        );
+        check_spatial_churn_replay(dp, start.clone(), &events, seed, |g, s| {
+            SpatialEngine::Seq(SpatialDynamics::new(g, s))
+        })?;
+        // Parallel engine (heap route), 2 workers.
+        check_spatial_churn_replay(game, start, &events, seed, |g, s| {
+            SpatialEngine::Par(SpatialParallelDynamics::new(g, s, 2))
+        })?;
+    }
+}

@@ -1,0 +1,117 @@
+//! T11 — the spatial interference sweep: per-neighborhood load games on
+//! geometric conflict graphs (see [`mrca_experiments::spatial`] for the
+//! sweep and measurement contract).
+//!
+//! ```text
+//! t11_spatial [--radios K] [--seed S] [--threads T] [--rounds R]
+//!             [--smoke-users N] [--smoke]
+//! ```
+//!
+//! The default is the full density × range × |C| sweep plus a 10⁵-user
+//! geometric smoke cell. `--smoke` is the CI gate — one small sweep
+//! cell plus the 10⁵-user cell — and either shape writes
+//! `results/BENCH_spatial.json` plus a `spatial:` summary line the CI
+//! job asserts on (`cells > 0`, `unresolved == 0`, smoke cell
+//! converged). The bin itself asserts the same, so an unresolved cell
+//! is a nonzero exit, not just a number in a file.
+
+use mrca_experiments::spatial::{run_sweep, SpatialConfig};
+use mrca_experiments::write_result;
+
+fn parse_args() -> SpatialConfig {
+    let mut cfg = SpatialConfig::full();
+    let mut smoke = false;
+    let mut explicit_smoke_users = None;
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut grab = |name: &str| {
+            it.next()
+                .unwrap_or_else(|| panic!("{name} needs a value"))
+                .parse::<u64>()
+                .unwrap_or_else(|e| panic!("{name}: {e}"))
+        };
+        match flag.as_str() {
+            "--radios" => cfg.radios = grab("--radios") as u32,
+            "--seed" => cfg.seed = grab("--seed"),
+            "--threads" => cfg.threads = grab("--threads") as usize,
+            "--rounds" => cfg.max_rounds = grab("--rounds") as usize,
+            "--smoke-users" => explicit_smoke_users = Some(grab("--smoke-users") as usize),
+            "--smoke" => smoke = true,
+            other => panic!("unknown flag {other} (see the module docs)"),
+        }
+    }
+    if smoke {
+        let keep = (cfg.radios, cfg.seed, cfg.threads, cfg.max_rounds);
+        cfg = SpatialConfig::smoke();
+        (cfg.radios, cfg.seed, cfg.threads, cfg.max_rounds) = keep;
+    }
+    if let Some(n) = explicit_smoke_users {
+        cfg.smoke_users = n;
+    }
+    // Debug builds keep the paranoid checks compiled in; cap the cell
+    // populations so a debug run still finishes (CI's spatial-smoke job
+    // runs --release at the real size, like t9/t10).
+    #[cfg(debug_assertions)]
+    {
+        if cfg.smoke_users > 2_000 {
+            eprintln!("note: debug build — capping the smoke cell at 2000 users");
+            cfg.smoke_users = 2_000;
+            cfg.smoke_side = 100.0;
+        }
+        if cfg.side > 25.0 {
+            eprintln!("note: debug build — shrinking the sweep world to side 25");
+            cfg.side = 25.0;
+        }
+    }
+    cfg
+}
+
+fn main() {
+    let cfg = parse_args();
+    println!("== T11: spatial interference — per-neighborhood load games on conflict graphs ==\n");
+    println!(
+        "sweep: {} densities x {} ranges x {} channel counts (side {}), k={}, threads={}",
+        cfg.densities.len(),
+        cfg.ranges.len(),
+        cfg.channels.len(),
+        cfg.side,
+        cfg.radios,
+        cfg.threads
+    );
+    let report = run_sweep(&cfg);
+    write_result("BENCH_spatial.json", &report.to_json());
+
+    let total = report.cells.len() + 1;
+    let smoke_ok = report.smoke.converged || report.smoke.cycle;
+    // The CI-parseable gate line (spatial-smoke greps this).
+    println!(
+        "spatial: cells={} cycles={} unresolved={} smoke_users={} smoke_converged={} \
+         smoke_rounds={} smoke_moves={} smoke_ms={:.0}",
+        total,
+        report.cycles(),
+        report.unresolved(),
+        report.smoke.n,
+        u8::from(report.smoke.converged),
+        report.smoke.rounds,
+        report.smoke.moves,
+        report.smoke.ms,
+    );
+    assert!(!report.cells.is_empty(), "the sweep must produce cells");
+    assert_eq!(
+        report.unresolved(),
+        0,
+        "every cell must end in an explicit outcome (converged or detected cycle)"
+    );
+    assert!(smoke_ok, "the smoke cell must resolve");
+    println!(
+        "\nOK: {} cells resolved explicitly ({} detected cycles), smoke cell of {} users {}.",
+        total,
+        report.cycles(),
+        report.smoke.n,
+        if report.smoke.converged {
+            "converged"
+        } else {
+            "ended in a detected cycle"
+        }
+    );
+}

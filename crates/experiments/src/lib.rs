@@ -18,6 +18,7 @@
 //! | `t8_suite` | `ScenarioSuite` grid sweep + extended axes (T8b) |
 //! | `t9_scale` | large-N sparse+heap sweep, 10⁵–10⁶ users, streamed CSV |
 //! | `t10_churn` | churn service: seeded event replay vs a standing equilibrium |
+//! | `t11_spatial` | spatial interference sweep on geometric conflict graphs |
 //! | `all` | run everything |
 //!
 //! Each binary prints an ASCII table/plot and writes a CSV to `results/`
@@ -32,6 +33,7 @@ pub mod churn;
 pub mod merge;
 pub mod progress;
 pub mod shard;
+pub mod spatial;
 pub mod suite;
 pub mod table;
 
