@@ -37,6 +37,7 @@
 
 use crate::game::{improvement_eps, improves, NashCheck};
 use crate::loads::ChannelLoads;
+use crate::rate_model::RateShape;
 use crate::strategy::{StrategyMatrix, StrategyVector};
 use crate::types::{ChannelId, UserId};
 
@@ -74,6 +75,24 @@ pub trait ChannelGame {
         false
     }
 
+    /// Structural classification of this game's per-channel payoff — the
+    /// **primary** routing/certification seam; override this, not
+    /// [`payoff_is_separable_monotone`].
+    ///
+    /// The rate-sharing games forward (and, for per-channel rate vectors,
+    /// [`RateShape::meet`]-fold) the per-model
+    /// [`crate::rate_model::RateModel::shape`] classification, so a
+    /// measured table's CI-aware shape propagates unchanged from harvest
+    /// to route selection and Theorem-1 applicability
+    /// ([`crate::nash::theorem1_applicable`]). Default
+    /// [`RateShape::MonotoneOnly`] (conservative: the DP route is always
+    /// correct; no heap routing, no structural certification claims).
+    ///
+    /// [`payoff_is_separable_monotone`]: ChannelGame::payoff_is_separable_monotone
+    fn payoff_shape(&self) -> RateShape {
+        RateShape::MonotoneOnly
+    }
+
     /// Whether the payoff is **separable-monotone**: for every channel `c`
     /// and others-load `L`, the marginal gain
     /// `channel_payoff(c, L, t) − channel_payoff(c, L, t−1)` is
@@ -82,12 +101,13 @@ pub trait ChannelGame {
     /// selection of the `k` best marginals is an exact best response, so
     /// the engine may route [`best_response_cached`]-equivalent queries to
     /// the `O(k log |C|)` heap path of [`crate::br_fast`] instead of the
-    /// `O(|C|·k²)` DP. Declaring it falsely yields *wrong* best responses;
-    /// the default is therefore `false`, and the rate-sharing games
-    /// forward the per-model [`crate::rate_model::RateModel::concave_sharing`]
-    /// declaration (true for constant rates, the paper's idealization).
+    /// `O(|C|·k²)` DP. Declaring it falsely yields *wrong* best responses.
+    ///
+    /// Provided: derived from [`payoff_shape`](ChannelGame::payoff_shape)
+    /// so the classification stays a single seam; implementations should
+    /// override `payoff_shape` and leave this derived.
     fn payoff_is_separable_monotone(&self) -> bool {
-        false
+        self.payoff_shape().heap_eligible()
     }
 }
 

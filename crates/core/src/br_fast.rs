@@ -794,6 +794,16 @@ pub struct DynCounters {
     /// Re-activations delivered through the temptation index (lazy
     /// rank-order discovery or an eager drain, per the calling path).
     pub temptation_wakeups: u64,
+    /// Generic-route deliveries resolved by the per-channel column-delta
+    /// refinement instead of a full engine query: the walk over the
+    /// column log since the park proved every channel's net rise —
+    /// healed excursions contribute zero, net-changed channels an exact
+    /// recompute — sums (over the user's best `k` channels) to less
+    /// than the park gap, so the certificate is provably intact and the
+    /// user re-parks under a rebased threshold. A subset of
+    /// `revalidated`; booked under `skipped_checks` like every
+    /// re-validation.
+    pub refined_reparks: u64,
     /// Moves committed by the two-phase parallel rounds
     /// ([`crate::br_par`]) — a subset of `moves`; zero on the sequential
     /// route.
@@ -1030,6 +1040,21 @@ pub struct ActiveSetDynamics {
     /// DP route: global temptation clock `T` — the cumulative sum of
     /// per-channel column improvements across all moves (monotone).
     clock: f64,
+    /// DP route: append-only log of the per-channel column events behind
+    /// every clock advance — `(channel, load before the event, the
+    /// advance `D_c`, was it a reprice)`. Zero-rise events (load
+    /// increases, pure price drops) are logged too: the *first* entry
+    /// for a channel since a user's park then always carries that
+    /// channel's exact park-time load, which is what lets the delivery
+    /// refinement tell a healed excursion (current load back at the
+    /// first entry's `old_load` — contributes nothing) from a net change
+    /// (exact two-column recompute). Compacted by halves once it exceeds
+    /// a cap; parks older than the retained window fall back to the
+    /// coarse clock. Empty on the concave route.
+    col_log: Vec<ColEvent>,
+    /// Global index of `col_log[0]`: the event epoch is
+    /// `log_base + col_log.len()`, monotone across compactions.
+    log_base: u64,
     /// Concave route: per-channel first-entry payoff `φ_c = f(c, load_c,
     /// 1)` at the *current* loads (empty on the generic route),
     /// maintained at every load or rate mutation.
@@ -1073,9 +1098,47 @@ pub struct ActiveSetDynamics {
     /// While set, delivery re-validation is disabled and the next
     /// delivery pays the full check.
     cert_stale: Vec<bool>,
+    /// DP route: the column-log epoch each user's park certificate is
+    /// anchored at (`log_base + col_log.len()` at filing time). Empty on
+    /// the concave route.
+    park_epoch: Vec<u64>,
+    /// DP route: `threshold − clock` at filing time — the slack the
+    /// coarse clock must climb before the coarse wake fires, and the
+    /// budget the refined walk's top-k column rises are tested against.
+    /// May be negative for parallel-batch movers (their threshold is
+    /// anchored below the post-batch clock); a non-positive gap simply
+    /// fails the refinement into the full check. Empty on the concave
+    /// route.
+    park_gap: Vec<f64>,
+    /// Whether generic-route deliveries run the per-channel column-delta
+    /// refinement before paying a full engine query. On by default;
+    /// [`set_refined`](Self::set_refined) exists so benchmarks can
+    /// measure the coarse clock.
+    refined: bool,
     scratch_old: Vec<SparseEntry>,
     scratch_touched: Vec<ChannelId>,
     scratch_old_loads: Vec<u32>,
+    /// Refinement walk scratch: per distinct touched channel since the
+    /// park, `(channel, first old_load, Σ logged deltas, any reprice)`.
+    scratch_walk: Vec<(u32, u32, f64, bool)>,
+    /// Refinement scratch: positive per-channel contributions, for the
+    /// top-k selection.
+    scratch_contrib: Vec<f64>,
+}
+
+/// One generic-route column event (see
+/// [`ActiveSetDynamics::col_log`]): channel, its load *before* the
+/// event, the clock advance `D_c = max_t (f_new(t) − f_old(t))⁺` it
+/// contributed (possibly zero), and whether it was a reprice (payoffs
+/// changed under an unchanged load — the refinement must not recompute
+/// park-time columns with post-reprice rates, so repriced channels fall
+/// back to the logged delta sum).
+#[derive(Debug, Clone, Copy)]
+struct ColEvent {
+    chan: u32,
+    old_load: u32,
+    delta: f64,
+    reprice: bool,
 }
 
 impl ActiveSetDynamics {
@@ -1107,6 +1170,8 @@ impl ActiveSetDynamics {
             stamp: vec![0; n],
             shelf: vec![Vec::new(); n_channels],
             clock: 0.0,
+            col_log: Vec::new(),
+            log_base: 0,
             phi,
             phi_max,
             tempt: TemptIndex::new(n),
@@ -1123,9 +1188,14 @@ impl ActiveSetDynamics {
             park_loads: vec![0; n * k_max as usize],
             last_thr: vec![f64::INFINITY; n],
             cert_stale: vec![true; n],
+            park_epoch: if concave { Vec::new() } else { vec![0; n] },
+            park_gap: if concave { Vec::new() } else { vec![0.0; n] },
+            refined: true,
             scratch_old: Vec::new(),
             scratch_touched: Vec::new(),
             scratch_old_loads: Vec::new(),
+            scratch_walk: Vec::new(),
+            scratch_contrib: Vec::new(),
         }
     }
 
@@ -1281,6 +1351,21 @@ impl ActiveSetDynamics {
                 self.repark_unchanged(u as usize);
                 continue;
             }
+            // Generic-route refinement: before paying the full DP query,
+            // walk the column log since the park and bound what the
+            // delivered user could actually gain — healed excursions
+            // contribute nothing, net-changed channels an exact
+            // two-column recompute, repriced ones their logged delta
+            // sums. If the user's best `k` contributions sum below its
+            // park gap the certificate is provably intact and the user
+            // re-parks under a rebased threshold; the sweep's check here
+            // would find nothing, so the trace is unchanged. Applies to
+            // pops and tempted deliveries alike (a tempted user's coarse
+            // threshold is under the horizon, but the per-channel walk
+            // frequently proves the cumulative clock overcounted).
+            if !self.concave && self.refined && self.refined_intact_repark(game, u as usize) {
+                continue;
+            }
             let user = UserId(u as usize);
             checks += 1;
             let before = utility_sparse(game, &self.s, &self.loads, user);
@@ -1401,6 +1486,10 @@ impl ActiveSetDynamics {
             self.tempt.push();
             self.last_thr.push(f64::INFINITY);
             self.cert_stale.push(true);
+            if !self.concave {
+                self.park_epoch.push(0);
+                self.park_gap.push(0.0);
+            }
             if k > self.k_max {
                 self.k_max = k;
                 // The park-load snapshots are `k_max`-strided; a deeper
@@ -1507,6 +1596,18 @@ impl ActiveSetDynamics {
                     d = diff;
                 }
             }
+            // Log even a zero-rise reprice: the refinement walk must see
+            // that the channel's payoff function changed (an exact
+            // recompute against post-reprice rates would not describe
+            // the park-time column), so repriced channels contribute
+            // their logged delta sums instead.
+            self.col_log.push(ColEvent {
+                chan: c.0 as u32,
+                old_load: load,
+                delta: d,
+                reprice: true,
+            });
+            self.log_compact();
             if d > 0.0 {
                 self.clock += d;
             }
@@ -1639,7 +1740,9 @@ impl ActiveSetDynamics {
 
     /// Advance channel `c`'s temptation clock by
     /// `D_c = max_{1 ≤ t ≤ k_max} (f(c, new, t) − f(c, old, t))⁺` (the
-    /// generic-route union bound).
+    /// generic-route union bound), logging the event — including
+    /// zero-rise ones (load increases), which carry the heal-detection
+    /// information the delivery refinement needs.
     fn advance_clock<G: ChannelGame + ?Sized>(
         &mut self,
         game: &G,
@@ -1654,9 +1757,33 @@ impl ActiveSetDynamics {
                 d = diff;
             }
         }
+        self.col_log.push(ColEvent {
+            chan: c.0 as u32,
+            old_load,
+            delta: d,
+            reprice: false,
+        });
+        self.log_compact();
         if d > 0.0 {
             self.clock += d;
         }
+    }
+
+    /// Halve the column log once it exceeds the retention cap, advancing
+    /// `log_base` so epochs stay monotone. Parks anchored before the
+    /// retained window fall back to the coarse clock at delivery.
+    fn log_compact(&mut self) {
+        const LOG_CAP: usize = 1 << 16;
+        if self.col_log.len() > LOG_CAP {
+            let half = self.col_log.len() / 2;
+            self.col_log.drain(..half);
+            self.log_base += half as u64;
+        }
+    }
+
+    /// The current column-log epoch (`log_base + len`).
+    fn log_epoch(&self) -> u64 {
+        self.log_base + self.col_log.len() as u64
     }
 
     /// Eagerly wake every parked user the **current** horizon tempts.
@@ -1791,6 +1918,21 @@ impl ActiveSetDynamics {
         }
         self.last_thr[ui] = threshold;
         self.cert_stale[ui] = false;
+        if !self.concave {
+            // Anchor the refinement certificate: the walk at delivery
+            // covers exactly the events filed after this epoch, and the
+            // gap is the clock headroom the threshold encodes *at filing
+            // time*. This single anchoring point is what keeps every
+            // park path sound, including the parallel ones: pass-1 parks
+            // file before commits mutate the clock (gap = the Phase-A
+            // cert), and batch movers file after all drains with a
+            // threshold anchored below the post-batch clock (gap =
+            // cert − Σ other commits' advances, possibly ≤ 0 → the
+            // refinement declines and the delivery pays the full check,
+            // exactly as the coarse clock would).
+            self.park_epoch[ui] = self.log_epoch();
+            self.park_gap[ui] = threshold - self.clock;
+        }
         self.tempt.set(ui, threshold);
     }
 
@@ -1875,6 +2017,153 @@ impl ActiveSetDynamics {
         self.counters.revalidated += 1;
         self.parked[u] = true;
         self.tempt.set(u, self.last_thr[u]);
+    }
+
+    /// Generic-route per-channel refinement of the cumulative wake
+    /// clock. The coarse clock charges a parked user *every* column
+    /// rise anywhere in the system; a deviation can touch at most
+    /// `k_u` foreign channels, and excursions that healed contribute
+    /// nothing. Replaying the column log since the user's park epoch
+    /// yields the tighter per-channel bound:
+    ///
+    /// * **healed** (current load == park-time load, no reprice): `0` —
+    ///   every column the deviation could price is back to its
+    ///   park-time value;
+    /// * **net-changed**: the exact two-column rise
+    ///   `max_t (f(c, l_now, t) − f(c, l_park, t))⁺`, which the coarse
+    ///   clock over-approximated by a sum over intermediate steps;
+    /// * **repriced**: the logged delta sum — the rate function itself
+    ///   changed, so park-time columns are unrecoverable and only the
+    ///   coarse per-step charge is sound.
+    ///
+    /// Own channels are excluded: `cert_stale` is clear and every own
+    /// load is verified equal to its park value below, so the
+    /// others-load on own channels — hence the own columns and the
+    /// user's utility — are unchanged (own-channel reprices drain the
+    /// shelf and set `cert_stale`, which blocks this path). If the
+    /// top-`k_u` foreign contributions sum strictly below the user's
+    /// remaining park gap, no deviation can close its shortfall: the
+    /// check is provably futile and the user re-parks in place under
+    /// the rebased gap. Rebasing is sound because per-channel rises are
+    /// subadditive across consecutive windows
+    /// (`D_c(park→τ₂) ≤ D_c(park→τ₁) + D_c(τ₁→τ₂)` termwise for any
+    /// fixed `t`). Any doubt — stale certificate, log compacted past
+    /// the epoch, over-long walk, own-load drift, negative gap (a
+    /// parallel mover's threshold discounts sibling deltas), or a
+    /// rebased threshold at or under the pop horizon — declines into
+    /// the full engine check.
+    ///
+    /// Trace-safe: only checks the sweep oracle would find improving
+    /// nothing on are skipped, so move sequences stay bit-identical.
+    fn refined_intact_repark<G: ChannelGame + ?Sized>(&mut self, game: &G, u: usize) -> bool {
+        const WALK_CAP: usize = 128;
+        debug_assert!(!self.concave);
+        if self.cert_stale[u] {
+            return false;
+        }
+        let epoch = self.park_epoch[u];
+        if epoch < self.log_base {
+            return false; // compaction dropped part of the window
+        }
+        let start = (epoch - self.log_base) as usize;
+        if self.col_log.len() - start > WALK_CAP {
+            return false; // long window: the walk would cost more than the check
+        }
+        let gap = self.park_gap[u];
+        // Own loads must sit exactly at their park values, else the own
+        // columns moved and only a full check can price that.
+        let row = self.s.row(UserId(u));
+        let base = u * self.k_max as usize;
+        for (i, &(c, _)) in row.iter().enumerate() {
+            if self.loads.load(ChannelId(c as usize)) != self.park_loads[base + i] {
+                return false;
+            }
+        }
+        // Group the window per channel: (chan, park-time load, delta
+        // sum, repriced). Every load change is logged — including
+        // zero-rise ones — so the first event's `old_load` is exactly
+        // the channel's load when the user parked (or re-parked here).
+        let mut walk = std::mem::take(&mut self.scratch_walk);
+        walk.clear();
+        for ev in &self.col_log[start..] {
+            match walk.iter_mut().find(|e| e.0 == ev.chan) {
+                Some(e) => {
+                    e.2 += ev.delta;
+                    e.3 |= ev.reprice;
+                }
+                None => walk.push((ev.chan, ev.old_load, ev.delta, ev.reprice)),
+            }
+        }
+        let mut contrib = std::mem::take(&mut self.scratch_contrib);
+        contrib.clear();
+        let row = self.s.row(UserId(u));
+        for &(chan, park_load, delta_sum, repriced) in &walk {
+            if row.iter().any(|&(c, _)| c == chan) {
+                continue; // own channel: columns unchanged, see above
+            }
+            let gain = if repriced {
+                delta_sum
+            } else {
+                let now = self.loads.load(ChannelId(chan as usize));
+                if now == park_load {
+                    0.0 // healed: the excursion cancels exactly
+                } else {
+                    let cid = ChannelId(chan as usize);
+                    let mut best = 0.0f64;
+                    for t in 1..=self.k_max {
+                        let d = game.channel_payoff(cid, now, t)
+                            - game.channel_payoff(cid, park_load, t);
+                        if d > best {
+                            best = d;
+                        }
+                    }
+                    best
+                }
+            };
+            if gain > 0.0 {
+                contrib.push(gain);
+            }
+        }
+        // A deviation occupies at most k_u distinct foreign channels.
+        contrib.sort_unstable_by(|a, b| b.partial_cmp(a).unwrap());
+        let k_u = game.radios_of(UserId(u)) as usize;
+        let topk: f64 = contrib.iter().take(k_u).sum();
+        self.scratch_walk = walk;
+        self.scratch_contrib = contrib;
+        let provably_below = matches!(
+            (topk * (1.0 + 1e-12)).partial_cmp(&gap),
+            Some(std::cmp::Ordering::Less)
+        );
+        if !provably_below {
+            return false; // also catches NaN and negative par-mover gaps
+        }
+        let new_gap = gap - topk;
+        let new_thr = self.clock + new_gap;
+        if new_thr <= self.pop_horizon() {
+            return false; // would pop right back: run the real check
+        }
+        // Re-park in place: same stamp (shelf entries are still filed
+        // and `park_loads` verified exact), rebased gap and epoch.
+        debug_assert!(
+            !self.in_cur[u] && !self.in_pending[u],
+            "refined re-park of a scheduled user"
+        );
+        self.counters.revalidated += 1;
+        self.counters.refined_reparks += 1;
+        self.parked[u] = true;
+        self.last_thr[u] = new_thr;
+        self.park_gap[u] = new_gap;
+        self.park_epoch[u] = self.log_epoch();
+        self.tempt.set(u, new_thr);
+        true
+    }
+
+    /// Toggle the generic-route wake-clock refinement (on by default).
+    /// Off, every delivery pays the full engine check — used by the
+    /// differential suites and the measured-pipeline speedup arm to
+    /// compare against the coarse cumulative clock, move-for-move.
+    pub fn set_refined(&mut self, refined: bool) {
+        self.refined = refined;
     }
 
     // ---- two-phase parallel round hooks (crate::br_par) -------------

@@ -33,6 +33,7 @@
 //! measures per-event re-convergence.
 
 use crate::br_dp::ChannelGame;
+use crate::rate_model::RateShape;
 use crate::types::{ChannelId, UserId};
 
 /// A constant-rate channel-allocation game whose population and rates
@@ -160,8 +161,16 @@ impl ChannelGame for ChurnGame {
         Self::payoff_at_rate(others_load, slots, self.rates[channel.0])
     }
 
-    fn payoff_is_separable_monotone(&self) -> bool {
-        self.concave_route
+    fn payoff_shape(&self) -> RateShape {
+        // Per-channel scalar rates are constant in occupancy, hence
+        // concave-sharing — unless the generic route is forced for
+        // differential coverage (`force_generic_route`), which
+        // under-reports as monotone-only.
+        if self.concave_route {
+            RateShape::ConcaveSharing
+        } else {
+            RateShape::MonotoneOnly
+        }
     }
 }
 

@@ -70,6 +70,12 @@ impl Error {
     pub(crate) fn arena_overflow(slots: u64, requested: u64) -> Self {
         Error::ArenaOverflow { slots, requested }
     }
+
+    pub(crate) fn rate(reason: impl Into<String>) -> Self {
+        Error::InvalidRateFunction {
+            reason: reason.into(),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -85,6 +91,13 @@ mod tests {
         );
         let e = Error::strategy("row 2 uses 5 radios, budget is 4");
         assert!(e.to_string().contains("row 2"));
+    }
+
+    #[test]
+    fn rate_helper_builds_typed_variant() {
+        let e = Error::rate("R(0) must be 0");
+        assert!(matches!(e, Error::InvalidRateFunction { .. }));
+        assert_eq!(e.to_string(), "invalid rate function: R(0) must be 0");
     }
 
     #[test]

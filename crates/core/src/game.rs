@@ -6,7 +6,7 @@ use crate::config::GameConfig;
 use crate::enumerate::user_strategy_space;
 use crate::error::Error;
 use crate::loads::ChannelLoads;
-use crate::rate_model::{ConstantRate, RateModel};
+use crate::rate_model::{ConstantRate, RateModel, RateShape};
 use crate::strategy::{StrategyMatrix, StrategyVector};
 use crate::types::{ChannelId, UserId};
 use serde::{Deserialize, Serialize};
@@ -335,10 +335,11 @@ impl ChannelGame for ChannelAllocationGame {
         slots as f64 / total as f64 * self.rate.rate(total)
     }
 
-    fn payoff_is_separable_monotone(&self) -> bool {
-        // Forwarded per rate model: true for constant rates (the paper's
-        // idealization), enabling the O(k log |C|) heap best response.
-        self.rate.concave_sharing()
+    fn payoff_shape(&self) -> RateShape {
+        // Forwarded per rate model: concave-sharing for constant rates
+        // (the paper's idealization), enabling the O(k log |C|) heap
+        // best response.
+        self.rate.shape()
     }
 }
 

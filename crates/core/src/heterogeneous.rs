@@ -22,7 +22,7 @@ use crate::br_dp::{self, ChannelGame};
 use crate::error::Error;
 use crate::game::NashCheck;
 use crate::loads::ChannelLoads;
-use crate::rate_model::{ConstantRate, RateModel};
+use crate::rate_model::{ConstantRate, RateModel, RateShape};
 use crate::strategy::{StrategyMatrix, StrategyVector};
 use crate::types::{ChannelId, UserId};
 use rand::rngs::StdRng;
@@ -389,10 +389,10 @@ impl ChannelGame for HeteroGame {
         slots as f64 / total as f64 * self.rate.rate(total)
     }
 
-    fn payoff_is_separable_monotone(&self) -> bool {
+    fn payoff_shape(&self) -> RateShape {
         // Per-user budgets do not affect per-channel concavity; forward
-        // the shared rate model's declaration.
-        self.rate.concave_sharing()
+        // the shared rate model's classification.
+        self.rate.shape()
     }
 }
 

@@ -106,9 +106,9 @@ pub use config::GameConfig;
 pub use error::Error;
 pub use game::ChannelAllocationGame;
 pub use loads::ChannelLoads;
-pub use rate_model::{ConstantRate, RateModel};
+pub use rate_model::{ConstantRate, MeasuredRate, RateModel, RateShape};
 pub use sparse::SparseStrategies;
-pub use spatial::{ConflictGraph, SpatialDynamics, SpatialGame, SpatialParallelDynamics};
+pub use spatial::{ConflictGraph, GeoIndex, SpatialDynamics, SpatialGame, SpatialParallelDynamics};
 pub use strategy::{StrategyMatrix, StrategyVector};
 pub use types::{ChannelId, UserId};
 
@@ -131,14 +131,18 @@ pub mod prelude {
     pub use crate::error::Error;
     pub use crate::game::ChannelAllocationGame;
     pub use crate::loads::ChannelLoads;
-    pub use crate::nash::{theorem1, theorem1_cached, NashCheck, Theorem1Verdict};
+    pub use crate::nash::{
+        theorem1, theorem1_applicable, theorem1_cached, NashCheck, Theorem1Verdict,
+    };
     pub use crate::pareto::{is_pareto_optimal_ne, is_system_optimal, optimal_total_rate};
-    pub use crate::rate_model::{ConstantRate, RateFunction, RateModel};
+    pub use crate::rate_model::{
+        classify_rate_table, ConstantRate, MeasuredRate, RateFunction, RateModel, RateShape,
+    };
     pub use crate::sparse::ChannelOccupants;
     pub use crate::sparse::SparseStrategies;
     pub use crate::spatial::{
-        is_nash_spatial, nash_check_spatial, spatial_dynamics, ConflictGraph, SpatialDynamics,
-        SpatialGame, SpatialParallelDynamics,
+        is_nash_spatial, nash_check_spatial, spatial_dynamics, ConflictGraph, GeoIndex,
+        SpatialDynamics, SpatialGame, SpatialParallelDynamics,
     };
     pub use crate::strategy::{StrategyMatrix, StrategyVector};
     pub use crate::types::{ChannelId, UserId};

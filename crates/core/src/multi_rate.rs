@@ -23,7 +23,7 @@ use crate::config::GameConfig;
 use crate::error::Error;
 use crate::game::NashCheck;
 use crate::loads::ChannelLoads;
-use crate::rate_model::RateModel;
+use crate::rate_model::{RateModel, RateShape};
 use crate::strategy::{StrategyMatrix, StrategyVector};
 use crate::types::{ChannelId, UserId};
 use std::sync::Arc;
@@ -267,10 +267,13 @@ impl ChannelGame for MultiRateGame {
         slots as f64 / total as f64 * self.rates[channel.0].rate(total)
     }
 
-    fn payoff_is_separable_monotone(&self) -> bool {
-        // Greedy needs diminishing marginals on *every* channel; each
-        // channel's declaration is independent of the others.
-        self.rates.iter().all(|r| r.concave_sharing())
+    fn payoff_shape(&self) -> RateShape {
+        // Greedy needs diminishing marginals on *every* channel; the
+        // game-level claim is the lattice meet (weakest) of the
+        // independent per-channel classifications.
+        self.rates
+            .iter()
+            .fold(RateShape::ConcaveSharing, |acc, r| acc.meet(r.shape()))
     }
 }
 

@@ -27,7 +27,22 @@ pub use lemmas::{
 pub use theorem1::{theorem1, theorem1_cached, Theorem1Verdict};
 
 use crate::br_dp::{self, ChannelGame};
+use crate::rate_model::RateShape;
 use crate::strategy::StrategyMatrix;
+
+/// Whether Theorem 1's structural verdict is a *proof* of (non-)equilibrium
+/// for this game, derived from the [`ChannelGame::payoff_shape`] seam.
+///
+/// The theorem is stated for the paper's constant-rate sharing games:
+/// concave-sharing payoffs with no idle radios. On other games
+/// ([`theorem1`] stays *available* — sweeps deliberately measure the
+/// structural/exact divergence on multi-rate and measured tables) the
+/// verdict is a heuristic, not a certificate. Measured rate tables
+/// propagate their CI-aware classification here: a table whose intervals
+/// cannot certify concave sharing is not Theorem-1-certifiable either.
+pub fn theorem1_applicable<G: ChannelGame + ?Sized>(game: &G) -> bool {
+    game.payoff_shape() == RateShape::ConcaveSharing && !game.may_idle_radios()
+}
 
 /// Fact 1 of the paper: when `Σ_i k_i ≤ |C|`, any allocation in which
 /// every channel carries at most one radio **and every user deploys all

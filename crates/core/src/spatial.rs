@@ -63,6 +63,7 @@ use crate::game::improves;
 use crate::game::NashCheck;
 use crate::loads::ChannelLoads;
 use crate::par;
+use crate::rate_model::RateShape;
 use crate::sparse::{SparseEntry, SparseStrategies};
 use crate::strategy::StrategyVector;
 use crate::types::{ChannelId, UserId};
@@ -261,6 +262,140 @@ impl ConflictGraph {
         self.adj = adj;
         u
     }
+
+    /// Append a vertex at position `p`, discovering its neighbors from
+    /// the grid-bucketed [`GeoIndex`] instead of an explicit list — the
+    /// seeded-geometric churn arrival path. The index is updated in the
+    /// same call, so graph and index stay in lockstep; the result is
+    /// identical to rebuilding [`ConflictGraph::geometric`] from scratch
+    /// over the extended position set (same cell hash, same
+    /// `dist ≤ range` predicate), which the churn differential suite
+    /// pins.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the index does not cover exactly this graph's vertices
+    /// (one position per vertex, appended in id order).
+    pub fn push_vertex_at(&mut self, geo: &mut GeoIndex, p: (f64, f64)) -> u32 {
+        assert_eq!(
+            geo.len(),
+            self.n_vertices(),
+            "geometric index out of sync with the graph"
+        );
+        let nb = geo.neighbors_within_range(p);
+        let u = self.push_vertex(&nb);
+        let v = geo.push(p);
+        debug_assert_eq!(u, v);
+        u
+    }
+}
+
+/// Grid-bucketed position index companion to a geometric
+/// [`ConflictGraph`]: positions hash to `range × range` cells, so
+/// neighbor discovery for a churn arrival scans only the 3×3 cell
+/// neighborhood — `O(1)` expected per arrival against a standing
+/// population, versus the `O(V)` distance scan an explicit rebuild
+/// would pay.
+///
+/// The graph intentionally does not own this ([`ConflictGraph`] derives
+/// `Eq`/`Hash` for fingerprinting and stays geometry-free): the index
+/// travels next to the graph in churn drivers and the two advance
+/// together through [`ConflictGraph::push_vertex_at`].
+#[derive(Debug, Clone)]
+pub struct GeoIndex {
+    positions: Vec<(f64, f64)>,
+    range: f64,
+    inv: f64,
+    cells: HashMap<(i64, i64), Vec<u32>>,
+}
+
+impl GeoIndex {
+    /// Index `positions` under conflict `range` — the same bucketing
+    /// [`ConflictGraph::geometric`] uses internally.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `range > 0` and every coordinate is finite.
+    pub fn new(positions: &[(f64, f64)], range: f64) -> Self {
+        assert!(range > 0.0, "conflict range must be positive");
+        let mut geo = GeoIndex {
+            positions: Vec::with_capacity(positions.len()),
+            range,
+            inv: 1.0 / range,
+            cells: HashMap::new(),
+        };
+        for &p in positions {
+            geo.push(p);
+        }
+        geo
+    }
+
+    /// Number of indexed positions.
+    pub fn len(&self) -> usize {
+        self.positions.len()
+    }
+
+    /// Whether the index is empty.
+    pub fn is_empty(&self) -> bool {
+        self.positions.is_empty()
+    }
+
+    /// The conflict range.
+    pub fn range(&self) -> f64 {
+        self.range
+    }
+
+    /// The indexed positions, in vertex-id order.
+    pub fn positions(&self) -> &[(f64, f64)] {
+        &self.positions
+    }
+
+    fn cell_of(&self, p: (f64, f64)) -> (i64, i64) {
+        (
+            (p.0 * self.inv).floor() as i64,
+            (p.1 * self.inv).floor() as i64,
+        )
+    }
+
+    /// Sorted ids of indexed positions within `range` of `p` (the
+    /// 3×3-cell scan; a position coincident with `p` counts).
+    pub fn neighbors_within_range(&self, p: (f64, f64)) -> Vec<u32> {
+        let (cx, cy) = self.cell_of(p);
+        let mut out = Vec::new();
+        for dx in -1..=1 {
+            for dy in -1..=1 {
+                if let Some(members) = self.cells.get(&(cx + dx, cy + dy)) {
+                    for &i in members {
+                        let (x, y) = self.positions[i as usize];
+                        let (ddx, ddy) = (x - p.0, y - p.1);
+                        if (ddx * ddx + ddy * ddy).sqrt() <= self.range {
+                            out.push(i);
+                        }
+                    }
+                }
+            }
+        }
+        out.sort_unstable();
+        out
+    }
+
+    /// Append a position, returning its id.
+    ///
+    /// # Panics
+    ///
+    /// Panics on non-finite coordinates (they would silently fall out
+    /// of every cell query).
+    pub fn push(&mut self, p: (f64, f64)) -> u32 {
+        assert!(
+            p.0.is_finite() && p.1.is_finite(),
+            "positions must be finite, got {p:?}"
+        );
+        let id = self.positions.len() as u32;
+        let cell = self.cell_of(p);
+        self.positions.push(p);
+        self.cells.entry(cell).or_default().push(id);
+        id
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -346,7 +481,13 @@ impl<G: ChannelGame> ChannelGame for SpatialGame<G> {
         self.inner.may_idle_radios()
     }
 
+    fn payoff_shape(&self) -> RateShape {
+        self.inner.payoff_shape()
+    }
+
     fn payoff_is_separable_monotone(&self) -> bool {
+        // Forward the derived predicate too, in case the inner game
+        // overrides it directly instead of through `payoff_shape`.
         self.inner.payoff_is_separable_monotone()
     }
 }

@@ -414,3 +414,158 @@ proptest! {
         })?;
     }
 }
+
+// ---------------------------------------------------------------------------
+// Geometric arrivals: positions instead of explicit neighbor lists
+// ---------------------------------------------------------------------------
+
+use mrca_core::spatial::GeoIndex;
+
+/// Side of the deployment square, matching `random_geometric` call sites.
+const SIDE: f64 = 5.0;
+
+/// Draw a seeded arrival position uniformly in the deployment square.
+fn arrival_position(seed: u64) -> (f64, f64) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (rng.gen_range(0.0..SIDE), rng.gen_range(0.0..SIDE))
+}
+
+/// Replay `events` where arrivals carry seeded *positions* and join the
+/// conflict graph through the grid-bucketed [`GeoIndex`]
+/// (`push_vertex_at`) rather than an explicit neighbor list. Beyond the
+/// per-event Nash/index assertions this pins the incremental graph
+/// against a from-scratch [`ConflictGraph::geometric`] rebuild over the
+/// accumulated positions after every arrival — the two paths share the
+/// cell hash and distance predicate, so any drift is a bug.
+fn check_spatial_churn_replay_geo(
+    mut game: SpatialGame<ChurnGame>,
+    mut geo: GeoIndex,
+    start: SparseStrategies,
+    events: &[Event],
+    seed: u64,
+    make: impl Fn(&SpatialGame<ChurnGame>, SparseStrategies) -> SpatialEngine,
+) -> Result<(), TestCaseError> {
+    let mut d = make(&game, start);
+    let (converged, cycle) = d.run(&game);
+    prop_assert!(converged || cycle, "initial: silent timeout");
+    if !converged {
+        return Ok(());
+    }
+    prop_assert!(is_nash_spatial(&game, d.state()));
+
+    let arrive = |game: &mut SpatialGame<ChurnGame>,
+                  geo: &mut GeoIndex,
+                  i: usize|
+     -> Result<(), TestCaseError> {
+        let p = arrival_position(seed ^ (i as u64).wrapping_mul(0x9E37));
+        game.graph_mut().push_vertex_at(geo, p);
+        prop_assert_eq!(
+            game.graph(),
+            &ConflictGraph::geometric(geo.positions(), geo.range()),
+            "event {}: incremental geometric graph drifted from a from-scratch rebuild",
+            i
+        );
+        Ok(())
+    };
+
+    for (i, ev) in events.iter().enumerate() {
+        match ev {
+            Event::Arrive { budget } => {
+                game.inner_mut().push_user(*budget);
+                arrive(&mut game, &mut geo, i)?;
+                d.grow_users(&game);
+            }
+            Event::Depart { pick } => {
+                let live: Vec<usize> = (0..game.n_users())
+                    .filter(|&u| game.inner().is_live(UserId(u)))
+                    .collect();
+                if live.is_empty() {
+                    continue;
+                }
+                let u = UserId(live[pick % live.len()]);
+                game.inner_mut().retire(u);
+                d.retire_user(&game, u);
+            }
+            Event::BudgetChange { pick, budget } => {
+                let live: Vec<usize> = (0..game.n_users())
+                    .filter(|&u| game.inner().is_live(UserId(u)))
+                    .collect();
+                if live.is_empty() {
+                    continue;
+                }
+                let u = UserId(live[pick % live.len()]);
+                game.inner_mut().retire(u);
+                d.retire_user(&game, u);
+                game.inner_mut().push_user(*budget);
+                arrive(&mut game, &mut geo, i)?;
+                d.grow_users(&game);
+            }
+            Event::RateShift { pick, factor } => {
+                let c = ChannelId(pick % game.n_channels());
+                let old = game.inner().rate(c);
+                game.inner_mut().set_rate(c, old * factor);
+                d.reprice_channel(&game, c);
+            }
+        }
+        let (converged, cycle) = d.run(&game);
+        prop_assert!(converged || cycle, "event {i} ({ev:?}): silent timeout");
+        if !converged {
+            return Ok(());
+        }
+        prop_assert!(
+            is_nash_spatial(&game, d.state()),
+            "event {i} ({ev:?}): settled state is not spatial-Nash — a wake was missed"
+        );
+        prop_assert!(
+            d.index_agrees(&game),
+            "event {i} ({ev:?}): neighborhood index drifted"
+        );
+    }
+
+    // A fresh engine on the final population finds nothing to do.
+    let grown = d.state().clone();
+    let mut fresh = SpatialDynamics::new(&game, grown.clone());
+    let (converged, rounds) = fresh.run(&game, 2, None);
+    prop_assert!(converged);
+    prop_assert_eq!(rounds, 1, "fixed point must certify in one sweep");
+    prop_assert_eq!(fresh.counters().moves, 0, "fixed point admits no move");
+    prop_assert!(fresh.state() == &grown, "from-scratch run must not drift");
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn spatial_churn_with_geometric_arrivals_matches_from_scratch(
+        n in 4usize..12,
+        k in 1u32..=3,
+        c in 2usize..=5,
+        seed in 0u64..1_000,
+        range in 0.8f64..4.0,
+        events in prop::collection::vec(event_strategy(), 1..8),
+    ) {
+        let (graph, positions) = ConflictGraph::random_geometric(n, SIDE, range, seed);
+        let geo = GeoIndex::new(&positions, range);
+        let game = SpatialGame::new(ChurnGame::uniform(n, k, c, 1.0), graph);
+        let start = SparseStrategies::random_uniform(n, k, c, seed);
+
+        // Sequential engine, heap route.
+        check_spatial_churn_replay_geo(
+            game.clone(), geo.clone(), start.clone(), &events, seed,
+            |g, s| SpatialEngine::Seq(SpatialDynamics::new(g, s)),
+        )?;
+        // Sequential engine, forced generic (DP) route.
+        let dp = SpatialGame::new(
+            game.inner().clone().force_generic_route(),
+            game.graph().clone(),
+        );
+        check_spatial_churn_replay_geo(dp, geo.clone(), start.clone(), &events, seed, |g, s| {
+            SpatialEngine::Seq(SpatialDynamics::new(g, s))
+        })?;
+        // Parallel engine (heap route), 2 workers.
+        check_spatial_churn_replay_geo(game, geo, start, &events, seed, |g, s| {
+            SpatialEngine::Par(SpatialParallelDynamics::new(g, s, 2))
+        })?;
+    }
+}

@@ -41,7 +41,7 @@ pub use progress::ProgressMeter;
 pub use shard::ShardSpec;
 pub use suite::{
     AxisGame, BudgetSpec, CellOutcome, ChannelScaleSpec, ExtendedCell, ExtendedOutcome,
-    ExtendedScenarioGrid, ExtendedScenarioSuite, OrderingSpec, RateSpec, ScenarioCell,
+    ExtendedScenarioGrid, ExtendedScenarioSuite, MeasuredSim, OrderingSpec, RateSpec, ScenarioCell,
     ScenarioGrid, ScenarioSuite, SuiteReport,
 };
 

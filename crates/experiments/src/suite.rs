@@ -34,13 +34,16 @@ use mrca_core::dynamics::{random_start, BestResponseDriver, Schedule};
 use mrca_core::nash::{theorem1, theorem1_cached};
 use mrca_core::par;
 use mrca_core::rate_model::{
-    ConstantRate, ExponentialDecayRate, LinearDecayRate, RateModel, ScaledRate,
+    ConstantRate, ExponentialDecayRate, LinearDecayRate, RateModel, RateShape, ScaledRate,
 };
 use mrca_core::sparse::SparseStrategies;
 use mrca_core::{
     ChannelAllocationGame, ChannelId, ChannelLoads, GameConfig, StrategyMatrix, UserId,
 };
-use mrca_mac::{FixedAlohaRate, OptimalCsmaRate, PhyParams, PracticalDcfRate, TdmaRate};
+use mrca_mac::{
+    FixedAlohaRate, HarvestConfig, OptimalCsmaRate, PhyParams, PracticalDcfRate, RateHarvester,
+    TdmaRate,
+};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::sync::Arc;
@@ -95,6 +98,34 @@ pub enum RateSpec {
         /// Rate once shared.
         rest: f64,
     },
+    /// Harvested `R(k)` table from a slot-level MAC simulator (the
+    /// harvest → classify route, `mrca_mac::harvest`). The cell carries
+    /// the harvest *parameters*, not the table: each worker re-runs the
+    /// seeded harvest and materializes an identical
+    /// `mrca_core::rate_model::MeasuredRate`, so cells stay cheap to
+    /// clone and the suite's determinism contract holds.
+    Measured {
+        /// Which simulator feeds the table.
+        sim: MeasuredSim,
+        /// Independent repetitions per occupancy (CI sample size).
+        reps: u32,
+        /// Simulated events (DCF) or slots (Aloha) per repetition.
+        events: u64,
+        /// Root seed of the harvest.
+        base_seed: u64,
+    },
+}
+
+/// Simulator axis of [`RateSpec::Measured`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MeasuredSim {
+    /// Slot-level 802.11 DCF Monte-Carlo (`mrca_mac::sim_dcf`) on the
+    /// Bianchi FHSS PHY — the measured twin of [`RateSpec::Bianchi`].
+    Dcf,
+    /// Slotted-Aloha success simulation at the per-`k` optimal
+    /// transmission probability — the measured twin of an optimal-Aloha
+    /// analytic curve.
+    Aloha,
 }
 
 impl RateSpec {
@@ -112,6 +143,15 @@ impl RateSpec {
             RateSpec::Aloha { p } => format!("aloha(p={p})"),
             RateSpec::Constant { bps } => format!("constant({bps})"),
             RateSpec::Cliff { r1, rest } => format!("cliff({r1};{rest})"),
+            RateSpec::Measured {
+                sim, reps, events, ..
+            } => {
+                let sim = match sim {
+                    MeasuredSim::Dcf => "dcf",
+                    MeasuredSim::Aloha => "aloha",
+                };
+                format!("measured-{sim}(reps={reps};events={events})")
+            }
         }
     }
 
@@ -144,6 +184,26 @@ impl RateSpec {
                     .chain(std::iter::repeat_n(rest, max_k as usize - 1))
                     .collect(),
             )),
+            RateSpec::Measured {
+                sim,
+                reps,
+                events,
+                base_seed,
+            } => {
+                let harvester = RateHarvester::new(HarvestConfig {
+                    max_k,
+                    reps,
+                    events,
+                    base_seed,
+                });
+                let table = match sim {
+                    MeasuredSim::Dcf => {
+                        harvester.harvest_dcf(&PhyParams::bianchi_fhss(), "measured-dcf")
+                    }
+                    MeasuredSim::Aloha => harvester.harvest_aloha(1e6, "measured-aloha"),
+                };
+                Arc::new(table.to_rate())
+            }
         }
     }
 }
@@ -855,10 +915,13 @@ impl ChannelGame for AxisGame {
         slots as f64 / total as f64 * self.rates[channel.0].rate(total)
     }
 
-    fn payoff_is_separable_monotone(&self) -> bool {
-        // Heap-eligible only when every channel's model declares concave
-        // sharing (constant / scaled-constant rates).
-        self.rates.iter().all(|r| r.concave_sharing())
+    fn payoff_shape(&self) -> RateShape {
+        // Heap-eligible only when every channel's model classifies as
+        // concave sharing (constant / scaled-constant rates): fold the
+        // per-channel shapes down to the weakest claim.
+        self.rates
+            .iter()
+            .fold(RateShape::ConcaveSharing, |acc, r| acc.meet(r.shape()))
     }
 }
 

@@ -23,6 +23,9 @@
 //!   builder (used by `mrca-sim` for packet-level validation);
 //! * [`sim_dcf`] — a slot-level Monte-Carlo simulation of DCF used to
 //!   validate the analytic model (experiment T5);
+//! * [`harvest`] — measured `R(k)` tables: run the simulators per
+//!   occupancy under repeated seeds, persist `(mean, CI)` tables, and
+//!   feed the CI-aware shape classification in `mrca_core::rate_model`;
 //! * [`rate`] — re-export of the workspace-wide [`RateModel`] trait
 //!   (historically named [`RateFunction`] and defined here; it now lives
 //!   in [`mrca_core::rate_model`]) plus the synthetic monotone families.
@@ -51,6 +54,7 @@
 pub mod aloha;
 pub mod bianchi;
 pub mod csma;
+pub mod harvest;
 pub mod params;
 pub mod rate;
 pub mod sim_dcf;
@@ -59,6 +63,7 @@ pub mod tdma;
 pub use aloha::{FixedAlohaRate, OptimalAlohaRate};
 pub use bianchi::{BianchiModel, BianchiSolution};
 pub use csma::{OptimalCsmaRate, PracticalDcfRate};
+pub use harvest::{HarvestConfig, MeasuredTable, RateHarvester};
 pub use params::{AccessMechanism, PhyParams};
 pub use rate::{
     ConstantRate, ExponentialDecayRate, LinearDecayRate, MonotoneEnvelope, RateFunction, RateModel,

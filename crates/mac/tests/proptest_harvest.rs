@@ -1,0 +1,149 @@
+//! Property tests on harvested-table persistence and the CI-aware shape
+//! classification.
+//!
+//! The persistence contract is **byte determinism**: parsing a table's
+//! canonical CSV/JSON and re-emitting it reproduces the input
+//! byte-for-byte (floats survive through Rust's shortest-round-trip
+//! `Display`/`parse` pair). The classification contract is that CI-aware
+//! shape claims are exactly as strong as the intervals allow: widening a
+//! CI can only weaken the claim, and claims hold *at the interval
+//! boundaries*, not merely the means.
+
+use mrca_core::rate_model::{classify_rate_table, RateShape};
+use mrca_mac::harvest::{HarvestConfig, MeasuredTable, RateHarvester};
+use proptest::prelude::*;
+
+/// Label/source generator over a separator-free charset (the type bans
+/// `,`, `"` and newlines).
+fn name_strategy() -> impl Strategy<Value = String> {
+    const CHARSET: &[u8] =
+        b"abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789 _-=().#";
+    proptest::collection::vec(0usize..CHARSET.len(), 1..24)
+        .prop_map(|idx| idx.into_iter().map(|i| CHARSET[i] as char).collect())
+}
+
+fn table_strategy() -> impl Strategy<Value = MeasuredTable> {
+    (
+        name_strategy(),
+        name_strategy(),
+        1u32..64,
+        proptest::collection::vec((0.001f64..1e9, 0.0f64..1e6), 1..24),
+    )
+        .prop_map(|(label, source, samples, entries)| {
+            let (mean, ci): (Vec<f64>, Vec<f64>) = entries.into_iter().unzip();
+            MeasuredTable::new(label, source, samples, mean, ci)
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn csv_round_trip_byte_determinism(t in table_strategy()) {
+        let csv = t.to_csv();
+        let back = MeasuredTable::from_csv(&csv).unwrap();
+        prop_assert_eq!(&back, &t);
+        prop_assert_eq!(back.to_csv(), csv);
+    }
+
+    #[test]
+    fn json_round_trip_byte_determinism(t in table_strategy()) {
+        let json = t.to_json();
+        let back = MeasuredTable::from_json(&json).unwrap();
+        prop_assert_eq!(&back, &t);
+        prop_assert_eq!(back.to_json(), json);
+    }
+
+    #[test]
+    fn cross_format_agreement(t in table_strategy()) {
+        // CSV and JSON carry the same data: decoding either yields the
+        // same table, so the two persisted forms can never drift apart.
+        let via_csv = MeasuredTable::from_csv(&t.to_csv()).unwrap();
+        let via_json = MeasuredTable::from_json(&t.to_json()).unwrap();
+        prop_assert_eq!(via_csv, via_json);
+    }
+
+    #[test]
+    fn widening_ci_never_strengthens_the_claim(
+        mean in proptest::collection::vec(0.5f64..100.0, 1..12),
+        ci_frac in 0.0f64..0.2,
+        widen in 1.0f64..50.0,
+    ) {
+        let ci: Vec<f64> = mean.iter().map(|m| m * ci_frac).collect();
+        let wide: Vec<f64> = ci.iter().map(|c| c * widen + 1e-9).collect();
+        let narrow_shape = classify_rate_table(&mean, &ci);
+        let wide_shape = classify_rate_table(&mean, &wide);
+        prop_assert!(
+            wide_shape <= narrow_shape,
+            "widening CIs strengthened {:?} to {:?}", narrow_shape, wide_shape
+        );
+    }
+
+    #[test]
+    fn harvest_with_closure_is_deterministic(
+        max_k in 1u32..12,
+        reps in 1u32..6,
+        base in 0.5f64..100.0,
+    ) {
+        let h = RateHarvester::new(HarvestConfig {
+            max_k,
+            reps,
+            events: 1,
+            base_seed: 0,
+        });
+        let sample = |k: u32, rep: u32| base / k as f64 + rep as f64 * 0.01;
+        let a = h.harvest_with("p", "closure", sample);
+        let b = h.harvest_with("p", "closure", sample);
+        prop_assert_eq!(&a, &b);
+        prop_assert_eq!(a.to_csv(), b.to_csv());
+        prop_assert_eq!(a.max_k(), max_k);
+    }
+}
+
+// ---- CI-boundary classification pins --------------------------------
+//
+// Deterministic unit pins for the three shape outcomes exactly at their
+// interval boundaries (the proptest above only checks monotonicity of
+// the lattice under widening).
+
+#[test]
+fn exact_constant_is_concave_sharing() {
+    let shape = classify_rate_table(&[5.0, 5.0, 5.0, 5.0], &[0.0; 4]);
+    assert_eq!(shape, RateShape::ConcaveSharing);
+}
+
+#[test]
+fn constant_with_wide_ci_cannot_even_certify_monotone() {
+    // Interval [4, 6] per entry: a later mean's upper bound exceeds an
+    // earlier mean's lower bound, so non-increase is not certified.
+    let shape = classify_rate_table(&[5.0, 5.0, 5.0], &[1.0; 3]);
+    assert_eq!(shape, RateShape::Neither);
+}
+
+#[test]
+fn tight_ci_on_linear_decay_is_monotone_only() {
+    // R = [10, 7, 4, 1] clamps at the floor: total rate k·R(k)/... the
+    // sharing marginals of a steep linear decay increase at the tail,
+    // so concavity fails while monotonicity certifies.
+    let mean = [10.0, 7.0, 4.0, 1.0];
+    let shape = classify_rate_table(&mean, &[0.0; 4]);
+    assert_eq!(shape, RateShape::MonotoneOnly);
+}
+
+#[test]
+fn ci_straddling_the_monotone_boundary_flips_the_verdict() {
+    // Strictly decreasing means with a gap of 1.0 between entries:
+    // certified monotone while ci < 0.5 (intervals stay disjoint in the
+    // right order), uncertifiable once the intervals overlap.
+    let mean = [10.0, 9.0, 8.0];
+    assert!(classify_rate_table(&mean, &[0.49; 3]) >= RateShape::MonotoneOnly);
+    assert_eq!(classify_rate_table(&mean, &[0.51; 3]), RateShape::Neither);
+}
+
+#[test]
+fn non_positive_lower_bound_is_neither() {
+    // Mean 1.0 with half-width 1.0: the interval touches zero, so the
+    // positivity contract cannot be certified.
+    assert_eq!(classify_rate_table(&[1.0], &[1.0]), RateShape::Neither);
+    assert_eq!(classify_rate_table(&[f64::NAN], &[0.0]), RateShape::Neither);
+}
