@@ -108,7 +108,10 @@ pub use game::ChannelAllocationGame;
 pub use loads::ChannelLoads;
 pub use rate_model::{ConstantRate, MeasuredRate, RateModel, RateShape};
 pub use sparse::SparseStrategies;
-pub use spatial::{ConflictGraph, GeoIndex, SpatialDynamics, SpatialGame, SpatialParallelDynamics};
+pub use spatial::{
+    ConflictGraph, GeoIndex, NbrIndex, NbrLoadView, SparseNbrLoads, SpatialDynamics, SpatialGame,
+    SpatialParallelDynamics,
+};
 pub use strategy::{StrategyMatrix, StrategyVector};
 pub use types::{ChannelId, UserId};
 
@@ -141,8 +144,8 @@ pub mod prelude {
     pub use crate::sparse::ChannelOccupants;
     pub use crate::sparse::SparseStrategies;
     pub use crate::spatial::{
-        is_nash_spatial, nash_check_spatial, spatial_dynamics, ConflictGraph, GeoIndex,
-        SpatialDynamics, SpatialGame, SpatialParallelDynamics,
+        is_nash_spatial, nash_check_spatial, spatial_dynamics, ConflictGraph, GeoIndex, NbrIndex,
+        NbrLoadView, SparseNbrLoads, SpatialDynamics, SpatialGame, SpatialParallelDynamics,
     };
     pub use crate::strategy::{StrategyMatrix, StrategyVector};
     pub use crate::types::{ChannelId, UserId};

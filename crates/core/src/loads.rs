@@ -79,6 +79,39 @@ impl ChannelLoads {
         self.loads.extend_from_slice(loads);
     }
 
+    /// Size the vector to `n` zeroed cells if it is not already that
+    /// shape. The sparse neighborhood index materializes its short rows
+    /// through this view with the sparse-set trick — fill the occupied
+    /// cells, run the kernel, clear the same cells — so between uses the
+    /// view is all zeros and this call is an `O(1)` length check, not an
+    /// `O(|C|)` wipe.
+    pub(crate) fn ensure_zeroed(&mut self, n: usize) {
+        if self.loads.len() != n {
+            self.loads.clear();
+            self.loads.resize(n, 0);
+        }
+        #[cfg(feature = "paranoid-checks")]
+        debug_assert!(
+            self.loads.iter().all(|&l| l == 0),
+            "scratch view not cleared between materializations"
+        );
+    }
+
+    /// Raw cell write for the sparse-set fill/clear above.
+    #[inline]
+    pub(crate) fn set_raw(&mut self, c: usize, v: u32) {
+        self.loads[c] = v;
+    }
+
+    /// Size the vector to `n` cells and zero them all unconditionally —
+    /// for reclaiming a view left dirty by a full-width fill (one
+    /// memset, where [`ensure_zeroed`](Self::ensure_zeroed) assumes the
+    /// all-zeros invariant already holds).
+    pub(crate) fn resize_wiped(&mut self, n: usize) {
+        self.loads.clear();
+        self.loads.resize(n, 0);
+    }
+
     /// Number of channels tracked.
     #[inline]
     pub fn n_channels(&self) -> usize {

@@ -327,6 +327,43 @@ impl From<&SparseStrategies> for StrategyMatrix {
     }
 }
 
+/// Merge two sorted sparse rows into their per-channel count deltas
+/// (`new − old`, ascending channel, zero deltas dropped) in a
+/// caller-owned buffer. This is the one delta computation behind every
+/// row replacement in the spatial neighborhood indexes — both the dense
+/// oracle and the default sparse representation consume exactly this
+/// list, which is what makes their `on_cell` callback sequences (and
+/// therefore the potential ladder they feed) identical by construction.
+pub fn row_deltas_into(old: &[SparseEntry], new: &[SparseEntry], out: &mut Vec<(u32, i64)>) {
+    out.clear();
+    let (mut a, mut b) = (0usize, 0usize);
+    while a < old.len() || b < new.len() {
+        let ca = old.get(a).map(|&(c, _)| c);
+        let cb = new.get(b).map(|&(c, _)| c);
+        let (c, d) = match (ca, cb) {
+            (Some(x), Some(y)) if x == y => {
+                let d = new[b].1 as i64 - old[a].1 as i64;
+                a += 1;
+                b += 1;
+                (x, d)
+            }
+            (Some(x), y) if y.is_none_or(|y| x < y) => {
+                let d = -(old[a].1 as i64);
+                a += 1;
+                (x, d)
+            }
+            _ => {
+                let d = new[b].1 as i64;
+                b += 1;
+                (new[b - 1].0, d)
+            }
+        };
+        if d != 0 {
+            out.push((c, d));
+        }
+    }
+}
+
 /// Sorted-unique union of the channels touched by two sparse rows — the
 /// repair set an engine must refresh after a row replacement.
 pub fn touched_channels(old: &[SparseEntry], new: &[SparseEntry]) -> Vec<ChannelId> {

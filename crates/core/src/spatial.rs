@@ -75,6 +75,27 @@ use std::collections::{BinaryHeap, HashMap, HashSet};
 use std::hash::{Hash, Hasher};
 
 // ---------------------------------------------------------------------------
+// Shared geometry predicate
+// ---------------------------------------------------------------------------
+
+/// Grid cell of `p` under inverse cell width `inv = 1/range` — the one
+/// bucketing rule shared by [`ConflictGraph::geometric`] and
+/// [`GeoIndex`], so the incremental and from-scratch builds cannot
+/// drift (the `churn_equiv` geometric pin depends on their agreement).
+#[inline]
+fn grid_cell(p: (f64, f64), inv: f64) -> (i64, i64) {
+    ((p.0 * inv).floor() as i64, (p.1 * inv).floor() as i64)
+}
+
+/// The one conflict predicate: Euclidean distance `≤ range`, evaluated
+/// `a − b` in argument order so every caller produces identical floats.
+#[inline]
+fn within_range(a: (f64, f64), b: (f64, f64), range: f64) -> bool {
+    let (dx, dy) = (a.0 - b.0, a.1 - b.1);
+    (dx * dx + dy * dy).sqrt() <= range
+}
+
+// ---------------------------------------------------------------------------
 // Conflict graph (CSR)
 // ---------------------------------------------------------------------------
 
@@ -155,17 +176,12 @@ impl ConflictGraph {
         let n = positions.len();
         assert!(range > 0.0, "conflict range must be positive");
         let inv = 1.0 / range;
-        let cell = |p: (f64, f64)| ((p.0 * inv).floor() as i64, (p.1 * inv).floor() as i64);
         let mut cells: HashMap<(i64, i64), Vec<u32>> = HashMap::new();
         for (i, &p) in positions.iter().enumerate() {
-            cells.entry(cell(p)).or_default().push(i as u32);
+            cells.entry(grid_cell(p, inv)).or_default().push(i as u32);
         }
-        let close = |i: u32, j: u32| {
-            let (xi, yi) = positions[i as usize];
-            let (xj, yj) = positions[j as usize];
-            let (dx, dy) = (xi - xj, yi - yj);
-            (dx * dx + dy * dy).sqrt() <= range
-        };
+        let close =
+            |i: u32, j: u32| within_range(positions[i as usize], positions[j as usize], range);
         let mut edges = Vec::new();
         for (&(cx, cy), members) in &cells {
             // Within the cell: ordered pairs once.
@@ -228,6 +244,13 @@ impl ConflictGraph {
     /// Whether `{u, v}` is an edge (`O(log deg u)`).
     pub fn contains_edge(&self, u: u32, v: u32) -> bool {
         self.neighbors(u).binary_search(&v).is_ok()
+    }
+
+    /// Heap footprint of the CSR arrays (capacity, not length — what
+    /// the allocator actually holds).
+    pub fn heap_bytes(&self) -> usize {
+        use std::mem::size_of;
+        self.starts.capacity() * size_of::<u32>() + self.adj.capacity() * size_of::<u32>()
     }
 
     /// Append a vertex adjacent to `neighbors` (existing vertices only),
@@ -351,10 +374,7 @@ impl GeoIndex {
     }
 
     fn cell_of(&self, p: (f64, f64)) -> (i64, i64) {
-        (
-            (p.0 * self.inv).floor() as i64,
-            (p.1 * self.inv).floor() as i64,
-        )
+        grid_cell(p, self.inv)
     }
 
     /// Sorted ids of indexed positions within `range` of `p` (the
@@ -366,9 +386,7 @@ impl GeoIndex {
             for dy in -1..=1 {
                 if let Some(members) = self.cells.get(&(cx + dx, cy + dy)) {
                     for &i in members {
-                        let (x, y) = self.positions[i as usize];
-                        let (ddx, ddy) = (x - p.0, y - p.1);
-                        if (ddx * ddx + ddy * ddy).sqrt() <= self.range {
+                        if within_range(self.positions[i as usize], p, self.range) {
                             out.push(i);
                         }
                     }
@@ -496,13 +514,17 @@ impl<G: ChannelGame> ChannelGame for SpatialGame<G> {
 // Per-neighborhood load index
 // ---------------------------------------------------------------------------
 
-/// The per-(user, channel) closed-neighborhood load index
+/// The **dense** per-(user, channel) closed-neighborhood load index
 /// `ℓ_i(c) = k_{i,c} + Σ_{j ∈ N(i)} k_{j,c}` — the spatial analogue of
 /// the global [`ChannelLoads`] cache, maintained incrementally on every
 /// move/grow/retire: a row replacement by `u` updates the `|Δ|` touched
 /// channels of `u` and of every graph neighbor, reporting each cell
 /// transition to the caller (the potential tracker consumes them).
-/// Memory is `|N| · |C|` `u32`s, flat user-major.
+/// Memory is `|N| · |C|` `u32`s, flat user-major — past the `Θ(N·|C|)`
+/// wall the drivers default to [`SparseNbrLoads`]; this representation
+/// is retained as the differential oracle `spatial_index_equiv` pins
+/// the sparse rows against (identical loads, identical `on_cell`
+/// sequences, bit-identical dynamics).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct NeighborhoodLoads {
     n_channels: usize,
@@ -559,7 +581,8 @@ impl NeighborhoodLoads {
     /// Apply `user`'s row change `old → new`, updating the user's own
     /// row and every neighbor's. `on_cell(affected_user, channel,
     /// before, after)` fires once per changed cell — the exact ladder
-    /// steps the potential tracker integrates.
+    /// steps the potential tracker integrates. A no-op replacement
+    /// (empty merged delta list) returns without walking the graph.
     pub fn replace_row<F: FnMut(usize, usize, u32, u32)>(
         &mut self,
         graph: &ConflictGraph,
@@ -568,34 +591,11 @@ impl NeighborhoodLoads {
         new: &[SparseEntry],
         mut on_cell: F,
     ) {
-        // Merge the two sorted rows into per-channel deltas.
         let mut deltas = std::mem::take(&mut self.deltas);
-        deltas.clear();
-        let (mut a, mut b) = (0usize, 0usize);
-        while a < old.len() || b < new.len() {
-            let ca = old.get(a).map(|&(c, _)| c);
-            let cb = new.get(b).map(|&(c, _)| c);
-            let (c, d) = match (ca, cb) {
-                (Some(x), Some(y)) if x == y => {
-                    let d = new[b].1 as i64 - old[a].1 as i64;
-                    a += 1;
-                    b += 1;
-                    (x, d)
-                }
-                (Some(x), y) if y.is_none_or(|y| x < y) => {
-                    let d = -(old[a].1 as i64);
-                    a += 1;
-                    (x, d)
-                }
-                _ => {
-                    let d = new[b].1 as i64;
-                    b += 1;
-                    (new[b - 1].0, d)
-                }
-            };
-            if d != 0 {
-                deltas.push((c, d));
-            }
+        crate::sparse::row_deltas_into(old, new, &mut deltas);
+        if deltas.is_empty() {
+            self.deltas = deltas;
+            return;
         }
         let touch = |this: &mut Self, v: usize, on_cell: &mut F| {
             let base = v * this.n_channels;
@@ -644,6 +644,891 @@ impl NeighborhoodLoads {
         let fresh = NeighborhoodLoads::of(graph, s);
         self.n_channels == fresh.n_channels && self.loads == fresh.loads
     }
+
+    /// Heap footprint (capacities, not lengths).
+    pub fn heap_bytes(&self) -> usize {
+        use std::mem::size_of;
+        self.loads.capacity() * size_of::<u32>() + self.deltas.capacity() * size_of::<(u32, i64)>()
+    }
+
+    /// The flat `N·|C|` cell bytes a dense index holds by construction —
+    /// the denominator of the sparse index's memory-win gate.
+    pub fn dense_bytes(&self) -> usize {
+        self.n_users() * self.n_channels * std::mem::size_of::<u32>()
+    }
+}
+
+/// Build-time closed-neighborhood aggregation shared by
+/// [`SparseNbrLoads::of`] and [`SparseNbrLoads::grow`]: one user's
+/// strategy row plus every graph neighbor's, accumulated in a dense
+/// per-channel scratch and emitted as a sorted nonzero row. Narrow
+/// channel spaces scan the whole scratch (branch-free adds, the dense
+/// index's inner loop); wide ones track the touched ids so the scan —
+/// and the zeroing — never strides the `|C|`-wide scratch.
+struct RowAggregator {
+    scratch: Vec<u32>,
+    touched: Vec<u32>,
+}
+
+/// Below this channel count the post-aggregation scan reads the whole
+/// scratch instead of tracking touched ids — a couple of cache lines,
+/// cheaper than a branch per radio added.
+const SCAN_CHANNELS: usize = 32;
+
+impl RowAggregator {
+    fn new(n_channels: usize) -> Self {
+        RowAggregator {
+            scratch: vec![0u32; n_channels],
+            touched: Vec::new(),
+        }
+    }
+
+    fn aggregate(
+        &mut self,
+        graph: &ConflictGraph,
+        s: &SparseStrategies,
+        v: usize,
+        out: &mut Vec<SparseEntry>,
+    ) {
+        if self.scratch.len() <= SCAN_CHANNELS {
+            for &(c, k) in s.row(UserId(v)) {
+                self.scratch[c as usize] += k;
+            }
+            for &u in graph.neighbors(v as u32) {
+                for &(c, k) in s.row(UserId(u as usize)) {
+                    self.scratch[c as usize] += k;
+                }
+            }
+            for (c, l) in self.scratch.iter_mut().enumerate() {
+                if *l != 0 {
+                    out.push((c as u32, *l));
+                    *l = 0;
+                }
+            }
+        } else {
+            let add = |row: &[SparseEntry], scratch: &mut [u32], touched: &mut Vec<u32>| {
+                for &(c, k) in row {
+                    if scratch[c as usize] == 0 {
+                        touched.push(c);
+                    }
+                    scratch[c as usize] += k;
+                }
+            };
+            self.touched.clear();
+            add(s.row(UserId(v)), &mut self.scratch, &mut self.touched);
+            for &u in graph.neighbors(v as u32) {
+                add(
+                    s.row(UserId(u as usize)),
+                    &mut self.scratch,
+                    &mut self.touched,
+                );
+            }
+            self.touched.sort_unstable();
+            for &c in &self.touched {
+                out.push((c, self.scratch[c as usize]));
+                self.scratch[c as usize] = 0;
+            }
+        }
+    }
+}
+
+/// Slot capacity for a sparse row of `len` live entries: an `L/8` slack
+/// plus two spare slots so load-only churn and small channel-set drift
+/// stay in place, clamped to `|C|` (a row can never hold more distinct
+/// channels than exist).
+#[inline]
+fn cap_for(len: usize, n_channels: usize) -> usize {
+    (len + len / 8 + 2).min(n_channels)
+}
+
+/// Cell cap on the transient dense scatter table [`SparseNbrLoads::of`]
+/// may use while building (16M `u32` cells = 64 MB): under it the
+/// dense-style scatter build is faster and the transient harmless;
+/// above it that transient would *be* the Θ(N·|C|) wall this index
+/// exists to avoid, so the builder aggregates row by row instead.
+const FLAT_BUILD_CELLS: usize = 16 << 20;
+
+/// The **sparse** closed-neighborhood load index: per-user CSR rows of
+/// sorted `(channel, load)` entries holding the channels with nonzero
+/// closed-neighborhood load (a row that has reached full `|C|` width
+/// may additionally retain zero-load entries — see
+/// [`patch_row`](Self::patch_row)) — at degree `d` and `k` radios that
+/// is `≤ (d+1)·k` entries instead of `|C|`, which is the whole memory
+/// story in `|C| ≫ k` regimes (a 10⁵-user, `|C| = 512`, `k = 2`
+/// geometric cell holds ~18-entry rows: ~10× under the dense index).
+///
+/// The layout mirrors [`SparseStrategies`]: one entry arena with
+/// per-row `(start, len, cap)` and amortized in-place growth. Unlike
+/// the strategy arena, capacities are **exact-reserved** (`L/8` slack,
+/// compaction at 25% waste) rather than doubled — `heap_bytes` is the
+/// measured gate, and `Vec`'s doubling would hand back half the win.
+///
+/// [`replace_row`](Self::replace_row) fires the same
+/// `on_cell(affected_user, channel, before, after)` sequence as the
+/// dense [`NeighborhoodLoads`] (ascending channel; mover first, then
+/// graph neighbors in adjacency order), so the potential ladder and the
+/// cycle detector are untouched by the representation switch —
+/// `spatial_index_equiv` pins that bit for bit.
+#[derive(Debug, Clone)]
+pub struct SparseNbrLoads {
+    n_channels: usize,
+    /// Per-user `(row start into entries, live entry count)` — packed
+    /// so the patch hot path fetches both with one read.
+    meta: Vec<(u32, u32)>,
+    /// Per-user slot capacity; slots past `len` are stale, never read.
+    /// Cold — read only when a row changes shape.
+    caps: Vec<u32>,
+    /// Row channel ids, sorted within a row (the CSR column array).
+    chans: Vec<u32>,
+    /// Row loads, parallel to `chans`. Split out (structure-of-arrays)
+    /// so the load-only patch hot path touches 4-byte cells — the same
+    /// cache traffic as the dense index — instead of 8-byte pairs.
+    loads: Vec<u32>,
+    /// Slots abandoned by relocated rows, reclaimed by compaction.
+    dead_slots: usize,
+    /// True while *every* row is full-width (`len == cap == |C|`), so
+    /// row `v` sits at offset `v·|C|` — dense-occupancy regimes (small
+    /// `|C|`, high degree) patch and read with a base multiply instead
+    /// of a `meta` load, the dense index's exact access pattern. Rows
+    /// never shrink below full width (zero entries stay in place), so
+    /// the flag only flips off when `grow` appends a short row.
+    uniform_full: bool,
+    /// Merge scratch for a row replacement's per-channel deltas.
+    deltas: Vec<(u32, i64)>,
+    /// Merge scratch for a patched row.
+    merged: Vec<SparseEntry>,
+}
+
+impl SparseNbrLoads {
+    /// Build the index from scratch: `O(Σ_i k_i·(1 + deg i))` closed-
+    /// neighborhood aggregation through a dense scratch (only the
+    /// touched channel ids — at most `min((d+1)·k, |C|)` of them — are
+    /// sorted per row), with the arena allocated to its exact capped
+    /// size in one reservation.
+    pub fn of(graph: &ConflictGraph, s: &SparseStrategies) -> Self {
+        let n = s.n_users();
+        let c_n = s.n_channels();
+        assert_eq!(graph.n_vertices(), n, "one graph vertex per user");
+        // Pass 1: every logical row into one flat temp, lens recorded.
+        // Two builders: when the transient dense `N·|C|` scatter table
+        // is small, build exactly like the dense index (pure scatter,
+        // no per-row bookkeeping) and sweep each row out; past the gate
+        // — where that transient would *be* the Θ(N·|C|) wall this
+        // index removes — aggregate row by row through the scratch.
+        let mut rows: Vec<SparseEntry> = Vec::new();
+        let mut lens: Vec<u32> = Vec::with_capacity(n);
+        if n.saturating_mul(c_n) <= FLAT_BUILD_CELLS {
+            let mut flat = vec![0u32; n * c_n];
+            for v in 0..n {
+                for &(c, k) in s.row(UserId(v)) {
+                    flat[v * c_n + c as usize] += k;
+                    for i in graph.starts[v] as usize..graph.starts[v + 1] as usize {
+                        flat[graph.adj[i] as usize * c_n + c as usize] += k;
+                    }
+                }
+            }
+            let occupied = flat.iter().filter(|&&l| l != 0).count();
+            if occupied * 8 >= n * c_n * 7 {
+                // Dense-occupancy regime (≥ 7/8 of all cells loaded):
+                // pad every row to full width — channel `c` at offset
+                // `c`, zero entries legal — so the whole index runs the
+                // uniform-full fast paths. At this occupancy the padding
+                // costs no more than the slack-capped compact layout it
+                // replaces, and `flat` is reused as the loads array.
+                let mut chans: Vec<u32> = Vec::with_capacity(n * c_n);
+                for _ in 0..n {
+                    chans.extend(0..c_n as u32);
+                }
+                return SparseNbrLoads {
+                    n_channels: c_n,
+                    meta: (0..n).map(|v| ((v * c_n) as u32, c_n as u32)).collect(),
+                    caps: vec![c_n as u32; n],
+                    chans,
+                    loads: flat,
+                    dead_slots: 0,
+                    uniform_full: true,
+                    deltas: Vec::new(),
+                    merged: Vec::new(),
+                };
+            }
+            for v in 0..n {
+                let before = rows.len();
+                for (c, &l) in flat[v * c_n..(v + 1) * c_n].iter().enumerate() {
+                    if l != 0 {
+                        rows.push((c as u32, l));
+                    }
+                }
+                lens.push((rows.len() - before) as u32);
+            }
+        } else {
+            let mut agg = RowAggregator::new(c_n);
+            for v in 0..n {
+                let before = rows.len();
+                agg.aggregate(graph, s, v, &mut rows);
+                lens.push((rows.len() - before) as u32);
+            }
+        }
+        // Pass 2: lay rows out with their slot caps, exactly reserved.
+        let mut caps: Vec<u32> = Vec::with_capacity(n);
+        let mut total = 0usize;
+        for &len in &lens {
+            let cap = cap_for(len as usize, c_n);
+            caps.push(cap as u32);
+            total += cap;
+        }
+        assert!(total <= u32::MAX as usize, "sparse index arena overflow");
+        let mut chans: Vec<u32> = Vec::with_capacity(total);
+        let mut loads: Vec<u32> = Vec::with_capacity(total);
+        let mut meta: Vec<(u32, u32)> = Vec::with_capacity(n);
+        let mut off = 0usize;
+        for (v, &len) in lens.iter().enumerate() {
+            let start = chans.len();
+            meta.push((start as u32, len));
+            for &(c, l) in &rows[off..off + len as usize] {
+                chans.push(c);
+                loads.push(l);
+            }
+            chans.resize(start + caps[v] as usize, 0);
+            loads.resize(start + caps[v] as usize, 0);
+            off += len as usize;
+        }
+        let uniform_full = lens.iter().all(|&l| l as usize == c_n);
+        SparseNbrLoads {
+            n_channels: c_n,
+            meta,
+            caps,
+            chans,
+            loads,
+            dead_slots: 0,
+            uniform_full,
+            deltas: Vec::new(),
+            merged: Vec::new(),
+        }
+    }
+
+    /// Number of channels (the dense row width this index avoids).
+    pub fn n_channels(&self) -> usize {
+        self.n_channels
+    }
+
+    /// Number of user rows.
+    pub fn n_users(&self) -> usize {
+        self.meta.len()
+    }
+
+    /// User `u`'s row as parallel `(channel ids, loads)` slices, sorted
+    /// by channel.
+    pub fn row_parts(&self, u: usize) -> (&[u32], &[u32]) {
+        let (s, e) = if self.uniform_full {
+            let s = u * self.n_channels;
+            (s, s + self.n_channels)
+        } else {
+            let (s, l) = self.meta[u];
+            (s as usize, (s + l) as usize)
+        };
+        (&self.chans[s..e], &self.loads[s..e])
+    }
+
+    /// User `u`'s sorted `(channel, load)` row cells (a full-width row
+    /// may include zero-load cells — see [`patch_row`](Self::patch_row)).
+    pub fn row(&self, u: usize) -> impl Iterator<Item = SparseEntry> + '_ {
+        let (cs, ls) = self.row_parts(u);
+        cs.iter().copied().zip(ls.iter().copied())
+    }
+
+    /// `ℓ_u(c)` (`O(log row)`; a full-width row indexes directly).
+    pub fn load(&self, u: usize, c: ChannelId) -> u32 {
+        if self.uniform_full {
+            // Channel `c` sits at offset `c` of row `u` — the dense
+            // index's exact load read.
+            return self.loads[u * self.n_channels + c.0];
+        }
+        let (cs, ls) = self.row_parts(u);
+        if cs.len() == self.n_channels {
+            return ls[c.0];
+        }
+        match cs.binary_search(&(c.0 as u32)) {
+            Ok(i) => ls[i],
+            Err(_) => 0,
+        }
+    }
+
+    /// Apply `user`'s row change `old → new` — the sparse twin of
+    /// [`NeighborhoodLoads::replace_row`], same callback contract, same
+    /// early return on an empty merged delta list. Each affected row is
+    /// patched by one merge walk of its entries against the deltas:
+    /// `O(deg·(k + row))` total.
+    pub fn replace_row<F: FnMut(usize, usize, u32, u32)>(
+        &mut self,
+        graph: &ConflictGraph,
+        user: usize,
+        old: &[SparseEntry],
+        new: &[SparseEntry],
+        mut on_cell: F,
+    ) {
+        let mut deltas = std::mem::take(&mut self.deltas);
+        crate::sparse::row_deltas_into(old, new, &mut deltas);
+        if deltas.is_empty() {
+            self.deltas = deltas;
+            return;
+        }
+        if self.uniform_full {
+            // Every row full-width at offset `v·|C|`: run the dense
+            // index's exact touch loop, the branch hoisted out of the
+            // per-row path.
+            let touch = |this: &mut Self, v: usize, on_cell: &mut F| {
+                let base = v * this.n_channels;
+                for &(c, d) in &deltas {
+                    let cell = &mut this.loads[base + c as usize];
+                    let before = *cell;
+                    let after = (before as i64 + d) as u32;
+                    *cell = after;
+                    on_cell(v, c as usize, before, after);
+                }
+            };
+            touch(self, user, &mut on_cell);
+            for i in graph.starts[user] as usize..graph.starts[user + 1] as usize {
+                touch(self, graph.adj[i] as usize, &mut on_cell);
+            }
+        } else {
+            self.patch_row(user, &deltas, &mut on_cell);
+            for i in graph.starts[user] as usize..graph.starts[user + 1] as usize {
+                let v = graph.adj[i] as usize;
+                self.patch_row(v, &deltas, &mut on_cell);
+            }
+        }
+        self.deltas = deltas;
+    }
+
+    /// Merge `deltas` into row `v`, firing `on_cell` per changed cell in
+    /// ascending channel order — the exact sequence the dense oracle's
+    /// delta loop produces, because both iterate the same sorted deltas.
+    #[inline]
+    fn patch_row<F: FnMut(usize, usize, u32, u32)>(
+        &mut self,
+        v: usize,
+        deltas: &[(u32, i64)],
+        on_cell: &mut F,
+    ) {
+        debug_assert!(
+            !self.uniform_full,
+            "uniform-full indexes take replace_row's hoisted touch loop"
+        );
+        let (start, len) = self.meta[v];
+        let (start, len) = (start as usize, len as usize);
+
+        // Optimistic in-place walk — the common case in dense-occupancy
+        // regimes (small `|C|`, high degree): a delta landing on a
+        // channel the row already holds, leaving it nonzero, patches
+        // the load in place with no scratch merge and no copy-back.
+        // The first structural delta (an insert or an emptied entry)
+        // hands the rest of the walk to the merge below; the in-place
+        // prefix stays applied, so the callback sequence is identical
+        // either way — exactly the delta channels, ascending.
+        let fallback = if len == self.n_channels {
+            // Full-width row: sorted distinct channels covering
+            // `0..n_channels` put channel `c` at offset `c` — direct
+            // indexing, the same inner loop the dense oracle runs. A
+            // cell dropping to zero *stays in place as a zero entry*
+            // (the row is at its `|C|` cap anyway, so evicting it buys
+            // nothing and would cost a structural merge per eviction);
+            // readers filter zeros, so the logical row is unchanged.
+            let row = &mut self.loads[start..start + len];
+            for &(c, d) in deltas {
+                let cell = &mut row[c as usize];
+                debug_assert_eq!(
+                    self.chans[start + c as usize],
+                    c,
+                    "full-width row out of position"
+                );
+                let before = *cell;
+                let after = (before as i64 + d) as u32;
+                on_cell(v, c as usize, before, after);
+                *cell = after;
+            }
+            None
+        } else {
+            let chans = &self.chans[start..start + len];
+            let row = &mut self.loads[start..start + len];
+            let (mut a, mut b) = (0usize, 0usize);
+            loop {
+                if b == deltas.len() {
+                    break None;
+                }
+                let (c, d) = deltas[b];
+                while a < len && chans[a] < c {
+                    a += 1;
+                }
+                if a < len && chans[a] == c {
+                    let before = row[a];
+                    let sum = before as i64 + d;
+                    if sum != 0 {
+                        on_cell(v, c as usize, before, sum as u32);
+                        row[a] = sum as u32;
+                        a += 1;
+                        b += 1;
+                        continue;
+                    }
+                }
+                break Some((a, b));
+            }
+        };
+        if let Some((a0, b0)) = fallback {
+            self.patch_row_merge(v, a0, b0, deltas, on_cell);
+        }
+    }
+
+    /// The structural tail of [`patch_row`]: merge row suffix
+    /// `entries[a0..]` with `deltas[b0..]` into the scratch (the
+    /// in-place prefix `[..a0]` is copied over verbatim) and store the
+    /// result, relocating the row if it outgrew its slot.
+    fn patch_row_merge<F: FnMut(usize, usize, u32, u32)>(
+        &mut self,
+        v: usize,
+        a0: usize,
+        b0: usize,
+        deltas: &[(u32, i64)],
+        on_cell: &mut F,
+    ) {
+        let (start, len) = self.meta[v];
+        let (start, len) = (start as usize, len as usize);
+        let mut merged = std::mem::take(&mut self.merged);
+        merged.clear();
+        for i in 0..a0 {
+            merged.push((self.chans[start + i], self.loads[start + i]));
+        }
+        let (mut a, mut b) = (a0, b0);
+        while a < len || b < deltas.len() {
+            let ca = (a < len).then(|| self.chans[start + a]);
+            let cb = deltas.get(b).map(|&(c, _)| c);
+            match (ca, cb) {
+                (Some(x), Some(y)) if x == y => {
+                    let before = self.loads[start + a];
+                    let after = (before as i64 + deltas[b].1) as u32;
+                    on_cell(v, x as usize, before, after);
+                    if after != 0 {
+                        merged.push((x, after));
+                    }
+                    a += 1;
+                    b += 1;
+                }
+                (Some(x), y) if y.is_none_or(|y| x < y) => {
+                    merged.push((x, self.loads[start + a]));
+                    a += 1;
+                }
+                _ => {
+                    let (c, d) = deltas[b];
+                    debug_assert!(d > 0, "negative delta on a channel absent from the row");
+                    on_cell(v, c as usize, 0, d as u32);
+                    merged.push((c, d as u32));
+                    b += 1;
+                }
+            }
+        }
+        self.write_row(v, &merged);
+        self.merged = merged;
+    }
+
+    /// Store `row` as `v`'s entries: in place when it fits the slot,
+    /// otherwise relocated to the arena end (the old slot goes dead;
+    /// compaction reclaims at 25% waste). Arena growth is
+    /// `reserve_exact` with an `L/8` slack — never `Vec` doubling,
+    /// which would halve the measured memory win.
+    fn write_row(&mut self, v: usize, row: &[SparseEntry]) {
+        // Only merge walks write rows, and full-width rows never merge,
+        // so a uniform-full index can never reach here.
+        debug_assert!(!self.uniform_full, "write_row on a uniform-full index");
+        if row.len() <= self.caps[v] as usize {
+            let start = self.meta[v].0 as usize;
+            for (i, &(c, l)) in row.iter().enumerate() {
+                self.chans[start + i] = c;
+                self.loads[start + i] = l;
+            }
+            self.meta[v].1 = row.len() as u32;
+            return;
+        }
+        self.dead_slots += self.caps[v] as usize;
+        if self.dead_slots * 4 >= self.loads.len() {
+            self.compact(v, row);
+            return;
+        }
+        let cap = cap_for(row.len(), self.n_channels);
+        if self.loads.capacity() < self.loads.len() + cap {
+            let extra = cap + self.loads.len() / 8;
+            self.chans.reserve_exact(extra);
+            self.loads.reserve_exact(extra);
+        }
+        let start = self.loads.len();
+        assert!(
+            start + cap <= u32::MAX as usize,
+            "sparse index arena overflow"
+        );
+        self.meta[v] = (start as u32, row.len() as u32);
+        self.caps[v] = cap as u32;
+        for &(c, l) in row {
+            self.chans.push(c);
+            self.loads.push(l);
+        }
+        self.chans.resize(start + cap, 0);
+        self.loads.resize(start + cap, 0);
+    }
+
+    /// Rebuild the arena tight — every row re-capped for its current
+    /// length, `relocating`'s row replaced by `new_row` in the same
+    /// pass — into one exact reservation. `O(N + entries)`, amortized
+    /// by the 25% dead-slot trigger.
+    fn compact(&mut self, relocating: usize, new_row: &[SparseEntry]) {
+        let n = self.meta.len();
+        let mut total = 0usize;
+        for v in 0..n {
+            let len = if v == relocating {
+                new_row.len()
+            } else {
+                self.meta[v].1 as usize
+            };
+            total += cap_for(len, self.n_channels);
+        }
+        let mut chans: Vec<u32> = Vec::with_capacity(total);
+        let mut loads: Vec<u32> = Vec::with_capacity(total);
+        for v in 0..n {
+            let start = chans.len();
+            if v == relocating {
+                for &(c, l) in new_row {
+                    chans.push(c);
+                    loads.push(l);
+                }
+                self.meta[v].1 = new_row.len() as u32;
+            } else {
+                let (s, l) = self.meta[v];
+                let (s, e) = (s as usize, (s + l) as usize);
+                chans.extend_from_slice(&self.chans[s..e]);
+                loads.extend_from_slice(&self.loads[s..e]);
+            }
+            let cap = cap_for(self.meta[v].1 as usize, self.n_channels);
+            chans.resize(start + cap, 0);
+            loads.resize(start + cap, 0);
+            self.meta[v].0 = start as u32;
+            self.caps[v] = cap as u32;
+        }
+        self.chans = chans;
+        self.loads = loads;
+        self.dead_slots = 0;
+    }
+
+    /// Append rows for users added since the index was built — the same
+    /// contract as [`NeighborhoodLoads::grow`]: arrivals must join with
+    /// empty strategy rows, so existing rows are untouched and each new
+    /// row aggregates its (possibly loaded) neighbors.
+    pub fn grow(&mut self, graph: &ConflictGraph, s: &SparseStrategies) {
+        let old_rows = self.meta.len();
+        assert_eq!(graph.n_vertices(), s.n_users(), "one graph vertex per user");
+        let mut agg = RowAggregator::new(self.n_channels);
+        let mut merged = std::mem::take(&mut self.merged);
+        for v in old_rows..s.n_users() {
+            merged.clear();
+            agg.aggregate(graph, s, v, &mut merged);
+            let cap = cap_for(merged.len(), self.n_channels);
+            if self.loads.capacity() < self.loads.len() + cap {
+                let extra = cap + self.loads.len() / 8;
+                self.chans.reserve_exact(extra);
+                self.loads.reserve_exact(extra);
+            }
+            let start = self.loads.len();
+            assert!(
+                start + cap <= u32::MAX as usize,
+                "sparse index arena overflow"
+            );
+            self.meta.push((start as u32, merged.len() as u32));
+            self.caps.push(cap as u32);
+            for &(c, l) in merged.iter() {
+                self.chans.push(c);
+                self.loads.push(l);
+            }
+            self.chans.resize(start + cap, 0);
+            self.loads.resize(start + cap, 0);
+            self.uniform_full = self.uniform_full && merged.len() == self.n_channels;
+        }
+        self.merged = merged;
+    }
+
+    /// Full recomputation check (tests and `paranoid-checks` only) —
+    /// compares logical rows, which also catches a lingering
+    /// explicit-zero entry the merge should have dropped.
+    pub fn agrees_with(&self, graph: &ConflictGraph, s: &SparseStrategies) -> bool {
+        let fresh = SparseNbrLoads::of(graph, s);
+        self.n_channels == fresh.n_channels
+            && self.meta.len() == fresh.meta.len()
+            && (0..self.meta.len()).all(|v| {
+                // Zero entries (legal only in full-width rows, and on
+                // either side — the fresh rebuild may pad a
+                // dense-occupancy instance) are not part of the
+                // logical row.
+                self.row(v)
+                    .filter(|&(_, l)| l != 0)
+                    .eq(fresh.row(v).filter(|&(_, l)| l != 0))
+            })
+    }
+
+    /// Heap footprint (capacities, not lengths) — the numerator of the
+    /// `t11_spatial` memory-win gate.
+    pub fn heap_bytes(&self) -> usize {
+        use std::mem::size_of;
+        self.meta.capacity() * size_of::<(u32, u32)>()
+            + (self.caps.capacity() + self.chans.capacity() + self.loads.capacity())
+                * size_of::<u32>()
+            + self.deltas.capacity() * size_of::<(u32, i64)>()
+            + self.merged.capacity() * size_of::<SparseEntry>()
+    }
+
+    /// The flat `N·|C|` cell bytes a dense index would hold.
+    pub fn dense_bytes(&self) -> usize {
+        self.meta.len() * self.n_channels * std::mem::size_of::<u32>()
+    }
+
+    /// Dead (relocated, unreclaimed) slots — compaction bookkeeping,
+    /// exposed for tests.
+    #[cfg(test)]
+    fn dead(&self) -> usize {
+        self.dead_slots
+    }
+}
+
+/// Read access to a closed-neighborhood load index, independent of
+/// representation — what the utility sum, the welfare sum, and the
+/// potential recompute need. Both methods expose the same `u32` cells
+/// in the same order for both representations, so every float
+/// accumulation downstream is bit-identical across them.
+pub trait NbrLoadView {
+    /// Number of channels per (logical) row.
+    fn n_channels(&self) -> usize;
+    /// Number of user rows.
+    fn n_users(&self) -> usize;
+    /// `ℓ_u(c)`.
+    fn load(&self, u: usize, c: ChannelId) -> u32;
+    /// Visit `u`'s nonzero cells as `(channel, load)` in ascending
+    /// channel order.
+    fn for_each_load(&self, u: usize, f: impl FnMut(usize, u32));
+}
+
+impl NbrLoadView for NeighborhoodLoads {
+    fn n_channels(&self) -> usize {
+        self.n_channels
+    }
+
+    fn n_users(&self) -> usize {
+        NeighborhoodLoads::n_users(self)
+    }
+
+    fn load(&self, u: usize, c: ChannelId) -> u32 {
+        NeighborhoodLoads::load(self, u, c)
+    }
+
+    fn for_each_load(&self, u: usize, mut f: impl FnMut(usize, u32)) {
+        for (c, &l) in self.row(u).iter().enumerate() {
+            if l != 0 {
+                f(c, l);
+            }
+        }
+    }
+}
+
+impl NbrLoadView for SparseNbrLoads {
+    fn n_channels(&self) -> usize {
+        self.n_channels
+    }
+
+    fn n_users(&self) -> usize {
+        SparseNbrLoads::n_users(self)
+    }
+
+    fn load(&self, u: usize, c: ChannelId) -> u32 {
+        SparseNbrLoads::load(self, u, c)
+    }
+
+    fn for_each_load(&self, u: usize, mut f: impl FnMut(usize, u32)) {
+        // Full-width rows may hold zero entries (see `patch_row`); the
+        // logical row is the nonzero cells either way.
+        for (c, l) in self.row(u) {
+            if l != 0 {
+                f(c as usize, l);
+            }
+        }
+    }
+}
+
+/// The neighborhood index a spatial driver maintains: sparse CSR rows
+/// by default, the dense flat rows as the retained differential oracle
+/// (`SpatialDynamics::new_dense_oracle`). Every mutation and query is
+/// representation-transparent — same `on_cell` sequences, same loads —
+/// so swapping the variant cannot change a single committed move.
+#[derive(Debug, Clone)]
+pub enum NbrIndex {
+    /// Sorted nonzero `(channel, load)` CSR rows — the default.
+    Sparse(SparseNbrLoads),
+    /// Flat `N·|C|` rows — the `Θ(N·|C|)` differential oracle.
+    Dense(NeighborhoodLoads),
+}
+
+impl NbrIndex {
+    /// Build the default (sparse) index.
+    pub fn sparse_of(graph: &ConflictGraph, s: &SparseStrategies) -> Self {
+        NbrIndex::Sparse(SparseNbrLoads::of(graph, s))
+    }
+
+    /// Build the dense oracle index.
+    pub fn dense_of(graph: &ConflictGraph, s: &SparseStrategies) -> Self {
+        NbrIndex::Dense(NeighborhoodLoads::of(graph, s))
+    }
+
+    /// Whether this is the sparse (default) representation.
+    pub fn is_sparse(&self) -> bool {
+        matches!(self, NbrIndex::Sparse(_))
+    }
+
+    /// `ℓ_u(c)` — inherent twin of [`NbrLoadView::load`] so callers
+    /// don't need the trait in scope.
+    pub fn load(&self, u: usize, c: ChannelId) -> u32 {
+        NbrLoadView::load(self, u, c)
+    }
+
+    /// Delegating [`NeighborhoodLoads::replace_row`] /
+    /// [`SparseNbrLoads::replace_row`].
+    pub fn replace_row<F: FnMut(usize, usize, u32, u32)>(
+        &mut self,
+        graph: &ConflictGraph,
+        user: usize,
+        old: &[SparseEntry],
+        new: &[SparseEntry],
+        on_cell: F,
+    ) {
+        match self {
+            NbrIndex::Sparse(ix) => ix.replace_row(graph, user, old, new, on_cell),
+            NbrIndex::Dense(ix) => ix.replace_row(graph, user, old, new, on_cell),
+        }
+    }
+
+    /// Delegating grow (churn arrivals; see [`NeighborhoodLoads::grow`]).
+    pub fn grow(&mut self, graph: &ConflictGraph, s: &SparseStrategies) {
+        match self {
+            NbrIndex::Sparse(ix) => ix.grow(graph, s),
+            NbrIndex::Dense(ix) => ix.grow(graph, s),
+        }
+    }
+
+    /// Full recomputation check (tests and `paranoid-checks` only).
+    pub fn agrees_with(&self, graph: &ConflictGraph, s: &SparseStrategies) -> bool {
+        match self {
+            NbrIndex::Sparse(ix) => ix.agrees_with(graph, s),
+            NbrIndex::Dense(ix) => ix.agrees_with(graph, s),
+        }
+    }
+
+    /// Heap footprint of the held representation.
+    pub fn heap_bytes(&self) -> usize {
+        match self {
+            NbrIndex::Sparse(ix) => ix.heap_bytes(),
+            NbrIndex::Dense(ix) => ix.heap_bytes(),
+        }
+    }
+
+    /// The flat `N·|C|` cell bytes the dense representation holds (or
+    /// would hold) — the memory-gate denominator.
+    pub fn dense_bytes(&self) -> usize {
+        match self {
+            NbrIndex::Sparse(ix) => ix.dense_bytes(),
+            NbrIndex::Dense(ix) => ix.dense_bytes(),
+        }
+    }
+
+    /// User `u`'s row materialized dense — tests and goldens; the hot
+    /// path materializes through [`fill_view`](Self::fill_view) instead.
+    pub fn dense_row(&self, u: usize) -> Vec<u32> {
+        let mut out = vec![0u32; NbrLoadView::n_channels(self)];
+        self.for_each_load(u, |c, l| out[c] = l);
+        out
+    }
+
+    /// Materialize `u`'s row into the BR scratch view. A full-width row
+    /// (dense, or sparse at `|C|` width) copies the flat loads in one
+    /// pass and returns `true`: every cell was overwritten, so the
+    /// caller may skip [`clear_view`](Self::clear_view) and pass the
+    /// view back as `dirty` instead. A short sparse row scatters only
+    /// its `O(deg·k)` occupied cells over an all-zeros view (wiping
+    /// first when handed a dirty one) and returns `false`. Zero
+    /// allocation either way.
+    pub(crate) fn fill_view(&self, u: usize, view: &mut ChannelLoads, dirty: bool) -> bool {
+        match self {
+            NbrIndex::Sparse(ix) => {
+                if ix.uniform_full {
+                    let s = u * ix.n_channels;
+                    view.copy_from_slice(&ix.loads[s..s + ix.n_channels]);
+                    return true;
+                }
+                let (cs, ls) = ix.row_parts(u);
+                if cs.len() == ix.n_channels {
+                    // Full-width row: its loads half IS the dense row.
+                    view.copy_from_slice(ls);
+                    true
+                } else {
+                    if dirty {
+                        view.resize_wiped(ix.n_channels);
+                    } else {
+                        view.ensure_zeroed(ix.n_channels);
+                    }
+                    for (&c, &l) in cs.iter().zip(ls) {
+                        view.set_raw(c as usize, l);
+                    }
+                    false
+                }
+            }
+            NbrIndex::Dense(ix) => {
+                view.copy_from_slice(ix.row(u));
+                true
+            }
+        }
+    }
+
+    /// Undo a `false`-returning [`fill_view`](Self::fill_view): restore
+    /// the all-zeros invariant by walking the same sparse row. (After a
+    /// full-width fill the caller skips this and carries the view as
+    /// dirty — matching the dense index, which never pays a clear.)
+    pub(crate) fn clear_view(&self, u: usize, view: &mut ChannelLoads) {
+        if let NbrIndex::Sparse(ix) = self {
+            for &c in ix.row_parts(u).0 {
+                view.set_raw(c as usize, 0);
+            }
+        }
+    }
+}
+
+impl NbrLoadView for NbrIndex {
+    fn n_channels(&self) -> usize {
+        match self {
+            NbrIndex::Sparse(ix) => ix.n_channels,
+            NbrIndex::Dense(ix) => ix.n_channels,
+        }
+    }
+
+    fn n_users(&self) -> usize {
+        match self {
+            NbrIndex::Sparse(ix) => ix.n_users(),
+            NbrIndex::Dense(ix) => NeighborhoodLoads::n_users(ix),
+        }
+    }
+
+    fn load(&self, u: usize, c: ChannelId) -> u32 {
+        match self {
+            NbrIndex::Sparse(ix) => ix.load(u, c),
+            NbrIndex::Dense(ix) => NeighborhoodLoads::load(ix, u, c),
+        }
+    }
+
+    fn for_each_load(&self, u: usize, f: impl FnMut(usize, u32)) {
+        match self {
+            NbrIndex::Sparse(ix) => ix.for_each_load(u, f),
+            NbrIndex::Dense(ix) => ix.for_each_load(u, f),
+        }
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -657,6 +1542,9 @@ impl NeighborhoodLoads {
 #[derive(Debug)]
 pub struct SpatialScratch {
     view: ChannelLoads,
+    /// True when `view` holds a stale full-width fill instead of
+    /// all-zeros — see [`NbrIndex::fill_view`]'s dirty protocol.
+    view_dirty: bool,
     table: MarginalTable,
     kernel: KernelScratch,
     knap: br_dp::KnapsackScratch,
@@ -667,6 +1555,7 @@ impl Default for SpatialScratch {
     fn default() -> Self {
         SpatialScratch {
             view: ChannelLoads::zeros(0),
+            view_dirty: false,
             table: MarginalTable::default(),
             kernel: KernelScratch::default(),
             knap: br_dp::KnapsackScratch::default(),
@@ -679,17 +1568,19 @@ impl Default for SpatialScratch {
 /// neighborhood loads: `Σ_c payoff(c, ℓ_u(c) − k_{u,c}, k_{u,c})`, in
 /// ascending channel order — the same accumulation the single-domain
 /// [`crate::br_fast::utility_sparse`] performs, so on a clique the sums
-/// are bit-identical.
-pub fn spatial_utility<G: ChannelGame + ?Sized>(
+/// are bit-identical. Generic over the index representation
+/// ([`NbrLoadView`]): both hand back the same `u32` loads, so the sum
+/// is bit-identical across them too.
+pub fn spatial_utility<G: ChannelGame + ?Sized, V: NbrLoadView + ?Sized>(
     game: &G,
     s: &SparseStrategies,
-    nbr: &NeighborhoodLoads,
+    nbr: &V,
     user: UserId,
 ) -> f64 {
-    let nrow = nbr.row(user.0);
     let mut total = 0.0;
     for &(c, own) in s.row(user) {
-        total += game.channel_payoff(ChannelId(c as usize), nrow[c as usize] - own, own);
+        let cid = ChannelId(c as usize);
+        total += game.channel_payoff(cid, nbr.load(user.0, cid) - own, own);
     }
     total
 }
@@ -698,10 +1589,10 @@ pub fn spatial_utility<G: ChannelGame + ?Sized>(
 /// single-domain case this does not collapse to a per-channel sum — a
 /// channel's rate is shared per *neighborhood*, so spatial reuse can
 /// push welfare above the one-domain ceiling.
-pub fn spatial_welfare<G: ChannelGame + ?Sized>(
+pub fn spatial_welfare<G: ChannelGame + ?Sized, V: NbrLoadView + ?Sized>(
     game: &G,
     s: &SparseStrategies,
-    nbr: &NeighborhoodLoads,
+    nbr: &V,
 ) -> f64 {
     UserId::all(s.n_users())
         .map(|u| spatial_utility(game, s, nbr, u))
@@ -715,18 +1606,26 @@ pub fn spatial_welfare<G: ChannelGame + ?Sized>(
 /// otherwise. Both paths consume the neighborhood view through the same
 /// code the global engines use, so a clique neighborhood reproduces
 /// their floats bit for bit.
+///
+/// The kernels need a full-width row; `user`'s is materialized into
+/// `scratch.view` through [`NbrIndex::fill_view`] — a flat copy for
+/// full-width rows (the view then stays dirty, like the dense path), an
+/// `O(deg·k)` sparse-set fill/[`NbrIndex::clear_view`] for short ones.
+/// Zero allocation either way.
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn spatial_best_response_into<G: ChannelGame + ?Sized>(
     game: &G,
     row: &[SparseEntry],
-    nbr_row: &[u32],
+    nbr: &NbrIndex,
+    user: usize,
     k: u32,
     heap_route: bool,
     scratch: &mut SpatialScratch,
     out: &mut Vec<SparseEntry>,
 ) -> f64 {
     out.clear();
-    scratch.view.copy_from_slice(nbr_row);
-    if heap_route {
+    let full = nbr.fill_view(user, &mut scratch.view, scratch.view_dirty);
+    let value = if heap_route {
         scratch.table.rebuild(game, &scratch.view);
         kernel_best_response_into(
             game,
@@ -768,7 +1667,14 @@ pub(crate) fn spatial_best_response_into<G: ChannelGame + ?Sized>(
                 .filter_map(|(c, &t)| (t > 0).then_some((c as u32, t))),
         );
         value
+    };
+    if full {
+        scratch.view_dirty = true;
+    } else {
+        nbr.clear_view(user, &mut scratch.view);
+        scratch.view_dirty = false;
     }
+    value
 }
 
 /// Dense vector of a sparse row (trace and witness materialization).
@@ -788,7 +1694,7 @@ pub fn nash_check_spatial<G: ChannelGame>(
     game: &SpatialGame<G>,
     s: &SparseStrategies,
 ) -> NashCheck {
-    let nbr = NeighborhoodLoads::of(game.graph(), s);
+    let nbr = NbrIndex::sparse_of(game.graph(), s);
     let heap_route = game.payoff_is_separable_monotone() && !game.may_idle_radios();
     let mut scratch = SpatialScratch::default();
     let mut br = Vec::new();
@@ -800,7 +1706,8 @@ pub fn nash_check_spatial<G: ChannelGame>(
         let after = spatial_best_response_into(
             game,
             s.row(user),
-            nbr.row(user.0),
+            &nbr,
+            user.0,
             game.radios_of(user),
             heap_route,
             &mut scratch,
@@ -841,18 +1748,17 @@ pub struct PotentialTracker {
 impl PotentialTracker {
     /// Recompute `Φ` from scratch (initialization, cross-checks, and
     /// after events that change payoffs wholesale, e.g. a rate shift).
-    pub fn recompute<G: ChannelGame + ?Sized>(game: &G, nbr: &NeighborhoodLoads) -> f64 {
+    /// Generic over the index representation: both visit the same
+    /// nonzero cells in ascending channel order, so the accumulated
+    /// float is bit-identical across them.
+    pub fn recompute<G: ChannelGame + ?Sized, V: NbrLoadView + ?Sized>(game: &G, nbr: &V) -> f64 {
         let c_n = nbr.n_channels();
         // Per-channel prefix ladders Σ_{t≤j} φ_c(t), grown on demand.
         let mut ladders: Vec<Vec<f64>> = vec![vec![0.0]; c_n];
         let mut phi = 0.0;
         for r in 0..nbr.n_users() {
-            let row = nbr.row(r);
-            for (c, &l) in row.iter().enumerate() {
+            nbr.for_each_load(r, |c, l| {
                 let l = l as usize;
-                if l == 0 {
-                    continue;
-                }
                 let lad = &mut ladders[c];
                 while lad.len() <= l {
                     let j = lad.len() as u32;
@@ -860,7 +1766,7 @@ impl PotentialTracker {
                     lad.push(prev + game.channel_payoff(ChannelId(c), j - 1, 1));
                 }
                 phi += lad[l];
-            }
+            });
         }
         phi
     }
@@ -961,7 +1867,7 @@ impl CycleDetector {
 #[derive(Debug)]
 pub struct SpatialDynamics {
     s: SparseStrategies,
-    nbr: NeighborhoodLoads,
+    nbr: NbrIndex,
     heap_route: bool,
     scratch: SpatialScratch,
     br_row: Vec<SparseEntry>,
@@ -979,11 +1885,28 @@ pub struct SpatialDynamics {
 }
 
 impl SpatialDynamics {
-    /// Build the driver over `s`; every user starts scheduled.
+    /// Build the driver over `s` on the default sparse index; every
+    /// user starts scheduled.
     pub fn new<G: ChannelGame>(game: &SpatialGame<G>, s: SparseStrategies) -> Self {
+        let nbr = NbrIndex::sparse_of(game.graph(), &s);
+        Self::with_index(game, s, nbr)
+    }
+
+    /// Build the driver on the dense `Θ(N·|C|)` index — the
+    /// differential oracle `spatial_index_equiv` pins the sparse
+    /// default against. Same dynamics, bit for bit.
+    pub fn new_dense_oracle<G: ChannelGame>(game: &SpatialGame<G>, s: SparseStrategies) -> Self {
+        let nbr = NbrIndex::dense_of(game.graph(), &s);
+        Self::with_index(game, s, nbr)
+    }
+
+    fn with_index<G: ChannelGame>(
+        game: &SpatialGame<G>,
+        s: SparseStrategies,
+        nbr: NbrIndex,
+    ) -> Self {
         let n = s.n_users();
         assert_eq!(game.n_users(), n, "game/state user count mismatch");
-        let nbr = NeighborhoodLoads::of(game.graph(), &s);
         let mut potential = PotentialTracker::default();
         potential.reset(PotentialTracker::recompute(game, &nbr));
         let mut d = SpatialDynamics {
@@ -1021,7 +1944,7 @@ impl SpatialDynamics {
     }
 
     /// The maintained per-neighborhood load index.
-    pub fn neighborhood_loads(&self) -> &NeighborhoodLoads {
+    pub fn neighborhood_loads(&self) -> &NbrIndex {
         &self.nbr
     }
 
@@ -1087,7 +2010,8 @@ impl SpatialDynamics {
         let after = spatial_best_response_into(
             game,
             self.s.row(uid),
-            self.nbr.row(u as usize),
+            &self.nbr,
+            u as usize,
             game.radios_of(uid),
             self.heap_route,
             &mut self.scratch,
@@ -1369,12 +2293,29 @@ pub struct SpatialParallelDynamics {
 }
 
 impl SpatialParallelDynamics {
-    /// Build the driver over `s` with `threads` Phase-A workers
-    /// (`0` = [`par::available_threads`]); every user starts scheduled.
+    /// Build the driver over `s` (default sparse index) with `threads`
+    /// Phase-A workers (`0` = [`par::available_threads`]); every user
+    /// starts scheduled.
     pub fn new<G: ChannelGame>(game: &SpatialGame<G>, s: SparseStrategies, threads: usize) -> Self {
-        let n_channels = s.n_channels();
+        let inner = SpatialDynamics::new(game, s);
+        Self::over(inner, threads)
+    }
+
+    /// The dense-oracle twin of [`new`](Self::new) — see
+    /// [`SpatialDynamics::new_dense_oracle`].
+    pub fn new_dense_oracle<G: ChannelGame>(
+        game: &SpatialGame<G>,
+        s: SparseStrategies,
+        threads: usize,
+    ) -> Self {
+        let inner = SpatialDynamics::new_dense_oracle(game, s);
+        Self::over(inner, threads)
+    }
+
+    fn over(inner: SpatialDynamics, threads: usize) -> Self {
+        let n_channels = inner.s.n_channels();
         SpatialParallelDynamics {
-            inner: SpatialDynamics::new(game, s),
+            inner,
             threads: if threads == 0 {
                 par::available_threads()
             } else {
@@ -1397,7 +2338,7 @@ impl SpatialParallelDynamics {
     }
 
     /// The maintained per-neighborhood load index.
-    pub fn neighborhood_loads(&self) -> &NeighborhoodLoads {
+    pub fn neighborhood_loads(&self) -> &NbrIndex {
         self.inner.neighborhood_loads()
     }
 
@@ -1486,7 +2427,8 @@ impl SpatialParallelDynamics {
                         let after = spatial_best_response_into(
                             game,
                             s.row(user),
-                            nbr.row(u as usize),
+                            nbr,
+                            u as usize,
                             game.radios_of(user),
                             heap_route,
                             &mut w.scratch,
@@ -1763,6 +2705,124 @@ mod tests {
             assert!(nbr.agrees_with(&graph, &s), "step {step}");
             assert!(cells > 0 || old.as_slice() == *new_row);
         }
+    }
+
+    #[test]
+    fn sparse_index_incremental_matches_rebuild() {
+        let graph = ConflictGraph::from_edges(5, &[(0, 1), (1, 2), (3, 4), (1, 4)]);
+        let mut s = SparseStrategies::random_uniform(5, 3, 4, 11);
+        let mut nbr = SparseNbrLoads::of(&graph, &s);
+        assert!(nbr.agrees_with(&graph, &s));
+        let rows: [&[SparseEntry]; 3] = [&[(0, 2), (3, 1)], &[], &[(1, 3)]];
+        for (step, new_row) in rows.iter().enumerate() {
+            let user = step % 5;
+            let old: Vec<SparseEntry> = s.row(UserId(user)).to_vec();
+            s.set_row(UserId(user), new_row);
+            let mut cells = 0u32;
+            nbr.replace_row(&graph, user, &old, new_row, |_, _, b, a| {
+                assert_ne!(b, a, "callback must fire only on changed cells");
+                cells += 1;
+            });
+            assert!(nbr.agrees_with(&graph, &s), "step {step}");
+            assert!(cells > 0 || old.as_slice() == *new_row);
+        }
+    }
+
+    #[test]
+    fn sparse_and_dense_fire_identical_cell_sequences() {
+        let (graph, _) = ConflictGraph::random_geometric(20, 6.0, 2.0, 3);
+        let mut s = SparseStrategies::random_uniform(20, 2, 6, 17);
+        let mut sparse = SparseNbrLoads::of(&graph, &s);
+        let mut dense = NeighborhoodLoads::of(&graph, &s);
+        let mut rng = StdRng::seed_from_u64(99);
+        for step in 0..60 {
+            let user = rng.gen_range(0..20usize);
+            let old: Vec<SparseEntry> = s.row(UserId(user)).to_vec();
+            let mut new: Vec<SparseEntry> = (0..6u32)
+                .filter_map(|c| {
+                    let k = rng.gen_range(0..2u32);
+                    (k > 0).then_some((c, k))
+                })
+                .collect();
+            new.truncate(2);
+            s.set_row(UserId(user), &new);
+            let mut ev_s: Vec<(usize, usize, u32, u32)> = Vec::new();
+            let mut ev_d: Vec<(usize, usize, u32, u32)> = Vec::new();
+            sparse.replace_row(&graph, user, &old, &new, |v, c, b, a| {
+                ev_s.push((v, c, b, a))
+            });
+            dense.replace_row(&graph, user, &old, &new, |v, c, b, a| {
+                ev_d.push((v, c, b, a))
+            });
+            assert_eq!(ev_s, ev_d, "step {step}");
+            for u in 0..20 {
+                // The sparse row's *logical* cells (a full-width row may
+                // hold zero entries) must equal dense's nonzero cells.
+                assert_eq!(
+                    sparse.row(u).filter(|&(_, l)| l > 0).collect::<Vec<_>>(),
+                    dense
+                        .row(u)
+                        .iter()
+                        .enumerate()
+                        .filter_map(|(c, &l)| (l > 0).then_some((c as u32, l)))
+                        .collect::<Vec<_>>(),
+                    "step {step} user {u}"
+                );
+            }
+        }
+        assert!(sparse.agrees_with(&graph, &s) && dense.agrees_with(&graph, &s));
+    }
+
+    #[test]
+    fn sparse_index_relocation_and_compaction() {
+        // A star: every leaf move patches the hub's row, growing it one
+        // distinct channel at a time past its slot cap — forcing
+        // relocations and, eventually, a compaction.
+        let n = 34usize;
+        let edges: Vec<(u32, u32)> = (1..n as u32).map(|v| (0, v)).collect();
+        let graph = ConflictGraph::from_edges(n, &edges);
+        let mut s = SparseStrategies::with_budgets(&vec![1; n], 64);
+        let mut nbr = SparseNbrLoads::of(&graph, &s);
+        let mut relocated = false;
+        for v in 1..n {
+            let new: &[SparseEntry] = &[(v as u32, 1)];
+            nbr.replace_row(&graph, v, &[], new, |_, _, _, _| {});
+            s.set_row(UserId(v), new);
+            assert!(nbr.agrees_with(&graph, &s), "leaf {v}");
+            relocated |= nbr.dead() > 0;
+            assert!(
+                nbr.dead() * 4 < nbr.loads.len().max(1),
+                "compaction must bound dead slots (leaf {v})"
+            );
+        }
+        assert!(relocated, "the hub row must have outgrown its slot");
+        assert_eq!(nbr.row(0).count(), n - 1);
+        // Shrink everything back: rows rewrite in place, loads stay exact.
+        for v in 1..n {
+            let old: Vec<SparseEntry> = s.row(UserId(v)).to_vec();
+            s.set_row(UserId(v), &[]);
+            nbr.replace_row(&graph, v, &old, &[], |_, _, _, _| {});
+        }
+        assert!(nbr.agrees_with(&graph, &s));
+        assert_eq!(nbr.row(0).count(), 0);
+    }
+
+    #[test]
+    fn index_enum_default_is_sparse_and_oracle_agrees() {
+        let (graph, _) = ConflictGraph::random_geometric(24, 6.0, 2.0, 5);
+        let game = SpatialGame::new(ChurnGame::uniform(24, 2, 3, 1.0), graph);
+        let start = SparseStrategies::random_uniform(24, 2, 3, 9);
+        let mut d = SpatialDynamics::new(&game, start.clone());
+        assert!(d.neighborhood_loads().is_sparse());
+        let mut o = SpatialDynamics::new_dense_oracle(&game, start);
+        assert!(!o.neighborhood_loads().is_sparse());
+        let (dc, dr) = d.run(&game, 200, None);
+        let (oc, or) = o.run(&game, 200, None);
+        assert_eq!((dc, dr), (oc, or));
+        assert_eq!(d.state(), o.state());
+        assert_eq!(d.potential().phi().to_bits(), o.potential().phi().to_bits());
+        assert!(d.neighborhood_loads().heap_bytes() > 0);
+        assert!(o.neighborhood_loads().heap_bytes() >= o.neighborhood_loads().dense_bytes());
     }
 
     #[test]

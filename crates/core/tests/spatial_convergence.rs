@@ -203,7 +203,11 @@ fn two_triangle_golden_move_sequence() {
         vec![2, 1],
     ];
     for (u, expect) in expect_nbr.iter().enumerate() {
-        assert_eq!(d.neighborhood_loads().row(u), expect.as_slice(), "user {u}");
+        assert_eq!(
+            d.neighborhood_loads().dense_row(u),
+            expect.as_slice(),
+            "user {u}"
+        );
     }
     assert_eq!(
         NeighborhoodLoads::of(game.graph(), d.state()).row(3),

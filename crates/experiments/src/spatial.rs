@@ -16,16 +16,23 @@
 //! (Welsh–Powell descending-degree order, `k` distinct least-used
 //! channels, ties to the lowest index); small cells cross-check the
 //! sparse recomputation against `mrca_baselines` bit-for-bit, which is
-//! what lets the 10⁵-user smoke cell skip the `O(n²)` dense graph.
+//! what lets the 10⁶-user smoke cell skip the `O(n²)` dense graph.
 //!
-//! `t11_spatial` drives this and writes `results/BENCH_spatial.json`;
-//! the CI `spatial-smoke` job gates the 10⁵-user cell through the
-//! `spatial:` summary line.
+//! Beyond the sweep, two standalone cells probe the scale axes
+//! separately: a 10⁶-user geometric **smoke** cell (population) and a
+//! `|C| = 512` **wide** cell (channel width), where the sparse CSR
+//! neighborhood index is measured against the dense `N·|C|` matrix it
+//! replaced (`index_bytes` vs `index_dense_bytes`, `mem_ratio`).
+//!
+//! `t11_spatial` drives this and writes `results/BENCH_spatial.json`
+//! plus the per-cell `results/t11_spatial.csv`; the CI `spatial-smoke`
+//! job gates both standalone cells — convergence and the ≥8× index
+//! memory reduction — through the `spatial:` summary line.
 
 use mrca_core::churn::ChurnGame;
 use mrca_core::spatial::{
-    spatial_utility, spatial_welfare, ConflictGraph, NeighborhoodLoads, SpatialDynamics,
-    SpatialGame, SpatialParallelDynamics,
+    spatial_utility, spatial_welfare, ConflictGraph, NbrIndex, SpatialDynamics, SpatialGame,
+    SpatialParallelDynamics,
 };
 use mrca_core::{SparseStrategies, UserId};
 use std::time::Instant;
@@ -60,10 +67,20 @@ pub struct SpatialConfig {
     pub smoke_range: f64,
     /// Channel count of the smoke cell.
     pub smoke_channels: usize,
+    /// Population of the wide-channel (`|C| ≫ k`) memory cell.
+    pub wide_users: usize,
+    /// World side of the wide cell.
+    pub wide_side: f64,
+    /// Conflict range of the wide cell.
+    pub wide_range: f64,
+    /// Channel count of the wide cell — wide enough that the dense
+    /// `N·|C|` index pays for every channel nobody occupies.
+    pub wide_channels: usize,
 }
 
 impl SpatialConfig {
-    /// The CI smoke shape: one small sweep cell plus the 10⁵-user cell.
+    /// The CI smoke shape: one small sweep cell, the 10⁶-user geometric
+    /// cell, and the wide-channel memory cell.
     pub fn smoke() -> Self {
         SpatialConfig {
             densities: vec![1.0],
@@ -75,10 +92,14 @@ impl SpatialConfig {
             seed: 2026,
             threads: 1,
             max_rounds: 20_000,
-            smoke_users: 100_000,
-            smoke_side: 1_000.0,
+            smoke_users: 1_000_000,
+            smoke_side: 3_162.0,
             smoke_range: 5.0,
             smoke_channels: 8,
+            wide_users: 100_000,
+            wide_side: 1_000.0,
+            wide_range: 5.0,
+            wide_channels: 512,
         }
     }
 
@@ -123,8 +144,23 @@ pub struct CellReport {
     pub welfare_coloring: f64,
     /// Users whose equilibrium rate weakly dominates their coloring rate.
     pub dominated: usize,
+    /// Heap bytes of the neighborhood-load index the driver actually
+    /// held (sparse CSR by default).
+    pub index_bytes: usize,
+    /// Bytes the dense `N·|C|` matrix would hold for the same cell.
+    pub index_dense_bytes: usize,
+    /// Heap bytes of the conflict graph's CSR adjacency.
+    pub graph_bytes: usize,
     /// Wall time for the settle.
     pub ms: f64,
+}
+
+impl CellReport {
+    /// Dense-over-sparse index memory ratio (how many times smaller the
+    /// sparse index is than the dense matrix it replaced).
+    pub fn mem_ratio(&self) -> f64 {
+        self.index_dense_bytes as f64 / self.index_bytes.max(1) as f64
+    }
 }
 
 /// The sweep result `results/BENCH_spatial.json` carries.
@@ -136,6 +172,8 @@ pub struct SpatialReport {
     pub cells: Vec<CellReport>,
     /// The standalone large geometric smoke cell.
     pub smoke: CellReport,
+    /// The wide-channel (`|C| ≫ k`) memory cell the index gate reads.
+    pub wide: CellReport,
 }
 
 /// The dense [`mrca_baselines::ColoringAllocator`] rule recomputed over
@@ -194,31 +232,43 @@ pub fn run_cell(
     let start = SparseStrategies::random_uniform(n, cfg.radios, n_channels, seed ^ 0x5EED);
 
     let t0 = Instant::now();
-    let (state, converged, rounds, cycle, moves, decreases) = if cfg.threads <= 1 {
-        let mut d = SpatialDynamics::new(&game, start);
-        let (converged, rounds) = d.run(&game, cfg.max_rounds, None);
-        let (moves, dec, cyc) = (
-            d.counters().moves,
-            d.potential().decreases(),
-            d.cycle_detected(),
-        );
-        (d.into_state(), converged, rounds, cyc, moves, dec)
-    } else {
-        let mut d = SpatialParallelDynamics::new(&game, start, cfg.threads);
-        let (converged, rounds) = d.run(&game, cfg.max_rounds);
-        let (moves, dec, cyc) = (
-            d.counters().moves,
-            d.potential().decreases(),
-            d.cycle_detected(),
-        );
-        (d.into_state(), converged, rounds, cyc, moves, dec)
-    };
+    let (state, converged, rounds, cycle, moves, decreases, index_bytes, index_dense_bytes) =
+        if cfg.threads <= 1 {
+            let mut d = SpatialDynamics::new(&game, start);
+            let (converged, rounds) = d.run(&game, cfg.max_rounds, None);
+            let (moves, dec, cyc) = (
+                d.counters().moves,
+                d.potential().decreases(),
+                d.cycle_detected(),
+            );
+            let (ib, idb) = (
+                d.neighborhood_loads().heap_bytes(),
+                d.neighborhood_loads().dense_bytes(),
+            );
+            (d.into_state(), converged, rounds, cyc, moves, dec, ib, idb)
+        } else {
+            let mut d = SpatialParallelDynamics::new(&game, start, cfg.threads);
+            let (converged, rounds) = d.run(&game, cfg.max_rounds);
+            let (moves, dec, cyc) = (
+                d.counters().moves,
+                d.potential().decreases(),
+                d.cycle_detected(),
+            );
+            let (ib, idb) = (
+                d.neighborhood_loads().heap_bytes(),
+                d.neighborhood_loads().dense_bytes(),
+            );
+            (d.into_state(), converged, rounds, cyc, moves, dec, ib, idb)
+        };
     let ms = t0.elapsed().as_secs_f64() * 1e3;
+    let graph_bytes = game.graph().heap_bytes();
 
     // Welfare and per-user domination vs the greedy coloring baseline.
+    // Both comparison indices are sparse too — at the wide cell a dense
+    // pair would cost 2·N·|C|·4 bytes just to score the outcome.
     let coloring = greedy_coloring(game.graph(), n_channels, cfg.radios);
-    let nbr_eq = NeighborhoodLoads::of(game.graph(), &state);
-    let nbr_col = NeighborhoodLoads::of(game.graph(), &coloring);
+    let nbr_eq = NbrIndex::sparse_of(game.graph(), &state);
+    let nbr_col = NbrIndex::sparse_of(game.graph(), &coloring);
     let welfare_eq = spatial_welfare(&game, &state, &nbr_eq);
     let welfare_coloring = spatial_welfare(&game, &coloring, &nbr_col);
     let mut dominated = 0usize;
@@ -244,6 +294,9 @@ pub fn run_cell(
         welfare_eq,
         welfare_coloring,
         dominated,
+        index_bytes,
+        index_dense_bytes,
+        graph_bytes,
         ms,
     }
 }
@@ -290,6 +343,36 @@ pub fn run_sweep(cfg: &SpatialConfig) -> SpatialReport {
     }
 
     println!(
+        "wide cell: {} users, side {}, range {}, C={} ...",
+        cfg.wide_users, cfg.wide_side, cfg.wide_range, cfg.wide_channels
+    );
+    let wide = run_cell(
+        cfg,
+        cfg.wide_users,
+        0.0,
+        cfg.wide_side,
+        cfg.wide_range,
+        cfg.wide_channels,
+        cfg.seed ^ 0x31DE,
+    );
+    println!(
+        "wide: deg={:.2} {} rounds={} moves={} index {} B vs dense {} B \
+         ({:.1}x) ({:.0} ms)",
+        wide.mean_degree,
+        if wide.converged {
+            "converged"
+        } else {
+            "NOT CONVERGED"
+        },
+        wide.rounds,
+        wide.moves,
+        wide.index_bytes,
+        wide.index_dense_bytes,
+        wide.mem_ratio(),
+        wide.ms,
+    );
+
+    println!(
         "smoke cell: {} users, side {}, range {}, C={} ...",
         cfg.smoke_users, cfg.smoke_side, cfg.smoke_range, cfg.smoke_channels
     );
@@ -318,6 +401,7 @@ pub fn run_sweep(cfg: &SpatialConfig) -> SpatialReport {
         cfg: cfg.clone(),
         cells,
         smoke,
+        wide,
     }
 }
 
@@ -328,7 +412,8 @@ impl CellReport {
              \"mean_degree\": {:.3}, \"converged\": {}, \"cycle\": {}, \
              \"rounds\": {}, \"moves\": {}, \"potential_decreases\": {}, \
              \"welfare_eq\": {:.6}, \"welfare_coloring\": {:.6}, \
-             \"dominated\": {}, \"ms\": {:.1}}}",
+             \"dominated\": {}, \"index_bytes\": {}, \"index_dense_bytes\": {}, \
+             \"graph_bytes\": {}, \"mem_ratio\": {:.2}, \"ms\": {:.1}}}",
             self.n,
             self.density,
             self.range,
@@ -342,6 +427,10 @@ impl CellReport {
             self.welfare_eq,
             self.welfare_coloring,
             self.dominated,
+            self.index_bytes,
+            self.index_dense_bytes,
+            self.graph_bytes,
+            self.mem_ratio(),
             self.ms,
         )
     }
@@ -354,7 +443,7 @@ impl SpatialReport {
     pub fn unresolved(&self) -> usize {
         self.cells
             .iter()
-            .chain(std::iter::once(&self.smoke))
+            .chain([&self.smoke, &self.wide])
             .filter(|c| !c.converged && !c.cycle)
             .count()
     }
@@ -363,7 +452,7 @@ impl SpatialReport {
     pub fn cycles(&self) -> usize {
         self.cells
             .iter()
-            .chain(std::iter::once(&self.smoke))
+            .chain([&self.smoke, &self.wide])
             .filter(|c| c.cycle)
             .count()
     }
@@ -374,12 +463,13 @@ impl SpatialReport {
         let cells: Vec<String> = self.cells.iter().map(|c| c.to_json()).collect();
         format!(
             "{{\"bench\": \"t11_spatial\", \"radios\": {}, \"threads\": {}, \"seed\": {}, \
-             \"cells\": [{}], \"smoke\": {}}}\n",
+             \"cells\": [{}], \"smoke\": {}, \"wide\": {}}}\n",
             self.cfg.radios,
             self.cfg.threads,
             self.cfg.seed,
             cells.join(", "),
             self.smoke.to_json(),
+            self.wide.to_json(),
         )
     }
 }
@@ -425,11 +515,21 @@ mod tests {
         let mut cfg = SpatialConfig::smoke();
         cfg.smoke_users = 500;
         cfg.smoke_side = 50.0;
+        cfg.wide_users = 300;
+        cfg.wide_side = 60.0;
         let report = run_sweep(&cfg);
         assert_eq!(report.unresolved(), 0);
         assert!(report.smoke.converged);
+        assert!(report.wide.converged);
+        // The memory accounting is live: nonzero index and graph bytes,
+        // and the wide cell's sparse index beats its dense equivalent.
+        assert!(report.smoke.index_bytes > 0 && report.smoke.graph_bytes > 0);
+        assert!(report.wide.index_bytes > 0 && report.wide.graph_bytes > 0);
+        assert!(report.wide.mem_ratio() > 1.0);
         let json = report.to_json();
         assert!(json.contains("\"bench\": \"t11_spatial\""));
         assert!(json.contains("\"smoke\""));
+        assert!(json.contains("\"wide\""));
+        assert!(json.contains("\"mem_ratio\""));
     }
 }
